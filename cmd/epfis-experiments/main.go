@@ -1,0 +1,174 @@
+// Command epfis-experiments regenerates every table and figure of the
+// paper's evaluation (§5) plus the ablation studies DESIGN.md calls out:
+//
+//	epfis-experiments                  # scaled run (fast, shape-preserving)
+//	epfis-experiments -full            # paper-size run (N = 10^6 synthetic, full GWL shapes)
+//	epfis-experiments -only figure-13  # one experiment
+//	epfis-experiments -list            # list experiment ids
+//
+// Output is text: a value table per figure (the same series the paper
+// plots) followed by an ASCII chart. Paper-vs-measured numbers are recorded
+// in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"epfis/internal/experiment"
+)
+
+type runner func(cfg experiment.Config, w io.Writer) error
+
+func figureRunner(fn func(experiment.Config) (*experiment.FigureResult, error)) runner {
+	return func(cfg experiment.Config, w io.Writer) error {
+		fig, err := fn(cfg)
+		if err != nil {
+			return err
+		}
+		return fig.Render(w)
+	}
+}
+
+func tableRunner(fn func(experiment.Config) (*experiment.TableResult, error)) runner {
+	return func(cfg experiment.Config, w io.Writer) error {
+		tbl, err := fn(cfg)
+		if err != nil {
+			return err
+		}
+		return tbl.Render(w)
+	}
+}
+
+func experiments() (map[string]runner, []string) {
+	m := map[string]runner{
+		"table-2":  tableRunner(experiment.RunTable2),
+		"table-3":  tableRunner(experiment.RunTable3),
+		"figure-1": figureRunner(experiment.RunFigure1),
+		"summary-gwl": func(cfg experiment.Config, w io.Writer) error {
+			var figs []*experiment.FigureResult
+			for f := 2; f <= 9; f++ {
+				fig, err := experiment.RunGWLFigure(f, cfg)
+				if err != nil {
+					return err
+				}
+				figs = append(figs, fig)
+			}
+			return experiment.MaxErrorSummary("summary-gwl",
+				"Maximum |error| per algorithm across the GWL figures (paper §5.1)", figs).Render(w)
+		},
+		"summary-synthetic": func(cfg experiment.Config, w io.Writer) error {
+			var figs []*experiment.FigureResult
+			for _, spec := range experiment.SyntheticFigures {
+				fig, err := experiment.RunSyntheticFigure(spec, cfg)
+				if err != nil {
+					return err
+				}
+				figs = append(figs, fig)
+			}
+			return experiment.MaxErrorSummary("summary-synthetic",
+				"Maximum |error| per algorithm across the synthetic figures (paper §5.2)", figs).Render(w)
+		},
+		"ablation-segments": func(cfg experiment.Config, w io.Writer) error {
+			fig, err := experiment.RunSegmentCountAblation(cfg, nil)
+			if err != nil {
+				return err
+			}
+			return fig.Render(w)
+		},
+		"ablation-spacing":    figureRunner(experiment.RunSpacingAblation),
+		"ablation-fitter":     figureRunner(experiment.RunFitterAblation),
+		"ablation-correction": figureRunner(experiment.RunCorrectionAblation),
+		"study-scan-size":     figureRunner(experiment.RunScanSizeStudy),
+		"study-sorted-rids":   figureRunner(experiment.RunSortedRIDStudy),
+		"study-sargable":      figureRunner(experiment.RunSargableStudy),
+		"study-policy":        figureRunner(experiment.RunPolicyStudy),
+		"study-contention":    figureRunner(experiment.RunContentionStudy),
+	}
+	for f := 2; f <= 9; f++ {
+		f := f
+		m[fmt.Sprintf("figure-%d", f)] = func(cfg experiment.Config, w io.Writer) error {
+			fig, err := experiment.RunGWLFigure(f, cfg)
+			if err != nil {
+				return err
+			}
+			return fig.Render(w)
+		}
+	}
+	for _, spec := range experiment.SyntheticFigures {
+		spec := spec
+		m[fmt.Sprintf("figure-%d", spec.Figure)] = func(cfg experiment.Config, w io.Writer) error {
+			fig, err := experiment.RunSyntheticFigure(spec, cfg)
+			if err != nil {
+				return err
+			}
+			return fig.Render(w)
+		}
+	}
+	order := []string{"table-2", "table-3", "figure-1"}
+	for f := 2; f <= 21; f++ {
+		order = append(order, fmt.Sprintf("figure-%d", f))
+	}
+	order = append(order,
+		"summary-gwl", "summary-synthetic",
+		"ablation-segments", "ablation-spacing", "ablation-fitter", "ablation-correction",
+		"study-scan-size", "study-sorted-rids", "study-sargable", "study-policy", "study-contention",
+	)
+	return m, order
+}
+
+func main() {
+	var (
+		full  = flag.Bool("full", false, "paper-size run (slow): synthetic N=10^6, full GWL table sizes")
+		scale = flag.Int("scale", 10, "dataset scale divisor for non-full runs")
+		scans = flag.Int("scans", 200, "scans per error sweep")
+		seed  = flag.Int64("seed", 1, "random seed")
+		only  = flag.String("only", "", "run a single experiment id")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	reg, order := experiments()
+	if *list {
+		ids := make([]string, 0, len(reg))
+		for id := range reg {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiment.Config{Scale: *scale, Scans: *scans, Seed: *seed}
+	if *full {
+		cfg.Scale = 1
+	}
+
+	run := func(id string) {
+		r, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "epfis-experiments: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := r(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "epfis-experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   [%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *only != "" {
+		run(*only)
+		return
+	}
+	for _, id := range order {
+		run(id)
+	}
+}

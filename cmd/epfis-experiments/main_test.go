@@ -1,0 +1,52 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"epfis/internal/experiment"
+)
+
+func TestRegistryCoversOrder(t *testing.T) {
+	reg, order := experiments()
+	seen := map[string]bool{}
+	for _, id := range order {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("order lists unknown experiment %q", id)
+		}
+		if seen[id] {
+			t.Errorf("order repeats %q", id)
+		}
+		seen[id] = true
+	}
+	for id := range reg {
+		if !seen[id] {
+			t.Errorf("experiment %q missing from default order", id)
+		}
+	}
+	// Every paper table and figure must be present.
+	for _, id := range []string{"table-2", "table-3", "figure-1", "figure-9", "figure-21"} {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("missing %q", id)
+		}
+	}
+}
+
+func TestRunnersProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	reg, _ := experiments()
+	cfg := experiment.Config{Scale: 50, Scans: 20, Seed: 1}
+	for _, id := range []string{"table-2", "figure-13", "study-sargable"} {
+		var sb strings.Builder
+		if err := reg[id](cfg, &sb); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("%s output does not name itself", id)
+		}
+	}
+	var _ io.Writer
+}

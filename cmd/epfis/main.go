@@ -1,0 +1,286 @@
+// Command epfis is the statistics-and-estimation CLI over the EPFIS library:
+//
+//	epfis gen      -out catalog.json [-n 100000 -i 1000 -r 40 -theta 0 -k 0.2 ...]
+//	epfis inspect  -catalog catalog.json
+//	epfis estimate -catalog catalog.json -table syn -column key -b 500 -sigma 0.1 [-s 1]
+//	epfis curve    -catalog catalog.json -table syn -column key
+//
+// gen creates a synthetic table with the paper's window-clustering placement
+// model, runs Subprogram LRU-Fit over its index, and stores the resulting
+// statistics in a JSON catalog. estimate runs Subprogram Est-IO against a
+// stored catalog entry, printing the estimate and its intermediate terms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"epfis"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	case "estimate":
+		err = runEstimate(os.Args[2:])
+	case "curve":
+		err = runCurve(os.Args[2:])
+	case "plan":
+		err = runPlan(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "epfis: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epfis: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: epfis <command> [flags]
+
+commands:
+  gen       generate a synthetic table, run LRU-Fit, write a statistics catalog
+  inspect   list the entries of a statistics catalog
+  estimate  run Est-IO against a catalog entry
+  curve     print a catalog entry's fitted FPF curve knots
+  plan      choose an access plan for a query against a catalog
+
+run "epfis <command> -h" for the command's flags`)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		out    = fs.String("out", "catalog.json", "output catalog path")
+		tbl    = fs.String("table", "syn", "table name")
+		column = fs.String("column", "key", "indexed column name")
+		n      = fs.Int64("n", 100_000, "number of records (N)")
+		i      = fs.Int64("i", 1_000, "number of distinct key values (I)")
+		r      = fs.Int("r", 40, "records per page (R)")
+		theta  = fs.Float64("theta", 0, "Zipf skew of duplicates (0 = uniform, 0.86 = 80-20)")
+		k      = fs.Float64("k", 0.2, "clustering window fraction (0 = clustered, 1 = random)")
+		noise  = fs.Float64("noise", 0.05, "placement noise probability")
+		seed   = fs.Int64("seed", 1, "generator seed")
+		segs   = fs.Int("segments", 0, "FPF curve segments (0 = paper's 6)")
+		appnd  = fs.Bool("append", false, "append to an existing catalog instead of creating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := epfis.SyntheticConfig{
+		Name: *tbl, Column: *column,
+		N: *n, I: *i, R: *r, Theta: *theta, K: *k, Seed: *seed,
+	}
+	if *noise == 0 {
+		cfg.Noise = -1 // datagen.NoNoise
+	} else {
+		cfg.Noise = *noise
+	}
+	ds, err := epfis.GenerateDataset(cfg)
+	if err != nil {
+		return err
+	}
+	st, err := epfis.CollectStats(ds.Trace(), epfis.Meta{
+		Table: *tbl, Column: *column, T: ds.T, N: *n, I: *i,
+	}, epfis.Options{Segments: *segs})
+	if err != nil {
+		return err
+	}
+	// Store the key histogram alongside, so `epfis plan` can estimate
+	// selectivities from the catalog alone.
+	h, err := epfis.BuildHistogram(ds.Keys, 32)
+	if err != nil {
+		return err
+	}
+	st.KeyHistogram = h.Buckets()
+	cat := epfis.NewCatalog()
+	if *appnd {
+		if existing, err := epfis.LoadCatalog(*out); err == nil {
+			cat = existing
+		}
+	}
+	if err := cat.Put(st); err != nil {
+		return err
+	}
+	if err := cat.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("generated %s.%s: T=%d pages, N=%d records, I=%d keys\n", *tbl, *column, ds.T, *n, *i)
+	fmt.Printf("LRU-Fit: C=%.4f, modeled B in [%d, %d], %d grid points, %d curve segments\n",
+		st.C, st.BMin, st.BMax, st.GridPoints, st.Curve.NumSegments())
+	fmt.Printf("catalog written to %s (%d entries)\n", *out, cat.Len())
+	return nil
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	catalogPath := fs.String("catalog", "catalog.json", "catalog path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cat, err := epfis.LoadCatalog(*catalogPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %10s %12s %10s %8s %14s %9s\n", "INDEX", "T", "N", "I", "C", "B-RANGE", "SEGMENTS")
+	for _, key := range cat.Keys() {
+		tblName, column := splitKey(key)
+		st, err := cat.Get(tblName, column)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %10d %12d %10d %8.4f [%5d,%6d] %9d\n",
+			key, st.T, st.N, st.I, st.C, st.BMin, st.BMax, st.Curve.NumSegments())
+	}
+	return nil
+}
+
+func runEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	var (
+		catalogPath = fs.String("catalog", "catalog.json", "catalog path")
+		tbl         = fs.String("table", "syn", "table name")
+		column      = fs.String("column", "key", "column name")
+		b           = fs.Int64("b", 0, "LRU buffer pages available (required)")
+		sigma       = fs.Float64("sigma", 1, "start/stop-condition selectivity")
+		s           = fs.Float64("s", 1, "index-sargable selectivity (1 = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *b < 1 {
+		return fmt.Errorf("-b is required and must be >= 1")
+	}
+	cat, err := epfis.LoadCatalog(*catalogPath)
+	if err != nil {
+		return err
+	}
+	st, err := cat.Get(*tbl, *column)
+	if err != nil {
+		return err
+	}
+	det, err := epfis.EstimateDetailed(st, epfis.Input{B: *b, Sigma: *sigma, S: *s}, epfis.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("index %s.%s: T=%d N=%d I=%d C=%.4f\n", *tbl, *column, st.T, st.N, st.I, st.C)
+	fmt.Printf("Est-IO(B=%d, sigma=%g, S=%g):\n", *b, *sigma, *s)
+	fmt.Printf("  PF_B (full-scan fetches at B) = %.1f\n", det.PFB)
+	fmt.Printf("  base (sigma * PF_B)           = %.1f\n", det.Base)
+	fmt.Printf("  phi = %.4f, nu = %d, correction = %.1f\n", det.Phi, det.Nu, det.Correction)
+	fmt.Printf("  sargable factor               = %.4f\n", det.SargableFactor)
+	fmt.Printf("  estimated page fetches F      = %.1f\n", det.F)
+	return nil
+}
+
+func runCurve(args []string) error {
+	fs := flag.NewFlagSet("curve", flag.ExitOnError)
+	var (
+		catalogPath = fs.String("catalog", "catalog.json", "catalog path")
+		tbl         = fs.String("table", "syn", "table name")
+		column      = fs.String("column", "key", "column name")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cat, err := epfis.LoadCatalog(*catalogPath)
+	if err != nil {
+		return err
+	}
+	st, err := cat.Get(*tbl, *column)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("FPF curve of %s.%s (%d segments):\n", *tbl, *column, st.Curve.NumSegments())
+	fmt.Printf("%12s %14s %10s\n", "B (pages)", "F (fetches)", "F/T")
+	for _, kn := range st.Curve.Knots {
+		fmt.Printf("%12.0f %14.0f %10.3f\n", kn.X, kn.Y, kn.Y/float64(st.T))
+	}
+	return nil
+}
+
+func runPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	var (
+		catalogPath = fs.String("catalog", "catalog.json", "catalog path")
+		tbl         = fs.String("table", "syn", "table name")
+		column      = fs.String("column", "key", "range-predicate column")
+		b           = fs.Int64("b", 0, "LRU buffer pages available (required)")
+		lo          = fs.Int64("lo", 0, "range lower bound (inclusive)")
+		hi          = fs.Int64("hi", 0, "range upper bound (inclusive)")
+		hasLo       = fs.Bool("haslo", true, "range has a lower bound")
+		hasHi       = fs.Bool("hashi", true, "range has an upper bound")
+		s           = fs.Float64("s", 1, "index-sargable selectivity (1 = none)")
+		orderBy     = fs.String("orderby", "", "required sort column")
+		ridlist     = fs.Bool("ridlist", false, "also consider RID-list plans")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *b < 1 {
+		return fmt.Errorf("-b is required and must be >= 1")
+	}
+	cat, err := epfis.LoadCatalog(*catalogPath)
+	if err != nil {
+		return err
+	}
+	opt, err := epfis.NewOptimizer(cat)
+	if err != nil {
+		return err
+	}
+	q := epfis.Query{
+		Table:         *tbl,
+		BufferPages:   *b,
+		OrderBy:       *orderBy,
+		EnableRIDList: *ridlist,
+	}
+	if *hasLo || *hasHi {
+		q.Range = &epfis.RangePred{Column: *column, HasLo: *hasLo, Lo: *lo, HasHi: *hasHi, Hi: *hi}
+	}
+	if *s < 1 {
+		q.Sargable = []epfis.SargPred{{Selectivity: *s}}
+	}
+	best, plans, err := opt.Choose(q)
+	if err != nil {
+		return err
+	}
+	for _, p := range plans {
+		marker := "  "
+		if p.Kind == best.Kind && p.Index == best.Index {
+			marker = "=>"
+		}
+		idx := p.Index
+		if idx == "" {
+			idx = "-"
+		}
+		fmt.Printf("%s %-20s index=%-12s sigma=%.4f fetches=%10.1f sort=%8.1f cost=%10.1f\n",
+			marker, p.Kind, idx, p.Sigma, p.DataFetches, p.SortPages, p.Cost)
+		for _, line := range p.Explain {
+			fmt.Printf("      %s\n", line)
+		}
+	}
+	return nil
+}
+
+func splitKey(key string) (tbl, column string) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}

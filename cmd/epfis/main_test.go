@@ -1,0 +1,176 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout around fn and returns what was printed.
+// A concurrent reader drains the pipe so large outputs cannot deadlock.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestGenInspectEstimateCurveFlow(t *testing.T) {
+	dir := t.TempDir()
+	catalog := filepath.Join(dir, "cat.json")
+
+	out, err := captureStdout(t, func() error {
+		return runGen([]string{
+			"-out", catalog, "-table", "orders", "-column", "key",
+			"-n", "20000", "-i", "200", "-r", "40", "-k", "0.3", "-seed", "7",
+		})
+	})
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if !strings.Contains(out, "generated orders.key") || !strings.Contains(out, "LRU-Fit") {
+		t.Errorf("gen output: %q", out)
+	}
+	if _, err := os.Stat(catalog); err != nil {
+		t.Fatalf("catalog not written: %v", err)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return runInspect([]string{"-catalog", catalog})
+	})
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if !strings.Contains(out, "orders.key") {
+		t.Errorf("inspect output: %q", out)
+	}
+
+	out, err = captureStdout(t, func() error {
+		return runEstimate([]string{
+			"-catalog", catalog, "-table", "orders", "-column", "key",
+			"-b", "100", "-sigma", "0.25",
+		})
+	})
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	for _, want := range []string{"PF_B", "estimated page fetches", "sargable factor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("estimate output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = captureStdout(t, func() error {
+		return runCurve([]string{"-catalog", catalog, "-table", "orders", "-column", "key"})
+	})
+	if err != nil {
+		t.Fatalf("curve: %v", err)
+	}
+	if !strings.Contains(out, "FPF curve") || !strings.Contains(out, "F/T") {
+		t.Errorf("curve output: %q", out)
+	}
+}
+
+func TestGenAppend(t *testing.T) {
+	dir := t.TempDir()
+	catalog := filepath.Join(dir, "cat.json")
+	gen := func(column string, appendFlag bool) error {
+		args := []string{
+			"-out", catalog, "-table", "t", "-column", column,
+			"-n", "4000", "-i", "50", "-r", "20",
+		}
+		if appendFlag {
+			args = append(args, "-append")
+		}
+		_, err := captureStdout(t, func() error { return runGen(args) })
+		return err
+	}
+	if err := gen("a", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := gen("b", true); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error { return runInspect([]string{"-catalog", catalog}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t.a") || !strings.Contains(out, "t.b") {
+		t.Errorf("append lost an entry:\n%s", out)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if err := runEstimate([]string{"-catalog", "/nonexistent.json", "-b", "10"}); err == nil {
+		t.Error("missing catalog accepted")
+	}
+	if err := runEstimate([]string{"-b", "0"}); err == nil {
+		t.Error("B=0 accepted")
+	}
+}
+
+func TestSplitKeyHelper(t *testing.T) {
+	tbl, col := splitKey("a.b.c")
+	if tbl != "a.b" || col != "c" {
+		t.Errorf("splitKey = %q, %q", tbl, col)
+	}
+	tbl, col = splitKey("plain")
+	if tbl != "plain" || col != "" {
+		t.Errorf("splitKey(plain) = %q, %q", tbl, col)
+	}
+}
+
+func TestPlanCommand(t *testing.T) {
+	dir := t.TempDir()
+	catalog := filepath.Join(dir, "cat.json")
+	if _, err := captureStdout(t, func() error {
+		return runGen([]string{
+			"-out", catalog, "-table", "orders", "-column", "key",
+			"-n", "20000", "-i", "200", "-r", "40", "-k", "1", "-seed", "3",
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return runPlan([]string{
+			"-catalog", catalog, "-table", "orders", "-column", "key",
+			"-b", "100", "-lo", "1", "-hi", "20", "-ridlist",
+		})
+	})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	for _, want := range []string{"=>", "table-scan", "partial-index-scan", "rid-list-scan", "cost="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+	// The histogram-derived sigma must appear (10% of keys => ~0.1).
+	if !strings.Contains(out, "sigma=0.1") {
+		t.Errorf("plan output sigma unexpected:\n%s", out)
+	}
+	if err := runPlan([]string{"-catalog", catalog, "-b", "0"}); err == nil {
+		t.Error("plan with B=0 accepted")
+	}
+}

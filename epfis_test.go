@@ -1,0 +1,235 @@
+package epfis_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"epfis"
+	"epfis/internal/buffer"
+)
+
+// TestEndToEndEstimationAccuracy is the headline integration test: build a
+// real table (heap pages + B-tree), collect statistics through the public
+// API, then compare Est-IO predictions with the fetch counts of real scans
+// executed through a real LRU buffer pool.
+func TestEndToEndEstimationAccuracy(t *testing.T) {
+	tbl, ds, err := epfis.GenerateTable(epfis.SyntheticConfig{
+		Name: "orders", N: 40_000, I: 800, R: 40, K: 0.2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := epfis.CollectStatsFromIndex(tbl, "key", epfis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = ds
+
+	n := float64(tbl.N())
+	var sumEst, sumActual float64
+	for _, tc := range []struct {
+		lo, hi  int64
+		bufferB int
+		// relTol is the per-scan tolerance. The paper's own metric is the
+		// aggregate error precisely because individual small scans can have
+		// large *relative* error with small *absolute* error; the small-scan
+		// case below gets a correspondingly loose bound while the aggregate
+		// is held tight.
+		relTol float64
+	}{
+		{1, 800, 100, 0.20},   // full scan
+		{1, 800, 500, 0.20},   // full scan, larger buffer
+		{100, 500, 200, 0.45}, // half the keys
+		{1, 40, 300, 3.0},     // small scan: heuristic correction regime
+	} {
+		ix, err := tbl.Index("key")
+		if err != nil {
+			t.Fatal(err)
+		}
+		records, err := ix.CountRange(epfis.Ge(tc.lo), epfis.Le(tc.hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma := float64(records) / n
+
+		pool, err := buffer.NewLRU(tbl.Store, tc.bufferB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tbl.ScanThroughPool(pool, "key", epfis.Ge(tc.lo), epfis.Le(tc.hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := float64(res.PageFetches)
+
+		est, err := epfis.Estimate(st, int64(tc.bufferB), sigma, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := math.Abs(est-actual) / actual
+		if relErr > tc.relTol {
+			t.Errorf("range [%d,%d] B=%d: est %.0f vs actual %.0f (%.0f%% err, tol %.0f%%)",
+				tc.lo, tc.hi, tc.bufferB, est, actual, relErr*100, tc.relTol*100)
+		}
+		sumEst += est
+		sumActual += actual
+	}
+	// The paper's aggregate metric over the whole mix stays tight.
+	if agg := math.Abs(sumEst-sumActual) / sumActual; agg > 0.25 {
+		t.Errorf("aggregate error %.0f%%", agg*100)
+	}
+}
+
+func TestCatalogRoundTripThroughFacade(t *testing.T) {
+	_, ds, err := epfis.GenerateTable(epfis.SyntheticConfig{
+		Name: "t", N: 5_000, I: 100, R: 20, K: 0.5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := epfis.CollectStats(ds.Trace(), epfis.Meta{
+		Table: "t", Column: "key", T: ds.T, N: 5_000, I: 100,
+	}, epfis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := epfis.NewCatalog()
+	if err := cat.Put(st); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	if err := cat.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := epfis.LoadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Get("t", "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimates from the reloaded entry must be identical.
+	a, err := epfis.Estimate(st, 100, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := epfis.Estimate(got, 100, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("estimate drifted through catalog round trip: %g vs %g", a, b)
+	}
+}
+
+func TestFacadeOptimizerFlow(t *testing.T) {
+	_, ds, err := epfis.GenerateTable(epfis.SyntheticConfig{
+		Name: "orders", N: 20_000, I: 400, R: 40, K: 1, Seed: 5, Column: "custid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := epfis.CollectStats(ds.Trace(), epfis.Meta{
+		Table: "orders", Column: "custid", T: ds.T, N: 20_000, I: 400,
+	}, epfis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := epfis.NewCatalog()
+	if err := cat.Put(st); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := epfis.NewOptimizer(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := epfis.BuildHistogram(ds.Keys, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.AddHistogram("orders", "custid", h)
+	best, plans, err := opt.Choose(epfis.Query{
+		Table:       "orders",
+		Range:       &epfis.RangePred{Column: "custid", HasLo: true, Lo: 1, HasHi: true, Hi: 8},
+		BufferPages: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Errorf("%d plans", len(plans))
+	}
+	if best.Cost <= 0 {
+		t.Errorf("best cost %g", best.Cost)
+	}
+}
+
+func TestBaselineSets(t *testing.T) {
+	_, ds, err := epfis.GenerateTable(epfis.SyntheticConfig{
+		Name: "t", N: 4_000, I: 100, R: 20, K: 0.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := epfis.CollectScanStats(ds.Keys, ds.Trace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(epfis.Baselines(), epfis.ClusterRatioBaselines(ss)...)
+	if len(all) != 8 {
+		t.Fatalf("%d estimators", len(all))
+	}
+	p := epfis.Params{T: ds.T, N: 4_000, I: 100, B: 50, Sigma: 0.25, S: 1}
+	for _, e := range all {
+		v, err := e.Estimate(p)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+		if v < 0 || math.IsNaN(v) {
+			t.Errorf("%s: estimate %g", e.Name(), v)
+		}
+	}
+}
+
+func TestAnalyzeTraceFacade(t *testing.T) {
+	tr := epfis.Trace{1, 2, 3, 1, 2, 3}
+	c := epfis.AnalyzeTrace(tr)
+	if c.Fetches(3) != 3 || c.Fetches(2) != 6 {
+		t.Error("AnalyzeTrace wrong")
+	}
+}
+
+func TestFacadeJoinFlow(t *testing.T) {
+	inner, _, err := epfis.GenerateTable(epfis.SyntheticConfig{
+		Name: "inner", N: 8_000, I: 2_000, R: 40, K: 0.1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, _, err := epfis.GenerateTable(epfis.SyntheticConfig{
+		Name: "outer", N: 1_000, I: 1_000, R: 40, K: 1, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := epfis.NewLRUPool(inner, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := epfis.IndexNestedLoopJoin(outer, "key", inner, "key", epfis.JoinByKey, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 unique outer keys, 4 inner rows per key.
+	if res.Matches != 4000 || res.ProbeKeys != 1000 {
+		t.Errorf("join result = %+v", res)
+	}
+	if res.InnerFetches < 1 {
+		t.Error("no inner fetches measured")
+	}
+}

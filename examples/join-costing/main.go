@@ -1,0 +1,88 @@
+// Join-costing example: the setting EPFIS's main baseline was born in.
+// Mackert & Lohman's 1989 model costs the INNER index scan of a nested-loop
+// join; this example runs real index nested-loop joins and compares both
+// estimation approaches against measured inner page fetches:
+//
+//   - outer sorted on the join key  -> the inner reference trace is a
+//     partial index scan -> EPFIS (Est-IO) is the right model;
+//   - outer in physical heap order  -> probes hit the inner index in random
+//     key order -> Mackert-Lohman is the right model.
+//
+// Run with: go run ./examples/join-costing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"epfis"
+	"epfis/internal/buffer"
+	"epfis/internal/datagen"
+	"epfis/internal/join"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("join: ")
+
+	// Inner: 40k records, 10k keys (4 rows per key), lightly clustered —
+	// enough physical locality that sorted probes can exploit it.
+	innerDS, err := datagen.GenerateDataset(datagen.Config{
+		Name: "lineitems", N: 40_000, I: 10_000, R: 40, K: 0.08, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inner, err := datagen.Materialize(innerDS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	innerStats, err := epfis.CollectStatsFromIndex(inner, "key", epfis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Outer: 4000 unique keys covering 40% of the inner domain, placed
+	// randomly (heap order scrambles the probes).
+	outerDS, err := datagen.GenerateDataset(datagen.Config{
+		Name: "orders", N: 4_000, I: 4_000, R: 40, K: 1, Seed: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	outer, err := datagen.Materialize(outerDS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("inner %q: T=%d pages, N=%d, I=%d, C=%.3f\n", inner.Name, inner.T(), inner.N(), 10_000, innerStats.C)
+	fmt.Printf("outer %q: %d unique probe keys (40%% of the inner domain)\n\n", outer.Name, outer.N())
+
+	fmt.Printf("%-12s %8s %14s %12s %12s\n", "OUTER ORDER", "BUFFER", "ACTUAL INNER F", "EPFIS EST", "ML EST")
+	for _, b := range []int{50, 250, 1000} {
+		pool, err := buffer.NewLRU(inner.Store, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, order := range []join.OuterOrder{join.ByKey, join.ByHeap} {
+			res, err := join.IndexNestedLoop(outer, "key", inner, "key", order, pool)
+			if err != nil {
+				log.Fatal(err)
+			}
+			matched := int64(res.Matches)
+			epfisEst, err := join.EstimateSortedProbes(innerStats, matched, int64(b))
+			if err != nil {
+				log.Fatal(err)
+			}
+			mlEst, err := join.EstimateRandomProbes(innerStats, int64(res.ProbeKeys), int64(b))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %8d %14d %12.0f %12.0f\n", order, b, res.InnerFetches, epfisEst, mlEst)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Read each row against its home model: EPFIS tracks the key-order rows,")
+	fmt.Println("ML tracks the heap-order rows — and the two orders really do cost")
+	fmt.Println("differently, which is why the optimizer needs both estimates.")
+}

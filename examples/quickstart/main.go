@@ -1,0 +1,84 @@
+// Quickstart: the minimal end-to-end EPFIS workflow.
+//
+//  1. Build a table with a partially clustered index (real heap pages and a
+//     real B-tree, via the synthetic generator).
+//  2. Run Subprogram LRU-Fit once to collect the index's statistics.
+//  3. Ask Subprogram Est-IO for page-fetch estimates at different buffer
+//     sizes and selectivities.
+//  4. Check the estimates against real scans executed through a real LRU
+//     buffer pool.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"epfis"
+	"epfis/internal/buffer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// 1. A 100k-record table, 40 records/page, 1000 distinct keys, with a
+	// moderate clustering window (K = 0.1) and the paper's 5% noise.
+	tbl, _, err := epfis.GenerateTable(epfis.SyntheticConfig{
+		Name: "orders", N: 100_000, I: 1_000, R: 40, K: 0.1, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table %q: T=%d pages, N=%d records\n", tbl.Name, tbl.T(), tbl.N())
+
+	// 2. Statistics collection (runs once, at ANALYZE time).
+	st, err := epfis.CollectStatsFromIndex(tbl, "key", epfis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LRU-Fit: clustering factor C=%.3f, FPF curve %d segments over B in [%d, %d]\n\n",
+		st.C, st.Curve.NumSegments(), st.BMin, st.BMax)
+
+	// 3 + 4. Estimates vs reality for a few scans.
+	fmt.Printf("%-28s %8s %12s %12s %8s\n", "SCAN", "BUFFER", "ESTIMATED", "ACTUAL", "ERR%")
+	scans := []struct {
+		name   string
+		lo, hi int64
+		buffer int
+	}{
+		{"full scan, small buffer", 1, 1000, 100},
+		{"full scan, large buffer", 1, 1000, 2000},
+		{"30% range, small buffer", 100, 399, 100},
+		{"30% range, large buffer", 100, 399, 2000},
+		{"2% range", 500, 519, 500},
+	}
+	ix, err := tbl.Index("key")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range scans {
+		records, err := ix.CountRange(epfis.Ge(sc.lo), epfis.Le(sc.hi))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sigma := float64(records) / float64(tbl.N())
+
+		est, err := epfis.Estimate(st, int64(sc.buffer), sigma, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		pool, err := buffer.NewLRU(tbl.Store, sc.buffer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tbl.ScanThroughPool(pool, "key", epfis.Ge(sc.lo), epfis.Le(sc.hi))
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * (est - float64(res.PageFetches)) / float64(res.PageFetches)
+		fmt.Printf("%-28s %8d %12.0f %12d %7.1f%%\n", sc.name, sc.buffer, est, res.PageFetches, errPct)
+	}
+}

@@ -1,0 +1,109 @@
+// Sargable-predicates example: the paper's §2 two-column index in action.
+//
+// An index on (region, status) — region is the major column carrying the
+// starting/stopping conditions, status is the minor column stored in every
+// index entry. A predicate like "status = 3" is INDEX-SARGABLE: it is
+// evaluated on the index entries during the scan, so non-matching records
+// are never fetched. Est-IO models the resulting reduction in page fetches
+// with an urn model (step 7); this example measures it against real scans.
+//
+// Run with: go run ./examples/sargable-predicates
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"epfis"
+	"epfis/internal/btree"
+	"epfis/internal/buffer"
+	"epfis/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sargable: ")
+
+	// 80k records, 800 regions, status in 1..10 (so "status = v" has
+	// S = 0.1), unclustered placement (K = 0.6) where the reduction
+	// matters most.
+	const (
+		n       = 80_000
+		regions = 800
+		bCard   = 10
+	)
+	ds, err := datagen.GenerateDataset(datagen.Config{
+		Name: "claims", N: n, I: regions, R: 40, K: 0.6, Seed: 33,
+		Column: "region", BCardinality: bCard,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := datagen.Materialize(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := epfis.CollectStatsFromIndex(tbl, "region", epfis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table %q: T=%d pages, N=%d records, C=%.3f\n", tbl.Name, tbl.T(), tbl.N(), st.C)
+	fmt.Printf("index on (region, status): status stored in every entry, %d distinct values\n\n", bCard)
+
+	ix, err := tbl.Index("region")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 25% region range, with and without "status = 3", at two buffer
+	// sizes.
+	lo, hi := int64(100), int64(299)
+	records, err := ix.CountRange(epfis.Ge(lo), epfis.Le(hi))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigma := float64(records) / float64(n)
+	fmt.Printf("query: region BETWEEN %d AND %d (sigma = %.3f)\n\n", lo, hi, sigma)
+
+	fmt.Printf("%-34s %8s %12s %12s %8s\n", "PREDICATES", "BUFFER", "ESTIMATED", "ACTUAL", "ERR%")
+	for _, b := range []int{150, 1500} {
+		pool, err := buffer.NewLRU(tbl.Store, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Without the sargable predicate.
+		plain, err := tbl.ScanThroughPool(pool, "region", epfis.Ge(lo), epfis.Le(hi))
+		if err != nil {
+			log.Fatal(err)
+		}
+		estPlain, err := epfis.Estimate(st, int64(b), sigma, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow("range only", b, estPlain, plain.PageFetches)
+
+		// With "status = 3": evaluated on index entries, records filtered
+		// BEFORE their pages are fetched.
+		filtered, err := tbl.ScanThroughPoolFiltered(pool, "region", epfis.Ge(lo), epfis.Le(hi),
+			func(e btree.Entry) bool { return e.Included == 3 })
+		if err != nil {
+			log.Fatal(err)
+		}
+		estSarg, err := epfis.Estimate(st, int64(b), sigma, 1.0/bCard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(fmt.Sprintf("range AND status=3 (S=%.1f)", 1.0/bCard), b, estSarg, filtered.PageFetches)
+		fmt.Println()
+	}
+	fmt.Println("Note how the saving depends on the buffer: with a small buffer every")
+	fmt.Println("record costs its own fetch, so S=0.1 saves ~10x; with a large buffer")
+	fmt.Println("the qualifying records share cached pages and the saving shrinks to")
+	fmt.Println("~2x — the nonlinearity Est-IO's urn model (step 7) captures.")
+}
+
+func printRow(label string, b int, est float64, actual int64) {
+	errPct := 100 * (est - float64(actual)) / float64(actual)
+	fmt.Printf("%-34s %8d %12.0f %12d %7.1f%%\n", label, b, est, actual, errPct)
+}

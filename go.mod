@@ -1,0 +1,3 @@
+module epfis
+
+go 1.22

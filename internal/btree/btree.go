@@ -1,0 +1,743 @@
+// Package btree implements a disk-oriented B+-tree index over the storage
+// layer: entries map a composite key (column value, insertion sequence) to a
+// record identifier (RID).
+//
+// The composite key matters for fidelity to the paper: within one column
+// value, RIDs are kept in insertion order, NOT sorted by page ("indexes with
+// sorted RIDs for a given key value" is explicitly listed as future work in
+// the paper). The page-reference trace of an index scan therefore reflects
+// whatever placement the table builder produced, which is exactly what the
+// clustering experiments manipulate.
+//
+// The tree supports bulk loading from sorted entries (the fast path used by
+// the data generators), single-entry insertion with node splits, lazy
+// deletion, point lookup, and ordered range scans with inclusive or exclusive
+// start and stop conditions — the paper's "starting and stopping conditions"
+// on the index's major column.
+//
+// Node pages reuse the slotted-page format: slot 0 of every node is a small
+// node-header record (level, next-leaf pointer, entry count is implicit);
+// the remaining slots hold entries in key order. Modifying a node rewrites
+// its page image; this favors simplicity over write amplification, which is
+// irrelevant to the estimation experiments.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"epfis/internal/storage"
+)
+
+// Entry is one index entry. Key is the major column (the paper's column a,
+// carrying the starting/stopping conditions); Included is a minor column
+// value stored in the entry (the paper's column b, the target of
+// index-sargable predicates, which are "applied to the index column values
+// inspected during the (partial) index scan" — i.e. BEFORE the record is
+// fetched).
+type Entry struct {
+	Key      int64
+	Seq      uint32
+	Included uint32
+	RID      storage.RID
+}
+
+// Compare orders entries by (Key, Seq).
+func (e Entry) Compare(o Entry) int {
+	switch {
+	case e.Key < o.Key:
+		return -1
+	case e.Key > o.Key:
+		return 1
+	case e.Seq < o.Seq:
+		return -1
+	case e.Seq > o.Seq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Bound is an endpoint of a range scan on the index's key column.
+type Bound struct {
+	Key int64
+	// Inclusive selects >= / <= rather than > / <.
+	Inclusive bool
+}
+
+// Ge returns an inclusive lower bound (key >= v).
+func Ge(v int64) *Bound { return &Bound{Key: v, Inclusive: true} }
+
+// Gt returns an exclusive lower bound (key > v).
+func Gt(v int64) *Bound { return &Bound{Key: v} }
+
+// Le returns an inclusive upper bound (key <= v).
+func Le(v int64) *Bound { return &Bound{Key: v, Inclusive: true} }
+
+// Lt returns an exclusive upper bound (key < v).
+func Lt(v int64) *Bound { return &Bound{Key: v} }
+
+// Errors returned by this package.
+var (
+	ErrNotEmpty   = errors.New("btree: tree is not empty")
+	ErrCorrupt    = errors.New("btree: corrupt node")
+	ErrUnsorted   = errors.New("btree: bulk load input not sorted")
+	ErrDupEntry   = errors.New("btree: duplicate (key, seq) entry")
+	ErrNoMetaPage = errors.New("btree: meta page does not describe a btree")
+)
+
+const (
+	leafEntrySize     = 8 + 4 + 4 + 4 + 2 // key, seq, included, page, slot
+	internalEntrySize = 8 + 4 + 4         // separator key, seq, child page
+	nodeHeaderSize    = 2 + 4             // level, next-leaf
+	metaMagic         = 0xEB7EE5
+)
+
+// BTree is a B+-tree bound to a page store.
+type BTree struct {
+	store  storage.PageStore
+	meta   storage.PageID
+	root   storage.PageID
+	height int   // number of levels; 1 = root is a leaf
+	count  int64 // live entries
+}
+
+// Create allocates a new empty tree (meta page + empty root leaf).
+func Create(store storage.PageStore) (*BTree, error) {
+	meta, err := store.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("btree: allocate meta: %w", err)
+	}
+	root, err := store.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("btree: allocate root: %w", err)
+	}
+	t := &BTree{store: store, meta: meta, root: root, height: 1}
+	if err := t.writeNode(root, &node{level: 0, next: storage.InvalidPageID}); err != nil {
+		return nil, err
+	}
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads a tree from its meta page.
+func Open(store storage.PageStore, meta storage.PageID) (*BTree, error) {
+	var p storage.Page
+	if err := store.ReadPage(meta, &p); err != nil {
+		return nil, fmt.Errorf("btree: read meta: %w", err)
+	}
+	if p.Kind() != storage.PageKindMeta || p.NumSlots() < 1 {
+		return nil, ErrNoMetaPage
+	}
+	raw, err := p.Record(0)
+	if err != nil || len(raw) != 4+4+2+8 {
+		return nil, fmt.Errorf("%w: bad meta record", ErrNoMetaPage)
+	}
+	if binary.LittleEndian.Uint32(raw[0:4]) != metaMagic {
+		return nil, ErrNoMetaPage
+	}
+	return &BTree{
+		store:  store,
+		meta:   meta,
+		root:   storage.PageID(binary.LittleEndian.Uint32(raw[4:8])),
+		height: int(binary.LittleEndian.Uint16(raw[8:10])),
+		count:  int64(binary.LittleEndian.Uint64(raw[10:18])),
+	}, nil
+}
+
+func (t *BTree) writeMeta() error {
+	p := storage.NewPage(t.meta, storage.PageKindMeta)
+	raw := make([]byte, 4+4+2+8)
+	binary.LittleEndian.PutUint32(raw[0:4], metaMagic)
+	binary.LittleEndian.PutUint32(raw[4:8], uint32(t.root))
+	binary.LittleEndian.PutUint16(raw[8:10], uint16(t.height))
+	binary.LittleEndian.PutUint64(raw[10:18], uint64(t.count))
+	if _, err := p.Insert(raw); err != nil {
+		return fmt.Errorf("btree: write meta: %w", err)
+	}
+	if err := t.store.WritePage(t.meta, p); err != nil {
+		return fmt.Errorf("btree: write meta: %w", err)
+	}
+	return nil
+}
+
+// MetaPageID returns the page id to pass to Open later.
+func (t *BTree) MetaPageID() storage.PageID { return t.meta }
+
+// Height reports the number of levels (1 when the root is a leaf).
+func (t *BTree) Height() int { return t.height }
+
+// NumEntries reports the number of live entries.
+func (t *BTree) NumEntries() int64 { return t.count }
+
+// node is the in-memory image of one tree node.
+type node struct {
+	level int // 0 = leaf
+	next  storage.PageID
+	// Leaf: entries with RIDs. Internal: entries where RID.Page encodes the
+	// child page id of the subtree holding keys >= (Key, Seq) of the entry
+	// (first entry is the leftmost child with a -inf separator).
+	entries []Entry
+}
+
+func (n *node) isLeaf() bool { return n.level == 0 }
+
+func (t *BTree) readNode(id storage.PageID) (*node, error) {
+	var p storage.Page
+	if err := t.store.ReadPage(id, &p); err != nil {
+		return nil, fmt.Errorf("btree: read node %d: %w", id, err)
+	}
+	kind := p.Kind()
+	if kind != storage.PageKindBTreeLeaf && kind != storage.PageKindBTreeInternal {
+		return nil, fmt.Errorf("%w: page %d has kind %d", ErrCorrupt, id, kind)
+	}
+	if p.NumSlots() < 1 {
+		return nil, fmt.Errorf("%w: page %d has no header record", ErrCorrupt, id)
+	}
+	hdr, err := p.Record(0)
+	if err != nil || len(hdr) != nodeHeaderSize {
+		return nil, fmt.Errorf("%w: page %d header", ErrCorrupt, id)
+	}
+	n := &node{
+		level: int(binary.LittleEndian.Uint16(hdr[0:2])),
+		next:  storage.PageID(binary.LittleEndian.Uint32(hdr[2:6])),
+	}
+	if (n.level == 0) != (kind == storage.PageKindBTreeLeaf) {
+		return nil, fmt.Errorf("%w: page %d level %d vs kind %d", ErrCorrupt, id, n.level, kind)
+	}
+	n.entries = make([]Entry, 0, p.NumSlots()-1)
+	for s := 1; s < p.NumSlots(); s++ {
+		raw, err := p.Record(uint16(s))
+		if err != nil {
+			return nil, fmt.Errorf("%w: page %d slot %d: %v", ErrCorrupt, id, s, err)
+		}
+		e, err := decodeEntry(raw, n.isLeaf())
+		if err != nil {
+			return nil, fmt.Errorf("%w: page %d slot %d: %v", ErrCorrupt, id, s, err)
+		}
+		n.entries = append(n.entries, e)
+	}
+	return n, nil
+}
+
+func (t *BTree) writeNode(id storage.PageID, n *node) error {
+	kind := storage.PageKindBTreeLeaf
+	if !n.isLeaf() {
+		kind = storage.PageKindBTreeInternal
+	}
+	p := storage.NewPage(id, kind)
+	hdr := make([]byte, nodeHeaderSize)
+	binary.LittleEndian.PutUint16(hdr[0:2], uint16(n.level))
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(n.next))
+	if _, err := p.Insert(hdr); err != nil {
+		return fmt.Errorf("btree: write node %d: %w", id, err)
+	}
+	for _, e := range n.entries {
+		if _, err := p.Insert(encodeEntry(e, n.isLeaf())); err != nil {
+			return fmt.Errorf("btree: write node %d: %w", id, err)
+		}
+	}
+	if err := t.store.WritePage(id, p); err != nil {
+		return fmt.Errorf("btree: write node %d: %w", id, err)
+	}
+	return nil
+}
+
+func encodeEntry(e Entry, leaf bool) []byte {
+	if leaf {
+		b := make([]byte, leafEntrySize)
+		binary.LittleEndian.PutUint64(b[0:8], uint64(e.Key))
+		binary.LittleEndian.PutUint32(b[8:12], e.Seq)
+		binary.LittleEndian.PutUint32(b[12:16], e.Included)
+		binary.LittleEndian.PutUint32(b[16:20], uint32(e.RID.Page))
+		binary.LittleEndian.PutUint16(b[20:22], e.RID.Slot)
+		return b
+	}
+	b := make([]byte, internalEntrySize)
+	binary.LittleEndian.PutUint64(b[0:8], uint64(e.Key))
+	binary.LittleEndian.PutUint32(b[8:12], e.Seq)
+	binary.LittleEndian.PutUint32(b[12:16], uint32(e.RID.Page))
+	return b
+}
+
+func decodeEntry(raw []byte, leaf bool) (Entry, error) {
+	if leaf {
+		if len(raw) != leafEntrySize {
+			return Entry{}, fmt.Errorf("leaf entry is %d bytes", len(raw))
+		}
+		return Entry{
+			Key:      int64(binary.LittleEndian.Uint64(raw[0:8])),
+			Seq:      binary.LittleEndian.Uint32(raw[8:12]),
+			Included: binary.LittleEndian.Uint32(raw[12:16]),
+			RID: storage.RID{
+				Page: storage.PageID(binary.LittleEndian.Uint32(raw[16:20])),
+				Slot: binary.LittleEndian.Uint16(raw[20:22]),
+			},
+		}, nil
+	}
+	if len(raw) != internalEntrySize {
+		return Entry{}, fmt.Errorf("internal entry is %d bytes", len(raw))
+	}
+	return Entry{
+		Key: int64(binary.LittleEndian.Uint64(raw[0:8])),
+		Seq: binary.LittleEndian.Uint32(raw[8:12]),
+		RID: storage.RID{Page: storage.PageID(binary.LittleEndian.Uint32(raw[12:16]))},
+	}, nil
+}
+
+// Fan-out limits derived from the page capacity. Computed once.
+var (
+	maxLeafEntries     = nodeCapacity(leafEntrySize)
+	maxInternalEntries = nodeCapacity(internalEntrySize)
+)
+
+func nodeCapacity(entrySize int) int {
+	// Header record consumes nodeHeaderSize + one slot entry; each entry
+	// consumes entrySize + one slot entry. Leave one entry of slack so a
+	// node can temporarily hold its overflow before splitting.
+	usable := storage.PageSize - 16 /* page header */ - (nodeHeaderSize + 4)
+	return usable/(entrySize+4) - 1
+}
+
+// child returns the index within an internal node of the subtree covering e.
+func (n *node) childIndex(key int64, seq uint32) int {
+	// entries[i] holds the separator: subtree i covers keys >= entries[i]
+	// and < entries[i+1]; entries[0] is the leftmost (-inf) child.
+	lo, hi := 1, len(n.entries)
+	probe := Entry{Key: key, Seq: seq}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.entries[mid].Compare(probe) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// lowerBound returns the index of the first entry >= probe in a leaf.
+func (n *node) lowerBound(probe Entry) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.entries[mid].Compare(probe) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Insert adds a single entry, splitting nodes as needed.
+// Inserting an entry with an existing (Key, Seq) fails with ErrDupEntry.
+func (t *BTree) Insert(e Entry) error {
+	sep, newChild, err := t.insertInto(t.root, e, t.height-1)
+	if err != nil {
+		return err
+	}
+	if newChild != storage.InvalidPageID {
+		// Root split: grow the tree.
+		newRoot, err := t.store.Allocate()
+		if err != nil {
+			return fmt.Errorf("btree: allocate root: %w", err)
+		}
+		rn := &node{
+			level: t.height,
+			next:  storage.InvalidPageID,
+			entries: []Entry{
+				{Key: minInt64, RID: storage.RID{Page: t.root}},
+				{Key: sep.Key, Seq: sep.Seq, RID: storage.RID{Page: newChild}},
+			},
+		}
+		if err := t.writeNode(newRoot, rn); err != nil {
+			return err
+		}
+		t.root = newRoot
+		t.height++
+	}
+	t.count++
+	return t.writeMeta()
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// insertInto inserts e under node id at the given level. On split it returns
+// the separator entry and the new right sibling's page id.
+func (t *BTree) insertInto(id storage.PageID, e Entry, level int) (Entry, storage.PageID, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return Entry{}, storage.InvalidPageID, err
+	}
+	if n.level != level {
+		return Entry{}, storage.InvalidPageID, fmt.Errorf("%w: page %d level %d, want %d", ErrCorrupt, id, n.level, level)
+	}
+	if n.isLeaf() {
+		i := n.lowerBound(e)
+		if i < len(n.entries) && n.entries[i].Compare(e) == 0 {
+			return Entry{}, storage.InvalidPageID, fmt.Errorf("%w: key=%d seq=%d", ErrDupEntry, e.Key, e.Seq)
+		}
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		return t.maybeSplit(id, n, maxLeafEntries)
+	}
+	ci := n.childIndex(e.Key, e.Seq)
+	sep, newChild, err := t.insertInto(n.entries[ci].RID.Page, e, level-1)
+	if err != nil {
+		return Entry{}, storage.InvalidPageID, err
+	}
+	if newChild == storage.InvalidPageID {
+		return Entry{}, storage.InvalidPageID, nil
+	}
+	ins := Entry{Key: sep.Key, Seq: sep.Seq, RID: storage.RID{Page: newChild}}
+	n.entries = append(n.entries, Entry{})
+	copy(n.entries[ci+2:], n.entries[ci+1:])
+	n.entries[ci+1] = ins
+	return t.maybeSplit(id, n, maxInternalEntries)
+}
+
+// maybeSplit writes n back, splitting first if it exceeds capacity.
+func (t *BTree) maybeSplit(id storage.PageID, n *node, capacity int) (Entry, storage.PageID, error) {
+	if len(n.entries) <= capacity {
+		return Entry{}, storage.InvalidPageID, t.writeNode(id, n)
+	}
+	mid := len(n.entries) / 2
+	rightID, err := t.store.Allocate()
+	if err != nil {
+		return Entry{}, storage.InvalidPageID, fmt.Errorf("btree: allocate split: %w", err)
+	}
+	right := &node{level: n.level, next: n.next}
+	right.entries = append(right.entries, n.entries[mid:]...)
+	sep := right.entries[0]
+	n.entries = n.entries[:mid]
+	if n.isLeaf() {
+		n.next = rightID
+	} else {
+		right.next = storage.InvalidPageID
+	}
+	if err := t.writeNode(rightID, right); err != nil {
+		return Entry{}, storage.InvalidPageID, err
+	}
+	if err := t.writeNode(id, n); err != nil {
+		return Entry{}, storage.InvalidPageID, err
+	}
+	return sep, rightID, nil
+}
+
+// BulkLoad builds the tree from entries sorted ascending by (Key, Seq).
+// The tree must be empty. This is the fast path used by the data generators.
+func (t *BTree) BulkLoad(entries []Entry) error {
+	if t.count != 0 {
+		return ErrNotEmpty
+	}
+	for i := 1; i < len(entries); i++ {
+		c := entries[i-1].Compare(entries[i])
+		if c > 0 {
+			return fmt.Errorf("%w: index %d", ErrUnsorted, i)
+		}
+		if c == 0 {
+			return fmt.Errorf("%w: key=%d seq=%d", ErrDupEntry, entries[i].Key, entries[i].Seq)
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	// Build leaves at ~90% fill.
+	fill := maxLeafEntries * 9 / 10
+	if fill < 1 {
+		fill = 1
+	}
+	type levelNode struct {
+		id  storage.PageID
+		sep Entry // minimal entry of the subtree
+	}
+	var level []levelNode
+	// Reuse the pre-allocated empty root as the first leaf.
+	for start := 0; start < len(entries); start += fill {
+		end := start + fill
+		if end > len(entries) {
+			end = len(entries)
+		}
+		var id storage.PageID
+		if start == 0 {
+			id = t.root
+		} else {
+			var err error
+			if id, err = t.store.Allocate(); err != nil {
+				return fmt.Errorf("btree: bulk load allocate: %w", err)
+			}
+			// Link previous leaf to this one.
+			prev := level[len(level)-1]
+			pn, err := t.readNode(prev.id)
+			if err != nil {
+				return err
+			}
+			pn.next = id
+			if err := t.writeNode(prev.id, pn); err != nil {
+				return err
+			}
+		}
+		n := &node{level: 0, next: storage.InvalidPageID, entries: entries[start:end]}
+		if err := t.writeNode(id, n); err != nil {
+			return err
+		}
+		level = append(level, levelNode{id: id, sep: entries[start]})
+	}
+	// Build internal levels until a single root remains.
+	height := 1
+	ifill := maxInternalEntries * 9 / 10
+	if ifill < 2 {
+		ifill = 2
+	}
+	for len(level) > 1 {
+		var up []levelNode
+		for start := 0; start < len(level); start += ifill {
+			end := start + ifill
+			if end > len(level) {
+				end = len(level)
+			}
+			// Avoid an orphan single-child node at the tail.
+			if end == len(level)-1 {
+				end = len(level)
+			}
+			id, err := t.store.Allocate()
+			if err != nil {
+				return fmt.Errorf("btree: bulk load allocate: %w", err)
+			}
+			n := &node{level: height, next: storage.InvalidPageID}
+			for i := start; i < end; i++ {
+				sep := level[i].sep
+				if i == start {
+					sep = Entry{Key: minInt64}
+				}
+				n.entries = append(n.entries, Entry{Key: sep.Key, Seq: sep.Seq, RID: storage.RID{Page: level[i].id}})
+			}
+			if err := t.writeNode(id, n); err != nil {
+				return err
+			}
+			up = append(up, levelNode{id: id, sep: level[start].sep})
+			if end == len(level) {
+				break
+			}
+		}
+		level = up
+		height++
+	}
+	t.root = level[0].id
+	t.height = height
+	t.count = int64(len(entries))
+	return t.writeMeta()
+}
+
+// Delete removes the entry with the given (key, seq). It reports whether an
+// entry was removed. Underfull nodes are not rebalanced (lazy deletion);
+// separators remain valid because they are lower bounds, not stored keys.
+func (t *BTree) Delete(key int64, seq uint32) (bool, error) {
+	id := t.root
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return false, err
+		}
+		id = n.entries[n.childIndex(key, seq)].RID.Page
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	probe := Entry{Key: key, Seq: seq}
+	i := n.lowerBound(probe)
+	if i >= len(n.entries) || n.entries[i].Compare(probe) != 0 {
+		return false, nil
+	}
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	if err := t.writeNode(id, n); err != nil {
+		return false, err
+	}
+	t.count--
+	return true, t.writeMeta()
+}
+
+// Lookup returns the RIDs of all entries with the given key, in seq order.
+func (t *BTree) Lookup(key int64) ([]storage.RID, error) {
+	var rids []storage.RID
+	err := t.Scan(Ge(key), Le(key), func(e Entry) error {
+		rids = append(rids, e.RID)
+		return nil
+	})
+	return rids, err
+}
+
+// Scan visits entries in (key, seq) order, restricted by the optional start
+// (lower) and stop (upper) bounds. fn returning ErrStopScan halts early
+// without error.
+func (t *BTree) Scan(start, stop *Bound, fn func(Entry) error) error {
+	it, err := t.Iterator(start, stop)
+	if err != nil {
+		return err
+	}
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(e); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// ErrStopScan halts a Scan early without reporting an error.
+var ErrStopScan = errors.New("btree: stop scan")
+
+// Iterator streams entries in order within the given bounds. A nil start
+// begins at the first entry; a nil stop runs to the end.
+func (t *BTree) Iterator(start, stop *Bound) (*Iterator, error) {
+	probe := Entry{Key: minInt64}
+	if start != nil {
+		if start.Inclusive {
+			probe = Entry{Key: start.Key, Seq: 0}
+		} else {
+			if start.Key == maxInt64 {
+				// key > MaxInt64 selects nothing.
+				return &Iterator{done: true}, nil
+			}
+			probe = Entry{Key: start.Key + 1, Seq: 0}
+		}
+	}
+	id := t.root
+	for lvl := t.height - 1; lvl > 0; lvl-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		id = n.entries[n.childIndex(probe.Key, probe.Seq)].RID.Page
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{tree: t, node: n, pos: n.lowerBound(probe), stop: stop}
+	return it, nil
+}
+
+// Iterator is a forward scan cursor over index entries.
+type Iterator struct {
+	tree *BTree
+	node *node
+	pos  int
+	stop *Bound
+	done bool
+}
+
+// Next returns the next entry. ok is false when the scan is exhausted.
+func (it *Iterator) Next() (Entry, bool, error) {
+	if it.done {
+		return Entry{}, false, nil
+	}
+	for it.pos >= len(it.node.entries) {
+		if it.node.next == storage.InvalidPageID {
+			it.done = true
+			return Entry{}, false, nil
+		}
+		n, err := it.tree.readNode(it.node.next)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		it.node, it.pos = n, 0
+	}
+	e := it.node.entries[it.pos]
+	if it.stop != nil {
+		if e.Key > it.stop.Key || (e.Key == it.stop.Key && !it.stop.Inclusive) {
+			it.done = true
+			return Entry{}, false, nil
+		}
+	}
+	it.pos++
+	return e, true, nil
+}
+
+// Check walks the whole tree verifying structural invariants: level
+// consistency, in-node ordering, separator bounds, leaf chain order, and the
+// entry count. It returns the first violation found.
+func (t *BTree) Check() error {
+	seen := int64(0)
+	var prev *Entry
+	err := t.checkNode(t.root, t.height-1, nil, nil, &seen, &prev)
+	if err != nil {
+		return err
+	}
+	if seen != t.count {
+		return fmt.Errorf("%w: counted %d entries, meta says %d", ErrCorrupt, seen, t.count)
+	}
+	return nil
+}
+
+func (t *BTree) checkNode(id storage.PageID, level int, lo, hi *Entry, seen *int64, prev **Entry) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.level != level {
+		return fmt.Errorf("%w: page %d level %d, want %d", ErrCorrupt, id, n.level, level)
+	}
+	for i := 1; i < len(n.entries); i++ {
+		if n.entries[i-1].Compare(n.entries[i]) >= 0 {
+			return fmt.Errorf("%w: page %d entries out of order at %d", ErrCorrupt, id, i)
+		}
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if lo != nil && e.Compare(*lo) < 0 {
+				return fmt.Errorf("%w: page %d entry below separator", ErrCorrupt, id)
+			}
+			if hi != nil && e.Compare(*hi) >= 0 {
+				return fmt.Errorf("%w: page %d entry above separator", ErrCorrupt, id)
+			}
+			if *prev != nil && (*prev).Compare(e) >= 0 {
+				return fmt.Errorf("%w: leaf chain out of global order at page %d", ErrCorrupt, id)
+			}
+			ecopy := e
+			*prev = &ecopy
+			*seen++
+		}
+		return nil
+	}
+	if len(n.entries) == 0 {
+		return fmt.Errorf("%w: empty internal node %d", ErrCorrupt, id)
+	}
+	for i, e := range n.entries {
+		var childLo *Entry
+		if i == 0 {
+			childLo = lo
+		} else {
+			ec := Entry{Key: e.Key, Seq: e.Seq}
+			childLo = &ec
+		}
+		var childHi *Entry
+		if i+1 < len(n.entries) {
+			nxt := Entry{Key: n.entries[i+1].Key, Seq: n.entries[i+1].Seq}
+			childHi = &nxt
+		} else {
+			childHi = hi
+		}
+		if err := t.checkNode(e.RID.Page, level-1, childLo, childHi, seen, prev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

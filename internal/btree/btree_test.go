@@ -1,0 +1,660 @@
+package btree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"epfis/internal/storage"
+)
+
+func newTree(t testing.TB) *BTree {
+	t.Helper()
+	tr, err := Create(storage.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func entryFor(i int) Entry {
+	return Entry{Key: int64(i), Seq: uint32(i), RID: storage.RID{Page: storage.PageID(i / 10), Slot: uint16(i % 10)}}
+}
+
+func collect(t testing.TB, tr *BTree, start, stop *Bound) []Entry {
+	t.Helper()
+	var out []Entry
+	if err := tr.Scan(start, stop, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTree(t)
+	if tr.NumEntries() != 0 || tr.Height() != 1 {
+		t.Errorf("empty tree: n=%d h=%d", tr.NumEntries(), tr.Height())
+	}
+	if got := collect(t, tr, nil, nil); len(got) != 0 {
+		t.Errorf("scan of empty tree returned %d entries", len(got))
+	}
+	if err := tr.Check(); err != nil {
+		t.Errorf("Check on empty tree: %v", err)
+	}
+}
+
+func TestInsertAndScanSmall(t *testing.T) {
+	tr := newTree(t)
+	order := []int{5, 1, 9, 3, 7, 0, 8, 2, 6, 4}
+	for _, i := range order {
+		if err := tr.Insert(entryFor(i)); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	got := collect(t, tr, nil, nil)
+	if len(got) != 10 {
+		t.Fatalf("scan returned %d entries", len(got))
+	}
+	for i, e := range got {
+		if e.Key != int64(i) {
+			t.Errorf("entry %d has key %d", i, e.Key)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestInsertDuplicateRejected(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert(entryFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(entryFor(1)); !errors.Is(err, ErrDupEntry) {
+		t.Errorf("duplicate insert err = %v, want ErrDupEntry", err)
+	}
+	// Same key, different seq is allowed (duplicate column values).
+	e := entryFor(1)
+	e.Seq = 99
+	if err := tr.Insert(e); err != nil {
+		t.Errorf("same key different seq rejected: %v", err)
+	}
+}
+
+func TestInsertManySplits(t *testing.T) {
+	tr := newTree(t)
+	const n = 2000 // forces multiple leaf and internal splits
+	rng := rand.New(rand.NewSource(3))
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(entryFor(i)); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if tr.NumEntries() != n {
+		t.Errorf("NumEntries = %d, want %d", tr.NumEntries(), n)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("Height = %d, expected splits to raise it", tr.Height())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	got := collect(t, tr, nil, nil)
+	if len(got) != n {
+		t.Fatalf("scan returned %d entries", len(got))
+	}
+	for i, e := range got {
+		want := entryFor(i)
+		if e != want {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, want)
+		}
+	}
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	const n = 3000
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = entryFor(i)
+	}
+	bulk := newTree(t)
+	if err := bulk.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.Check(); err != nil {
+		t.Fatalf("Check after bulk load: %v", err)
+	}
+	if bulk.NumEntries() != n {
+		t.Errorf("NumEntries = %d", bulk.NumEntries())
+	}
+	got := collect(t, bulk, nil, nil)
+	if len(got) != n {
+		t.Fatalf("bulk scan returned %d", len(got))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.BulkLoad([]Entry{entryFor(2), entryFor(1)}); !errors.Is(err, ErrUnsorted) {
+		t.Errorf("unsorted bulk load err = %v", err)
+	}
+	if err := tr.BulkLoad([]Entry{entryFor(1), entryFor(1)}); !errors.Is(err, ErrDupEntry) {
+		t.Errorf("duplicate bulk load err = %v", err)
+	}
+	if err := tr.BulkLoad([]Entry{entryFor(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad([]Entry{entryFor(2)}); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("bulk load on non-empty err = %v", err)
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.BulkLoad(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEntries() != 0 {
+		t.Error("empty bulk load changed count")
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tr := newTree(t)
+	// Keys 0, 10, 20, ..., 990.
+	var entries []Entry
+	for i := 0; i < 100; i++ {
+		entries = append(entries, Entry{Key: int64(i * 10), Seq: 0, RID: storage.RID{Page: storage.PageID(i)}})
+	}
+	if err := tr.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name        string
+		start, stop *Bound
+		first, last int64
+		count       int
+	}{
+		{"full", nil, nil, 0, 990, 100},
+		{"ge250", Ge(250), nil, 250, 990, 75},
+		{"gt250", Gt(250), nil, 260, 990, 74},
+		{"ge250exactkey", Ge(250), Le(250), 250, 250, 1},
+		{"le500", nil, Le(500), 0, 500, 51},
+		{"lt500", nil, Lt(500), 0, 490, 50},
+		{"window", Ge(100), Lt(200), 100, 190, 10},
+		{"betweenkeys", Ge(101), Le(199), 110, 190, 9},
+		{"empty", Ge(991), nil, 0, 0, 0},
+		{"inverted", Ge(500), Le(400), 0, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := collect(t, tr, c.start, c.stop)
+			if len(got) != c.count {
+				t.Fatalf("count = %d, want %d", len(got), c.count)
+			}
+			if c.count > 0 {
+				if got[0].Key != c.first || got[len(got)-1].Key != c.last {
+					t.Errorf("range [%d, %d], want [%d, %d]", got[0].Key, got[len(got)-1].Key, c.first, c.last)
+				}
+			}
+		})
+	}
+}
+
+func TestDuplicateKeysPreserveSeqOrder(t *testing.T) {
+	// Within one key value, entries come back in Seq (insertion) order —
+	// the "unsorted RIDs" behavior the paper's model assumes.
+	tr := newTree(t)
+	rids := []storage.RID{{Page: 42, Slot: 3}, {Page: 7, Slot: 1}, {Page: 99, Slot: 0}, {Page: 7, Slot: 2}}
+	for seq, rid := range rids {
+		if err := tr.Insert(Entry{Key: 5, Seq: uint32(seq), RID: rid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tr.Lookup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rids) {
+		t.Fatalf("Lookup returned %d RIDs", len(got))
+	}
+	for i := range rids {
+		if got[i] != rids[i] {
+			t.Errorf("RID %d = %v, want %v (insertion order must be preserved)", i, got[i], rids[i])
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := tr.Delete(250, 250)
+	if err != nil || !ok {
+		t.Fatalf("Delete(250) = %v, %v", ok, err)
+	}
+	ok, err = tr.Delete(250, 250)
+	if err != nil || ok {
+		t.Fatalf("second Delete(250) = %v, %v, want false", ok, err)
+	}
+	ok, err = tr.Delete(10_000, 0)
+	if err != nil || ok {
+		t.Fatalf("Delete(missing) = %v, %v", ok, err)
+	}
+	if tr.NumEntries() != 499 {
+		t.Errorf("NumEntries = %d", tr.NumEntries())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("Check after delete: %v", err)
+	}
+	got := collect(t, tr, Ge(249), Le(251))
+	if len(got) != 2 || got[0].Key != 249 || got[1].Key != 251 {
+		t.Errorf("scan around deleted key = %+v", got)
+	}
+}
+
+func TestOpenPersistedTree(t *testing.T) {
+	store := storage.NewMemStore()
+	tr, err := Create(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := tr.MetaPageID()
+
+	re, err := Open(store, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumEntries() != 300 || re.Height() != tr.Height() {
+		t.Errorf("reopened: n=%d h=%d, want n=300 h=%d", re.NumEntries(), re.Height(), tr.Height())
+	}
+	if err := re.Check(); err != nil {
+		t.Fatalf("Check after reopen: %v", err)
+	}
+	got := collect(t, re, Ge(100), Lt(110))
+	if len(got) != 10 {
+		t.Errorf("reopened scan returned %d", len(got))
+	}
+}
+
+func TestOpenRejectsNonMeta(t *testing.T) {
+	store := storage.NewMemStore()
+	id, err := store.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WritePage(id, storage.NewPage(id, storage.PageKindHeap)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(store, id); !errors.Is(err, ErrNoMetaPage) {
+		t.Errorf("Open(heap page) err = %v", err)
+	}
+	if _, err := Open(store, 99); err == nil {
+		t.Error("Open(missing page) succeeded")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	err := tr.Scan(nil, nil, func(e Entry) error {
+		n++
+		if n == 5 {
+			return ErrStopScan
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("visited %d entries, want 5", n)
+	}
+	wantErr := errors.New("boom")
+	err = tr.Scan(nil, nil, func(e Entry) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("Scan error = %v, want boom", err)
+	}
+}
+
+func TestEntryCompare(t *testing.T) {
+	a := Entry{Key: 1, Seq: 1}
+	b := Entry{Key: 1, Seq: 2}
+	c := Entry{Key: 2, Seq: 0}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 || b.Compare(c) != -1 || c.Compare(a) != 1 {
+		t.Error("Entry.Compare broken")
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	if b := Ge(5); b.Key != 5 || !b.Inclusive {
+		t.Error("Ge broken")
+	}
+	if b := Gt(5); b.Key != 5 || b.Inclusive {
+		t.Error("Gt broken")
+	}
+	if b := Le(5); b.Key != 5 || !b.Inclusive {
+		t.Error("Le broken")
+	}
+	if b := Lt(5); b.Key != 5 || b.Inclusive {
+		t.Error("Lt broken")
+	}
+}
+
+// Property: for random key multisets and random range bounds, the tree scan
+// agrees with a sorted-slice reference implementation.
+func TestScanMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(400)
+		tr, err := Create(storage.NewMemStore())
+		if err != nil {
+			return false
+		}
+		ref := make([]Entry, 0, n)
+		for i := 0; i < n; i++ {
+			e := Entry{
+				Key: int64(rng.Intn(50)), // few distinct values => duplicates
+				Seq: uint32(i),
+				RID: storage.RID{Page: storage.PageID(rng.Intn(100)), Slot: uint16(rng.Intn(10))},
+			}
+			if err := tr.Insert(e); err != nil {
+				return false
+			}
+			ref = append(ref, e)
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i].Compare(ref[j]) < 0 })
+		if err := tr.Check(); err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			lo, hi := int64(rng.Intn(60)-5), int64(rng.Intn(60)-5)
+			start := &Bound{Key: lo, Inclusive: rng.Intn(2) == 0}
+			stop := &Bound{Key: hi, Inclusive: rng.Intn(2) == 0}
+			var want []Entry
+			for _, e := range ref {
+				if start.Inclusive && e.Key < start.Key {
+					continue
+				}
+				if !start.Inclusive && e.Key <= start.Key {
+					continue
+				}
+				if stop.Inclusive && e.Key > stop.Key {
+					continue
+				}
+				if !stop.Inclusive && e.Key >= stop.Key {
+					continue
+				}
+				want = append(want, e)
+			}
+			var got []Entry
+			if err := tr.Scan(start, stop, func(e Entry) error {
+				got = append(got, e)
+				return nil
+			}); err != nil {
+				return false
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bulk load and incremental insert of the same entry set produce
+// identical scans.
+func TestBulkLoadEquivalentToInsertProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(600)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Key: int64(rng.Intn(100)), Seq: uint32(i), RID: storage.RID{Page: storage.PageID(i)}}
+		}
+		sorted := append([]Entry(nil), entries...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
+
+		bulk, err := Create(storage.NewMemStore())
+		if err != nil {
+			return false
+		}
+		if err := bulk.BulkLoad(sorted); err != nil {
+			return false
+		}
+		inc, err := Create(storage.NewMemStore())
+		if err != nil {
+			return false
+		}
+		for _, e := range entries {
+			if err := inc.Insert(e); err != nil {
+				return false
+			}
+		}
+		if bulk.Check() != nil || inc.Check() != nil {
+			return false
+		}
+		var a, b []Entry
+		bulk.Scan(nil, nil, func(e Entry) error { a = append(a, e); return nil })
+		inc.Scan(nil, nil, func(e Entry) error { b = append(b, e); return nil })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr, err := Create(storage.NewMemStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Entry{Key: int64(rng.Intn(1 << 30)), Seq: uint32(i), RID: storage.RID{Page: storage.PageID(i)}}
+		if err := tr.Insert(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	entries := make([]Entry, 100_000)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), RID: storage.RID{Page: storage.PageID(i / 50)}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := Create(storage.NewMemStore())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.BulkLoad(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullScan(b *testing.B) {
+	tr, err := Create(storage.NewMemStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := make([]Entry, 100_000)
+	for i := range entries {
+		entries[i] = Entry{Key: int64(i), RID: storage.RID{Page: storage.PageID(i / 50)}}
+	}
+	if err := tr.BulkLoad(entries); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Scan(nil, nil, func(Entry) error { n++; return nil })
+		if n != len(entries) {
+			b.Fatal("bad scan")
+		}
+	}
+}
+
+func TestExclusiveStartAtMaxInt64(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert(Entry{Key: 1<<63 - 1, Seq: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// key > MaxInt64 must select nothing (and must not overflow).
+	got := collect(t, tr, Gt(1<<63-1), nil)
+	if len(got) != 0 {
+		t.Errorf("Gt(MaxInt64) returned %d entries", len(got))
+	}
+	// key >= MaxInt64 selects the entry.
+	got = collect(t, tr, Ge(1<<63-1), nil)
+	if len(got) != 1 {
+		t.Errorf("Ge(MaxInt64) returned %d entries", len(got))
+	}
+}
+
+func TestIncludedColumnRoundTrip(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 500; i++ {
+		e := Entry{Key: int64(i), Seq: uint32(i), Included: uint32(i * 3)}
+		if err := tr.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	err := tr.Scan(nil, nil, func(e Entry) error {
+		if e.Included != uint32(i*3) {
+			t.Fatalf("entry %d included = %d, want %d", i, e.Included, i*3)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk load preserves Included too.
+	entries := make([]Entry, 300)
+	for j := range entries {
+		entries[j] = Entry{Key: int64(j), Included: uint32(j + 7)}
+	}
+	bl := newTree(t)
+	if err := bl.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	j := 0
+	bl.Scan(nil, nil, func(e Entry) error {
+		if e.Included != uint32(j+7) {
+			t.Fatalf("bulk entry %d included = %d", j, e.Included)
+		}
+		j++
+		return nil
+	})
+}
+
+func TestReadNodeDetectsCorruption(t *testing.T) {
+	store := storage.NewMemStore()
+	tr, err := Create(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite the root with a heap page: scans must fail loudly, not
+	// misinterpret.
+	rootID := tr.root
+	if err := store.WritePage(rootID, storage.NewPage(rootID, storage.PageKindHeap)); err != nil {
+		t.Fatal(err)
+	}
+	err = tr.Scan(nil, nil, func(Entry) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("scan over corrupted root err = %v, want ErrCorrupt", err)
+	}
+	if err := tr.Check(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Check over corrupted root err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReadNodeDetectsBadEntrySize(t *testing.T) {
+	store := storage.NewMemStore()
+	tr, err := Create(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(entryFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the root leaf with a malformed entry record.
+	p := storage.NewPage(tr.root, storage.PageKindBTreeLeaf)
+	hdr := make([]byte, 6)
+	if _, err := p.Insert(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert([]byte{1, 2, 3}); err != nil { // wrong size
+		t.Fatal(err)
+	}
+	if err := store.WritePage(tr.root, p); err != nil {
+		t.Fatal(err)
+	}
+	err = tr.Scan(nil, nil, func(Entry) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("scan over bad entry err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckDetectsCountDrift(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(entryFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.count = 99 // simulate a meta/page divergence
+	if err := tr.Check(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Check with drifted count err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package buffer implements buffer pools over a storage.PageStore.
+//
+// The LRU pool is the reference implementation of the replacement policy the
+// paper assumes ("as in most relational database systems, the buffer pool is
+// assumed to be managed using the least recently used (LRU) algorithm").
+// Every miss that reaches the underlying store is counted as a page fetch;
+// those counts are the "actual" values a_i in the paper's error metric.
+//
+// A Clock (second-chance) pool is provided for ablation experiments: it shows
+// how sensitive EPFIS's LRU-derived model is when the deployed policy is only
+// approximately LRU.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"epfis/internal/storage"
+)
+
+// Stats accumulates buffer pool accounting.
+type Stats struct {
+	// Fetches is the number of physical page reads from the store (misses).
+	Fetches int64
+	// Hits is the number of logical reads satisfied from the pool.
+	Hits int64
+	// Evictions is the number of frames reclaimed to make room.
+	Evictions int64
+}
+
+// Accesses reports the number of logical page reads observed.
+func (s Stats) Accesses() int64 { return s.Fetches + s.Hits }
+
+// HitRatio reports Hits / Accesses, or 0 when no accesses happened.
+func (s Stats) HitRatio() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Hits) / float64(a)
+	}
+	return 0
+}
+
+// Pool is the page-access interface scans use. Get returns the page image
+// for id, fetching from the store on a miss and recording hit/miss counts.
+type Pool interface {
+	// Get returns the pooled page for id. The returned page is owned by the
+	// pool; callers must not retain it across further Get calls.
+	Get(id storage.PageID) (*storage.Page, error)
+	// Stats returns a snapshot of the accounting counters.
+	Stats() Stats
+	// Reset clears the pool contents and counters.
+	Reset()
+	// Size reports the number of frames.
+	Size() int
+}
+
+// Errors returned by this package.
+var (
+	// ErrBadPoolSize reports a non-positive buffer pool size.
+	ErrBadPoolSize = errors.New("buffer: pool size must be >= 1")
+	// ErrAllPinned reports that a fetch needed an eviction but every frame
+	// is pinned.
+	ErrAllPinned = errors.New("buffer: all frames pinned")
+	// ErrNotResident reports a pin/unpin on a page that is not in the pool.
+	ErrNotResident = errors.New("buffer: page not resident")
+)
+
+type lruFrame struct {
+	id         storage.PageID
+	page       storage.Page
+	pins       int
+	prev, next *lruFrame
+}
+
+// LRU is a strict least-recently-used buffer pool. Get moves the frame to the
+// MRU end; eviction removes the LRU end. It is intentionally unsynchronized:
+// scans in this system are single-threaded per pool, matching the paper's
+// single-user setting (multi-user contention is listed as future work).
+type LRU struct {
+	store  storage.PageStore
+	size   int
+	frames map[storage.PageID]*lruFrame
+	head   *lruFrame // MRU
+	tail   *lruFrame // LRU
+	stats  Stats
+}
+
+// NewLRU creates an LRU pool with the given number of frames over the store.
+func NewLRU(store storage.PageStore, size int) (*LRU, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadPoolSize, size)
+	}
+	return &LRU{
+		store:  store,
+		size:   size,
+		frames: make(map[storage.PageID]*lruFrame, size),
+	}, nil
+}
+
+// Size implements Pool.
+func (p *LRU) Size() int { return p.size }
+
+// Stats implements Pool.
+func (p *LRU) Stats() Stats { return p.stats }
+
+// Reset implements Pool.
+func (p *LRU) Reset() {
+	p.frames = make(map[storage.PageID]*lruFrame, p.size)
+	p.head, p.tail = nil, nil
+	p.stats = Stats{}
+}
+
+// Get implements Pool.
+func (p *LRU) Get(id storage.PageID) (*storage.Page, error) {
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.moveToFront(f)
+		return &f.page, nil
+	}
+	if len(p.frames) >= p.size && !p.canEvict() {
+		return nil, fmt.Errorf("%w: cannot fetch page %d", ErrAllPinned, id)
+	}
+	p.stats.Fetches++
+	f := &lruFrame{id: id}
+	if err := p.store.ReadPage(id, &f.page); err != nil {
+		p.stats.Fetches-- // failed read is not a fetch
+		return nil, err
+	}
+	if len(p.frames) >= p.size {
+		p.evict()
+	}
+	p.frames[id] = f
+	p.pushFront(f)
+	return &f.page, nil
+}
+
+// Pin marks the resident page un-evictable until a matching Unpin. Pins
+// nest: each Pin requires one Unpin.
+func (p *LRU) Pin(id storage.PageID) error {
+	f, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("%w: page %d", ErrNotResident, id)
+	}
+	f.pins++
+	return nil
+}
+
+// Unpin releases one pin on the page.
+func (p *LRU) Unpin(id storage.PageID) error {
+	f, ok := p.frames[id]
+	if !ok {
+		return fmt.Errorf("%w: page %d", ErrNotResident, id)
+	}
+	if f.pins == 0 {
+		return fmt.Errorf("buffer: page %d is not pinned", id)
+	}
+	f.pins--
+	return nil
+}
+
+// PinnedCount reports the number of frames with at least one pin.
+func (p *LRU) PinnedCount() int {
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *LRU) canEvict() bool {
+	for f := p.tail; f != nil; f = f.prev {
+		if f.pins == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the page is currently resident, without touching
+// recency or counters. Used by tests and invariant checks.
+func (p *LRU) Contains(id storage.PageID) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// ResidentOrder returns the resident page ids from MRU to LRU. Used by tests
+// to verify the stack property against the simulator in internal/lrusim.
+func (p *LRU) ResidentOrder() []storage.PageID {
+	ids := make([]storage.PageID, 0, len(p.frames))
+	for f := p.head; f != nil; f = f.next {
+		ids = append(ids, f.id)
+	}
+	return ids
+}
+
+func (p *LRU) pushFront(f *lruFrame) {
+	f.prev = nil
+	f.next = p.head
+	if p.head != nil {
+		p.head.prev = f
+	}
+	p.head = f
+	if p.tail == nil {
+		p.tail = f
+	}
+}
+
+func (p *LRU) unlink(f *lruFrame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		p.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		p.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+func (p *LRU) moveToFront(f *lruFrame) {
+	if p.head == f {
+		return
+	}
+	p.unlink(f)
+	p.pushFront(f)
+}
+
+func (p *LRU) evict() {
+	// Evict the least recently used UNPINNED frame.
+	victim := p.tail
+	for victim != nil && victim.pins > 0 {
+		victim = victim.prev
+	}
+	if victim == nil {
+		return
+	}
+	p.unlink(victim)
+	delete(p.frames, victim.id)
+	p.stats.Evictions++
+}
+
+type clockFrame struct {
+	id       storage.PageID
+	page     storage.Page
+	refbit   bool
+	occupied bool
+}
+
+// Clock is a second-chance (clock) buffer pool: an LRU approximation commonly
+// used in real systems. Provided for the policy-sensitivity ablation.
+type Clock struct {
+	store  storage.PageStore
+	frames []clockFrame
+	index  map[storage.PageID]int
+	hand   int
+	stats  Stats
+}
+
+// NewClock creates a clock pool with the given number of frames.
+func NewClock(store storage.PageStore, size int) (*Clock, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadPoolSize, size)
+	}
+	return &Clock{
+		store:  store,
+		frames: make([]clockFrame, size),
+		index:  make(map[storage.PageID]int, size),
+	}, nil
+}
+
+// Size implements Pool.
+func (p *Clock) Size() int { return len(p.frames) }
+
+// Stats implements Pool.
+func (p *Clock) Stats() Stats { return p.stats }
+
+// Reset implements Pool.
+func (p *Clock) Reset() {
+	for i := range p.frames {
+		p.frames[i] = clockFrame{}
+	}
+	p.index = make(map[storage.PageID]int, len(p.frames))
+	p.hand = 0
+	p.stats = Stats{}
+}
+
+// Get implements Pool.
+func (p *Clock) Get(id storage.PageID) (*storage.Page, error) {
+	if i, ok := p.index[id]; ok {
+		p.stats.Hits++
+		p.frames[i].refbit = true
+		return &p.frames[i].page, nil
+	}
+	var pg storage.Page
+	if err := p.store.ReadPage(id, &pg); err != nil {
+		return nil, err
+	}
+	p.stats.Fetches++
+	i := p.findVictim()
+	if p.frames[i].occupied {
+		delete(p.index, p.frames[i].id)
+		p.stats.Evictions++
+	}
+	p.frames[i] = clockFrame{id: id, page: pg, refbit: true, occupied: true}
+	p.index[id] = i
+	return &p.frames[i].page, nil
+}
+
+func (p *Clock) findVictim() int {
+	for {
+		f := &p.frames[p.hand]
+		i := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		if !f.occupied {
+			return i
+		}
+		if !f.refbit {
+			return i
+		}
+		f.refbit = false
+	}
+}

@@ -1,0 +1,442 @@
+package buffer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"epfis/internal/storage"
+)
+
+// makeStore allocates n sealed heap pages, each carrying one record naming
+// its page id, and returns the store.
+func makeStore(t testing.TB, n int) *storage.MemStore {
+	t.Helper()
+	store := storage.NewMemStore()
+	for i := 0; i < n; i++ {
+		id, err := store.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := storage.NewPage(id, storage.PageKindHeap)
+		if _, err := p.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.WritePage(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func TestNewPoolSizeValidation(t *testing.T) {
+	store := makeStore(t, 1)
+	if _, err := NewLRU(store, 0); !errors.Is(err, ErrBadPoolSize) {
+		t.Errorf("NewLRU(0) err = %v", err)
+	}
+	if _, err := NewClock(store, -3); !errors.Is(err, ErrBadPoolSize) {
+		t.Errorf("NewClock(-3) err = %v", err)
+	}
+}
+
+func TestLRUColdMissesThenHits(t *testing.T) {
+	store := makeStore(t, 5)
+	p, err := NewLRU(store, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			if _, err := p.Get(storage.PageID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := p.Stats()
+	if st.Fetches != 5 {
+		t.Errorf("Fetches = %d, want 5 (cold misses only)", st.Fetches)
+	}
+	if st.Hits != 10 {
+		t.Errorf("Hits = %d, want 10", st.Hits)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("Evictions = %d, want 0", st.Evictions)
+	}
+	if got := st.HitRatio(); got != 10.0/15.0 {
+		t.Errorf("HitRatio = %v", got)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	store := makeStore(t, 4)
+	p, err := NewLRU(store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustGet := func(id storage.PageID) {
+		t.Helper()
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(0)
+	mustGet(1)
+	mustGet(2)
+	mustGet(0) // 0 becomes MRU; LRU order now 0,2,1
+	mustGet(3) // must evict 1
+	if p.Contains(1) {
+		t.Error("page 1 resident, should have been evicted")
+	}
+	for _, id := range []storage.PageID{0, 2, 3} {
+		if !p.Contains(id) {
+			t.Errorf("page %d not resident", id)
+		}
+	}
+	want := []storage.PageID{3, 0, 2}
+	got := p.ResidentOrder()
+	if len(got) != len(want) {
+		t.Fatalf("ResidentOrder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ResidentOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLRUSequentialScanFetchesEveryPage(t *testing.T) {
+	// A table scan fetches exactly T pages regardless of buffer size (paper §2).
+	const T = 50
+	store := makeStore(t, T)
+	for _, size := range []int{1, 7, T, 2 * T} {
+		p, err := NewLRU(store, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < T; i++ {
+			if _, err := p.Get(storage.PageID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := p.Stats().Fetches; got != T {
+			t.Errorf("size %d: table scan fetches = %d, want %d", size, got, T)
+		}
+	}
+}
+
+func TestLRUGetMissingPage(t *testing.T) {
+	store := makeStore(t, 1)
+	p, err := NewLRU(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(7); err == nil {
+		t.Error("Get(7) succeeded, want error")
+	}
+	if st := p.Stats(); st.Fetches != 0 {
+		t.Errorf("failed read counted as fetch: %+v", st)
+	}
+}
+
+func TestLRUReset(t *testing.T) {
+	store := makeStore(t, 3)
+	p, err := NewLRU(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Get(storage.PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Reset()
+	if st := p.Stats(); st != (Stats{}) {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if len(p.ResidentOrder()) != 0 {
+		t.Error("pages resident after reset")
+	}
+}
+
+func TestLRUReturnsCorrectPageContents(t *testing.T) {
+	store := makeStore(t, 10)
+	p, err := NewLRU(store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		id := storage.PageID(rng.Intn(10))
+		pg, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := pg.Record(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec[0] != byte(id) {
+			t.Fatalf("page %d returned record %d", id, rec[0])
+		}
+	}
+}
+
+// The LRU inclusion (stack) property: a pool of size s+1 always contains
+// every page a pool of size s contains, for any access sequence. This is the
+// property the Mattson one-pass simulation in internal/lrusim relies on.
+func TestLRUInclusionProperty(t *testing.T) {
+	const nPages = 12
+	store := makeStore(t, nPages)
+	f := func(refs []uint8) bool {
+		pools := make([]*LRU, 0, 4)
+		for _, s := range []int{1, 2, 5, 9} {
+			p, err := NewLRU(store, s)
+			if err != nil {
+				return false
+			}
+			pools = append(pools, p)
+		}
+		for _, r := range refs {
+			id := storage.PageID(int(r) % nPages)
+			for _, p := range pools {
+				if _, err := p.Get(id); err != nil {
+					return false
+				}
+			}
+		}
+		for i := 0; i+1 < len(pools); i++ {
+			small, big := pools[i], pools[i+1]
+			for _, id := range small.ResidentOrder() {
+				if !big.Contains(id) {
+					return false
+				}
+			}
+			// Larger pools never fetch more.
+			if big.Stats().Fetches > small.Stats().Fetches {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockBasics(t *testing.T) {
+	store := makeStore(t, 6)
+	p, err := NewClock(store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		pg, err := p.Get(storage.PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := pg.Record(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec[0] != byte(i) {
+			t.Fatalf("page %d returned record %d", i, rec[0])
+		}
+	}
+	st := p.Stats()
+	if st.Fetches != 6 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 6 fetches 0 hits", st)
+	}
+	if st.Evictions != 3 {
+		t.Errorf("Evictions = %d, want 3", st.Evictions)
+	}
+	// Re-access the resident tail: hits.
+	pre := p.Stats().Hits
+	for i := 3; i < 6; i++ {
+		if _, err := p.Get(storage.PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Stats().Hits - pre; got != 3 {
+		t.Errorf("hits on resident pages = %d, want 3", got)
+	}
+}
+
+func TestClockApproximatesLRUOnSequentialCycles(t *testing.T) {
+	// Cycling through size+1 pages defeats both policies identically:
+	// every access misses.
+	const nPages = 4
+	store := makeStore(t, nPages)
+	lru, err := NewLRU(store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk, err := NewClock(store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < nPages; i++ {
+			if _, err := lru.Get(storage.PageID(i)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := clk.Get(storage.PageID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if l, c := lru.Stats().Fetches, clk.Stats().Fetches; l != c || l != 20 {
+		t.Errorf("cycle fetches: lru=%d clock=%d, want 20 each", l, c)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	store := makeStore(t, 3)
+	p, err := NewClock(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Get(storage.PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Reset()
+	if st := p.Stats(); st != (Stats{}) {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Fetches != 1 || st.Hits != 0 {
+		t.Errorf("post-reset stats = %+v", st)
+	}
+}
+
+func TestClockGetMissingPage(t *testing.T) {
+	store := makeStore(t, 1)
+	p, err := NewClock(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(9); err == nil {
+		t.Error("Get(9) succeeded, want error")
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	var s Stats
+	if s.Accesses() != 0 || s.HitRatio() != 0 {
+		t.Error("zero stats accessors wrong")
+	}
+	s = Stats{Fetches: 1, Hits: 3}
+	if s.Accesses() != 4 || s.HitRatio() != 0.75 {
+		t.Errorf("accessors: %d %v", s.Accesses(), s.HitRatio())
+	}
+}
+
+func TestLRUPinningPreventsEviction(t *testing.T) {
+	store := makeStore(t, 4)
+	p, err := NewLRU(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	// Page 0 is LRU but pinned; fetching 2 must evict 1 instead.
+	if _, err := p.Get(2); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(0) {
+		t.Error("pinned page evicted")
+	}
+	if p.Contains(1) {
+		t.Error("unpinned page survived over pinned LRU")
+	}
+	if got := p.PinnedCount(); got != 1 {
+		t.Errorf("PinnedCount = %d", got)
+	}
+	if err := p.Unpin(0); err != nil {
+		t.Fatal(err)
+	}
+	// Now 0 is evictable again.
+	if _, err := p.Get(3); err != nil {
+		t.Fatal(err)
+	}
+	if p.Contains(0) {
+		t.Error("page 0 survived after unpin (it was LRU)")
+	}
+}
+
+func TestLRUAllPinned(t *testing.T) {
+	store := makeStore(t, 3)
+	p, err := NewLRU(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := p.Get(storage.PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Pin(storage.PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Get(2); !errors.Is(err, ErrAllPinned) {
+		t.Errorf("Get with all pinned err = %v", err)
+	}
+	// A failed fetch must not count.
+	if st := p.Stats(); st.Fetches != 2 {
+		t.Errorf("Fetches = %d", st.Fetches)
+	}
+	// Hits on pinned pages still work.
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUPinErrors(t *testing.T) {
+	store := makeStore(t, 2)
+	p, err := NewLRU(store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pin(0); !errors.Is(err, ErrNotResident) {
+		t.Errorf("Pin(non-resident) err = %v", err)
+	}
+	if err := p.Unpin(0); !errors.Is(err, ErrNotResident) {
+		t.Errorf("Unpin(non-resident) err = %v", err)
+	}
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(0); err == nil {
+		t.Error("Unpin of unpinned page succeeded")
+	}
+	// Nested pins require matching unpins.
+	if err := p.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.PinnedCount() != 1 {
+		t.Error("nested pin released too early")
+	}
+	if err := p.Unpin(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.PinnedCount() != 0 {
+		t.Error("pin count wrong after full release")
+	}
+}

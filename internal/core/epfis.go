@@ -1,0 +1,444 @@
+// Package core implements Algorithm EPFIS — Estimation of Page Fetches in
+// Index Scans (Swami & Schiefer, VLDB Journal 4(4), 1995) — the paper's
+// primary contribution.
+//
+// EPFIS has two subprograms:
+//
+//   - LRUFit runs at statistics-collection time, once per index. It scans the
+//     index entries in key order (the data-page reference trace), simulates
+//     an LRU buffer pool for every buffer size simultaneously (Mattson stack
+//     analysis, package lrusim), samples the resulting full-index-scan
+//     page-fetch (FPF) curve on a small grid of buffer sizes, approximates
+//     the curve with a handful of line segments (package curvefit), computes
+//     the clustering factor C = (N − F_min)/(N − T), and stores everything in
+//     a catalog entry (package stats).
+//
+//   - EstIO runs at query-compilation time, whenever the optimizer needs the
+//     page-fetch count for a candidate index scan. It interpolates the stored
+//     segment approximation at the available buffer size B to get PF_B, scales
+//     by the start/stop-condition selectivity σ, applies the paper's
+//     small-selectivity heuristic correction (Equation 1), and applies the
+//     urn-model reduction for index-sargable predicates.
+//
+// Deviations from the paper's text, both documented in DESIGN.md:
+//
+//  1. The paper prints φ = max(1, B/T), but its own usage ("φ = B/T is
+//     significantly greater than σ", "σ ≪ B/T") requires φ = min(1, B/T):
+//     with max, the B/T condition vanishes since φ ≥ 1 always. We default to
+//     min and offer the printed variant via Options.PhiUsesMax for
+//     comparison.
+//  2. The sargable urn reduction is only applied when S < 1. Applied at
+//     S = 1 it would shrink every estimate by ≈ 1/e even with no sargable
+//     predicates, contradicting Equation 1 (which the paper presents as the
+//     complete estimate in their absence).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"epfis/internal/curvefit"
+	"epfis/internal/lrusim"
+	"epfis/internal/stats"
+)
+
+// DefaultSegments is the paper's chosen segment budget: "the estimation
+// errors do not change very much when the number of line segments is greater
+// than five. Hence, we use six line segments."
+const DefaultSegments = 6
+
+// DefaultBSml is the smallest buffer pool size modeled, "chosen to avoid the
+// large effects on page fetches due to too small a buffer size. In our
+// experiments, we set B_sml = 12."
+const DefaultBSml = 12
+
+// Spacing selects how LRU-Fit places the modeled buffer sizes B_1..B_k.
+type Spacing int
+
+const (
+	// SpacingArithmetic is the paper's heuristic:
+	// B_{i+1} = B_i + 2*sqrt(BMax − BMin).
+	SpacingArithmetic Spacing = iota
+	// SpacingGeometric is the footnote-2 variant suggested by Goetz Graefe:
+	// B_i = BMin * (BMax/BMin)^{i/k}, using the same point count k as the
+	// arithmetic rule would produce.
+	SpacingGeometric
+)
+
+// Fitter selects the polyline fitting method for the FPF curve.
+type Fitter int
+
+const (
+	// FitterOptimal minimizes maximum absolute error by dynamic programming
+	// (the default).
+	FitterOptimal Fitter = iota
+	// FitterGreedy uses Douglas–Peucker-style recursive splitting.
+	FitterGreedy
+	// FitterEqualSpacing places knots at equally spaced grid indices.
+	FitterEqualSpacing
+)
+
+// Options configures LRU-Fit and Est-IO. The zero value is the paper's
+// configuration.
+type Options struct {
+	// BMin overrides the modeled range's lower end ("If desired, the range
+	// of B can be specified by the database administrator"). 0 = automatic:
+	// max(0.01*T, BSml).
+	BMin int64
+	// BMax overrides the modeled range's upper end. 0 = automatic: T.
+	BMax int64
+	// BSml is the smallest buffer size worth modeling; 0 = DefaultBSml.
+	BSml int64
+	// Segments is the polyline budget; 0 = DefaultSegments.
+	Segments int
+	// Spacing selects the modeling-grid rule.
+	Spacing Spacing
+	// Fitter selects the curve-fitting method.
+	Fitter Fitter
+	// StepFactor scales the modeling-grid step (0 or 1 = the paper's
+	// formula). The paper's arithmetic step 2*sqrt(BMax − BMin) grows like
+	// sqrt(T), so grid density *relative to T* improves with table size;
+	// shape-preserving scaled-down experiments pass 1/sqrt(scale) so the
+	// miniature sees the same relative grid density as the paper's
+	// full-size tables (see DESIGN.md).
+	StepFactor float64
+	// PhiUsesMax reproduces the paper's printed φ = max(1, B/T) instead of
+	// the intended min (see the package comment).
+	PhiUsesMax bool
+	// DisableCorrection turns off the Equation-1 small-σ correction term
+	// (for the ablation benchmarks).
+	DisableCorrection bool
+}
+
+func (o Options) segments() int {
+	if o.Segments > 0 {
+		return o.Segments
+	}
+	return DefaultSegments
+}
+
+func (o Options) bsml() int64 {
+	if o.BSml > 0 {
+		return o.BSml
+	}
+	return DefaultBSml
+}
+
+// Meta identifies the index being fitted and its table-level statistics.
+type Meta struct {
+	Table  string
+	Column string
+	// T is the number of data pages, N the number of records, I the number
+	// of distinct key values.
+	T, N, I int64
+}
+
+// Errors returned by this package.
+var (
+	ErrBadMeta   = errors.New("core: invalid index metadata")
+	ErrBadInput  = errors.New("core: invalid estimation input")
+	ErrBadTrace  = errors.New("core: trace does not match metadata")
+	ErrEmptyGrid = errors.New("core: empty modeling grid")
+)
+
+func (m Meta) validate() error {
+	switch {
+	case m.T < 1:
+		return fmt.Errorf("%w: T = %d", ErrBadMeta, m.T)
+	case m.N < 1:
+		return fmt.Errorf("%w: N = %d", ErrBadMeta, m.N)
+	case m.I < 1 || m.I > m.N:
+		return fmt.Errorf("%w: I = %d with N = %d", ErrBadMeta, m.I, m.N)
+	}
+	return nil
+}
+
+// ModelingRange computes [BMin, BMax] per the paper: BMin = max(0.01*T,
+// B_sml) and BMax = T, clamped so the range is non-empty and positive.
+// DBA-specified overrides in opts take precedence.
+func ModelingRange(t int64, opts Options) (bmin, bmax int64) {
+	bmax = t
+	if opts.BMax > 0 {
+		bmax = opts.BMax
+	}
+	if bmax < 1 {
+		bmax = 1
+	}
+	bmin = int64(math.Ceil(0.01 * float64(t)))
+	if s := opts.bsml(); bmin < s {
+		bmin = s
+	}
+	if opts.BMin > 0 {
+		bmin = opts.BMin
+	}
+	if bmin < 1 {
+		bmin = 1
+	}
+	if bmin > bmax {
+		bmin = bmax
+	}
+	return bmin, bmax
+}
+
+// ModelingGrid returns the buffer sizes B_1..B_k to sample, spanning
+// [bmin, bmax] inclusive, using the paper's spacing rule. It is
+// ModelingGridStep with the paper's step factor of 1.
+func ModelingGrid(bmin, bmax int64, spacing Spacing) []int {
+	return ModelingGridStep(bmin, bmax, spacing, 1)
+}
+
+// ModelingGridStep is ModelingGrid with the arithmetic step multiplied by
+// stepFactor (<= 0 treated as 1); the geometric variant inherits the
+// resulting point count.
+func ModelingGridStep(bmin, bmax int64, spacing Spacing, stepFactor float64) []int {
+	if stepFactor <= 0 {
+		stepFactor = 1
+	}
+	if bmin < 1 {
+		bmin = 1
+	}
+	if bmax < bmin {
+		bmax = bmin
+	}
+	if bmin == bmax {
+		return []int{int(bmin)}
+	}
+	// The paper's arithmetic rule fixes the step; derive the point count k
+	// from it so the geometric variant can use the same k.
+	step := 2 * math.Sqrt(float64(bmax-bmin)) * stepFactor
+	if step < 1 {
+		step = 1
+	}
+	k := int(math.Ceil(float64(bmax-bmin)/step)) + 1
+	if k < 2 {
+		k = 2
+	}
+	grid := make([]int, 0, k+1)
+	switch spacing {
+	case SpacingGeometric:
+		ratio := float64(bmax) / float64(bmin)
+		for i := 0; i < k; i++ {
+			b := float64(bmin) * math.Pow(ratio, float64(i)/float64(k-1))
+			grid = append(grid, int(math.Round(b)))
+		}
+	default: // SpacingArithmetic
+		b := float64(bmin)
+		for b < float64(bmax) {
+			grid = append(grid, int(math.Round(b)))
+			b += step
+		}
+		grid = append(grid, int(bmax))
+	}
+	// Deduplicate while preserving order (rounding can collide).
+	out := grid[:0]
+	last := -1
+	for _, b := range grid {
+		if b <= last {
+			continue
+		}
+		out = append(out, b)
+		last = b
+	}
+	// Force the endpoints.
+	if out[0] != int(bmin) {
+		out = append([]int{int(bmin)}, out...)
+	}
+	if out[len(out)-1] != int(bmax) {
+		out = append(out, int(bmax))
+	}
+	return out
+}
+
+// LRUFit is Subprogram LRU-Fit: given the data-page reference trace of a
+// full index scan (one page id per index entry, in key order) it produces the
+// catalog entry used by Est-IO. The trace is consumed in a single pass.
+func LRUFit(trace lrusim.Trace, meta Meta, opts Options) (*stats.IndexStats, error) {
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	if int64(len(trace)) != meta.N {
+		return nil, fmt.Errorf("%w: %d references for N = %d records", ErrBadTrace, len(trace), meta.N)
+	}
+
+	// Step 1: modeling range.
+	bmin, bmax := ModelingRange(meta.T, opts)
+	grid := ModelingGridStep(bmin, bmax, opts.Spacing, opts.StepFactor)
+	if len(grid) == 0 {
+		return nil, ErrEmptyGrid
+	}
+
+	// Step 2: one-pass LRU buffer modeling (Mattson stack analysis).
+	curve := lrusim.Analyze(trace)
+	samples := lrusim.SampleCurve(curve, grid)
+
+	// Step 3: approximate the FPF curve with line segments.
+	pts := make([]curvefit.Point, len(samples))
+	for i, s := range samples {
+		pts[i] = curvefit.Point{X: float64(s.B), Y: float64(s.F)}
+	}
+	var (
+		pl  curvefit.PolyLine
+		err error
+	)
+	if len(pts) == 1 {
+		// Degenerate range (tiny table): a flat one-knot "curve".
+		pl = curvefit.PolyLine{Knots: []curvefit.Point{pts[0], {X: pts[0].X + 1, Y: pts[0].Y}}}
+	} else {
+		switch opts.Fitter {
+		case FitterGreedy:
+			pl, err = curvefit.FitGreedy(pts, opts.segments())
+		case FitterEqualSpacing:
+			pl, err = curvefit.FitEqualSpacing(pts, opts.segments())
+		default:
+			pl, err = curvefit.FitOptimal(pts, opts.segments())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: fit FPF curve: %w", err)
+		}
+	}
+
+	// Clustering factor from the same pass: C = (N − F_min) / (N − T).
+	fmin := curve.Fetches(int(bmin))
+	c := 1.0
+	if meta.N > meta.T {
+		c = float64(meta.N-fmin) / float64(meta.N-meta.T)
+	}
+	c = clamp(c, 0, 1)
+
+	return &stats.IndexStats{
+		Table:       meta.Table,
+		Column:      meta.Column,
+		T:           meta.T,
+		N:           meta.N,
+		I:           meta.I,
+		BMin:        bmin,
+		BMax:        bmax,
+		FMin:        fmin,
+		C:           c,
+		Curve:       pl,
+		GridPoints:  len(samples),
+		CollectedAt: time.Now().UTC(),
+	}, nil
+}
+
+// Input is one Est-IO request.
+type Input struct {
+	// B is the number of LRU buffer pages available to the scan.
+	B int64
+	// Sigma is the selectivity of the starting and stopping conditions
+	// (fraction of records in the scanned key range), in [0, 1].
+	Sigma float64
+	// S is the selectivity of the index-sargable predicates, in (0, 1];
+	// 1 (or 0, treated as "none") means no sargable predicates.
+	S float64
+}
+
+// Estimate is the full Est-IO result with its intermediate terms, so tests,
+// the optimizer's explain output, and the ablation benches can inspect the
+// contribution of each step.
+type Estimate struct {
+	// F is the final page-fetch estimate.
+	F float64
+	// PFB is the full-scan page-fetch count interpolated at B.
+	PFB float64
+	// Base is sigma * PFB (step 5).
+	Base float64
+	// Phi is min(1, B/T) (or the paper-printed max variant).
+	Phi float64
+	// Nu is the correction indicator: 1 when Phi >= 3*sigma.
+	Nu int
+	// Correction is the Equation-1 heuristic term added to Base.
+	Correction float64
+	// SargableFactor is the urn-model reduction (1 when S = 1).
+	SargableFactor float64
+}
+
+// EstIO is Subprogram Est-IO: the cheap per-plan estimation procedure.
+func EstIO(st *stats.IndexStats, in Input, opts Options) (Estimate, error) {
+	if err := st.Validate(); err != nil {
+		return Estimate{}, fmt.Errorf("core: %w", err)
+	}
+	if in.B < 1 {
+		return Estimate{}, fmt.Errorf("%w: B = %d", ErrBadInput, in.B)
+	}
+	if in.Sigma < 0 || in.Sigma > 1 {
+		return Estimate{}, fmt.Errorf("%w: sigma = %g", ErrBadInput, in.Sigma)
+	}
+	if in.S < 0 || in.S > 1 {
+		return Estimate{}, fmt.Errorf("%w: S = %g", ErrBadInput, in.S)
+	}
+	s := in.S
+	if s == 0 {
+		s = 1 // "no sargable predicates"
+	}
+	var est Estimate
+	if in.Sigma == 0 {
+		est.SargableFactor = 1
+		return est, nil
+	}
+
+	t := float64(st.T)
+	n := float64(st.N)
+	sigma := in.Sigma
+
+	// Step 4: PF_B from the stored segment approximation; extrapolation is
+	// clamped to the physical bounds of a full scan: T <= F <= N.
+	est.PFB = st.Curve.EvalClamped(float64(in.B), t, n)
+
+	// Step 5: scale down by sigma.
+	est.Base = sigma * est.PFB
+
+	// Step 6: heuristic correction for small sigma (Equation 1).
+	if opts.PhiUsesMax {
+		est.Phi = math.Max(1, float64(in.B)/t)
+	} else {
+		est.Phi = math.Min(1, float64(in.B)/t)
+	}
+	if est.Phi >= 3*sigma {
+		est.Nu = 1
+	}
+	if est.Nu == 1 && !opts.DisableCorrection {
+		cardenas := t * (1 - math.Pow(1-1/t, sigma*n))
+		est.Correction = math.Min(1, est.Phi/(6*sigma)) * (1 - st.C) * cardenas
+	}
+	f := est.Base + float64(est.Nu)*est.Correction
+
+	// Step 7: index-sargable predicate reduction via the urn model, applied
+	// only when such predicates exist (S < 1).
+	est.SargableFactor = 1
+	if s < 1 {
+		q := st.C*sigma*t + (1-st.C)*math.Min(t, sigma*n)
+		k := s * sigma * n
+		if q >= 1 {
+			est.SargableFactor = 1 - math.Pow(1-1/q, k)
+		}
+		f *= est.SargableFactor
+	}
+
+	// Physical clamp: a scan fetching k records performs at most k fetches
+	// (every fetch is triggered by some record access) and at least 0.
+	maxF := s * sigma * n
+	est.F = clamp(f, 0, maxF)
+	return est, nil
+}
+
+// EstimateFetches is the one-line convenience over EstIO.
+func EstimateFetches(st *stats.IndexStats, b int64, sigma, s float64) (float64, error) {
+	e, err := EstIO(st, Input{B: b, Sigma: sigma, S: s}, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return e.F, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,295 @@
+package curvefit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func linearPoints(n int, slope, intercept float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		x := float64(i)
+		pts[i] = Point{X: x, Y: slope*x + intercept}
+	}
+	return pts
+}
+
+// fpfLike generates a convex decreasing curve resembling an FPF curve:
+// steep at small B, flattening to A.
+func fpfLike(n int, total, accessed float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		x := 1 + float64(i)*100
+		y := accessed + (total-accessed)*math.Exp(-x/300)
+		pts[i] = Point{X: x, Y: y}
+	}
+	return pts
+}
+
+func TestEvalInterpolation(t *testing.T) {
+	pl := PolyLine{Knots: []Point{{0, 0}, {10, 100}, {20, 100}}}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {5, 50}, {10, 100}, {15, 100}, {20, 100},
+	}
+	for _, c := range cases {
+		if got := pl.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEvalExtrapolation(t *testing.T) {
+	pl := PolyLine{Knots: []Point{{0, 0}, {10, 100}, {20, 150}}}
+	if got := pl.Eval(-5); math.Abs(got-(-50)) > 1e-12 {
+		t.Errorf("Eval(-5) = %g, want -50 (first-segment slope)", got)
+	}
+	if got := pl.Eval(30); math.Abs(got-200) > 1e-12 {
+		t.Errorf("Eval(30) = %g, want 200 (last-segment slope)", got)
+	}
+}
+
+func TestEvalClamped(t *testing.T) {
+	pl := PolyLine{Knots: []Point{{0, 0}, {10, 100}}}
+	if got := pl.EvalClamped(-100, 0, 100); got != 0 {
+		t.Errorf("EvalClamped low = %g", got)
+	}
+	if got := pl.EvalClamped(1000, 0, 100); got != 100 {
+		t.Errorf("EvalClamped high = %g", got)
+	}
+	if got := pl.EvalClamped(5, 0, 100); got != 50 {
+		t.Errorf("EvalClamped mid = %g", got)
+	}
+}
+
+func TestEvalDegenerate(t *testing.T) {
+	if got := (PolyLine{}).Eval(3); got != 0 {
+		t.Errorf("empty polyline Eval = %g", got)
+	}
+	pl := PolyLine{Knots: []Point{{5, 42}}}
+	if got := pl.Eval(99); got != 42 {
+		t.Errorf("single-knot Eval = %g", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (PolyLine{Knots: []Point{{0, 0}, {1, 1}}}).Validate(); err != nil {
+		t.Errorf("valid polyline rejected: %v", err)
+	}
+	if err := (PolyLine{Knots: []Point{{0, 0}}}).Validate(); err == nil {
+		t.Error("1-knot polyline accepted")
+	}
+	if err := (PolyLine{Knots: []Point{{0, 0}, {0, 1}}}).Validate(); err == nil {
+		t.Error("duplicate-x polyline accepted")
+	}
+	if err := (PolyLine{Knots: []Point{{5, 0}, {1, 1}}}).Validate(); err == nil {
+		t.Error("descending-x polyline accepted")
+	}
+}
+
+func TestFitArgValidation(t *testing.T) {
+	fitters := map[string]func([]Point, int) (PolyLine, error){
+		"equal": FitEqualSpacing, "greedy": FitGreedy, "optimal": FitOptimal,
+	}
+	for name, fit := range fitters {
+		if _, err := fit([]Point{{0, 0}}, 3); err == nil {
+			t.Errorf("%s: accepted 1 point", name)
+		}
+		if _, err := fit(linearPoints(5, 1, 0), 0); err == nil {
+			t.Errorf("%s: accepted 0 segments", name)
+		}
+		if _, err := fit([]Point{{1, 0}, {0, 1}}, 1); err == nil {
+			t.Errorf("%s: accepted unsorted x", name)
+		}
+	}
+}
+
+func TestFittersExactOnLinearData(t *testing.T) {
+	pts := linearPoints(20, -3, 1000)
+	fitters := map[string]func([]Point, int) (PolyLine, error){
+		"equal": FitEqualSpacing, "greedy": FitGreedy, "optimal": FitOptimal,
+	}
+	for name, fit := range fitters {
+		for _, k := range []int{1, 2, 6} {
+			pl, err := fit(pts, k)
+			if err != nil {
+				t.Fatalf("%s(k=%d): %v", name, k, err)
+			}
+			if err := pl.Validate(); err != nil {
+				t.Fatalf("%s(k=%d): invalid polyline: %v", name, k, err)
+			}
+			if e := MaxAbsError(pl, pts); e > 1e-9 {
+				t.Errorf("%s(k=%d): error %g on exactly linear data", name, k, e)
+			}
+		}
+	}
+}
+
+func TestFitKnotsAreDataPoints(t *testing.T) {
+	pts := fpfLike(40, 100000, 5000)
+	for name, fit := range map[string]func([]Point, int) (PolyLine, error){
+		"equal": FitEqualSpacing, "greedy": FitGreedy, "optimal": FitOptimal,
+	} {
+		pl, err := fit(pts, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range pl.Knots {
+			found := false
+			for _, p := range pts {
+				if p == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: knot %+v is not a data point", name, k)
+			}
+		}
+		// First and last data points must be knots (range coverage).
+		if pl.Knots[0] != pts[0] || pl.Knots[len(pl.Knots)-1] != pts[len(pts)-1] {
+			t.Errorf("%s: endpoints not preserved", name)
+		}
+	}
+}
+
+func TestOptimalBeatsOrMatchesOthers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(40)
+		pts := make([]Point, n)
+		y := 1e6
+		for i := range pts {
+			y -= rng.Float64() * 1e4
+			pts[i] = Point{X: float64(i*50 + rng.Intn(40)), Y: y}
+		}
+		// Ensure strictly increasing X.
+		for i := 1; i < n; i++ {
+			if pts[i].X <= pts[i-1].X {
+				pts[i].X = pts[i-1].X + 1
+			}
+		}
+		k := 2 + rng.Intn(6)
+		opt, err := FitOptimal(pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grd, err := FitGreedy(pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := FitEqualSpacing(pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eOpt, eGrd, eEq := MaxAbsError(opt, pts), MaxAbsError(grd, pts), MaxAbsError(eq, pts)
+		if eOpt > eGrd+1e-9 || eOpt > eEq+1e-9 {
+			t.Errorf("trial %d k=%d: optimal %g worse than greedy %g / equal %g", trial, k, eOpt, eGrd, eEq)
+		}
+	}
+}
+
+func TestMoreSegmentsNeverWorse(t *testing.T) {
+	pts := fpfLike(50, 2e5, 1e4)
+	prev := math.MaxFloat64
+	for k := 1; k <= 10; k++ {
+		pl, err := FitOptimal(pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := MaxAbsError(pl, pts)
+		if e > prev+1e-9 {
+			t.Errorf("k=%d: error %g worse than k=%d's %g", k, e, k-1, prev)
+		}
+		prev = e
+	}
+}
+
+func TestSegmentBudgetClamped(t *testing.T) {
+	pts := linearPoints(4, 2, 0)
+	for name, fit := range map[string]func([]Point, int) (PolyLine, error){
+		"equal": FitEqualSpacing, "greedy": FitGreedy, "optimal": FitOptimal,
+	} {
+		pl, err := fit(pts, 50)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pl.NumSegments() > 3 {
+			t.Errorf("%s: %d segments from 4 points", name, pl.NumSegments())
+		}
+	}
+}
+
+func TestNumSegments(t *testing.T) {
+	if (PolyLine{}).NumSegments() != 0 {
+		t.Error("empty polyline has segments")
+	}
+	pl := PolyLine{Knots: []Point{{0, 0}, {1, 1}, {2, 0}}}
+	if pl.NumSegments() != 2 {
+		t.Errorf("NumSegments = %d, want 2", pl.NumSegments())
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	pl := PolyLine{Knots: []Point{{0, 0}, {10, 0}}}
+	pts := []Point{{2, 1}, {4, -1}, {6, 3}}
+	if got := MeanAbsError(pl, pts); math.Abs(got-5.0/3.0) > 1e-12 {
+		t.Errorf("MeanAbsError = %g", got)
+	}
+	if MeanAbsError(pl, nil) != 0 {
+		t.Error("MeanAbsError(empty) != 0")
+	}
+}
+
+// Property: Eval is monotone on monotone polylines within the knot range.
+func TestEvalMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		knots := make([]Point, n)
+		x, y := 0.0, 1e6
+		for i := range knots {
+			x += 1 + rng.Float64()*100
+			y -= rng.Float64() * 1e4
+			knots[i] = Point{X: x, Y: y}
+		}
+		pl := PolyLine{Knots: knots}
+		lo, hi := knots[0].X, knots[n-1].X
+		prev := math.MaxFloat64
+		for i := 0; i <= 100; i++ {
+			v := pl.Eval(lo + (hi-lo)*float64(i)/100)
+			if v > prev+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fitted polylines evaluated at knot x-values reproduce data
+// exactly, and max error decreases to 0 when segments = points-1.
+func TestFitExactWithFullBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		pts := make([]Point, n)
+		x := 0.0
+		for i := range pts {
+			x += 1 + rng.Float64()*10
+			pts[i] = Point{X: x, Y: rng.Float64() * 1000}
+		}
+		pl, err := FitOptimal(pts, n-1)
+		if err != nil {
+			return false
+		}
+		return MaxAbsError(pl, pts) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

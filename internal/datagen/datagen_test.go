@@ -1,0 +1,419 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"epfis/internal/btree"
+	"epfis/internal/core"
+	"epfis/internal/lrusim"
+)
+
+// btreeEntry aliases btree.Entry for test readability.
+type btreeEntry = btree.Entry
+
+func gen(t testing.TB, cfg Config) *Dataset {
+	t.Helper()
+	ds, err := GenerateDataset(cfg)
+	if err != nil {
+		t.Fatalf("GenerateDataset(%+v): %v", cfg, err)
+	}
+	return ds
+}
+
+func baseCfg() Config {
+	return Config{Name: "syn", N: 20_000, I: 200, R: 40, Theta: 0, K: 0.05, Seed: 1}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, I: 1, R: 1},
+		{N: 10, I: 0, R: 1},
+		{N: 10, I: 11, R: 1},
+		{N: 10, I: 5, R: 0},
+		{N: 10, I: 5, R: 1, K: -0.1},
+		{N: 10, I: 5, R: 1, K: 1.5},
+		{N: 10, I: 5, R: 1, Theta: -1},
+		{N: 10, I: 5, R: 1, Noise: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := GenerateDataset(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	cfg := baseCfg()
+	ds := gen(t, cfg)
+	if int64(len(ds.Keys)) != cfg.N || int64(len(ds.PageOf)) != cfg.N {
+		t.Fatalf("lengths: keys=%d pages=%d", len(ds.Keys), len(ds.PageOf))
+	}
+	if want := (cfg.N + int64(cfg.R) - 1) / int64(cfg.R); ds.T != want {
+		t.Errorf("T = %d, want %d", ds.T, want)
+	}
+	// Keys non-decreasing, cover 1..I.
+	seen := make(map[int64]bool)
+	for i, k := range ds.Keys {
+		if i > 0 && k < ds.Keys[i-1] {
+			t.Fatalf("keys decrease at %d", i)
+		}
+		if k < 1 || k > cfg.I {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if int64(len(seen)) != cfg.I {
+		t.Errorf("distinct keys = %d, want %d", len(seen), cfg.I)
+	}
+	// No page exceeds capacity.
+	fill := make([]int, ds.T)
+	for _, p := range ds.PageOf {
+		fill[p]++
+		if fill[p] > cfg.R {
+			t.Fatalf("page %d over capacity", p)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := gen(t, baseCfg())
+	b := gen(t, baseCfg())
+	if len(a.Keys) != len(b.Keys) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] || a.PageOf[i] != b.PageOf[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+	cfg := baseCfg()
+	cfg.Seed = 2
+	c := gen(t, cfg)
+	same := true
+	for i := range a.PageOf {
+		if a.PageOf[i] != c.PageOf[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical placement")
+	}
+}
+
+// measureC runs LRU-Fit on the dataset and returns the clustering factor.
+func measureC(t testing.TB, ds *Dataset) float64 {
+	t.Helper()
+	st, err := core.LRUFit(ds.Trace(), core.Meta{
+		Table: "t", Column: "k", T: ds.T, N: ds.Config.N, I: ds.Config.I,
+	}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.C
+}
+
+func TestKZeroNoNoiseIsPerfectlyClustered(t *testing.T) {
+	cfg := baseCfg()
+	cfg.K = 0
+	cfg.Noise = NoNoise
+	ds := gen(t, cfg)
+	// Window of one page, no noise: pages fill strictly sequentially.
+	for i := 1; i < len(ds.PageOf); i++ {
+		if ds.PageOf[i] < ds.PageOf[i-1] {
+			t.Fatalf("page order decreases at %d", i)
+		}
+	}
+	if c := measureC(t, ds); c < 0.999 {
+		t.Errorf("C = %g, want ~1", c)
+	}
+}
+
+func TestClusteringDecreasesWithK(t *testing.T) {
+	var prev float64 = 2
+	for _, k := range []float64{0, 0.05, 0.2, 0.5, 1} {
+		cfg := baseCfg()
+		cfg.K = k
+		ds := gen(t, cfg)
+		c := measureC(t, ds)
+		if c < 0 || c > 1 {
+			t.Fatalf("K=%g: C = %g out of range", k, c)
+		}
+		// Allow small jitter but require the broad monotone trend.
+		if c > prev+0.05 {
+			t.Errorf("K=%g: C = %g rose above previous %g", k, c, prev)
+		}
+		prev = c
+	}
+	// Extremes: K=0 highly clustered, K=1 close to random.
+	cfg := baseCfg()
+	cfg.K = 0
+	if c := measureC(t, gen(t, cfg)); c < 0.85 {
+		t.Errorf("K=0 C = %g, want high (5%% noise only)", c)
+	}
+	cfg.K = 1
+	if c := measureC(t, gen(t, cfg)); c > 0.35 {
+		t.Errorf("K=1 C = %g, want low", c)
+	}
+}
+
+func TestNoiseReducesClustering(t *testing.T) {
+	cfg := baseCfg()
+	cfg.K = 0
+	cfg.Noise = NoNoise
+	clean := measureC(t, gen(t, cfg))
+	cfg.Noise = 0.20
+	noisy := measureC(t, gen(t, cfg))
+	if noisy >= clean {
+		t.Errorf("noise did not reduce C: clean %g, noisy %g", clean, noisy)
+	}
+}
+
+func TestZipfSkewedDuplicates(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Theta = 0.86
+	ds := gen(t, cfg)
+	bounds := ds.KeyRankBounds()
+	if len(bounds) != int(cfg.I)+1 {
+		t.Fatalf("bounds = %d, want %d", len(bounds), cfg.I+1)
+	}
+	first := bounds[1] - bounds[0]
+	last := bounds[len(bounds)-1] - bounds[len(bounds)-2]
+	if first <= last {
+		t.Errorf("rank 1 count %d <= last rank count %d under skew", first, last)
+	}
+}
+
+func TestSliceTrace(t *testing.T) {
+	ds := gen(t, baseCfg())
+	tr := ds.SliceTrace(100, 200)
+	if len(tr) != 100 {
+		t.Fatalf("slice length %d", len(tr))
+	}
+	full := ds.Trace()
+	for i := range tr {
+		if tr[i] != full[100+i] {
+			t.Fatal("slice trace mismatch")
+		}
+	}
+}
+
+func TestMaterializeMatchesDataset(t *testing.T) {
+	cfg := baseCfg()
+	cfg.N = 4_000
+	cfg.I = 80
+	ds := gen(t, cfg)
+	tb, err := Materialize(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.T() != int(ds.T) || tb.N() != int(cfg.N) {
+		t.Errorf("table T=%d N=%d, want %d %d", tb.T(), tb.N(), ds.T, cfg.N)
+	}
+	ix, err := tb.Index("key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.DistinctKeys != int(cfg.I) {
+		t.Errorf("I = %d, want %d", ix.DistinctKeys, cfg.I)
+	}
+	if err := ix.Tree.Check(); err != nil {
+		t.Fatalf("index check: %v", err)
+	}
+	got, err := ix.FullScanTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ds.Trace()
+	if len(got) != len(want) {
+		t.Fatalf("trace lengths: %d vs %d", len(got), len(want))
+	}
+	// The physical page ids are the heap's pages in order, so trace entries
+	// must match the dataset's page indexes mapped through DataPages.
+	for i := range got {
+		if got[i] != tb.DataPages[want[i]] {
+			t.Fatalf("trace mismatch at %d: %d vs page index %d", i, got[i], want[i])
+		}
+	}
+	// And therefore identical fetch curves.
+	a := lrusim.Analyze(got)
+	b := lrusim.Analyze(want)
+	for _, bs := range []int{1, 5, 20, 100} {
+		if a.Fetches(bs) != b.Fetches(bs) {
+			t.Errorf("fetch curves differ at B=%d", bs)
+		}
+	}
+}
+
+func TestGenerateConvenience(t *testing.T) {
+	cfg := baseCfg()
+	cfg.N = 2_000
+	cfg.I = 50
+	tb, ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb == nil || ds == nil || tb.N() != 2000 {
+		t.Error("Generate returned bad results")
+	}
+}
+
+func TestPaperScaleRatiosPreserved(t *testing.T) {
+	// The scaled-down default experiments keep N/I and R as in the paper.
+	cfg := Config{Name: "scaled", N: 100_000, I: 1_000, R: 40, Theta: 0, K: 0.5, Seed: 7}
+	ds := gen(t, cfg)
+	if got := float64(cfg.N) / float64(cfg.I); got != 100 {
+		t.Errorf("N/I = %g", got)
+	}
+	if got := float64(cfg.N) / float64(ds.T); math.Abs(got-40) > 0.1 {
+		t.Errorf("N/T = %g, want 40", got)
+	}
+}
+
+func TestSortRIDsWithinKey(t *testing.T) {
+	cfg := baseCfg()
+	cfg.K = 1 // random placement: unsorted RIDs jump backwards constantly
+	plain := gen(t, cfg)
+	cfg.SortRIDs = true
+	sorted := gen(t, cfg)
+
+	// Within each key, pages must be non-decreasing in the sorted variant.
+	bounds := sorted.KeyRankBounds()
+	for k := 0; k+1 < len(bounds); k++ {
+		for i := bounds[k] + 1; i < bounds[k+1]; i++ {
+			if sorted.PageOf[i] < sorted.PageOf[i-1] {
+				t.Fatalf("key %d: pages decrease at entry %d", k, i)
+			}
+		}
+	}
+	// Same multiset of placements per key (sorting only reorders).
+	pb := plain.KeyRankBounds()
+	if len(pb) != len(bounds) {
+		t.Fatal("key bounds differ")
+	}
+	for k := 0; k+1 < len(bounds); k++ {
+		if bounds[k] != pb[k] {
+			t.Fatalf("key %d bounds differ", k)
+		}
+	}
+	// Sorted RIDs can only help a tiny buffer: F(1) must not increase.
+	fPlain := lrusim.Analyze(plain.Trace()).Fetches(1)
+	fSorted := lrusim.Analyze(sorted.Trace()).Fetches(1)
+	if fSorted > fPlain {
+		t.Errorf("sorted RIDs increased F(1): %d > %d", fSorted, fPlain)
+	}
+}
+
+func TestMinorColumnGeneration(t *testing.T) {
+	cfg := baseCfg()
+	cfg.BCardinality = 8
+	ds := gen(t, cfg)
+	if len(ds.BVals) != len(ds.Keys) {
+		t.Fatalf("BVals length %d, keys %d", len(ds.BVals), len(ds.Keys))
+	}
+	counts := make(map[uint32]int)
+	for _, b := range ds.BVals {
+		if b < 1 || b > 8 {
+			t.Fatalf("b value %d out of range", b)
+		}
+		counts[b]++
+	}
+	if len(counts) != 8 {
+		t.Errorf("only %d distinct b values", len(counts))
+	}
+	// Roughly uniform: each value ~N/8 = 2500 within 20%.
+	for b, c := range counts {
+		if c < 2000 || c > 3000 {
+			t.Errorf("b=%d count %d, want ~2500", b, c)
+		}
+	}
+}
+
+func TestFilteredSliceTrace(t *testing.T) {
+	cfg := baseCfg()
+	cfg.BCardinality = 4
+	ds := gen(t, cfg)
+	full := ds.SliceTrace(0, 1000)
+	var want int
+	for i := 0; i < 1000; i++ {
+		if ds.BVals[i] == 2 {
+			want++
+		}
+	}
+	got, err := ds.FilteredSliceTrace(0, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Errorf("filtered trace %d entries, want %d", len(got), want)
+	}
+	if len(got) >= len(full) {
+		t.Error("filter did not reduce the trace")
+	}
+	// No-minor-column dataset refuses.
+	plain := gen(t, baseCfg())
+	if _, err := plain.FilteredSliceTrace(0, 10, 1); err == nil {
+		t.Error("FilteredSliceTrace without BCardinality succeeded")
+	}
+}
+
+func TestSortRIDsKeepsMinorColumnPaired(t *testing.T) {
+	cfg := baseCfg()
+	cfg.BCardinality = 4
+	plain := gen(t, cfg)
+	cfg.SortRIDs = true
+	sorted := gen(t, cfg)
+	// Multisets of (page, b) pairs per key must match.
+	bounds := plain.KeyRankBounds()
+	for k := 0; k+1 < len(bounds); k++ {
+		lo, hi := bounds[k], bounds[k+1]
+		count := func(ds *Dataset) map[[2]int64]int {
+			m := map[[2]int64]int{}
+			for i := lo; i < hi; i++ {
+				m[[2]int64{int64(ds.PageOf[i]), int64(ds.BVals[i])}]++
+			}
+			return m
+		}
+		a, b := count(plain), count(sorted)
+		if len(a) != len(b) {
+			t.Fatalf("key %d: pair multiset size differs", k)
+		}
+		for pair, n := range a {
+			if b[pair] != n {
+				t.Fatalf("key %d: pair %v count %d vs %d", k, pair, n, b[pair])
+			}
+		}
+	}
+}
+
+func TestMaterializeWithMinorColumn(t *testing.T) {
+	cfg := baseCfg()
+	cfg.N = 2_000
+	cfg.I = 40
+	cfg.BCardinality = 4
+	ds := gen(t, cfg)
+	tb, err := Materialize(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := tb.Index("key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every index entry must carry the dataset's b value, in entry order.
+	i := 0
+	err = ix.Tree.Scan(nil, nil, func(e btreeEntry) error {
+		if e.Included != ds.BVals[i] {
+			t.Fatalf("entry %d included %d, want %d", i, e.Included, ds.BVals[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 2000 {
+		t.Fatalf("scanned %d entries", i)
+	}
+}

@@ -1,0 +1,247 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"epfis/internal/core"
+)
+
+// ablationDatasets are the synthetic settings the ablations average over:
+// one clustered, one midway, one random — the regimes that stress different
+// parts of EPFIS.
+var ablationDatasets = []SyntheticSpec{
+	{Figure: 11, Theta: 0, K: 0.05},
+	{Figure: 13, Theta: 0, K: 0.20},
+	{Figure: 15, Theta: 0, K: 1.0},
+}
+
+// meanAbs returns the mean absolute value of a series' Y.
+func meanAbs(s *Series) float64 {
+	if s == nil || len(s.Y) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, y := range s.Y {
+		sum += math.Abs(y)
+	}
+	return sum / float64(len(s.Y))
+}
+
+// epfisMeanError runs the standard error sweep with the given core options
+// and returns EPFIS's mean |error| (%) averaged over the ablation datasets.
+func epfisMeanError(cfg Config, opts core.Options) (float64, error) {
+	cfg.CoreOpts = opts
+	cfg = cfg.normalized() // fills StepFactor for scaled runs
+	opts = cfg.CoreOpts
+	total, n := 0.0, 0
+	for _, spec := range ablationDatasets {
+		ds, err := syntheticDataset(spec, cfg)
+		if err != nil {
+			return 0, err
+		}
+		suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), opts)
+		if err != nil {
+			return 0, err
+		}
+		series, err := ErrorSweep(ds, suite, cfg)
+		if err != nil {
+			return 0, err
+		}
+		for i := range series {
+			if series[i].Name == "EPFIS" {
+				total += meanAbs(&series[i])
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiment: no EPFIS series in ablation sweep")
+	}
+	return total / float64(n), nil
+}
+
+// RunSegmentCountAblation reproduces the §4.1 study: estimation error as a
+// function of the number of approximating line segments. The paper found the
+// error stops improving past ~5 segments and chose 6.
+func RunSegmentCountAblation(cfg Config, segmentCounts []int) (*FigureResult, error) {
+	if len(segmentCounts) == 0 {
+		segmentCounts = []int{1, 2, 3, 4, 5, 6, 8, 10, 12}
+	}
+	s := Series{Name: "EPFIS mean |err|"}
+	for _, k := range segmentCounts {
+		opts := cfg.CoreOpts
+		opts.Segments = k
+		e, err := epfisMeanError(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, float64(k))
+		s.Y = append(s.Y, e)
+	}
+	return &FigureResult{
+		ID:     "ablation-segments",
+		Title:  "Sensitivity of EPFIS error to the number of FPF line segments (§4.1)",
+		XLabel: "segments",
+		YLabel: "mean |error| (%)",
+		Series: []Series{s},
+		Notes:  []string{cfg.normalized().scaleNote(), "averaged over theta=0, K in {0.05, 0.20, 1.0}"},
+	}, nil
+}
+
+// RunSpacingAblation compares the paper's arithmetic modeling grid with the
+// footnote-2 geometric (Graefe) grid.
+func RunSpacingAblation(cfg Config) (*FigureResult, error) {
+	variants := []struct {
+		name    string
+		spacing core.Spacing
+	}{
+		{"arithmetic (paper)", core.SpacingArithmetic},
+		{"geometric (Graefe)", core.SpacingGeometric},
+	}
+	res := &FigureResult{
+		ID:     "ablation-spacing",
+		Title:  "Modeling-grid spacing: arithmetic vs geometric",
+		XLabel: "variant",
+		YLabel: "mean |error| (%)",
+		Notes:  []string{cfg.normalized().scaleNote()},
+	}
+	for i, v := range variants {
+		opts := cfg.CoreOpts
+		opts.Spacing = v.spacing
+		e, err := epfisMeanError(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Series{Name: v.name, X: []float64{float64(i)}, Y: []float64{e}})
+	}
+	return res, nil
+}
+
+// RunFitterAblation compares the three curve fitters at the paper's
+// six-segment budget.
+func RunFitterAblation(cfg Config) (*FigureResult, error) {
+	variants := []struct {
+		name   string
+		fitter core.Fitter
+	}{
+		{"optimal-DP", core.FitterOptimal},
+		{"greedy", core.FitterGreedy},
+		{"equal-spacing", core.FitterEqualSpacing},
+	}
+	res := &FigureResult{
+		ID:     "ablation-fitter",
+		Title:  "FPF curve fitter at equal segment budget",
+		XLabel: "variant",
+		YLabel: "mean |error| (%)",
+		Notes:  []string{cfg.normalized().scaleNote()},
+	}
+	for i, v := range variants {
+		opts := cfg.CoreOpts
+		opts.Fitter = v.fitter
+		e, err := epfisMeanError(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Series{Name: v.name, X: []float64{float64(i)}, Y: []float64{e}})
+	}
+	return res, nil
+}
+
+// RunCorrectionAblation compares full EPFIS against EPFIS without the
+// Equation-1 small-sigma correction and against the paper-printed
+// phi = max(1, B/T) variant, on a small-scan-heavy workload where the
+// correction matters most.
+func RunCorrectionAblation(cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	cfg.SmallProb = 0.9 // stress small scans
+	spec := SyntheticSpec{Figure: 15, Theta: 0, K: 1.0}
+	ds, err := syntheticDataset(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"EPFIS", cfg.CoreOpts},
+		{"EPFIS no-correction", func() core.Options { o := cfg.CoreOpts; o.DisableCorrection = true; return o }()},
+		{"EPFIS phi=max (printed)", func() core.Options { o := cfg.CoreOpts; o.PhiUsesMax = true; return o }()},
+	}
+	res := &FigureResult{
+		ID:     "ablation-correction",
+		Title:  "Equation-1 small-sigma correction on an unclustered index (90% small scans)",
+		XLabel: "B (% of T)",
+		YLabel: "error (%)",
+		Notes:  []string{cfg.scaleNote(), "theta=0, K=1.0"},
+	}
+	for _, v := range variants {
+		suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), v.opts)
+		if err != nil {
+			return nil, err
+		}
+		series, err := ErrorSweep(ds, suite, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i := range series {
+			if series[i].Name == "EPFIS" {
+				series[i].Name = v.name
+				res.Series = append(res.Series, series[i])
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunScanSizeStudy reproduces the §5 observation that "the algorithms other
+// than Algorithm EPFIS performed worse as the scan size was made larger":
+// it sweeps workload mixes from all-small to all-large and reports each
+// algorithm's mean |error| per mix.
+func RunScanSizeStudy(cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	spec := SyntheticSpec{Figure: 13, Theta: 0, K: 0.20}
+	ds, err := syntheticDataset(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
+	if err != nil {
+		return nil, err
+	}
+	mixes := []float64{1.0, 0.75, 0.5, 0.25, 0.0} // P(small)
+	res := &FigureResult{
+		ID:     "study-scan-size",
+		Title:  "Mean |error| vs workload scan-size mix (theta=0, K=0.20)",
+		XLabel: "fraction of large scans",
+		YLabel: "mean |error| (%)",
+		Notes:  []string{cfg.scaleNote()},
+	}
+	var bySeries map[string]*Series
+	for _, smallProb := range mixes {
+		runCfg := cfg
+		runCfg.SmallProb = smallProb
+		if smallProb == 0 {
+			runCfg.SmallProb = AllLargeScans
+		}
+		series, err := ErrorSweep(ds, suite, runCfg)
+		if err != nil {
+			return nil, err
+		}
+		if bySeries == nil {
+			bySeries = make(map[string]*Series)
+			for _, s := range series {
+				res.Series = append(res.Series, Series{Name: s.Name})
+			}
+			for i := range res.Series {
+				bySeries[res.Series[i].Name] = &res.Series[i]
+			}
+		}
+		for i := range series {
+			out := bySeries[series[i].Name]
+			out.X = append(out.X, 1-smallProb)
+			out.Y = append(out.Y, meanAbs(&series[i]))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+
+	"epfis/internal/baselines"
+	"epfis/internal/core"
+	"epfis/internal/datagen"
+	"epfis/internal/stats"
+)
+
+// EPFISEstimator adapts Algorithm EPFIS to the baselines.Estimator interface
+// so the harness treats all five algorithms uniformly.
+type EPFISEstimator struct {
+	// Stats is the LRU-Fit catalog entry for the index.
+	Stats *stats.IndexStats
+	// Opts carries Est-IO configuration (ablation switches).
+	Opts core.Options
+}
+
+// Name implements baselines.Estimator.
+func (e EPFISEstimator) Name() string { return "EPFIS" }
+
+// Estimate implements baselines.Estimator.
+func (e EPFISEstimator) Estimate(p baselines.Params) (float64, error) {
+	s := p.S
+	if s == 0 {
+		s = 1
+	}
+	est, err := core.EstIO(e.Stats, core.Input{B: p.B, Sigma: p.Sigma, S: s}, e.Opts)
+	if err != nil {
+		return 0, err
+	}
+	return est.F, nil
+}
+
+// Suite bundles the five compared algorithms plus the dataset statistics
+// they were prepared from.
+type Suite struct {
+	// Meta is the index metadata (T, N, I).
+	Meta core.Meta
+	// Stats is EPFIS's catalog entry.
+	Stats *stats.IndexStats
+	// ScanStats is the cluster-ratio baselines' statistics.
+	ScanStats baselines.ScanStats
+	// Estimators holds EPFIS, ML, DC, SD, OT in the paper's order.
+	Estimators []baselines.Estimator
+}
+
+// NewSuite runs every statistics pass for the dataset once (LRU-Fit for
+// EPFIS; the entry scan for DC/SD/OT) and returns the ready-to-query suite.
+func NewSuite(ds *datagen.Dataset, meta core.Meta, opts core.Options) (*Suite, error) {
+	trace := ds.Trace()
+	st, err := core.LRUFit(trace, meta, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: suite statistics: %w", err)
+	}
+	ss, err := baselines.Collect(ds.Keys, trace)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: suite statistics: %w", err)
+	}
+	return &Suite{
+		Meta:      meta,
+		Stats:     st,
+		ScanStats: ss,
+		Estimators: []baselines.Estimator{
+			EPFISEstimator{Stats: st, Opts: opts},
+			baselines.ML{},
+			baselines.DC{Stats: ss},
+			baselines.SD{Stats: ss},
+			baselines.OT{Stats: ss},
+		},
+	}, nil
+}
+
+// MetaFor derives the core.Meta of a generated dataset.
+func MetaFor(name string, ds *datagen.Dataset) core.Meta {
+	return core.Meta{
+		Table:  name,
+		Column: ds.Config.Column,
+		T:      ds.T,
+		N:      ds.Config.N,
+		I:      ds.Config.I,
+	}
+}

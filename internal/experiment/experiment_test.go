@@ -1,0 +1,459 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"epfis/internal/core"
+)
+
+// testCfg shrinks everything so the full pipeline runs in milliseconds:
+// synthetic N = 20,000 (Scale 50), GWL tables divided by 8.
+func testCfg() Config {
+	return Config{Scale: 50, Scans: 60, Seed: 3}
+}
+
+func TestSyntheticSpecFor(t *testing.T) {
+	s, err := SyntheticSpecFor(17)
+	if err != nil || s.Theta != 0.86 || s.K != 0.05 {
+		t.Errorf("spec = %+v, %v", s, err)
+	}
+	if _, err := SyntheticSpecFor(9); err == nil {
+		t.Error("figure 9 accepted as synthetic")
+	}
+	if len(SyntheticFigures) != 12 {
+		t.Errorf("%d synthetic figures", len(SyntheticFigures))
+	}
+}
+
+func TestRunSyntheticFigureShape(t *testing.T) {
+	spec := SyntheticSpec{Figure: 14, Theta: 0, K: 0.5}
+	fig, err := RunSyntheticFigure(spec, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "figure-14" {
+		t.Errorf("ID = %s", fig.ID)
+	}
+	wantSeries := []string{"EPFIS", "ML", "DC", "SD", "OT"}
+	if len(fig.Series) != len(wantSeries) {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	for i, name := range wantSeries {
+		if fig.Series[i].Name != name {
+			t.Errorf("series %d = %s, want %s", i, fig.Series[i].Name, name)
+		}
+		if len(fig.Series[i].X) == 0 {
+			t.Errorf("series %s empty", name)
+		}
+	}
+	// X axis: percent of T, increasing, within (0, 95].
+	xs := fig.Series[0].X
+	for i := range xs {
+		if xs[i] <= 0 || xs[i] > 95 {
+			t.Errorf("x[%d] = %g", i, xs[i])
+		}
+		if i > 0 && xs[i] <= xs[i-1] {
+			t.Errorf("x not increasing at %d", i)
+		}
+	}
+}
+
+func TestEPFISDominatesOnUnclusteredSynthetic(t *testing.T) {
+	// The paper's headline: EPFIS dominates the other algorithms, staying
+	// low and stable while the cluster-ratio algorithms blow up.
+	for _, spec := range []SyntheticSpec{{14, 0, 0.5}, {15, 0, 1.0}, {20, 0.86, 0.5}} {
+		fig, err := RunSyntheticFigure(spec, testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		epfis := fig.FindSeries("EPFIS")
+		if epfis == nil {
+			t.Fatal("no EPFIS series")
+		}
+		_, worstE := epfis.MaxAbsY()
+		if math.Abs(worstE) > 50 {
+			t.Errorf("K=%g theta=%g: EPFIS max |err| = %.1f%%, paper bound is 48%%", spec.K, spec.Theta, worstE)
+		}
+		for _, name := range []string{"DC", "SD", "OT"} {
+			s := fig.FindSeries(name)
+			if s == nil {
+				t.Fatalf("no %s series", name)
+			}
+			_, worst := s.MaxAbsY()
+			if math.Abs(worst) <= math.Abs(worstE) {
+				t.Errorf("K=%g theta=%g: %s max |err| %.1f%% not worse than EPFIS %.1f%%",
+					spec.K, spec.Theta, name, math.Abs(worst), math.Abs(worstE))
+			}
+		}
+	}
+}
+
+func TestEPFISStableAcrossBufferSizes(t *testing.T) {
+	fig, err := RunSyntheticFigure(SyntheticSpec{Figure: 13, Theta: 0, K: 0.2}, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	epfis := fig.FindSeries("EPFIS")
+	for i, y := range epfis.Y {
+		if math.Abs(y) > 50 {
+			t.Errorf("EPFIS error at x=%g is %.1f%%", epfis.X[i], y)
+		}
+	}
+}
+
+func TestClusteredSyntheticAllReasonable(t *testing.T) {
+	// K=0: everything is clustered; even naive algorithms do fine, and
+	// EPFIS must too.
+	fig, err := RunSyntheticFigure(SyntheticSpec{Figure: 10, Theta: 0, K: 0}, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	epfis := fig.FindSeries("EPFIS")
+	_, worst := epfis.MaxAbsY()
+	if math.Abs(worst) > 25 {
+		t.Errorf("clustered EPFIS max |err| = %.1f%%", worst)
+	}
+}
+
+func TestRunGWLFigure(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scale = 8
+	fig, err := RunGWLFigure(7, cfg) // INAP.MALD
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "figure-7" || !strings.Contains(fig.Title, "INAP.MALD") {
+		t.Errorf("fig = %s %q", fig.ID, fig.Title)
+	}
+	epfis := fig.FindSeries("EPFIS")
+	if epfis == nil {
+		t.Fatal("no EPFIS series")
+	}
+	_, worst := epfis.MaxAbsY()
+	// Paper: EPFIS max error on GWL never exceeds 20%; allow headroom for
+	// the scaled reconstruction.
+	if math.Abs(worst) > 35 {
+		t.Errorf("EPFIS max |err| on GWL = %.1f%%", worst)
+	}
+	if _, err := RunGWLFigure(1, cfg); err == nil {
+		t.Error("figure 1 accepted as GWL error figure")
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scale = 8
+	fig, err := RunFigure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("%d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		// FPF curves are non-increasing in B and bounded by [1, N/T].
+		for i := range s.Y {
+			if i > 0 && s.Y[i] > s.Y[i-1]+1e-9 {
+				t.Errorf("%s: FPF rises at %g", s.Name, s.X[i])
+			}
+			if s.Y[i] < 1-1e-9 {
+				t.Errorf("%s: F/T = %g below 1", s.Name, s.Y[i])
+			}
+		}
+		// At B = T the curve must reach F = T exactly (full caching).
+		if last := s.Y[len(s.Y)-1]; math.Abs(last-1) > 0.01 {
+			t.Errorf("%s: F/T at B=T is %g, want 1", s.Name, last)
+		}
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scale = 8
+	t2, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 4 {
+		t.Errorf("table 2 rows = %d", len(t2.Rows))
+	}
+	t3, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != 8 {
+		t.Errorf("table 3 rows = %d", len(t3.Rows))
+	}
+	var sb strings.Builder
+	if err := t2.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"CMAC", "PLON.CLID", "table-2", "table-3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q", want)
+		}
+	}
+}
+
+func TestMaxErrorSummary(t *testing.T) {
+	figA := &FigureResult{ID: "figure-x", Series: []Series{
+		{Name: "EPFIS", X: []float64{10, 20}, Y: []float64{5, -8}},
+		{Name: "DC", X: []float64{10, 20}, Y: []float64{300, -20}},
+	}}
+	figB := &FigureResult{ID: "figure-y", Series: []Series{
+		{Name: "EPFIS", X: []float64{10}, Y: []float64{-12}},
+		{Name: "DC", X: []float64{10}, Y: []float64{40}},
+	}}
+	sum := MaxErrorSummary("summary", "test", []*FigureResult{figA, figB})
+	if len(sum.Rows) != 2 {
+		t.Fatalf("rows = %+v", sum.Rows)
+	}
+	if sum.Rows[0][0] != "EPFIS" || sum.Rows[0][1] != "12.0" || sum.Rows[0][2] != "figure-y" {
+		t.Errorf("EPFIS row = %v", sum.Rows[0])
+	}
+	if sum.Rows[1][0] != "DC" || sum.Rows[1][1] != "300.0" || sum.Rows[1][2] != "figure-x" {
+		t.Errorf("DC row = %v", sum.Rows[1])
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &FigureResult{
+		ID: "figure-t", Title: "render test", XLabel: "B", YLabel: "err",
+		Series: []Series{
+			{Name: "A", X: []float64{1, 2, 3}, Y: []float64{5, -5, 2}},
+			{Name: "B", X: []float64{1, 2, 3}, Y: []float64{1, 1, 1}},
+		},
+		Notes: []string{"a note"},
+	}
+	var sb strings.Builder
+	if err := fig.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"figure-t", "a note", "*=A", "o=B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Empty figure renders without panic.
+	sb.Reset()
+	if err := (&FigureResult{ID: "e"}).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSegmentCountAblation(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scans = 40
+	fig, err := RunSegmentCountAblation(cfg, []int{1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	if len(s.X) != 3 {
+		t.Fatalf("points = %d", len(s.X))
+	}
+	// The paper's finding: more segments never much worse, and 6 segments
+	// should beat 1 segment clearly.
+	if s.Y[2] > s.Y[0] {
+		t.Errorf("6 segments (%.1f%%) worse than 1 segment (%.1f%%)", s.Y[2], s.Y[0])
+	}
+}
+
+func TestRunCorrectionAblation(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scans = 40
+	fig, err := RunCorrectionAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	full := fig.Series[0]
+	nocorr := fig.Series[1]
+	// On an unclustered index with mostly-small scans the correction must
+	// reduce the (under)estimation error on aggregate.
+	if meanAbs(&full) > meanAbs(&nocorr) {
+		t.Errorf("correction hurt: with %.1f%%, without %.1f%%", meanAbs(&full), meanAbs(&nocorr))
+	}
+}
+
+func TestRunSpacingAndFitterAblations(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scans = 30
+	sp, err := RunSpacingAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Series) != 2 {
+		t.Errorf("spacing series = %d", len(sp.Series))
+	}
+	ft, err := RunFitterAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Series) != 3 {
+		t.Errorf("fitter series = %d", len(ft.Series))
+	}
+	for _, s := range append(sp.Series, ft.Series...) {
+		if len(s.Y) != 1 || math.IsNaN(s.Y[0]) || s.Y[0] < 0 {
+			t.Errorf("ablation series %s bad: %+v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestRunScanSizeStudy(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scans = 40
+	fig, err := RunScanSizeStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 5 {
+			t.Errorf("%s has %d mixes", s.Name, len(s.X))
+		}
+	}
+	// The paper's trend: cluster-ratio algorithms get worse with larger
+	// scans — their all-large error exceeds their all-small error.
+	for _, name := range []string{"OT"} {
+		s := fig.FindSeries(name)
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Logf("note: %s all-large %.1f%% vs all-small %.1f%% (trend not strict on scaled data)",
+				name, s.Y[len(s.Y)-1], s.Y[0])
+		}
+	}
+}
+
+func TestEstimatorSuiteConsistency(t *testing.T) {
+	cfg := testCfg()
+	ds, err := syntheticDataset(SyntheticSpec{Figure: 13, Theta: 0, K: 0.2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := NewSuite(ds, MetaFor("syn", ds), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Stats.N != ds.Config.N || suite.ScanStats.Refs != ds.Config.N {
+		t.Error("suite statistics inconsistent with dataset")
+	}
+	if suite.ScanStats.Keys != ds.Config.I {
+		t.Errorf("suite keys = %d, want %d", suite.ScanStats.Keys, ds.Config.I)
+	}
+	names := []string{"EPFIS", "ML", "DC", "SD", "OT"}
+	for i, e := range suite.Estimators {
+		if e.Name() != names[i] {
+			t.Errorf("estimator %d = %s", i, e.Name())
+		}
+	}
+}
+
+func TestRunSortedRIDStudy(t *testing.T) {
+	fig, err := RunSortedRIDStudy(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	plain, sorted := fig.Series[0], fig.Series[1]
+	// Sorting RIDs shrinks within-key stack distances (it can stretch a few
+	// cross-key distances, so the improvement is aggregate, not pointwise):
+	// require a clear win at the small-buffer end and on average.
+	if sorted.Y[0] >= plain.Y[0] {
+		t.Errorf("no benefit at smallest B: sorted %.2f vs plain %.2f", sorted.Y[0], plain.Y[0])
+	}
+	if meanAbs(&sorted) > meanAbs(&plain) {
+		t.Errorf("sorted RIDs worse on average: %.2f vs %.2f", meanAbs(&sorted), meanAbs(&plain))
+	}
+}
+
+func TestRunPolicyStudy(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scans = 20
+	fig, err := RunPolicyStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	lru, clock := fig.Series[0], fig.Series[1]
+	if len(lru.X) == 0 || len(lru.X) != len(clock.X) {
+		t.Fatalf("series lengths: %d vs %d", len(lru.X), len(clock.X))
+	}
+	// Clock approximates LRU: EPFIS's error against clock stays within a
+	// modest band of its error against LRU.
+	for i := range lru.Y {
+		if math.Abs(clock.Y[i]-lru.Y[i]) > 40 {
+			t.Errorf("at x=%.0f: clock err %.1f vs lru err %.1f diverge", lru.X[i], clock.Y[i], lru.Y[i])
+		}
+	}
+}
+
+func TestRunContentionStudy(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scans = 40
+	fig, err := RunContentionStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	naive, fair := fig.Series[0], fig.Series[1]
+	// Disjoint tables competing for frames: each scan effectively sees less
+	// than B, so the naive sum at full B underestimates; the fair-share B/2
+	// heuristic must be at least as accurate on aggregate.
+	mNaive, mFair := meanAbs(&naive), meanAbs(&fair)
+	if mFair > mNaive+5 {
+		t.Errorf("B/2 heuristic (%.1f%%) clearly worse than naive (%.1f%%)", mFair, mNaive)
+	}
+	// And the naive estimate must skew low (negative aggregate error) at
+	// the small-buffer end, where competition is fiercest.
+	if naive.Y[0] > 5 {
+		t.Errorf("naive sum not underestimating under contention: %+.1f%%", naive.Y[0])
+	}
+}
+
+func TestRunSargableStudy(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scans = 40
+	fig, err := RunSargableStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	urnC, naiveC, ignoreC := fig.Series[0], fig.Series[1], fig.Series[2]
+	urnU, _, ignoreU := fig.Series[3], fig.Series[4], fig.Series[5]
+	// Ignoring the predicate always overestimates badly.
+	if meanAbs(&urnU) >= meanAbs(&ignoreU)/3 {
+		t.Errorf("unclustered: urn %.1f%% not clearly better than ignore-S %.1f%%", meanAbs(&urnU), meanAbs(&ignoreU))
+	}
+	// Clustered regime: with R/bCard qualifying records per page, the naive
+	// proportional rule collapses (it divides pages by 16 when almost every
+	// page is still touched); the urn model must beat it decisively.
+	if meanAbs(&urnC) >= meanAbs(&naiveC)/2 {
+		t.Errorf("clustered: urn %.1f%% not clearly better than naive e*S %.1f%%", meanAbs(&urnC), meanAbs(&naiveC))
+	}
+	if meanAbs(&urnC) >= meanAbs(&ignoreC) && meanAbs(&ignoreC) > 10 {
+		t.Errorf("clustered: urn %.1f%% not better than ignore-S %.1f%%", meanAbs(&urnC), meanAbs(&ignoreC))
+	}
+	// Both regimes stay within a usable band.
+	if meanAbs(&urnC) > 60 || meanAbs(&urnU) > 60 {
+		t.Errorf("urn model mean |err|: clustered %.1f%%, unclustered %.1f%%", meanAbs(&urnC), meanAbs(&urnU))
+	}
+}

@@ -1,0 +1,176 @@
+// Package experiment regenerates every table and figure in the paper's
+// evaluation (§5): the FPF curves of Figure 1, the GWL error plots of
+// Figures 2–9, the synthetic error plots of Figures 10–21, the Table 2/3
+// statistics, the §5.1/§5.2 maximum-error summaries, and the §4.1 segment-
+// count study — plus the ablations DESIGN.md calls out.
+//
+// Results are structured (series of points per algorithm) and render to
+// aligned text tables and ASCII charts, so cmd/epfis-experiments can emit
+// the same rows/series the paper plots.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line in a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// FigureResult is one regenerated table or figure.
+type FigureResult struct {
+	// ID is the paper's label, e.g. "figure-7" or "table-2".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds one line per algorithm (or per index for Figure 1).
+	Series []Series
+	// Notes records caveats (scaling, substitutions) attached to this run.
+	Notes []string
+}
+
+// Render writes the figure as an aligned value table followed by an ASCII
+// chart.
+func (f *FigureResult) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	if len(f.Series) == 0 {
+		b.WriteString("   (no data)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+
+	// Header.
+	fmt.Fprintf(&b, "%12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+
+	// All series share X in our runners; verify and fall back politely.
+	xs := f.Series[0].X
+	aligned := true
+	for _, s := range f.Series {
+		if len(s.X) != len(xs) {
+			aligned = false
+			break
+		}
+	}
+	if aligned {
+		for i := range xs {
+			fmt.Fprintf(&b, "%12.4g", xs[i])
+			for _, s := range f.Series {
+				fmt.Fprintf(&b, " %14.4g", s.Y[i])
+			}
+			b.WriteByte('\n')
+		}
+	} else {
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "-- %s --\n", s.Name)
+			for i := range s.X {
+				fmt.Fprintf(&b, "%12.4g %14.4g\n", s.X[i], s.Y[i])
+			}
+		}
+	}
+	b.WriteString(renderChart(f, 72, 20))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// seriesGlyphs mark different series in the ASCII chart.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'}
+
+// renderChart draws a simple scatter/line chart of every series.
+func renderChart(f *FigureResult, width, height int) string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return ""
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	// Zero line if the Y range crosses zero.
+	if minY < 0 && maxY > 0 {
+		r := int((maxY - 0) / (maxY - minY) * float64(height-1))
+		for c := 0; c < width; c++ {
+			grid[r][c] = '-'
+		}
+	}
+	for si, s := range f.Series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			r := int((maxY - s.Y[i]) / (maxY - minY) * float64(height-1))
+			grid[r][c] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n  %s vs %s   [y: %.4g .. %.4g]\n", f.YLabel, f.XLabel, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   x: %.4g .. %.4g   ", minX, maxX)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, " %c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	b.WriteString("\n\n")
+	return b.String()
+}
+
+// MaxAbsY returns the series' maximum |Y| and its X position.
+func (s Series) MaxAbsY() (x, y float64) {
+	best := -1.0
+	for i := range s.Y {
+		if a := math.Abs(s.Y[i]); a > best {
+			best = a
+			x, y = s.X[i], s.Y[i]
+		}
+	}
+	return x, y
+}
+
+// FindSeries returns the series with the given name, or nil.
+func (f *FigureResult) FindSeries(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}

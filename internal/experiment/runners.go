@@ -1,0 +1,431 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"epfis/internal/baselines"
+	"epfis/internal/core"
+	"epfis/internal/datagen"
+	"epfis/internal/gwl"
+	"epfis/internal/lrusim"
+	"epfis/internal/workload"
+)
+
+// Config scales and seeds an experiment run. The zero value runs the paper's
+// full-size experiments; tests and default benches pass Scale > 1 to shrink
+// every dataset proportionally (ratios N/I and N/T are preserved, so curve
+// and error shapes are too).
+type Config struct {
+	// Scale divides dataset sizes; 0 or 1 = paper size.
+	Scale int
+	// Scans is the number of random scans per error sweep; 0 = the paper's
+	// 200.
+	Scans int
+	// SmallProb is the probability a scan is small; 0 = the paper's 0.5.
+	// Use AllLargeScans for a workload with no small scans.
+	SmallProb float64
+	// Seed drives all randomness; 0 = 1.
+	Seed int64
+	// CoreOpts configures EPFIS (segment budget, spacing, ablations).
+	CoreOpts core.Options
+}
+
+func (c Config) normalized() Config {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.Scans == 0 {
+		c.Scans = 200
+	}
+	switch {
+	case c.SmallProb == AllLargeScans:
+		c.SmallProb = 0
+	case c.SmallProb <= 0:
+		c.SmallProb = 0.5
+	case c.SmallProb > 1:
+		c.SmallProb = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CoreOpts.StepFactor == 0 && c.Scale > 1 {
+		// Preserve the paper's grid density relative to T on scaled-down
+		// tables (the arithmetic step grows like sqrt(T); see core.Options).
+		c.CoreOpts.StepFactor = 1 / math.Sqrt(float64(c.Scale))
+	}
+	return c
+}
+
+// AllLargeScans is the SmallProb sentinel for a workload of only large
+// scans (probability 0 of a small scan, distinct from the 0 = default).
+const AllLargeScans = -1
+
+// sweepFloor scales the paper's 300-page sweep floor.
+func (c Config) sweepFloor() int64 {
+	f := int64(300 / c.Scale)
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// scaleNote describes the run size for figure notes.
+func (c Config) scaleNote() string {
+	if c.Scale == 1 {
+		return "paper-size run"
+	}
+	return fmt.Sprintf("scaled run: all dataset sizes divided by %d (shape-preserving)", c.Scale)
+}
+
+// The paper's synthetic data parameters (§5.2).
+const (
+	PaperSyntheticN = 1_000_000
+	PaperSyntheticI = 10_000
+	PaperSyntheticR = 40
+)
+
+// SyntheticSpec identifies one of Figures 10–21.
+type SyntheticSpec struct {
+	Figure int
+	Theta  float64
+	K      float64
+}
+
+// SyntheticFigures lists Figures 10–21 in the paper's order:
+// theta in {0, 0.86} crossed with K in {0, 0.05, 0.10, 0.20, 0.50, 1.0}.
+var SyntheticFigures = []SyntheticSpec{
+	{10, 0, 0}, {11, 0, 0.05}, {12, 0, 0.10}, {13, 0, 0.20}, {14, 0, 0.50}, {15, 0, 1.0},
+	{16, 0.86, 0}, {17, 0.86, 0.05}, {18, 0.86, 0.10}, {19, 0.86, 0.20}, {20, 0.86, 0.50}, {21, 0.86, 1.0},
+}
+
+// SyntheticSpecFor returns the spec for a figure number in [10, 21].
+func SyntheticSpecFor(figure int) (SyntheticSpec, error) {
+	for _, s := range SyntheticFigures {
+		if s.Figure == figure {
+			return s, nil
+		}
+	}
+	return SyntheticSpec{}, fmt.Errorf("experiment: no synthetic spec for figure %d", figure)
+}
+
+// ErrEmptySweep reports that the buffer sweep had no points (table too small
+// for the configured floor).
+var ErrEmptySweep = errors.New("experiment: empty buffer sweep")
+
+// ErrorSweep runs the paper's error experiment for one dataset: draw the
+// scan mix, measure actual fetches per scan per buffer size, query every
+// estimator, and aggregate with the paper's error metric. The returned
+// series map buffer size (as % of T) to error (%), one series per algorithm.
+func ErrorSweep(ds *datagen.Dataset, suite *Suite, cfg Config) ([]Series, error) {
+	cfg = cfg.normalized()
+	gen, err := workload.NewGenerator(ds, cfg.Seed+1009)
+	if err != nil {
+		return nil, err
+	}
+	scans := gen.Mix(cfg.Scans, cfg.SmallProb)
+	measured := workload.Measure(ds, scans)
+	sweep := workload.BufferSweep(ds.T, cfg.sweepFloor())
+	if len(sweep) == 0 {
+		return nil, fmt.Errorf("%w: T=%d floor=%d", ErrEmptySweep, ds.T, cfg.sweepFloor())
+	}
+	series := make([]Series, len(suite.Estimators))
+	for i, e := range suite.Estimators {
+		series[i] = Series{Name: e.Name()}
+	}
+	for _, b := range sweep {
+		metrics := make([]workload.ErrorMetric, len(suite.Estimators))
+		for _, m := range measured {
+			actual := float64(m.Curve.Fetches(b))
+			p := baselines.Params{
+				T: suite.Meta.T, N: suite.Meta.N, I: suite.Meta.I,
+				B: int64(b), Sigma: m.Scan.Sigma, S: 1,
+			}
+			for i, e := range suite.Estimators {
+				est, err := e.Estimate(p)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s at B=%d: %w", e.Name(), b, err)
+				}
+				metrics[i].Add(est, actual)
+			}
+		}
+		x := 100 * float64(b) / float64(ds.T)
+		for i := range metrics {
+			pct, err := metrics[i].Percent()
+			if err != nil {
+				return nil, err
+			}
+			series[i].X = append(series[i].X, x)
+			series[i].Y = append(series[i].Y, pct)
+		}
+	}
+	return series, nil
+}
+
+// syntheticDataset generates the dataset for one synthetic figure.
+func syntheticDataset(spec SyntheticSpec, cfg Config) (*datagen.Dataset, error) {
+	cfg = cfg.normalized()
+	n := int64(PaperSyntheticN / cfg.Scale)
+	i := int64(PaperSyntheticI / cfg.Scale)
+	if i < 1 {
+		i = 1
+	}
+	if n < i {
+		n = i
+	}
+	return datagen.GenerateDataset(datagen.Config{
+		Name:  fmt.Sprintf("synthetic-theta%.2f-K%.2f", spec.Theta, spec.K),
+		N:     n,
+		I:     i,
+		R:     PaperSyntheticR,
+		Theta: spec.Theta,
+		K:     spec.K,
+		Seed:  cfg.Seed,
+	})
+}
+
+// RunSyntheticFigure regenerates one of Figures 10–21.
+func RunSyntheticFigure(spec SyntheticSpec, cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	ds, err := syntheticDataset(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
+	if err != nil {
+		return nil, err
+	}
+	series, err := ErrorSweep(ds, suite, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:     fmt.Sprintf("figure-%d", spec.Figure),
+		Title:  fmt.Sprintf("Error behavior for theta = %g, K = %g", spec.Theta, spec.K),
+		XLabel: "B (% of T)",
+		YLabel: "error (%)",
+		Series: series,
+		Notes: []string{
+			cfg.scaleNote(),
+			fmt.Sprintf("N=%d I=%d R=%d C=%.3f, %d scans (50/50 small/large)",
+				ds.Config.N, ds.Config.I, ds.Config.R, suite.Stats.C, cfg.Scans),
+		},
+	}, nil
+}
+
+// GWLFigureColumns maps Figures 2–9 to the GWL columns in the paper's order.
+var GWLFigureColumns = map[int]string{
+	2: "CMAC.BRAN", 3: "CMAC.CEDT", 4: "CAGD.CMAN", 5: "CAGD.POLN",
+	6: "INAP.APLD", 7: "INAP.MALD", 8: "INAP.UWID", 9: "PLON.CLID",
+}
+
+// RunGWLFigure regenerates one of Figures 2–9 on the calibrated GWL
+// reconstruction.
+func RunGWLFigure(figure int, cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	colName, ok := GWLFigureColumns[figure]
+	if !ok {
+		return nil, fmt.Errorf("experiment: no GWL column for figure %d", figure)
+	}
+	spec, err := gwl.ColumnByName(colName)
+	if err != nil {
+		return nil, err
+	}
+	recon, err := gwl.Reconstruct(spec, gwl.Options{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, err
+	}
+	meta := core.Meta{Table: spec.Table.Name, Column: spec.Column, T: recon.T, N: recon.N, I: recon.I}
+	suite, err := NewSuite(recon.Dataset, meta, cfg.CoreOpts)
+	if err != nil {
+		return nil, err
+	}
+	series, err := ErrorSweep(recon.Dataset, suite, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:     fmt.Sprintf("figure-%d", figure),
+		Title:  fmt.Sprintf("Error behavior for %s", colName),
+		XLabel: "B (% of T)",
+		YLabel: "error (%)",
+		Series: series,
+		Notes: []string{
+			cfg.scaleNote(),
+			"GWL data is proprietary; calibrated synthetic reconstruction (see DESIGN.md)",
+			fmt.Sprintf("target C=%.3f, calibrated C=%.3f (disorder=%.4f), T=%d N=%d I=%d",
+				spec.TargetC, recon.MeasuredC, recon.Disorder, recon.T, recon.N, recon.I),
+		},
+	}, nil
+}
+
+// RunFigure1 regenerates the FPF curves of Figure 1: full-index-scan page
+// fetches (in multiples of T) versus buffer size (as a fraction of T) for
+// the five plotted GWL columns.
+func RunFigure1(cfg Config) (*FigureResult, error) {
+	cfg = cfg.normalized()
+	res := &FigureResult{
+		ID:     "figure-1",
+		Title:  "Full index scan page fetch (FPF) curves, GWL reconstruction",
+		XLabel: "B / T",
+		YLabel: "F / T",
+		Notes: []string{
+			cfg.scaleNote(),
+			"GWL data is proprietary; calibrated synthetic reconstruction (see DESIGN.md)",
+		},
+	}
+	for _, name := range gwl.Figure1Columns {
+		spec, err := gwl.ColumnByName(name)
+		if err != nil {
+			return nil, err
+		}
+		recon, err := gwl.Reconstruct(spec, gwl.Options{Seed: cfg.Seed, Scale: cfg.Scale})
+		if err != nil {
+			return nil, err
+		}
+		curve := lrusim.Analyze(recon.Dataset.Trace())
+		t := float64(recon.T)
+		s := Series{Name: name}
+		for frac := 0.01; frac <= 1.0+1e-9; frac += 0.0225 {
+			b := int(math.Max(1, math.Round(frac*t)))
+			s.X = append(s.X, frac)
+			s.Y = append(s.Y, float64(curve.Fetches(b))/t)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// TableResult is a regenerated paper table.
+type TableResult struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table with aligned columns.
+func (t *TableResult) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Fprintf(&b, "  %-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, wd := range widths {
+		fmt.Fprintf(&b, "  %s", strings.Repeat("-", wd))
+		_ = i
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RunTable2 regenerates Table 2: the GWL tables' shapes, paper-published
+// versus reconstructed.
+func RunTable2(cfg Config) (*TableResult, error) {
+	cfg = cfg.normalized()
+	res := &TableResult{
+		ID:     "table-2",
+		Title:  "GWL database tables",
+		Header: []string{"Table", "Pages(paper)", "Pages(run)", "Rec/Page(paper)", "Rec/Page(run)"},
+		Notes:  []string{cfg.scaleNote()},
+	}
+	for _, name := range []string{"CMAC", "CAGD", "INAP", "PLON"} {
+		spec := gwl.Tables[name]
+		t := spec.Pages / int64(cfg.Scale)
+		if t < 8 {
+			t = 8
+		}
+		res.Rows = append(res.Rows, []string{
+			name,
+			fmt.Sprint(spec.Pages), fmt.Sprint(t),
+			fmt.Sprint(spec.RecordsPerPage), fmt.Sprint(spec.RecordsPerPage),
+		})
+	}
+	return res, nil
+}
+
+// RunTable3 regenerates Table 3: per-column cardinality and clustering
+// factor, paper-published versus measured on the calibrated reconstruction.
+func RunTable3(cfg Config) (*TableResult, error) {
+	cfg = cfg.normalized()
+	res := &TableResult{
+		ID:     "table-3",
+		Title:  "GWL database columns",
+		Header: []string{"Column", "ColCard(paper)", "ColCard(run)", "C%(paper)", "C%(run)"},
+		Notes:  []string{cfg.scaleNote(), "C measured by LRU-Fit on the calibrated reconstruction"},
+	}
+	for _, spec := range gwl.Columns {
+		recon, err := gwl.Reconstruct(spec, gwl.Options{Seed: cfg.Seed, Scale: cfg.Scale})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			spec.Name(),
+			fmt.Sprint(spec.Cardinality), fmt.Sprint(recon.I),
+			fmt.Sprintf("%.1f", spec.TargetC*100), fmt.Sprintf("%.1f", recon.MeasuredC*100),
+		})
+	}
+	return res, nil
+}
+
+// MaxErrorSummary reproduces the §5.1/§5.2 prose summaries: the maximum
+// absolute error per algorithm across a set of figures.
+func MaxErrorSummary(id, title string, figs []*FigureResult) *TableResult {
+	res := &TableResult{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Algorithm", "max |error| %", "at figure", "at B (% of T)"},
+	}
+	type worst struct {
+		err, x float64
+		fig    string
+	}
+	byAlgo := map[string]worst{}
+	var order []string
+	for _, f := range figs {
+		for _, s := range f.Series {
+			x, y := s.MaxAbsY()
+			w, ok := byAlgo[s.Name]
+			if !ok {
+				order = append(order, s.Name)
+			}
+			if !ok || math.Abs(y) > w.err {
+				byAlgo[s.Name] = worst{err: math.Abs(y), x: x, fig: f.ID}
+			}
+		}
+	}
+	for _, name := range order {
+		w := byAlgo[name]
+		res.Rows = append(res.Rows, []string{
+			name, fmt.Sprintf("%.1f", w.err), w.fig, fmt.Sprintf("%.0f", w.x),
+		})
+	}
+	return res
+}

@@ -1,0 +1,130 @@
+package gwl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpecsMatchPaperTables(t *testing.T) {
+	// Table 2 spot checks.
+	if Tables["CMAC"].Pages != 774 || Tables["CMAC"].RecordsPerPage != 20 {
+		t.Error("CMAC spec wrong")
+	}
+	if Tables["PLON"].Pages != 4857 || Tables["PLON"].RecordsPerPage != 123 {
+		t.Error("PLON spec wrong")
+	}
+	if got := Tables["CAGD"].Records(); got != 1093*104 {
+		t.Errorf("CAGD records = %d", got)
+	}
+	// Table 3: eight columns, cardinality never exceeds record count.
+	if len(Columns) != 8 {
+		t.Fatalf("%d columns", len(Columns))
+	}
+	for _, c := range Columns {
+		if c.Cardinality < 1 || c.Cardinality > c.Table.Records() {
+			t.Errorf("%s: cardinality %d vs records %d", c.Name(), c.Cardinality, c.Table.Records())
+		}
+		if c.TargetC <= 0 || c.TargetC >= 1 {
+			t.Errorf("%s: target C %g", c.Name(), c.TargetC)
+		}
+	}
+}
+
+func TestColumnByName(t *testing.T) {
+	c, err := ColumnByName("INAP.UWID")
+	if err != nil || c.Cardinality != 60 {
+		t.Errorf("ColumnByName: %+v, %v", c, err)
+	}
+	if _, err := ColumnByName("NO.PE"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestFigure1ColumnsExist(t *testing.T) {
+	if len(Figure1Columns) != 5 {
+		t.Fatalf("%d figure-1 columns", len(Figure1Columns))
+	}
+	for _, name := range Figure1Columns {
+		if _, err := ColumnByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestReconstructScaledHitsTargetC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration loop")
+	}
+	for _, name := range []string{"CMAC.BRAN", "INAP.UWID", "PLON.CLID", "CAGD.POLN"} {
+		spec, err := ColumnByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Reconstruct(spec, Options{Scale: 8, Tolerance: 0.03})
+		if err != nil {
+			t.Fatalf("Reconstruct(%s): %v", name, err)
+		}
+		if math.Abs(r.MeasuredC-spec.TargetC) > 3*0.03 {
+			t.Errorf("%s: measured C %.3f, target %.3f", name, r.MeasuredC, spec.TargetC)
+		}
+		// Shape parameters: R preserved exactly, I/N ratio approximately.
+		if got := float64(r.N) / float64(r.T); math.Abs(got-float64(spec.Table.RecordsPerPage)) > 0.01 {
+			t.Errorf("%s: N/T = %g, want %d", name, got, spec.Table.RecordsPerPage)
+		}
+		wantRatio := float64(spec.Cardinality) / float64(spec.Table.Records())
+		gotRatio := float64(r.I) / float64(r.N)
+		if math.Abs(gotRatio-wantRatio)/wantRatio > 0.1 {
+			t.Errorf("%s: I/N = %g, want %g", name, gotRatio, wantRatio)
+		}
+		if r.Stats == nil || r.Stats.Validate() != nil {
+			t.Errorf("%s: invalid stats", name)
+		}
+	}
+}
+
+func TestReconstructDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration loop")
+	}
+	spec, _ := ColumnByName("CMAC.BRAN")
+	a, err := Reconstruct(spec, Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reconstruct(spec, Options{Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Disorder != b.Disorder || a.MeasuredC != b.MeasuredC {
+		t.Errorf("nondeterministic calibration: %g/%g vs %g/%g", a.Disorder, a.MeasuredC, b.Disorder, b.MeasuredC)
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}
+	o.normalize()
+	if o.Seed != 1 || o.Scale != 1 || o.Tolerance != 0.02 || o.MaxIterations != 24 {
+		t.Errorf("normalized = %+v", o)
+	}
+}
+
+func TestReconstructAllColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration loop over all columns")
+	}
+	recons, err := ReconstructAll(Options{Scale: 16, Tolerance: 0.035})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recons) != len(Columns) {
+		t.Fatalf("reconstructed %d of %d columns", len(recons), len(Columns))
+	}
+	for _, r := range recons {
+		if math.Abs(r.MeasuredC-r.Spec.TargetC) > 3*0.035 {
+			t.Errorf("%s: measured C %.3f vs target %.3f", r.Spec.Name(), r.MeasuredC, r.Spec.TargetC)
+		}
+		if int64(len(r.Dataset.Keys)) != r.N {
+			t.Errorf("%s: dataset has %d entries, want %d", r.Spec.Name(), len(r.Dataset.Keys), r.N)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package histogram implements equi-depth histograms on integer key columns
+// for selectivity estimation — the σ of the paper's starting and stopping
+// conditions and the S of index-sargable equality predicates.
+//
+// The paper takes selectivity estimation as given ("Methods for estimating
+// the selectivity are well known (Mannino et al., 1988)"); this package
+// supplies that substrate so the optimizer demo estimates σ from statistics
+// instead of being handed exact values.
+package histogram
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadInput reports invalid build parameters.
+var ErrBadInput = errors.New("histogram: invalid input")
+
+// Bucket is one equi-depth bucket: keys in [Lo, Hi] with Count values, of
+// which Distinct are distinct.
+type Bucket struct {
+	Lo, Hi   int64
+	Count    int64
+	Distinct int64
+}
+
+// EquiDepth is an equi-depth (equal-height) histogram over an int64 column.
+type EquiDepth struct {
+	buckets []Bucket
+	n       int64
+	min     int64
+	max     int64
+}
+
+// Build constructs a compressed equi-depth histogram from the column's
+// values (any order; a sorted copy is made internally). Values whose
+// frequency reaches a full bucket's depth get singleton buckets (end-biased
+// compression, as production optimizers do), so heavy hitters keep accurate
+// equality estimates; the remaining values fill equi-depth buckets. The
+// result may therefore hold slightly more buckets than requested.
+func Build(values []int64, buckets int) (*EquiDepth, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("%w: no values", ErrBadInput)
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("%w: %d buckets", ErrBadInput, buckets)
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	h := &EquiDepth{n: int64(len(sorted)), min: sorted[0], max: sorted[len(sorted)-1]}
+	depth := (len(sorted) + buckets - 1) / buckets
+
+	var cur *Bucket
+	flush := func() {
+		if cur != nil {
+			h.buckets = append(h.buckets, *cur)
+			cur = nil
+		}
+	}
+	for start := 0; start < len(sorted); {
+		// Extent of the run of the current value.
+		end := start + 1
+		for end < len(sorted) && sorted[end] == sorted[start] {
+			end++
+		}
+		runLen := int64(end - start)
+		v := sorted[start]
+		if runLen >= int64(depth) {
+			// Heavy value: its own singleton bucket.
+			flush()
+			h.buckets = append(h.buckets, Bucket{Lo: v, Hi: v, Count: runLen, Distinct: 1})
+		} else {
+			if cur == nil {
+				cur = &Bucket{Lo: v, Hi: v}
+			}
+			cur.Hi = v
+			cur.Count += runLen
+			cur.Distinct++
+			if cur.Count >= int64(depth) {
+				flush()
+			}
+		}
+		start = end
+	}
+	flush()
+	return h, nil
+}
+
+// N reports the number of values summarized.
+func (h *EquiDepth) N() int64 { return h.n }
+
+// NumBuckets reports the number of buckets actually built.
+func (h *EquiDepth) NumBuckets() int { return len(h.buckets) }
+
+// Buckets returns a copy of the bucket list.
+func (h *EquiDepth) Buckets() []Bucket {
+	return append([]Bucket(nil), h.buckets...)
+}
+
+// Min and Max report the column's value range.
+func (h *EquiDepth) Min() int64 { return h.min }
+
+// Max reports the largest value.
+func (h *EquiDepth) Max() int64 { return h.max }
+
+// EstimateRange estimates the selectivity of lo <= key <= hi (inclusive
+// bounds; use loExcl/hiExcl for strict comparisons). The estimate assumes
+// uniform spread within each bucket.
+func (h *EquiDepth) EstimateRange(lo, hi int64, loExcl, hiExcl bool) float64 {
+	if loExcl {
+		if lo == h.max {
+			return 0
+		}
+		lo++
+	}
+	if hiExcl {
+		if hi == h.min {
+			return 0
+		}
+		hi--
+	}
+	if hi < lo {
+		return 0
+	}
+	var covered float64
+	for _, b := range h.buckets {
+		covered += overlapFraction(b, lo, hi) * float64(b.Count)
+	}
+	return covered / float64(h.n)
+}
+
+// overlapFraction estimates the fraction of a bucket's values falling in
+// [lo, hi], assuming uniform spread over the bucket's key span.
+func overlapFraction(b Bucket, lo, hi int64) float64 {
+	if hi < b.Lo || lo > b.Hi {
+		return 0
+	}
+	if lo <= b.Lo && hi >= b.Hi {
+		return 1
+	}
+	clampedLo := maxInt64(lo, b.Lo)
+	clampedHi := minInt64(hi, b.Hi)
+	span := float64(b.Hi-b.Lo) + 1
+	return (float64(clampedHi-clampedLo) + 1) / span
+}
+
+// EstimateEquals estimates the selectivity of key = v using the containing
+// bucket's count over its distinct values.
+func (h *EquiDepth) EstimateEquals(v int64) float64 {
+	for _, b := range h.buckets {
+		if v >= b.Lo && v <= b.Hi {
+			return float64(b.Count) / float64(b.Distinct) / float64(h.n)
+		}
+	}
+	return 0
+}
+
+// DistinctEstimate sums per-bucket distinct counts; exact when buckets never
+// split a value (which Build guarantees).
+func (h *EquiDepth) DistinctEstimate() int64 {
+	var d int64
+	for _, b := range h.buckets {
+		d += b.Distinct
+	}
+	return d
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FromBuckets reconstructs a histogram from its serialized buckets (e.g.
+// loaded from a statistics catalog). Buckets must be non-overlapping and
+// ascending; counts and distincts must be positive.
+func FromBuckets(buckets []Bucket) (*EquiDepth, error) {
+	if len(buckets) == 0 {
+		return nil, fmt.Errorf("%w: no buckets", ErrBadInput)
+	}
+	h := &EquiDepth{min: buckets[0].Lo, max: buckets[len(buckets)-1].Hi}
+	for i, b := range buckets {
+		if b.Hi < b.Lo {
+			return nil, fmt.Errorf("%w: bucket %d inverted", ErrBadInput, i)
+		}
+		if b.Count < 1 || b.Distinct < 1 || b.Distinct > b.Count {
+			return nil, fmt.Errorf("%w: bucket %d counts (%d, %d)", ErrBadInput, i, b.Count, b.Distinct)
+		}
+		if i > 0 && b.Lo <= buckets[i-1].Hi {
+			return nil, fmt.Errorf("%w: bucket %d overlaps previous", ErrBadInput, i)
+		}
+		h.n += b.Count
+	}
+	h.buckets = append(h.buckets, buckets...)
+	return h, nil
+}

@@ -1,0 +1,240 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := Build([]int64{1}, 0); err == nil {
+		t.Error("0 buckets accepted")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	h, err := Build([]int64{7, 7, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 3 || h.Min() != 7 || h.Max() != 7 {
+		t.Errorf("N=%d min=%d max=%d", h.N(), h.Min(), h.Max())
+	}
+	if got := h.EstimateRange(7, 7, false, false); got != 1 {
+		t.Errorf("EstimateRange(7,7) = %g", got)
+	}
+	if got := h.EstimateEquals(7); got != 1 {
+		t.Errorf("EstimateEquals(7) = %g", got)
+	}
+	if got := h.EstimateEquals(8); got != 0 {
+		t.Errorf("EstimateEquals(8) = %g", got)
+	}
+}
+
+func TestUniformRangeEstimates(t *testing.T) {
+	values := make([]int64, 10_000)
+	for i := range values {
+		values[i] = int64(i)
+	}
+	h, err := Build(values, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		lo, hi int64
+		want   float64
+	}{
+		{0, 9999, 1},
+		{0, 4999, 0.5},
+		{2500, 7499, 0.5},
+		{0, 999, 0.1},
+		{9900, 9999, 0.01},
+	}
+	for _, c := range cases {
+		got := h.EstimateRange(c.lo, c.hi, false, false)
+		if math.Abs(got-c.want) > 0.02 {
+			t.Errorf("EstimateRange(%d, %d) = %g, want %g", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestExclusiveBounds(t *testing.T) {
+	values := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	h, err := Build(values, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incl := h.EstimateRange(3, 7, false, false)
+	exLo := h.EstimateRange(3, 7, true, false)
+	exHi := h.EstimateRange(3, 7, false, true)
+	if exLo >= incl || exHi >= incl {
+		t.Errorf("exclusive bounds not tighter: incl=%g exLo=%g exHi=%g", incl, exLo, exHi)
+	}
+	if got := h.EstimateRange(5, 5, true, false); got != 0 {
+		// (5, 5] with integer keys = {nothing above 5 up to 5}... lo++ -> [6,5] empty.
+		t.Errorf("empty exclusive range = %g", got)
+	}
+	if got := h.EstimateRange(7, 3, false, false); got != 0 {
+		t.Errorf("inverted range = %g", got)
+	}
+}
+
+func TestBucketsNeverSplitAValue(t *testing.T) {
+	// 1000 copies of value 5 among other values: the bucket containing 5
+	// must contain all of them.
+	var values []int64
+	for i := 0; i < 100; i++ {
+		values = append(values, int64(i))
+	}
+	for i := 0; i < 1000; i++ {
+		values = append(values, 50)
+	}
+	h, err := Build(values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range h.Buckets() {
+		if i > 0 {
+			prev := h.Buckets()[i-1]
+			if prev.Hi >= b.Lo {
+				t.Errorf("buckets %d and %d overlap: %+v %+v", i-1, i, prev, b)
+			}
+		}
+	}
+	// Equality estimate for the heavy value should be near its true
+	// frequency 1000/1100.
+	got := h.EstimateEquals(50)
+	want := 1001.0 / 1100.0
+	if math.Abs(got-want)/want > 0.5 {
+		t.Errorf("EstimateEquals(50) = %g, want ~%g", got, want)
+	}
+}
+
+func TestSkewedEqualityEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var values []int64
+	for i := 0; i < 20_000; i++ {
+		values = append(values, int64(rng.Intn(100)))
+	}
+	h, err := Build(values, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~200 copies of each of 100 values: equality ~1/100.
+	got := h.EstimateEquals(42)
+	if math.Abs(got-0.01) > 0.005 {
+		t.Errorf("EstimateEquals = %g, want ~0.01", got)
+	}
+}
+
+func TestDistinctEstimateExact(t *testing.T) {
+	values := []int64{5, 5, 1, 9, 9, 9, 3, 7}
+	h, err := Build(values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.DistinctEstimate(); got != 5 {
+		t.Errorf("DistinctEstimate = %d, want 5", got)
+	}
+}
+
+// Property: range estimates are within [0,1], monotone in range growth, and
+// the full range estimates 1.
+func TestRangeEstimateProperty(t *testing.T) {
+	f := func(seed int64, bucketsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(2000)
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = int64(rng.Intn(500))
+		}
+		h, err := Build(values, int(bucketsRaw)%32+1)
+		if err != nil {
+			return false
+		}
+		if math.Abs(h.EstimateRange(h.Min(), h.Max(), false, false)-1) > 1e-9 {
+			return false
+		}
+		lo := int64(rng.Intn(500))
+		hi := lo + int64(rng.Intn(100))
+		narrow := h.EstimateRange(lo, hi, false, false)
+		wide := h.EstimateRange(lo-10, hi+10, false, false)
+		return narrow >= 0 && narrow <= 1 && wide >= narrow-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: estimated selectivity tracks true selectivity for random ranges
+// on uniform data within a loose tolerance.
+func TestRangeAccuracyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	values := make([]int64, 50_000)
+	for i := range values {
+		values[i] = int64(rng.Intn(10_000))
+	}
+	h, err := Build(values, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := int64(rng.Intn(10_000))
+		hi := lo + int64(rng.Intn(5_000))
+		var truth int64
+		for _, v := range values {
+			if v >= lo && v <= hi {
+				truth++
+			}
+		}
+		want := float64(truth) / float64(len(values))
+		got := h.EstimateRange(lo, hi, false, false)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("range [%d,%d]: est %g, true %g", lo, hi, got, want)
+		}
+	}
+}
+
+func TestFromBucketsRoundTrip(t *testing.T) {
+	values := make([]int64, 5000)
+	for i := range values {
+		values[i] = int64(i % 250)
+	}
+	h, err := Build(values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := FromBuckets(h.Buckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.N() != h.N() || re.Min() != h.Min() || re.Max() != h.Max() {
+		t.Errorf("round trip: N=%d min=%d max=%d", re.N(), re.Min(), re.Max())
+	}
+	for _, probe := range []struct{ lo, hi int64 }{{0, 249}, {10, 20}, {100, 240}} {
+		a := h.EstimateRange(probe.lo, probe.hi, false, false)
+		b := re.EstimateRange(probe.lo, probe.hi, false, false)
+		if a != b {
+			t.Errorf("range [%d,%d]: %g vs %g", probe.lo, probe.hi, a, b)
+		}
+	}
+}
+
+func TestFromBucketsValidation(t *testing.T) {
+	bad := [][]Bucket{
+		{},
+		{{Lo: 5, Hi: 1, Count: 1, Distinct: 1}},
+		{{Lo: 1, Hi: 5, Count: 0, Distinct: 0}},
+		{{Lo: 1, Hi: 5, Count: 1, Distinct: 2}},
+		{{Lo: 1, Hi: 5, Count: 5, Distinct: 5}, {Lo: 5, Hi: 9, Count: 5, Distinct: 5}}, // overlap
+	}
+	for i, b := range bad {
+		if _, err := FromBuckets(b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

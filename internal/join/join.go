@@ -1,0 +1,176 @@
+// Package join implements index nested-loop joins over the table substrate.
+//
+// This is the system context the paper's main baseline came from: Mackert &
+// Lohman's 1989 TODS model was built to cost the INNER index scan of a join,
+// where the outer relation drives a stream of key probes into the inner
+// index and the question is how many inner data-page fetches survive the LRU
+// buffer. It is also a natural consumer of EPFIS beyond the paper's
+// single-scan setting:
+//
+//   - When the outer stream is sorted on the join key (merge-like pattern),
+//     the inner page-reference trace is exactly a partial inner index scan
+//     in key order — EPFIS's home turf: estimate with Est-IO at the matched
+//     selectivity.
+//   - When the outer stream arrives in physical (heap) order with
+//     uncorrelated keys, the probes hit the inner index in effectively
+//     random key order — ML's home turf: estimate with the ML formula at
+//     x = distinct probe keys.
+//
+// The executor measures ground truth through a real buffer pool, so the two
+// estimation regimes can be validated against actual fetch counts
+// (TestEstimatorsMatchTheirHomeRegimes).
+package join
+
+import (
+	"errors"
+	"fmt"
+
+	"epfis/internal/baselines"
+	"epfis/internal/btree"
+	"epfis/internal/buffer"
+	"epfis/internal/core"
+	"epfis/internal/stats"
+	"epfis/internal/storage"
+	"epfis/internal/table"
+)
+
+// OuterOrder selects how the outer relation is streamed.
+type OuterOrder int
+
+const (
+	// ByKey streams outer records in join-key order (via the outer index):
+	// inner probes arrive sorted.
+	ByKey OuterOrder = iota
+	// ByHeap streams outer records in physical page order: inner probes
+	// arrive in whatever order the outer placement dictates.
+	ByHeap
+)
+
+// String names the order.
+func (o OuterOrder) String() string {
+	if o == ByHeap {
+		return "heap-order"
+	}
+	return "key-order"
+}
+
+// Result summarizes one executed join.
+type Result struct {
+	// OuterRecords is the number of outer records streamed.
+	OuterRecords int
+	// Matches is the number of (outer, inner) joined pairs produced.
+	Matches int
+	// ProbeKeys is the number of distinct join keys probed.
+	ProbeKeys int
+	// InnerFetches is the number of inner data-page fetches through the
+	// pool — the quantity the estimators predict.
+	InnerFetches int64
+	// KeySum checksums the joined inner keys, proving records were decoded.
+	KeySum int64
+}
+
+// Errors returned by this package.
+var ErrBadJoin = errors.New("join: invalid join specification")
+
+// IndexNestedLoop executes outer JOIN inner ON outer.outerCol =
+// inner.innerCol. Outer pages are read unbuffered (a sequential scan);
+// every inner data-page access goes through pool, whose fetch counter is
+// the measured inner cost.
+func IndexNestedLoop(outer *table.Table, outerCol string, inner *table.Table, innerCol string, order OuterOrder, pool buffer.Pool) (Result, error) {
+	innerIx, err := inner.Index(innerCol)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrBadJoin, err)
+	}
+	pool.Reset()
+	var res Result
+	seenKeys := make(map[int64]struct{})
+
+	probe := func(key int64) error {
+		res.OuterRecords++
+		seenKeys[key] = struct{}{}
+		return innerIx.Tree.Scan(btree.Ge(key), btree.Le(key), func(e btree.Entry) error {
+			pg, err := pool.Get(e.RID.Page)
+			if err != nil {
+				return err
+			}
+			raw, err := pg.Record(e.RID.Slot)
+			if err != nil {
+				return err
+			}
+			rec, err := storage.DecodeRecord(raw)
+			if err != nil {
+				return err
+			}
+			if rec.Key != key {
+				return fmt.Errorf("join: inner record at %v has key %d, probed %d", e.RID, rec.Key, key)
+			}
+			res.Matches++
+			res.KeySum += rec.Key
+			return nil
+		})
+	}
+
+	switch order {
+	case ByKey:
+		outerIx, err := outer.Index(outerCol)
+		if err != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrBadJoin, err)
+		}
+		err = outerIx.Tree.Scan(nil, nil, func(e btree.Entry) error {
+			return probe(e.Key)
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	case ByHeap:
+		for _, pid := range outer.DataPages {
+			var pg storage.Page
+			if err := outer.Store.ReadPage(pid, &pg); err != nil {
+				return Result{}, err
+			}
+			for slot := 0; slot < pg.NumSlots(); slot++ {
+				raw, err := pg.Record(uint16(slot))
+				if err != nil {
+					return Result{}, err
+				}
+				rec, err := storage.DecodeRecord(raw)
+				if err != nil {
+					return Result{}, err
+				}
+				if err := probe(rec.Key); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	default:
+		return Result{}, fmt.Errorf("%w: unknown order %d", ErrBadJoin, order)
+	}
+	res.ProbeKeys = len(seenKeys)
+	res.InnerFetches = pool.Stats().Fetches
+	return res, nil
+}
+
+// EstimateSortedProbes predicts the inner fetches of a ByKey join with
+// Est-IO: sorted probes make the inner reference trace a partial index scan
+// at selectivity sigma = matched inner records / N.
+func EstimateSortedProbes(innerStats *stats.IndexStats, matchedInnerRecords int64, bufferPages int64) (float64, error) {
+	sigma := float64(matchedInnerRecords) / float64(innerStats.N)
+	if sigma > 1 {
+		sigma = 1
+	}
+	return core.EstimateFetches(innerStats, bufferPages, sigma, 1)
+}
+
+// EstimateRandomProbes predicts the inner fetches of a ByHeap join with the
+// Mackert-Lohman formula at x = probeKeys distinct key values — ML's
+// original use case.
+func EstimateRandomProbes(innerStats *stats.IndexStats, probeKeys int64, bufferPages int64) (float64, error) {
+	sigma := float64(probeKeys) / float64(innerStats.I)
+	if sigma > 1 {
+		sigma = 1
+	}
+	return baselines.ML{}.Estimate(baselines.Params{
+		T: innerStats.T, N: innerStats.N, I: innerStats.I,
+		B: bufferPages, Sigma: sigma, S: 1,
+	})
+}

@@ -1,0 +1,380 @@
+package lrusim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"epfis/internal/buffer"
+	"epfis/internal/storage"
+)
+
+func tr(ids ...int) Trace {
+	t := make(Trace, len(ids))
+	for i, id := range ids {
+		t[i] = storage.PageID(id)
+	}
+	return t
+}
+
+func randomTrace(rng *rand.Rand, n, pages int) Trace {
+	t := make(Trace, n)
+	for i := range t {
+		t[i] = storage.PageID(rng.Intn(pages))
+	}
+	return t
+}
+
+// clusteredTrace mimics an index scan over a partly clustered table: page
+// numbers drift forward with local jitter, producing re-references at small
+// stack distances.
+func clusteredTrace(rng *rand.Rand, n, pages, jitter int) Trace {
+	t := make(Trace, n)
+	for i := range t {
+		base := i * pages / n
+		p := base + rng.Intn(2*jitter+1) - jitter
+		if p < 0 {
+			p = 0
+		}
+		if p >= pages {
+			p = pages - 1
+		}
+		t[i] = storage.PageID(p)
+	}
+	return t
+}
+
+func simulators() map[string]Simulator {
+	return map[string]Simulator{"list": ListSimulator{}, "tree": TreeSimulator{}}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	for name, sim := range simulators() {
+		h := sim.Run(nil)
+		if h.Cold != 0 || h.Total != 0 {
+			t.Errorf("%s: empty trace histogram = %+v", name, h)
+		}
+		c := h.FetchCurve()
+		if c.Fetches(1) != 0 || c.Fetches(100) != 0 {
+			t.Errorf("%s: empty trace fetches != 0", name)
+		}
+	}
+}
+
+func TestSingleReference(t *testing.T) {
+	for name, sim := range simulators() {
+		c := sim.Run(tr(5)).FetchCurve()
+		if c.Fetches(1) != 1 || c.Accesses() != 1 || c.Total() != 1 {
+			t.Errorf("%s: single ref curve wrong", name)
+		}
+	}
+}
+
+func TestRepeatedSamePage(t *testing.T) {
+	for name, sim := range simulators() {
+		c := sim.Run(tr(3, 3, 3, 3)).FetchCurve()
+		if got := c.Fetches(1); got != 1 {
+			t.Errorf("%s: F(1) = %d, want 1", name, got)
+		}
+	}
+}
+
+func TestKnownStackDistances(t *testing.T) {
+	// Trace: 1 2 3 1 2 3.
+	// Second occurrences each have stack distance 3.
+	for name, sim := range simulators() {
+		h := sim.Run(tr(1, 2, 3, 1, 2, 3))
+		if h.Cold != 3 {
+			t.Errorf("%s: cold = %d, want 3", name, h.Cold)
+		}
+		if len(h.Counts) <= 3 || h.Counts[3] != 3 {
+			t.Errorf("%s: counts = %v, want three at distance 3", name, h.Counts)
+		}
+		c := h.FetchCurve()
+		// B=3 caches everything: 3 fetches. B=2: all re-refs miss: 6.
+		if got := c.Fetches(3); got != 3 {
+			t.Errorf("%s: F(3) = %d, want 3", name, got)
+		}
+		if got := c.Fetches(2); got != 6 {
+			t.Errorf("%s: F(2) = %d, want 6", name, got)
+		}
+	}
+}
+
+func TestSequentialScanIndependentOfBuffer(t *testing.T) {
+	// Paper §2: a clustered scan has F == A for every B.
+	trace := make(Trace, 0, 300)
+	for p := 0; p < 100; p++ {
+		for r := 0; r < 3; r++ {
+			trace = append(trace, storage.PageID(p))
+		}
+	}
+	for name, sim := range simulators() {
+		c := sim.Run(trace).FetchCurve()
+		for _, b := range []int{1, 2, 10, 100, 1000} {
+			if got := c.Fetches(b); got != 100 {
+				t.Errorf("%s: clustered scan F(%d) = %d, want 100", name, b, got)
+			}
+		}
+	}
+}
+
+func TestWorstCaseUnclustered(t *testing.T) {
+	// Each new record on a page evicted long ago: with B=1 every reference
+	// after a page switch fetches; interleave 2 pages fully.
+	trace := tr(0, 1, 0, 1, 0, 1)
+	for name, sim := range simulators() {
+		c := sim.Run(trace).FetchCurve()
+		if got := c.Fetches(1); got != 6 {
+			t.Errorf("%s: F(1) = %d, want 6 (every ref misses)", name, got)
+		}
+		if got := c.Fetches(2); got != 2 {
+			t.Errorf("%s: F(2) = %d, want 2", name, got)
+		}
+	}
+}
+
+func TestSimulatorsAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(500)
+		pages := 1 + rng.Intn(40)
+		var trace Trace
+		if rng.Intn(2) == 0 {
+			trace = randomTrace(rng, n, pages)
+		} else {
+			trace = clusteredTrace(rng, n, pages, 1+rng.Intn(5))
+		}
+		ha := ListSimulator{}.Run(trace)
+		hb := TreeSimulator{}.Run(trace)
+		if ha.Cold != hb.Cold || ha.Total != hb.Total {
+			return false
+		}
+		ca, cb := ha.FetchCurve(), hb.FetchCurve()
+		for b := 1; b <= pages+2; b++ {
+			if ca.Fetches(b) != cb.Fetches(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackCurveMatchesDirectSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		pages := 5 + rng.Intn(60)
+		trace := clusteredTrace(rng, 400, pages, 1+rng.Intn(8))
+		c := Analyze(trace)
+		for _, b := range []int{1, 2, 3, 5, pages / 2, pages, pages + 10} {
+			if b < 1 {
+				b = 1
+			}
+			direct, err := DirectFetches(trace, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Fetches(b); got != direct {
+				t.Fatalf("trial %d: F(%d) = %d via stack, %d via direct", trial, b, got, direct)
+			}
+		}
+	}
+}
+
+func TestStackCurveMatchesRealBufferPool(t *testing.T) {
+	// End-to-end cross-check against the actual LRU buffer pool in
+	// internal/buffer: the counts must agree exactly.
+	rng := rand.New(rand.NewSource(7))
+	const pages = 30
+	store := storage.NewMemStore()
+	for i := 0; i < pages; i++ {
+		id, err := store.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.WritePage(id, storage.NewPage(id, storage.PageKindHeap)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := clusteredTrace(rng, 600, pages, 4)
+	c := Analyze(trace)
+	for _, b := range []int{1, 3, 7, 15, 30} {
+		pool, err := buffer.NewLRU(store, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pg := range trace {
+			if _, err := pool.Get(pg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := pool.Stats().Fetches, c.Fetches(b); got != want {
+			t.Errorf("B=%d: real pool fetched %d, stack curve says %d", b, got, want)
+		}
+	}
+}
+
+func TestFetchCurveMonotoneNonIncreasing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trace := randomTrace(rng, 300, 1+rng.Intn(50))
+		c := Analyze(trace)
+		prev := c.Fetches(1)
+		for b := 2; b < 60; b++ {
+			cur := c.Fetches(b)
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		// Bounds: A <= F(B) <= Total.
+		return prev >= c.Accesses() && c.Fetches(1) <= c.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinBufferForFullCaching(t *testing.T) {
+	// 1 2 3 1 2 3 needs exactly 3 frames for full caching.
+	c := Analyze(tr(1, 2, 3, 1, 2, 3))
+	if got := c.MinBufferForFullCaching(); got != 3 {
+		t.Errorf("MinBufferForFullCaching = %d, want 3", got)
+	}
+	// A sequential scan needs only 1.
+	c = Analyze(tr(1, 1, 2, 2, 3, 3))
+	if got := c.MinBufferForFullCaching(); got != 1 {
+		t.Errorf("sequential MinBufferForFullCaching = %d, want 1", got)
+	}
+}
+
+func TestDirectFetchesValidation(t *testing.T) {
+	if _, err := DirectFetches(tr(1), 0); err == nil {
+		t.Error("DirectFetches with B=0 succeeded")
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	trace := tr(1, 2, 2, 3)
+	if got := trace.DistinctPages(); got != 3 {
+		t.Errorf("DistinctPages = %d, want 3", got)
+	}
+	cl := trace.Clone()
+	cl[0] = 9
+	if trace[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestSampleCurve(t *testing.T) {
+	c := Analyze(tr(1, 2, 3, 1, 2, 3))
+	pts := SampleCurve(c, []int{5, 1, 3, 3, -2})
+	// -2 clamps to 1 which duplicates 1; expect B = 1, 3, 5.
+	if len(pts) != 3 || pts[0].B != 1 || pts[1].B != 3 || pts[2].B != 5 {
+		t.Fatalf("SampleCurve points = %+v", pts)
+	}
+	if pts[0].F != 6 || pts[1].F != 3 {
+		t.Errorf("SampleCurve values = %+v", pts)
+	}
+}
+
+func TestFetchesClampsSmallB(t *testing.T) {
+	c := Analyze(tr(1, 2, 1, 2))
+	if c.Fetches(0) != c.Fetches(1) || c.Fetches(-5) != c.Fetches(1) {
+		t.Error("Fetches should clamp B < 1 to 1")
+	}
+}
+
+func BenchmarkTreeSimulator(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	trace := clusteredTrace(rng, 100_000, 2_000, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TreeSimulator{}.Run(trace)
+	}
+}
+
+func BenchmarkListSimulator(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	trace := clusteredTrace(rng, 20_000, 500, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ListSimulator{}.Run(trace)
+	}
+}
+
+func TestClockFetchesValidation(t *testing.T) {
+	if _, err := ClockFetches(tr(1), 0); err == nil {
+		t.Error("ClockFetches with B=0 succeeded")
+	}
+}
+
+func TestClockFetchesSequentialEqualsLRU(t *testing.T) {
+	// On a sequential (clustered) trace every policy performs identically:
+	// compulsory misses only.
+	trace := tr(0, 0, 1, 1, 2, 2, 3, 3)
+	for _, b := range []int{1, 2, 5} {
+		got, err := ClockFetches(trace, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 4 {
+			t.Errorf("B=%d: clock fetches = %d, want 4", b, got)
+		}
+	}
+}
+
+func TestClockFetchesMatchesRealClockPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const pages = 20
+	store := storage.NewMemStore()
+	for i := 0; i < pages; i++ {
+		id, err := store.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.WritePage(id, storage.NewPage(id, storage.PageKindHeap)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := clusteredTrace(rng, 500, pages, 5)
+	for _, b := range []int{1, 3, 8, 20} {
+		pool, err := buffer.NewClock(store, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pg := range trace {
+			if _, err := pool.Get(pg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sim, err := ClockFetches(trace, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pool.Stats().Fetches; got != sim {
+			t.Errorf("B=%d: real clock pool fetched %d, simulator says %d", b, got, sim)
+		}
+	}
+}
+
+func TestClockBetweenLRUBounds(t *testing.T) {
+	// Clock is an LRU approximation: its fetch count should be bounded
+	// below by cold misses and above by the trace length, and typically
+	// close to LRU's.
+	rng := rand.New(rand.NewSource(9))
+	trace := clusteredTrace(rng, 2000, 100, 10)
+	curve := Analyze(trace)
+	for _, b := range []int{5, 20, 50, 100} {
+		clock, err := ClockFetches(trace, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clock < curve.Accesses() || clock > curve.Total() {
+			t.Errorf("B=%d: clock fetches %d outside [%d, %d]", b, clock, curve.Accesses(), curve.Total())
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package optimizer implements the access-path selection problem that
+// motivates the paper (§2): given a single-table query with optional range
+// (starting/stopping) conditions, optional index-sargable predicates, and an
+// optional required sort order, choose among
+//
+//  1. a table scan (+ sort if an order is required),
+//  2. a partial scan of a relevant index, and
+//  3. a full scan of a relevant index that delivers the required order,
+//
+// by comparing estimated page fetches. Index-scan fetch counts come from
+// Algorithm EPFIS (Subprogram Est-IO) over the statistics catalog;
+// selectivities come from equi-depth histograms (package histogram), so the
+// optimizer estimates rather than being handed exact values.
+//
+// "The number of basic access plans to be considered is the number of
+// relevant indexes plus one (for the table scan)."
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"epfis/internal/core"
+	"epfis/internal/histogram"
+	"epfis/internal/stats"
+)
+
+// RangePred is a starting/stopping condition pair on a column: the paper's
+// "a >= lo AND a <= hi" (either side optional, either side exclusive).
+type RangePred struct {
+	Column string
+	// HasLo/HasHi say whether each bound is present.
+	HasLo, HasHi bool
+	Lo, Hi       int64
+	// LoExcl/HiExcl select strict comparison (>, <).
+	LoExcl, HiExcl bool
+}
+
+// SargPred is an index-sargable predicate: evaluated on index entries during
+// the scan, reducing records fetched but not the scanned range. Selectivity
+// is estimated from the named column's histogram when available, otherwise
+// the explicit Selectivity is used.
+type SargPred struct {
+	Column string
+	// Equals is the predicate's comparison value (b = v form).
+	Equals int64
+	// Selectivity overrides histogram estimation when > 0.
+	Selectivity float64
+}
+
+// Query is one single-table retrieval request.
+type Query struct {
+	// Table names the table (for catalog lookups).
+	Table string
+	// Range is the optional start/stop condition.
+	Range *RangePred
+	// Sargable lists index-sargable predicates (applied to index scans on
+	// the Range column's index).
+	Sargable []SargPred
+	// OrderBy optionally names a column the results must be ordered by.
+	OrderBy string
+	// BufferPages is the LRU buffer available to the scan (the paper: the
+	// DBA specifies it; here the caller does).
+	BufferPages int64
+	// EnableRIDList also considers RID-list (sort-before-fetch) plans, the
+	// paper's §6 extension. Off by default to match the paper's §2 plan
+	// space ("no RID-list sort, union, or intersection before the data
+	// records are fetched").
+	EnableRIDList bool
+}
+
+// PlanKind enumerates the basic access plans.
+type PlanKind int
+
+const (
+	// TableScan reads every data page.
+	TableScan PlanKind = iota
+	// PartialIndexScan scans an index restricted by start/stop conditions.
+	PartialIndexScan
+	// FullIndexScan scans an entire index (typically for its order).
+	FullIndexScan
+	// RIDListScan collects qualifying RIDs, sorts them into page order, and
+	// fetches each page once — the paper's §6 future-work plan family
+	// ("use of RID-list operations"). It trades a RID sort (and the loss of
+	// key order) for buffer-size independence.
+	RIDListScan
+)
+
+// String names the plan kind.
+func (k PlanKind) String() string {
+	switch k {
+	case TableScan:
+		return "table-scan"
+	case PartialIndexScan:
+		return "partial-index-scan"
+	case FullIndexScan:
+		return "full-index-scan"
+	case RIDListScan:
+		return "rid-list-scan"
+	default:
+		return fmt.Sprintf("plan-kind-%d", int(k))
+	}
+}
+
+// Plan is one costed access plan.
+type Plan struct {
+	Kind  PlanKind
+	Index string // column of the index used; empty for table scans
+	// Sigma and S are the selectivities the cost used.
+	Sigma, S float64
+	// DataFetches is the estimated data-page fetch count.
+	DataFetches float64
+	// SortPages is the estimated extra page I/O for an explicit sort step
+	// (0 when the plan delivers the required order or no order is required).
+	SortPages float64
+	// Cost is the total estimated page I/O, the plan-comparison key.
+	Cost float64
+	// Explain describes how the cost was derived.
+	Explain []string
+}
+
+// Optimizer owns the statistics needed for costing.
+type Optimizer struct {
+	catalog *stats.Catalog
+	hists   map[string]*histogram.EquiDepth // "table.column" -> histogram
+}
+
+// Errors returned by this package.
+var (
+	ErrNoPlans     = errors.New("optimizer: no viable access plan")
+	ErrNoCatalog   = errors.New("optimizer: nil catalog")
+	ErrNoHistogram = errors.New("optimizer: no histogram for column")
+	ErrBadQuery    = errors.New("optimizer: invalid query")
+)
+
+// New creates an optimizer over a statistics catalog. Catalog entries that
+// carry key histograms are registered automatically; AddHistogram can add or
+// override others.
+func New(catalog *stats.Catalog) (*Optimizer, error) {
+	if catalog == nil {
+		return nil, ErrNoCatalog
+	}
+	o := &Optimizer{catalog: catalog, hists: make(map[string]*histogram.EquiDepth)}
+	for _, key := range catalog.Keys() {
+		st, err := catalog.Get(splitKey(key))
+		if err != nil {
+			continue
+		}
+		h, err := st.Histogram()
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: catalog histogram for %s: %w", key, err)
+		}
+		if h != nil {
+			o.hists[key] = h
+		}
+	}
+	return o, nil
+}
+
+// AddHistogram registers the histogram for table.column.
+func (o *Optimizer) AddHistogram(tbl, column string, h *histogram.EquiDepth) {
+	o.hists[tbl+"."+column] = h
+}
+
+// Histogram returns the histogram registered for table.column.
+func (o *Optimizer) Histogram(tbl, column string) (*histogram.EquiDepth, error) {
+	h, ok := o.hists[tbl+"."+column]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoHistogram, tbl, column)
+	}
+	return h, nil
+}
+
+// EstimateSigma estimates the start/stop selectivity of a range predicate
+// from the column's histogram. A nil predicate selects everything.
+func (o *Optimizer) EstimateSigma(tbl string, r *RangePred) (float64, error) {
+	if r == nil {
+		return 1, nil
+	}
+	h, err := o.Histogram(tbl, r.Column)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := h.Min(), h.Max()
+	loExcl, hiExcl := false, false
+	if r.HasLo {
+		lo, loExcl = r.Lo, r.LoExcl
+	}
+	if r.HasHi {
+		hi, hiExcl = r.Hi, r.HiExcl
+	}
+	return h.EstimateRange(lo, hi, loExcl, hiExcl), nil
+}
+
+// EstimateS estimates the combined selectivity of the index-sargable
+// predicates under the independence assumption ("Using the independence
+// assumption, the number of qualifying records is given by N x sigma x S").
+func (o *Optimizer) EstimateS(tbl string, preds []SargPred) (float64, error) {
+	s := 1.0
+	for _, p := range preds {
+		switch {
+		case p.Selectivity > 0:
+			s *= p.Selectivity
+		case p.Column != "":
+			h, err := o.Histogram(tbl, p.Column)
+			if err != nil {
+				return 0, err
+			}
+			s *= h.EstimateEquals(p.Equals)
+		default:
+			return 0, fmt.Errorf("%w: sargable predicate needs a column or selectivity", ErrBadQuery)
+		}
+	}
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s, nil
+}
+
+// Choose enumerates and costs the basic access plans and returns the
+// cheapest plus the full candidate list sorted by cost.
+func (o *Optimizer) Choose(q Query) (Plan, []Plan, error) {
+	if q.BufferPages < 1 {
+		return Plan{}, nil, fmt.Errorf("%w: buffer pages = %d", ErrBadQuery, q.BufferPages)
+	}
+	entries := o.indexesOf(q.Table)
+	if len(entries) == 0 {
+		return Plan{}, nil, fmt.Errorf("%w: no statistics for table %q", ErrNoPlans, q.Table)
+	}
+	t := entries[0].T // all indexes of one table share T and N
+	n := entries[0].N
+
+	sigma, err := o.EstimateSigma(q.Table, q.Range)
+	if err != nil {
+		return Plan{}, nil, err
+	}
+	s, err := o.EstimateS(q.Table, q.Sargable)
+	if err != nil {
+		return Plan{}, nil, err
+	}
+
+	var plans []Plan
+
+	// Plan 1: table scan. Fetches exactly T pages; sort if order required.
+	ts := Plan{
+		Kind:        TableScan,
+		Sigma:       sigma,
+		S:           s,
+		DataFetches: float64(t),
+		Explain:     []string{fmt.Sprintf("table scan reads all T=%d pages", t)},
+	}
+	if q.OrderBy != "" {
+		ts.SortPages = sortCost(sigma*s*float64(n), float64(t))
+		ts.Explain = append(ts.Explain, fmt.Sprintf("explicit sort for ORDER BY %s: ~%.0f page I/Os", q.OrderBy, ts.SortPages))
+	}
+	ts.Cost = ts.DataFetches + ts.SortPages
+	plans = append(plans, ts)
+
+	// Index plans: one per relevant index.
+	for _, st := range entries {
+		relRange := q.Range != nil && q.Range.Column == st.Column
+		relOrder := q.OrderBy != "" && q.OrderBy == st.Column
+		if !relRange && !relOrder {
+			continue // index is not relevant (paper's two relevance rules)
+		}
+		kind := FullIndexScan
+		planSigma := 1.0
+		if relRange {
+			kind = PartialIndexScan
+			planSigma = sigma
+		}
+		est, err := core.EstIO(st, core.Input{B: q.BufferPages, Sigma: planSigma, S: s}, core.Options{})
+		if err != nil {
+			return Plan{}, nil, err
+		}
+		p := Plan{
+			Kind:        kind,
+			Index:       st.Column,
+			Sigma:       planSigma,
+			S:           s,
+			DataFetches: est.F,
+			Explain: []string{
+				fmt.Sprintf("%s on index(%s): Est-IO(B=%d, sigma=%.4f, S=%.4f) = %.1f data-page fetches",
+					kind, st.Column, q.BufferPages, planSigma, s, est.F),
+				fmt.Sprintf("catalog: T=%d N=%d I=%d C=%.3f, PF_B=%.1f, correction=%.1f, sargable factor=%.3f",
+					st.T, st.N, st.I, st.C, est.PFB, est.Correction, est.SargableFactor),
+			},
+		}
+		if q.OrderBy != "" && !relOrder {
+			p.SortPages = sortCost(planSigma*s*float64(n), float64(t))
+			p.Explain = append(p.Explain, fmt.Sprintf("explicit sort for ORDER BY %s: ~%.0f page I/Os", q.OrderBy, p.SortPages))
+		}
+		p.Cost = p.DataFetches + p.SortPages
+		plans = append(plans, p)
+
+		if q.EnableRIDList && relRange {
+			rl := ridListPlan(st, q, planSigma, s)
+			plans = append(plans, rl)
+		}
+	}
+
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].Cost < plans[j].Cost })
+	return plans[0], plans, nil
+}
+
+// indexesOf lists the catalog entries for a table, sorted by column.
+func (o *Optimizer) indexesOf(tbl string) []*stats.IndexStats {
+	var out []*stats.IndexStats
+	for _, key := range o.catalog.Keys() {
+		st, err := o.catalog.Get(splitKey(key))
+		if err != nil {
+			continue
+		}
+		if st.Table == tbl {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func splitKey(key string) (tbl, column string) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}
+
+// ridListPlan costs the sort-before-fetch plan: fetch count equals the
+// number of distinct pages holding the qualifying records, which is the
+// paper's own Q model (pages referenced after start/stop conditions) thinned
+// by the sargable urn factor — independent of buffer size. The plan pays a
+// RID-list sort, and an explicit result sort when an order is required
+// (page-ordered fetch destroys key order).
+func ridListPlan(st *stats.IndexStats, q Query, sigma, s float64) Plan {
+	t := float64(st.T)
+	n := float64(st.N)
+	qPages := st.C*sigma*t + (1-st.C)*math.Min(t, sigma*n)
+	k := s * sigma * n
+	fetches := qPages
+	if s < 1 && qPages >= 1 {
+		fetches = qPages * (1 - math.Pow(1-1/qPages, k))
+	}
+	ridSort := sortCost(sigma*n/8, t) // RID entries are ~8x smaller than records
+	p := Plan{
+		Kind:        RIDListScan,
+		Index:       st.Column,
+		Sigma:       sigma,
+		S:           s,
+		DataFetches: fetches,
+		SortPages:   ridSort,
+		Explain: []string{
+			fmt.Sprintf("rid-list-scan on index(%s): Q=%.1f pages referenced, fetch each once (buffer-independent)", st.Column, qPages),
+			fmt.Sprintf("RID-list sort: ~%.0f page I/Os", ridSort),
+		},
+	}
+	if q.OrderBy != "" {
+		extra := sortCost(k, t)
+		p.SortPages += extra
+		p.Explain = append(p.Explain, fmt.Sprintf("explicit sort for ORDER BY %s: ~%.0f page I/Os", q.OrderBy, extra))
+	}
+	p.Cost = p.DataFetches + p.SortPages
+	return p
+}
+
+// sortCost models an external merge sort of k records occupying up to t
+// pages: write + read of the spilled partition (2 * pages touched),
+// charging nothing for tiny in-memory sorts.
+func sortCost(records, t float64) float64 {
+	pages := math.Min(t, math.Ceil(records/64)) // ~64 sort records per page
+	if pages <= 1 {
+		return 0
+	}
+	return 2 * pages
+}

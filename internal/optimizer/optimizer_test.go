@@ -1,0 +1,422 @@
+package optimizer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"epfis/internal/core"
+	"epfis/internal/datagen"
+	"epfis/internal/histogram"
+	"epfis/internal/stats"
+)
+
+// buildWorld creates a catalog + optimizer over two synthetic indexes on one
+// table: "clustered" (K=0) and "scattered" (K=1), both on N=20000 records,
+// T=500 pages.
+func buildWorld(t testing.TB) (*Optimizer, *stats.Catalog) {
+	t.Helper()
+	catalog := stats.NewCatalog()
+	opt, err := New(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col, k := range map[string]float64{"clustered": 0, "scattered": 1} {
+		ds, err := datagen.GenerateDataset(datagen.Config{
+			Name: "orders", N: 20_000, I: 400, R: 40, K: k, Seed: 5, Column: col,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := core.LRUFit(ds.Trace(), core.Meta{
+			Table: "orders", Column: col, T: ds.T, N: 20_000, I: 400,
+		}, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := catalog.Put(st); err != nil {
+			t.Fatal(err)
+		}
+		h, err := histogram.Build(ds.Keys, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.AddHistogram("orders", col, h)
+	}
+	return opt, catalog
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNoCatalog) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEstimateSigma(t *testing.T) {
+	opt, _ := buildWorld(t)
+	// Keys are 1..400 with 50 records each: [1, 100] covers ~25%.
+	sigma, err := opt.EstimateSigma("orders", &RangePred{Column: "clustered", HasLo: true, Lo: 1, HasHi: true, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma < 0.2 || sigma > 0.3 {
+		t.Errorf("sigma = %g, want ~0.25", sigma)
+	}
+	// Nil range: everything.
+	sigma, err = opt.EstimateSigma("orders", nil)
+	if err != nil || sigma != 1 {
+		t.Errorf("nil range sigma = %g, %v", sigma, err)
+	}
+	// Unknown column.
+	if _, err := opt.EstimateSigma("orders", &RangePred{Column: "nope"}); !errors.Is(err, ErrNoHistogram) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEstimateS(t *testing.T) {
+	opt, _ := buildWorld(t)
+	s, err := opt.EstimateS("orders", nil)
+	if err != nil || s != 1 {
+		t.Errorf("no sargable: %g, %v", s, err)
+	}
+	s, err = opt.EstimateS("orders", []SargPred{{Selectivity: 0.5}, {Selectivity: 0.5}})
+	if err != nil || s != 0.25 {
+		t.Errorf("explicit S: %g, %v (independence)", s, err)
+	}
+	// Histogram-driven equality on 400 distinct values: ~1/400.
+	s, err = opt.EstimateS("orders", []SargPred{{Column: "clustered", Equals: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.001 || s > 0.01 {
+		t.Errorf("equality S = %g, want ~0.0025", s)
+	}
+	if _, err := opt.EstimateS("orders", []SargPred{{}}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("empty pred err = %v", err)
+	}
+}
+
+func TestChooseSelectiveRangeUsesIndex(t *testing.T) {
+	opt, _ := buildWorld(t)
+	best, plans, err := opt.Choose(Query{
+		Table:       "orders",
+		Range:       &RangePred{Column: "clustered", HasLo: true, Lo: 1, HasHi: true, Hi: 20},
+		BufferPages: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Kind != PartialIndexScan || best.Index != "clustered" {
+		t.Errorf("best = %s on %q, want partial index scan on clustered", best.Kind, best.Index)
+	}
+	// Candidates: table scan + the one relevant index.
+	if len(plans) != 2 {
+		t.Errorf("%d plans", len(plans))
+	}
+	if best.Cost >= float64(500) {
+		t.Errorf("selective index scan cost %.1f >= table scan 500", best.Cost)
+	}
+}
+
+func TestChooseUnselectiveRangePrefersTableScan(t *testing.T) {
+	opt, _ := buildWorld(t)
+	// Nearly the whole table via a scattered index with a tiny buffer:
+	// the index scan would thrash; table scan must win.
+	best, _, err := opt.Choose(Query{
+		Table:       "orders",
+		Range:       &RangePred{Column: "scattered", HasLo: true, Lo: 1, HasHi: true, Hi: 395},
+		BufferPages: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Kind != TableScan {
+		t.Errorf("best = %s, want table scan (unclustered index + big range + small buffer)", best.Kind)
+	}
+}
+
+func TestBufferSizeFlipsPlanChoice(t *testing.T) {
+	// The paper's whole point: F depends on B, so the best plan does too.
+	opt, _ := buildWorld(t)
+	q := Query{
+		Table: "orders",
+		Range: &RangePred{Column: "scattered", HasLo: true, Lo: 1, HasHi: true, Hi: 140},
+	}
+	q.BufferPages = 10 // thrash: index scan expensive
+	small, _, err := opt.Choose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.BufferPages = 500 // whole table cacheable: index scan cheap
+	big, _, err := opt.Choose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Kind != TableScan {
+		t.Errorf("small buffer best = %s, want table scan", small.Kind)
+	}
+	if big.Kind != PartialIndexScan {
+		t.Errorf("large buffer best = %s, want index scan", big.Kind)
+	}
+}
+
+func TestOrderByMakesFullIndexScanRelevant(t *testing.T) {
+	opt, _ := buildWorld(t)
+	best, plans, err := opt.Choose(Query{
+		Table:       "orders",
+		OrderBy:     "clustered",
+		BufferPages: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidates: table scan (+sort) and full scan of the clustered index.
+	if len(plans) != 2 {
+		t.Fatalf("%d plans", len(plans))
+	}
+	var full *Plan
+	for i := range plans {
+		if plans[i].Kind == FullIndexScan {
+			full = &plans[i]
+		}
+	}
+	if full == nil {
+		t.Fatal("no full-index-scan candidate")
+	}
+	if full.SortPages != 0 {
+		t.Errorf("ordered index scan has sort cost %g", full.SortPages)
+	}
+	// The clustered full index scan reads ~T pages with no sort: it should
+	// beat table scan + sort.
+	if best.Kind != FullIndexScan {
+		t.Errorf("best = %s, want full index scan", best.Kind)
+	}
+}
+
+func TestSargablePredicateReducesIndexCost(t *testing.T) {
+	opt, _ := buildWorld(t)
+	q := Query{
+		Table:       "orders",
+		Range:       &RangePred{Column: "scattered", HasLo: true, Lo: 1, HasHi: true, Hi: 100},
+		BufferPages: 200,
+	}
+	plain, _, err := opt.Choose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Sargable = []SargPred{{Selectivity: 0.02}}
+	sarg, _, err := opt.Choose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sarg.Kind != PartialIndexScan {
+		t.Fatalf("sargable best = %s", sarg.Kind)
+	}
+	if plain.Kind == PartialIndexScan && sarg.DataFetches >= plain.DataFetches {
+		t.Errorf("sargable fetches %.1f >= plain %.1f", sarg.DataFetches, plain.DataFetches)
+	}
+}
+
+func TestChooseValidation(t *testing.T) {
+	opt, _ := buildWorld(t)
+	if _, _, err := opt.Choose(Query{Table: "orders"}); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("B=0 err = %v", err)
+	}
+	if _, _, err := opt.Choose(Query{Table: "ghost", BufferPages: 10}); !errors.Is(err, ErrNoPlans) {
+		t.Errorf("unknown table err = %v", err)
+	}
+}
+
+func TestPlansSortedByCostAndExplained(t *testing.T) {
+	opt, _ := buildWorld(t)
+	_, plans, err := opt.Choose(Query{
+		Table:       "orders",
+		Range:       &RangePred{Column: "clustered", HasLo: true, Lo: 1, HasHi: true, Hi: 200},
+		OrderBy:     "clustered",
+		BufferPages: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Cost < plans[i-1].Cost {
+			t.Errorf("plans not sorted at %d", i)
+		}
+	}
+	for _, p := range plans {
+		if len(p.Explain) == 0 {
+			t.Errorf("plan %s has no explanation", p.Kind)
+		}
+	}
+}
+
+func TestPlanKindString(t *testing.T) {
+	if TableScan.String() != "table-scan" ||
+		PartialIndexScan.String() != "partial-index-scan" ||
+		FullIndexScan.String() != "full-index-scan" {
+		t.Error("PlanKind.String broken")
+	}
+	if !strings.Contains(PlanKind(9).String(), "9") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	tbl, col := splitKey("orders.date")
+	if tbl != "orders" || col != "date" {
+		t.Errorf("splitKey = %q, %q", tbl, col)
+	}
+	tbl, col = splitKey("a.b.c")
+	if tbl != "a.b" || col != "c" {
+		t.Errorf("splitKey = %q, %q", tbl, col)
+	}
+}
+
+func TestRIDListPlanEnabled(t *testing.T) {
+	opt, _ := buildWorld(t)
+	q := Query{
+		Table:       "orders",
+		Range:       &RangePred{Column: "scattered", HasLo: true, Lo: 1, HasHi: true, Hi: 140},
+		BufferPages: 10, // tiny buffer: the plain index scan thrashes
+	}
+	_, plain, err := opt.Choose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plain {
+		if p.Kind == RIDListScan {
+			t.Fatal("RID-list plan offered without EnableRIDList")
+		}
+	}
+	q.EnableRIDList = true
+	best, plans, err := opt.Choose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rl *Plan
+	for i := range plans {
+		if plans[i].Kind == RIDListScan {
+			rl = &plans[i]
+		}
+	}
+	if rl == nil {
+		t.Fatal("no RID-list candidate")
+	}
+	// Buffer-size independence: with a tiny buffer the RID-list plan must
+	// beat the thrashing plain index scan on an unclustered index.
+	var plainIdx *Plan
+	for i := range plans {
+		if plans[i].Kind == PartialIndexScan {
+			plainIdx = &plans[i]
+		}
+	}
+	if plainIdx == nil {
+		t.Fatal("no plain index-scan candidate")
+	}
+	// At B=10 the plain scan re-fetches pages ~4x (2000 records over ~490
+	// pages); the RID-list plan fetches each page once. It must dominate
+	// the plain scan by a wide margin...
+	if rl.Cost >= plainIdx.Cost/2 {
+		t.Errorf("RID-list cost %.0f not well below plain index scan %.0f at B=10", rl.Cost, plainIdx.Cost)
+	}
+	// ...while the table scan stays best overall here: with sigma*N > T the
+	// qualifying records touch essentially every page (Q ~ T), so the
+	// RID-list plan is a table scan plus a sort.
+	if best.Kind != TableScan {
+		t.Errorf("best = %s, want table scan", best.Kind)
+	}
+	if rl.Cost > 1.2*best.Cost {
+		t.Errorf("RID-list cost %.0f far above table scan %.0f", rl.Cost, best.Cost)
+	}
+}
+
+func TestRIDListPlanWinsOnSelectiveUnclusteredScan(t *testing.T) {
+	// sigma*N < T: the qualifying records touch only part of the table, so
+	// fetching each of those pages once beats both the thrashing plain scan
+	// and the full table scan.
+	opt, _ := buildWorld(t)
+	best, _, err := opt.Choose(Query{
+		Table:         "orders",
+		Range:         &RangePred{Column: "scattered", HasLo: true, Lo: 1, HasHi: true, Hi: 6},
+		BufferPages:   10,
+		EnableRIDList: true,
+		Sargable:      []SargPred{{Selectivity: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Kind != RIDListScan {
+		t.Errorf("best = %s (cost %.0f), want rid-list-scan", best.Kind, best.Cost)
+	}
+}
+
+func TestRIDListPlanCostIndependentOfBuffer(t *testing.T) {
+	opt, _ := buildWorld(t)
+	q := Query{
+		Table:         "orders",
+		Range:         &RangePred{Column: "scattered", HasLo: true, Lo: 1, HasHi: true, Hi: 140},
+		EnableRIDList: true,
+	}
+	get := func(b int64) float64 {
+		q.BufferPages = b
+		_, plans, err := opt.Choose(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range plans {
+			if p.Kind == RIDListScan {
+				return p.DataFetches
+			}
+		}
+		t.Fatal("no rid-list plan")
+		return 0
+	}
+	if a, b := get(10), get(500); a != b {
+		t.Errorf("RID-list fetches depend on B: %g vs %g", a, b)
+	}
+}
+
+func TestOptimizerAutoLoadsCatalogHistograms(t *testing.T) {
+	// An optimizer built from a catalog whose entries carry histograms
+	// needs no AddHistogram calls.
+	catalog := stats.NewCatalog()
+	ds, err := datagen.GenerateDataset(datagen.Config{
+		Name: "auto", N: 8_000, I: 200, R: 40, K: 0.3, Seed: 2, Column: "k",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.LRUFit(ds.Trace(), core.Meta{Table: "auto", Column: "k", T: ds.T, N: 8_000, I: 200}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := histogram.Build(ds.Keys, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.KeyHistogram = h.Buckets()
+	if err := catalog.Put(st); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := New(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := opt.EstimateSigma("auto", &RangePred{Column: "k", HasLo: true, Lo: 1, HasHi: true, Hi: 50})
+	if err != nil {
+		t.Fatalf("histogram not auto-loaded: %v", err)
+	}
+	if sigma < 0.2 || sigma > 0.3 {
+		t.Errorf("sigma = %g, want ~0.25", sigma)
+	}
+	best, _, err := opt.Choose(Query{
+		Table: "auto", BufferPages: 50,
+		Range: &RangePred{Column: "k", HasLo: true, Lo: 1, HasHi: true, Hi: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cost <= 0 {
+		t.Error("bad plan cost")
+	}
+}

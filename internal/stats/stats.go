@@ -1,0 +1,210 @@
+// Package stats defines the catalog records produced by LRU-Fit and consumed
+// by Est-IO, and a small system catalog that stores them — the paper:
+//
+//	"This coordinate information can be stored in a system catalog entry
+//	 associated with the index for later use by Est-IO."
+//
+// The catalog serializes to JSON so statistics collected by cmd/epfis can be
+// inspected and reused across runs.
+package stats
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"epfis/internal/curvefit"
+	"epfis/internal/histogram"
+)
+
+// FormatVersion is bumped whenever the serialized layout changes.
+const FormatVersion = 1
+
+// IndexStats is the catalog entry for one index, everything Est-IO needs.
+type IndexStats struct {
+	// Table and Column identify the index.
+	Table  string `json:"table"`
+	Column string `json:"column"`
+
+	// T is the number of data pages in the table.
+	T int64 `json:"pages"`
+	// N is the number of records in the table.
+	N int64 `json:"records"`
+	// I is the number of distinct key values in the index.
+	I int64 `json:"distinctKeys"`
+
+	// BMin and BMax bound the modeled buffer-size range.
+	BMin int64 `json:"bufferMin"`
+	BMax int64 `json:"bufferMax"`
+	// FMin is the measured page-fetch count for a full scan at B = BMin.
+	FMin int64 `json:"fetchesAtBMin"`
+	// C is the clustering factor (N - FMin) / (N - T), clamped to [0, 1].
+	C float64 `json:"clusteringFactor"`
+
+	// Curve is the piecewise-linear approximation to the FPF curve:
+	// x = buffer size in pages, y = full-scan page fetches.
+	Curve curvefit.PolyLine `json:"fpfCurve"`
+
+	// KeyHistogram optionally carries the key column's compressed equi-depth
+	// histogram buckets, so an optimizer rebuilt from the catalog can
+	// estimate start/stop selectivities without rescanning the data.
+	KeyHistogram []histogram.Bucket `json:"keyHistogram,omitempty"`
+
+	// GridPoints is the number of (B, F) samples the curve was fitted to.
+	GridPoints int `json:"gridPoints"`
+	// CollectedAt records when LRU-Fit ran.
+	CollectedAt time.Time `json:"collectedAt"`
+}
+
+// Errors returned by this package.
+var (
+	ErrNotFound   = errors.New("stats: no statistics for index")
+	ErrBadVersion = errors.New("stats: unsupported catalog format version")
+)
+
+// Validate checks internal consistency of the entry.
+func (s *IndexStats) Validate() error {
+	switch {
+	case s.T < 1:
+		return fmt.Errorf("stats: T = %d, want >= 1", s.T)
+	case s.N < 1:
+		return fmt.Errorf("stats: N = %d, want >= 1", s.N)
+	case s.I < 1 || s.I > s.N:
+		return fmt.Errorf("stats: I = %d, want in [1, N=%d]", s.I, s.N)
+	case s.BMin < 1 || s.BMax < s.BMin:
+		return fmt.Errorf("stats: buffer range [%d, %d] invalid", s.BMin, s.BMax)
+	case s.C < 0 || s.C > 1:
+		return fmt.Errorf("stats: C = %g, want in [0, 1]", s.C)
+	case s.FMin < s.T && s.N >= s.T:
+		return fmt.Errorf("stats: FMin = %d below T = %d", s.FMin, s.T)
+	}
+	if err := s.Curve.Validate(); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if len(s.KeyHistogram) > 0 {
+		if _, err := histogram.FromBuckets(s.KeyHistogram); err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+	}
+	return nil
+}
+
+// Histogram reconstructs the key column's histogram, or nil when the entry
+// carries none.
+func (s *IndexStats) Histogram() (*histogram.EquiDepth, error) {
+	if len(s.KeyHistogram) == 0 {
+		return nil, nil
+	}
+	return histogram.FromBuckets(s.KeyHistogram)
+}
+
+// Key identifies the entry within a catalog.
+func (s *IndexStats) Key() string { return s.Table + "." + s.Column }
+
+// Catalog is an in-memory system catalog of index statistics.
+type Catalog struct {
+	entries map[string]*IndexStats
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{entries: make(map[string]*IndexStats)}
+}
+
+// Put validates and stores (or replaces) an entry.
+func (c *Catalog) Put(s *IndexStats) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	cp := *s
+	c.entries[s.Key()] = &cp
+	return nil
+}
+
+// Get returns the entry for table.column.
+func (c *Catalog) Get(tbl, column string) (*IndexStats, error) {
+	s, ok := c.entries[tbl+"."+column]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNotFound, tbl, column)
+	}
+	cp := *s
+	return &cp, nil
+}
+
+// Len reports the number of entries.
+func (c *Catalog) Len() int { return len(c.entries) }
+
+// Keys lists the entry keys in sorted order.
+func (c *Catalog) Keys() []string {
+	ks := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// catalogFile is the serialized form.
+type catalogFile struct {
+	Version int           `json:"version"`
+	Entries []*IndexStats `json:"entries"`
+}
+
+// Save writes the catalog as JSON.
+func (c *Catalog) Save(w io.Writer) error {
+	f := catalogFile{Version: FormatVersion}
+	for _, k := range c.Keys() {
+		f.Entries = append(f.Entries, c.entries[k])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("stats: save catalog: %w", err)
+	}
+	return nil
+}
+
+// Load reads a catalog from JSON, validating every entry.
+func Load(r io.Reader) (*Catalog, error) {
+	var f catalogFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("stats: load catalog: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, f.Version)
+	}
+	c := NewCatalog()
+	for _, e := range f.Entries {
+		if err := c.Put(e); err != nil {
+			return nil, fmt.Errorf("stats: load catalog entry %s: %w", e.Key(), err)
+		}
+	}
+	return c, nil
+}
+
+// SaveFile writes the catalog to a file path.
+func (c *Catalog) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	defer f.Close()
+	if err := c.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a catalog from a file path.
+func LoadFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stats: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"epfis/internal/curvefit"
+	"epfis/internal/histogram"
+)
+
+func sample(tbl, col string) *IndexStats {
+	return &IndexStats{
+		Table: tbl, Column: col,
+		T: 1000, N: 40_000, I: 500,
+		BMin: 12, BMax: 1000, FMin: 35_000, C: 0.128,
+		Curve: curvefit.PolyLine{Knots: []curvefit.Point{
+			{X: 12, Y: 35_000}, {X: 400, Y: 8_000}, {X: 1000, Y: 1_000},
+		}},
+		GridPoints:  32,
+		CollectedAt: time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := sample("t", "c").Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := map[string]func(*IndexStats){
+		"T=0":        func(s *IndexStats) { s.T = 0 },
+		"N=0":        func(s *IndexStats) { s.N = 0 },
+		"I=0":        func(s *IndexStats) { s.I = 0 },
+		"I>N":        func(s *IndexStats) { s.I = s.N + 1 },
+		"BMin=0":     func(s *IndexStats) { s.BMin = 0 },
+		"BMax<BMin":  func(s *IndexStats) { s.BMax = s.BMin - 1 },
+		"C<0":        func(s *IndexStats) { s.C = -0.1 },
+		"C>1":        func(s *IndexStats) { s.C = 1.1 },
+		"FMin<T":     func(s *IndexStats) { s.FMin = s.T - 1 },
+		"badCurve":   func(s *IndexStats) { s.Curve.Knots = s.Curve.Knots[:1] },
+		"curveOrder": func(s *IndexStats) { s.Curve.Knots[1].X = 5 },
+	}
+	for name, mutate := range mutations {
+		s := sample("t", "c")
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid entry", name)
+		}
+	}
+}
+
+func TestCatalogPutGet(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Put(sample("orders", "date")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(sample("orders", "custid")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	got, err := c.Get("orders", "date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != "orders.date" || got.T != 1000 {
+		t.Errorf("Get returned %+v", got)
+	}
+	// Returned copy must not alias the stored entry.
+	got.T = 9
+	again, _ := c.Get("orders", "date")
+	if again.T != 1000 {
+		t.Error("Get returned aliased entry")
+	}
+	if _, err := c.Get("orders", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing err = %v", err)
+	}
+	wantKeys := []string{"orders.custid", "orders.date"}
+	gotKeys := c.Keys()
+	if len(gotKeys) != 2 || gotKeys[0] != wantKeys[0] || gotKeys[1] != wantKeys[1] {
+		t.Errorf("Keys = %v", gotKeys)
+	}
+}
+
+func TestCatalogPutRejectsInvalid(t *testing.T) {
+	c := NewCatalog()
+	bad := sample("t", "c")
+	bad.C = 2
+	if err := c.Put(bad); err == nil {
+		t.Error("Put accepted invalid entry")
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	c := NewCatalog()
+	for _, col := range []string{"a", "b", "c"} {
+		if err := c.Put(sample("tbl", col)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 3 {
+		t.Fatalf("reloaded Len = %d", re.Len())
+	}
+	got, err := re.Get("tbl", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample("tbl", "b")
+	if got.T != want.T || got.C != want.C || len(got.Curve.Knots) != len(want.Curve.Knots) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if !got.CollectedAt.Equal(want.CollectedAt) {
+		t.Errorf("CollectedAt = %v", got.CollectedAt)
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	in := strings.NewReader(`{"version": 99, "entries": []}`)
+	if _, err := Load(in); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("Load accepted garbage")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"entries":[{"table":"t"}]}`)); err == nil {
+		t.Error("Load accepted invalid entry")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	c := NewCatalog()
+	if err := c.Put(sample("t", "c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Errorf("Len = %d", re.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadFile(missing) succeeded")
+	}
+}
+
+func TestKeyHistogramRoundTrip(t *testing.T) {
+	s := sample("t", "h")
+	s.KeyHistogram = []histogram.Bucket{
+		{Lo: 1, Hi: 100, Count: 500, Distinct: 100},
+		{Lo: 101, Hi: 200, Count: 500, Distinct: 100},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate with histogram: %v", err)
+	}
+	c := NewCatalog()
+	if err := c.Put(s); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Get("t", "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := got.Histogram()
+	if err != nil || h == nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	if h.N() != 1000 || h.NumBuckets() != 2 {
+		t.Errorf("reconstructed histogram N=%d buckets=%d", h.N(), h.NumBuckets())
+	}
+	if sel := h.EstimateRange(1, 100, false, false); sel != 0.5 {
+		t.Errorf("selectivity = %g", sel)
+	}
+}
+
+func TestValidateRejectsBadHistogram(t *testing.T) {
+	s := sample("t", "h")
+	s.KeyHistogram = []histogram.Bucket{
+		{Lo: 10, Hi: 5, Count: 1, Distinct: 1}, // inverted
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("inverted histogram bucket accepted")
+	}
+}
+
+func TestHistogramNilWhenAbsent(t *testing.T) {
+	s := sample("t", "h")
+	h, err := s.Histogram()
+	if err != nil || h != nil {
+		t.Errorf("Histogram() = %v, %v, want nil, nil", h, err)
+	}
+}

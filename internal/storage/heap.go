@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Record is the logical tuple stored in the experiment tables: a single
+// int64 key column (the indexed column) plus an opaque payload whose size is
+// chosen to control the number of records per page, mirroring the paper's
+// R = N/T parameter.
+type Record struct {
+	Key     int64
+	Payload []byte
+}
+
+// EncodeRecord serializes a record: 8-byte little-endian key then payload.
+func EncodeRecord(r Record) []byte {
+	b := make([]byte, 8+len(r.Payload))
+	binary.LittleEndian.PutUint64(b, uint64(r.Key))
+	copy(b[8:], r.Payload)
+	return b
+}
+
+// DecodeRecord parses a serialized record.
+func DecodeRecord(b []byte) (Record, error) {
+	if len(b) < 8 {
+		return Record{}, fmt.Errorf("storage: record too short: %d bytes", len(b))
+	}
+	return Record{
+		Key:     int64(binary.LittleEndian.Uint64(b)),
+		Payload: append([]byte(nil), b[8:]...),
+	}, nil
+}
+
+// PayloadSizeFor returns the payload size that makes exactly recordsPerPage
+// records fit on one page (and recordsPerPage+1 not fit).
+// It returns an error when recordsPerPage is out of the feasible range.
+func PayloadSizeFor(recordsPerPage int) (int, error) {
+	if recordsPerPage < 1 {
+		return 0, fmt.Errorf("storage: records per page must be >= 1, got %d", recordsPerPage)
+	}
+	usable := PageSize - pageHeaderSize
+	// Each record consumes len(rec) bytes plus one slot entry.
+	per := usable/recordsPerPage - slotEntrySize
+	payload := per - 8
+	if payload < 0 {
+		return 0, fmt.Errorf("storage: %d records per page does not fit in a %d-byte page", recordsPerPage, PageSize)
+	}
+	// Verify one more record would not fit.
+	if (recordsPerPage+1)*(per+slotEntrySize) <= usable {
+		// per was rounded down so this should not happen, but guard anyway.
+		return 0, fmt.Errorf("storage: internal error sizing %d records per page", recordsPerPage)
+	}
+	return payload, nil
+}
+
+// HeapFile is a heap of slotted pages within a PageStore. Records append to
+// the last page until it fills, then a new page is allocated. The heap tracks
+// its own page ids so several heaps (and B-trees) can share one store.
+type HeapFile struct {
+	store   PageStore
+	pageIDs []PageID
+	last    *Page // cached image of the final page, nil when empty
+	count   int
+}
+
+// NewHeapFile creates an empty heap file in the store.
+func NewHeapFile(store PageStore) *HeapFile {
+	return &HeapFile{store: store}
+}
+
+// NumPages reports the number of pages in this heap (the paper's T).
+func (h *HeapFile) NumPages() int { return len(h.pageIDs) }
+
+// NumRecords reports the number of records inserted (the paper's N).
+func (h *HeapFile) NumRecords() int { return h.count }
+
+// PageIDs returns the heap's page ids in physical order. The slice is shared;
+// callers must not mutate it.
+func (h *HeapFile) PageIDs() []PageID { return h.pageIDs }
+
+// Append inserts a record at the end of the heap and returns its RID.
+func (h *HeapFile) Append(rec Record) (RID, error) {
+	enc := EncodeRecord(rec)
+	if h.last == nil || len(enc) > h.last.FreeSpace() {
+		if err := h.flushLast(); err != nil {
+			return RID{}, err
+		}
+		id, err := h.store.Allocate()
+		if err != nil {
+			return RID{}, fmt.Errorf("storage: heap append: %w", err)
+		}
+		h.pageIDs = append(h.pageIDs, id)
+		h.last = NewPage(id, PageKindHeap)
+	}
+	slot, err := h.last.Insert(enc)
+	if err != nil {
+		return RID{}, fmt.Errorf("storage: heap append: %w", err)
+	}
+	h.count++
+	return RID{Page: h.last.ID(), Slot: slot}, nil
+}
+
+func (h *HeapFile) flushLast() error {
+	if h.last == nil {
+		return nil
+	}
+	if err := h.store.WritePage(h.last.ID(), h.last); err != nil {
+		return fmt.Errorf("storage: heap flush: %w", err)
+	}
+	return nil
+}
+
+// Flush persists any buffered tail page. Call after the final Append.
+func (h *HeapFile) Flush() error { return h.flushLast() }
+
+// Get fetches the record at rid directly from the store (unbuffered).
+// Scans that must count page fetches go through a buffer pool instead.
+func (h *HeapFile) Get(rid RID) (Record, error) {
+	var p Page
+	if err := h.store.ReadPage(rid.Page, &p); err != nil {
+		return Record{}, err
+	}
+	raw, err := p.Record(rid.Slot)
+	if err != nil {
+		return Record{}, err
+	}
+	return DecodeRecord(raw)
+}
+
+// ErrPagePlanFull reports that a placement exceeded a page's planned capacity.
+var ErrPagePlanFull = errors.New("storage: planned page is full")
+
+// PlacedHeapBuilder materializes a table whose record-to-page assignment is
+// chosen by the caller, which is how the synthetic data generator realizes
+// the paper's window placement model (records of one key value scattered over
+// a window of pages). All pages are pre-allocated; Place assigns a record to
+// a specific page index; Finish seals every page.
+type PlacedHeapBuilder struct {
+	store    PageStore
+	pages    []*Page
+	ids      []PageID
+	capacity int
+	payload  int
+	fill     []int
+	count    int
+	done     bool
+}
+
+// NewPlacedHeapBuilder pre-allocates numPages pages each planned to hold
+// exactly recordsPerPage records.
+func NewPlacedHeapBuilder(store PageStore, numPages, recordsPerPage int) (*PlacedHeapBuilder, error) {
+	if numPages < 1 {
+		return nil, fmt.Errorf("storage: placed heap needs >= 1 page, got %d", numPages)
+	}
+	payload, err := PayloadSizeFor(recordsPerPage)
+	if err != nil {
+		return nil, err
+	}
+	b := &PlacedHeapBuilder{
+		store:    store,
+		pages:    make([]*Page, numPages),
+		ids:      make([]PageID, numPages),
+		capacity: recordsPerPage,
+		payload:  payload,
+		fill:     make([]int, numPages),
+	}
+	for i := range b.pages {
+		id, err := store.Allocate()
+		if err != nil {
+			return nil, fmt.Errorf("storage: placed heap allocate: %w", err)
+		}
+		b.ids[i] = id
+		b.pages[i] = NewPage(id, PageKindHeap)
+	}
+	return b, nil
+}
+
+// Capacity reports the planned records-per-page.
+func (b *PlacedHeapBuilder) Capacity() int { return b.capacity }
+
+// NumPages reports the number of pre-allocated pages.
+func (b *PlacedHeapBuilder) NumPages() int { return len(b.pages) }
+
+// Fill reports how many records have been placed on page index i.
+func (b *PlacedHeapBuilder) Fill(i int) int { return b.fill[i] }
+
+// Place stores a record with the given key on the page with the given index
+// (0-based position within this heap, not the global PageID) and returns its
+// RID.
+func (b *PlacedHeapBuilder) Place(pageIdx int, key int64) (RID, error) {
+	return b.PlaceWith(pageIdx, key, 0)
+}
+
+// PlaceWith is Place with a second column value stored in the leading bytes
+// of the record payload (the paper's minor index column b; see
+// btree.Entry.Included).
+func (b *PlacedHeapBuilder) PlaceWith(pageIdx int, key int64, second uint32) (RID, error) {
+	if b.done {
+		return RID{}, errors.New("storage: placed heap already finished")
+	}
+	if pageIdx < 0 || pageIdx >= len(b.pages) {
+		return RID{}, fmt.Errorf("storage: page index %d out of range [0,%d)", pageIdx, len(b.pages))
+	}
+	if b.fill[pageIdx] >= b.capacity {
+		return RID{}, fmt.Errorf("%w: index %d", ErrPagePlanFull, pageIdx)
+	}
+	rec := Record{Key: key, Payload: make([]byte, b.payload)}
+	if len(rec.Payload) >= 4 {
+		binary.LittleEndian.PutUint32(rec.Payload[:4], second)
+	}
+	slot, err := b.pages[pageIdx].Insert(EncodeRecord(rec))
+	if err != nil {
+		return RID{}, fmt.Errorf("storage: place on page %d: %w", pageIdx, err)
+	}
+	b.fill[pageIdx]++
+	b.count++
+	return RID{Page: b.ids[pageIdx], Slot: slot}, nil
+}
+
+// SecondColumn extracts the minor column value stored by PlaceWith, or 0
+// when the payload is too small to carry one.
+func (r Record) SecondColumn() uint32 {
+	if len(r.Payload) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.Payload[:4])
+}
+
+// Finish writes every page to the store and returns the heap's page ids in
+// physical order.
+func (b *PlacedHeapBuilder) Finish() ([]PageID, error) {
+	if b.done {
+		return b.ids, nil
+	}
+	for i, p := range b.pages {
+		if err := b.store.WritePage(b.ids[i], p); err != nil {
+			return nil, fmt.Errorf("storage: placed heap finish: %w", err)
+		}
+	}
+	b.done = true
+	return b.ids, nil
+}
+
+// NumRecords reports the number of records placed so far.
+func (b *PlacedHeapBuilder) NumRecords() int { return b.count }

@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func testStores(t *testing.T) map[string]PageStore {
+	t.Helper()
+	fs, err := OpenFileStore(filepath.Join(t.TempDir(), "pages.db"), false)
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return map[string]PageStore{"mem": NewMemStore(), "file": fs}
+}
+
+func TestHeapFileAppendGet(t *testing.T) {
+	for name, store := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			h := NewHeapFile(store)
+			payload, err := PayloadSizeFor(20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rids []RID
+			const n = 105
+			for i := 0; i < n; i++ {
+				rid, err := h.Append(Record{Key: int64(i), Payload: make([]byte, payload)})
+				if err != nil {
+					t.Fatalf("Append(%d): %v", i, err)
+				}
+				rids = append(rids, rid)
+			}
+			if err := h.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if h.NumRecords() != n {
+				t.Errorf("NumRecords = %d, want %d", h.NumRecords(), n)
+			}
+			// 20 records/page, 105 records -> 6 pages.
+			if h.NumPages() != 6 {
+				t.Errorf("NumPages = %d, want 6", h.NumPages())
+			}
+			for i, rid := range rids {
+				rec, err := h.Get(rid)
+				if err != nil {
+					t.Fatalf("Get(%v): %v", rid, err)
+				}
+				if rec.Key != int64(i) {
+					t.Errorf("Get(%v).Key = %d, want %d", rid, rec.Key, i)
+				}
+			}
+		})
+	}
+}
+
+func TestHeapFileRIDsPhysicallyOrdered(t *testing.T) {
+	store := NewMemStore()
+	h := NewHeapFile(store)
+	var prev RID
+	for i := 0; i < 300; i++ {
+		rid, err := h.Append(Record{Key: int64(i), Payload: make([]byte, 64)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && !prev.Less(rid) {
+			t.Fatalf("append order not physical: %v then %v", prev, rid)
+		}
+		prev = rid
+	}
+}
+
+func TestMemStoreErrors(t *testing.T) {
+	s := NewMemStore()
+	var p Page
+	if err := s.ReadPage(0, &p); !errors.Is(err, ErrNoSuchPage) {
+		t.Errorf("ReadPage(0) err = %v, want ErrNoSuchPage", err)
+	}
+	if err := s.WritePage(5, NewPage(5, PageKindHeap)); !errors.Is(err, ErrNoSuchPage) {
+		t.Errorf("WritePage(5) err = %v, want ErrNoSuchPage", err)
+	}
+}
+
+func TestFileStorePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	fs, err := OpenFileStore(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := fs.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPage(id, PageKindHeap)
+	if _, err := p.Insert([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WritePage(id, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFileStore(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if fs2.NumPages() != 1 {
+		t.Fatalf("NumPages after reopen = %d, want 1", fs2.NumPages())
+	}
+	var q Page
+	if err := fs2.ReadPage(id, &q); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := q.Record(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec) != "durable" {
+		t.Errorf("record = %q, want durable", rec)
+	}
+}
+
+func TestFileStoreBadSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ragged.db")
+	if err := writeFile(path, make([]byte, PageSize+1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path, false); err == nil {
+		t.Error("OpenFileStore on ragged file succeeded")
+	}
+}
+
+func TestPlacedHeapBuilder(t *testing.T) {
+	store := NewMemStore()
+	b, err := NewPlacedHeapBuilder(store, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Capacity() != 3 || b.NumPages() != 4 {
+		t.Fatalf("capacity=%d pages=%d", b.Capacity(), b.NumPages())
+	}
+	// Scatter records across pages out of order.
+	placement := []int{2, 0, 2, 1, 3, 2, 0}
+	var rids []RID
+	for i, pg := range placement {
+		rid, err := b.Place(pg, int64(i))
+		if err != nil {
+			t.Fatalf("Place(%d,%d): %v", pg, i, err)
+		}
+		rids = append(rids, rid)
+	}
+	// Page 2 now holds 3 records; a 4th must fail.
+	if _, err := b.Place(2, 99); !errors.Is(err, ErrPagePlanFull) {
+		t.Errorf("Place on full page err = %v, want ErrPagePlanFull", err)
+	}
+	ids, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("Finish returned %d ids", len(ids))
+	}
+	// Records must be readable and hold the right keys.
+	for i, rid := range rids {
+		var p Page
+		if err := store.ReadPage(rid.Page, &p); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := p.Record(rid.Slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := DecodeRecord(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Key != int64(i) {
+			t.Errorf("record %d key = %d", i, rec.Key)
+		}
+	}
+	// Placement must map RIDs to the planned pages.
+	for i, pg := range placement {
+		if rids[i].Page != ids[pg] {
+			t.Errorf("record %d on page %d, want planned page %d", i, rids[i].Page, ids[pg])
+		}
+	}
+	// Finish twice is idempotent; Place after Finish fails.
+	if _, err := b.Finish(); err != nil {
+		t.Errorf("second Finish: %v", err)
+	}
+	if _, err := b.Place(0, 1); err == nil {
+		t.Error("Place after Finish succeeded")
+	}
+}
+
+func TestPlacedHeapBuilderErrors(t *testing.T) {
+	store := NewMemStore()
+	if _, err := NewPlacedHeapBuilder(store, 0, 3); err == nil {
+		t.Error("0 pages accepted")
+	}
+	b, err := NewPlacedHeapBuilder(store, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Place(-1, 0); err == nil {
+		t.Error("negative page index accepted")
+	}
+	if _, err := b.Place(2, 0); err == nil {
+		t.Error("out-of-range page index accepted")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return osWriteFile(path, data)
+}

@@ -1,0 +1,8 @@
+package storage
+
+import "os"
+
+// osWriteFile is an indirection point for tests.
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// PageSize is the fixed size in bytes of every page in the system. 4 KiB is
+// the page size assumed throughout the experiments (the paper's figures are
+// expressed in pages, so the absolute size only affects record capacity).
+const PageSize = 4096
+
+// Page kinds stored in the page header. The storage layer itself only
+// interprets PageKindHeap; the B-tree layer stamps its own kinds so that a
+// corrupted or misdirected read is detected instead of misinterpreted.
+const (
+	PageKindFree uint8 = iota
+	PageKindHeap
+	PageKindBTreeLeaf
+	PageKindBTreeInternal
+	PageKindMeta
+)
+
+// Page header layout (little endian):
+//
+//	offset 0  uint32  checksum (CRC-32C of bytes [8, PageSize))
+//	offset 4  uint8   kind
+//	offset 5  uint8   reserved
+//	offset 6  uint16  slot count
+//	offset 8  uint32  page id (self reference, for diagnostics)
+//	offset 12 uint16  free-space offset (start of unused region)
+//	offset 14 uint16  reserved
+//	offset 16 ...     record heap grows upward from here
+//
+// The slot directory grows downward from the end of the page; each slot is
+// 4 bytes: uint16 record offset, uint16 record length. A slot with offset 0
+// is a dead (deleted) slot.
+const (
+	pageHeaderSize = 16
+	slotEntrySize  = 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Common storage errors.
+var (
+	ErrPageFull     = errors.New("storage: page full")
+	ErrBadChecksum  = errors.New("storage: page checksum mismatch")
+	ErrBadSlot      = errors.New("storage: invalid slot")
+	ErrRecordTooBig = errors.New("storage: record larger than page capacity")
+	ErrNoSuchPage   = errors.New("storage: no such page")
+)
+
+// Page is an in-memory image of one fixed-size slotted page.
+type Page struct {
+	buf [PageSize]byte
+}
+
+// NewPage returns an initialized, empty page of the given kind with the given
+// self-identifying id.
+func NewPage(id PageID, kind uint8) *Page {
+	p := &Page{}
+	p.buf[4] = kind
+	binary.LittleEndian.PutUint16(p.buf[6:8], 0)
+	binary.LittleEndian.PutUint32(p.buf[8:12], uint32(id))
+	binary.LittleEndian.PutUint16(p.buf[12:14], pageHeaderSize)
+	return p
+}
+
+// Kind reports the page kind stamped in the header.
+func (p *Page) Kind() uint8 { return p.buf[4] }
+
+// ID reports the self-identifying page id stored in the header.
+func (p *Page) ID() PageID {
+	return PageID(binary.LittleEndian.Uint32(p.buf[8:12]))
+}
+
+// NumSlots reports the number of slots in the slot directory, including dead
+// slots.
+func (p *Page) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[6:8]))
+}
+
+func (p *Page) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p.buf[6:8], uint16(n))
+}
+
+func (p *Page) freeOffset() int {
+	return int(binary.LittleEndian.Uint16(p.buf[12:14]))
+}
+
+func (p *Page) setFreeOffset(off int) {
+	binary.LittleEndian.PutUint16(p.buf[12:14], uint16(off))
+}
+
+func (p *Page) slotBase(slot int) int {
+	return PageSize - (slot+1)*slotEntrySize
+}
+
+// FreeSpace reports the number of payload bytes that can still be inserted,
+// accounting for the slot-directory entry a new record would need
+// (slotBase of the next slot already reserves that entry's 4 bytes).
+func (p *Page) FreeSpace() int {
+	free := p.slotBase(p.NumSlots()) - p.freeOffset()
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// MaxRecordSize is the largest record payload a single empty page can hold.
+const MaxRecordSize = PageSize - pageHeaderSize - slotEntrySize
+
+// Insert appends a record to the page and returns its slot number.
+// It fails with ErrPageFull when the record does not fit.
+func (p *Page) Insert(rec []byte) (uint16, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, ErrRecordTooBig
+	}
+	if len(rec) > p.FreeSpace() {
+		return 0, ErrPageFull
+	}
+	slot := p.NumSlots()
+	off := p.freeOffset()
+	copy(p.buf[off:], rec)
+	base := p.slotBase(slot)
+	binary.LittleEndian.PutUint16(p.buf[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], uint16(len(rec)))
+	p.setFreeOffset(off + len(rec))
+	p.setNumSlots(slot + 1)
+	return uint16(slot), nil
+}
+
+// Record returns the payload stored in the given slot. The returned slice
+// aliases the page buffer and must not be retained across page reuse.
+func (p *Page) Record(slot uint16) ([]byte, error) {
+	if int(slot) >= p.NumSlots() {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrBadSlot, slot, p.NumSlots())
+	}
+	base := p.slotBase(int(slot))
+	off := int(binary.LittleEndian.Uint16(p.buf[base : base+2]))
+	length := int(binary.LittleEndian.Uint16(p.buf[base+2 : base+4]))
+	if off == 0 {
+		return nil, fmt.Errorf("%w: slot %d is dead", ErrBadSlot, slot)
+	}
+	if off < pageHeaderSize || off+length > PageSize-p.NumSlots()*slotEntrySize {
+		return nil, fmt.Errorf("%w: slot %d points outside record area", ErrBadSlot, slot)
+	}
+	return p.buf[off : off+length], nil
+}
+
+// Delete marks the slot dead. The space is not reclaimed (no compaction);
+// the experiments never require in-place updates, but deletion support keeps
+// the substrate honest for general use.
+func (p *Page) Delete(slot uint16) error {
+	if int(slot) >= p.NumSlots() {
+		return fmt.Errorf("%w: slot %d of %d", ErrBadSlot, slot, p.NumSlots())
+	}
+	base := p.slotBase(int(slot))
+	binary.LittleEndian.PutUint16(p.buf[base:base+2], 0)
+	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], 0)
+	return nil
+}
+
+// Bytes returns the raw page image with the checksum freshly sealed.
+func (p *Page) Bytes() []byte {
+	p.seal()
+	return p.buf[:]
+}
+
+// RawBody returns the page bytes after the checksum field; used by tests.
+func (p *Page) RawBody() []byte { return p.buf[8:] }
+
+func (p *Page) seal() {
+	sum := crc32.Checksum(p.buf[8:], castagnoli)
+	binary.LittleEndian.PutUint32(p.buf[0:4], sum)
+}
+
+// FromBytes deserializes a page image, verifying length and checksum.
+func FromBytes(b []byte) (*Page, error) {
+	if len(b) != PageSize {
+		return nil, fmt.Errorf("storage: page image is %d bytes, want %d", len(b), PageSize)
+	}
+	p := &Page{}
+	copy(p.buf[:], b)
+	want := binary.LittleEndian.Uint32(p.buf[0:4])
+	got := crc32.Checksum(p.buf[8:], castagnoli)
+	if want != got {
+		return nil, fmt.Errorf("%w: want %08x got %08x", ErrBadChecksum, want, got)
+	}
+	return p, nil
+}
+
+// CopyFrom replaces this page's contents with src's.
+func (p *Page) CopyFrom(src *Page) { p.buf = src.buf }

@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPageEmpty(t *testing.T) {
+	p := NewPage(7, PageKindHeap)
+	if p.Kind() != PageKindHeap {
+		t.Errorf("Kind = %d, want %d", p.Kind(), PageKindHeap)
+	}
+	if p.ID() != 7 {
+		t.Errorf("ID = %d, want 7", p.ID())
+	}
+	if p.NumSlots() != 0 {
+		t.Errorf("NumSlots = %d, want 0", p.NumSlots())
+	}
+	if got, want := p.FreeSpace(), PageSize-pageHeaderSize-slotEntrySize; got != want {
+		t.Errorf("FreeSpace = %d, want %d", got, want)
+	}
+}
+
+func TestPageInsertAndRecord(t *testing.T) {
+	p := NewPage(0, PageKindHeap)
+	recs := [][]byte{
+		[]byte("alpha"),
+		[]byte(""),
+		bytes.Repeat([]byte{0xAB}, 100),
+		[]byte("omega"),
+	}
+	var slots []uint16
+	for _, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatalf("Insert(%q): %v", r, err)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		got, err := p.Record(s)
+		if err != nil {
+			t.Fatalf("Record(%d): %v", s, err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Errorf("Record(%d) = %q, want %q", s, got, recs[i])
+		}
+	}
+}
+
+func TestPageInsertUntilFull(t *testing.T) {
+	p := NewPage(0, PageKindHeap)
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		_, err := p.Insert(rec)
+		if err == ErrPageFull {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		n++
+		if n > PageSize {
+			t.Fatal("page never filled")
+		}
+	}
+	want := (PageSize - pageHeaderSize) / (100 + slotEntrySize)
+	if n != want {
+		t.Errorf("inserted %d records of 100 bytes, want %d", n, want)
+	}
+}
+
+func TestPageRecordTooBig(t *testing.T) {
+	p := NewPage(0, PageKindHeap)
+	if _, err := p.Insert(make([]byte, MaxRecordSize+1)); err != ErrRecordTooBig {
+		t.Errorf("Insert(oversize) error = %v, want ErrRecordTooBig", err)
+	}
+	if _, err := p.Insert(make([]byte, MaxRecordSize)); err != nil {
+		t.Errorf("Insert(max size) error = %v, want nil", err)
+	}
+}
+
+func TestPageDelete(t *testing.T) {
+	p := NewPage(0, PageKindHeap)
+	s, err := p.Insert([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Delete(s); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := p.Record(s); err == nil {
+		t.Error("Record on deleted slot succeeded, want error")
+	}
+	if err := p.Delete(99); err == nil {
+		t.Error("Delete(99) on empty directory succeeded, want error")
+	}
+}
+
+func TestPageBadSlot(t *testing.T) {
+	p := NewPage(0, PageKindHeap)
+	if _, err := p.Record(0); err == nil {
+		t.Error("Record(0) on empty page succeeded, want error")
+	}
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	p := NewPage(3, PageKindBTreeLeaf)
+	for i := 0; i < 10; i++ {
+		if _, err := p.Insert([]byte{byte(i), byte(i * 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := FromBytes(p.Bytes())
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if q.ID() != 3 || q.Kind() != PageKindBTreeLeaf || q.NumSlots() != 10 {
+		t.Errorf("round trip header mismatch: id=%d kind=%d slots=%d", q.ID(), q.Kind(), q.NumSlots())
+	}
+	for i := 0; i < 10; i++ {
+		got, err := q.Record(uint16(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, []byte{byte(i), byte(i * 2)}) {
+			t.Errorf("slot %d = %v", i, got)
+		}
+	}
+}
+
+func TestPageChecksumDetectsCorruption(t *testing.T) {
+	p := NewPage(1, PageKindHeap)
+	if _, err := p.Insert([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	img := append([]byte(nil), p.Bytes()...)
+	img[200] ^= 0xFF
+	if _, err := FromBytes(img); err == nil {
+		t.Error("FromBytes on corrupted image succeeded, want checksum error")
+	}
+}
+
+func TestFromBytesWrongLength(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 17)); err == nil {
+		t.Error("FromBytes(short) succeeded, want error")
+	}
+}
+
+// Property: any sequence of inserted records reads back identically, in order.
+func TestPageInsertReadProperty(t *testing.T) {
+	f := func(seed int64, sizes []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPage(0, PageKindHeap)
+		var stored [][]byte
+		for _, sz := range sizes {
+			rec := make([]byte, int(sz))
+			rng.Read(rec)
+			if _, err := p.Insert(rec); err != nil {
+				break // page filled; what's stored so far must still read back
+			}
+			stored = append(stored, rec)
+		}
+		for i, want := range stored {
+			got, err := p.Record(uint16(i))
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return p.NumSlots() == len(stored)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadSizeFor(t *testing.T) {
+	for _, r := range []int{1, 2, 3, 20, 40, 76, 80, 104, 123} {
+		payload, err := PayloadSizeFor(r)
+		if err != nil {
+			t.Fatalf("PayloadSizeFor(%d): %v", r, err)
+		}
+		p := NewPage(0, PageKindHeap)
+		rec := EncodeRecord(Record{Key: 1, Payload: make([]byte, payload)})
+		n := 0
+		for {
+			if _, err := p.Insert(rec); err != nil {
+				break
+			}
+			n++
+		}
+		if n != r {
+			t.Errorf("PayloadSizeFor(%d) = %d bytes but %d records fit", r, payload, n)
+		}
+	}
+}
+
+func TestPayloadSizeForErrors(t *testing.T) {
+	if _, err := PayloadSizeFor(0); err == nil {
+		t.Error("PayloadSizeFor(0) succeeded")
+	}
+	if _, err := PayloadSizeFor(PageSize); err == nil {
+		t.Error("PayloadSizeFor(PageSize) succeeded")
+	}
+}
+
+func TestRIDOrdering(t *testing.T) {
+	a := RID{Page: 1, Slot: 5}
+	b := RID{Page: 1, Slot: 6}
+	c := RID{Page: 2, Slot: 0}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Error("RID ordering broken")
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("RID Compare broken")
+	}
+	if a.String() != "(1,5)" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	f := func(key int64, payload []byte) bool {
+		got, err := DecodeRecord(EncodeRecord(Record{Key: key, Payload: payload}))
+		return err == nil && got.Key == key && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRecordShort(t *testing.T) {
+	if _, err := DecodeRecord([]byte{1, 2, 3}); err == nil {
+		t.Error("DecodeRecord(short) succeeded")
+	}
+}

@@ -1,0 +1,52 @@
+// Package storage implements the physical storage substrate used throughout
+// the EPFIS reproduction: fixed-size slotted pages, record identifiers,
+// page stores, heap files, and tables.
+//
+// The layout is deliberately conventional for a relational engine: a table is
+// a heap file of slotted pages; each record is addressed by a RID (page
+// number, slot number). Index scans resolve index entries to RIDs and fetch
+// the containing data pages through a buffer pool (package buffer); counting
+// those fetches is the ground truth that the estimation algorithms in
+// internal/core and internal/baselines are judged against.
+package storage
+
+import "fmt"
+
+// PageID identifies a page within a page store. Page numbering starts at 0.
+type PageID uint32
+
+// InvalidPageID is a sentinel for "no page".
+const InvalidPageID = PageID(^uint32(0))
+
+// RID is a record identifier: the page that holds the record and the slot
+// index of the record within that page's slot directory.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the RID in the conventional (page,slot) form.
+func (r RID) String() string {
+	return fmt.Sprintf("(%d,%d)", r.Page, r.Slot)
+}
+
+// Less orders RIDs by page then slot. It defines the physical order of
+// records in a heap file.
+func (r RID) Less(o RID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// Compare returns -1, 0, or +1 according to the physical order of the RIDs.
+func (r RID) Compare(o RID) int {
+	switch {
+	case r.Less(o):
+		return -1
+	case o.Less(r):
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageStore is the unbuffered page persistence interface. A buffer pool
+// (package buffer) sits on top of a PageStore and counts every ReadPage as a
+// physical page fetch.
+type PageStore interface {
+	// ReadPage copies page id into dst. Implementations must return
+	// ErrNoSuchPage (possibly wrapped) for unallocated ids.
+	ReadPage(id PageID, dst *Page) error
+	// WritePage persists the page under the given id, which must have been
+	// allocated.
+	WritePage(id PageID, src *Page) error
+	// Allocate reserves a fresh page id.
+	Allocate() (PageID, error)
+	// NumPages reports the number of allocated pages.
+	NumPages() int
+}
+
+// MemStore is an in-memory PageStore. It is the default substrate for the
+// experiments: the paper's ground truth is a count of LRU buffer misses, not
+// real disk time, so an in-memory store reproduces it exactly while keeping
+// multi-million-record sweeps fast.
+type MemStore struct {
+	mu    sync.RWMutex
+	pages []*Page
+}
+
+// NewMemStore returns an empty in-memory page store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// ReadPage implements PageStore.
+func (s *MemStore) ReadPage(id PageID, dst *Page) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= len(s.pages) || s.pages[id] == nil {
+		return fmt.Errorf("%w: page %d", ErrNoSuchPage, id)
+	}
+	dst.CopyFrom(s.pages[id])
+	return nil
+}
+
+// WritePage implements PageStore.
+func (s *MemStore) WritePage(id PageID, src *Page) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("%w: page %d not allocated", ErrNoSuchPage, id)
+	}
+	cp := &Page{}
+	cp.CopyFrom(src)
+	s.pages[id] = cp
+	return nil
+}
+
+// Allocate implements PageStore.
+func (s *MemStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := PageID(len(s.pages))
+	s.pages = append(s.pages, NewPage(id, PageKindFree))
+	return id, nil
+}
+
+// NumPages implements PageStore.
+func (s *MemStore) NumPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// FileStore is a file-backed PageStore using a single flat file of
+// PageSize-aligned pages. It exists so that the library is a complete storage
+// engine, not only a simulator; the experiments default to MemStore.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	n    int
+	sync bool
+}
+
+// OpenFileStore opens (creating if necessary) a page file at path.
+// If syncWrites is true every WritePage is followed by an fsync.
+func OpenFileStore(path string, syncWrites bool) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open page file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat page file: %w", err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: page file %q size %d is not a multiple of %d", path, st.Size(), PageSize)
+	}
+	return &FileStore{f: f, n: int(st.Size() / PageSize), sync: syncWrites}, nil
+}
+
+// ReadPage implements PageStore, verifying the stored checksum.
+func (s *FileStore) ReadPage(id PageID, dst *Page) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= s.n {
+		return fmt.Errorf("%w: page %d", ErrNoSuchPage, id)
+	}
+	var raw [PageSize]byte
+	if _, err := s.f.ReadAt(raw[:], int64(id)*PageSize); err != nil && err != io.EOF {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	p, err := FromBytes(raw[:])
+	if err != nil {
+		return fmt.Errorf("storage: page %d: %w", id, err)
+	}
+	dst.CopyFrom(p)
+	return nil
+}
+
+// WritePage implements PageStore.
+func (s *FileStore) WritePage(id PageID, src *Page) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= s.n {
+		return fmt.Errorf("%w: page %d not allocated", ErrNoSuchPage, id)
+	}
+	if _, err := s.f.WriteAt(src.Bytes(), int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("storage: sync page file: %w", err)
+		}
+	}
+	return nil
+}
+
+// Allocate implements PageStore by extending the file with a sealed empty
+// page.
+func (s *FileStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := PageID(s.n)
+	p := NewPage(id, PageKindFree)
+	if _, err := s.f.WriteAt(p.Bytes(), int64(id)*PageSize); err != nil {
+		return InvalidPageID, fmt.Errorf("storage: extend page file: %w", err)
+	}
+	s.n++
+	return id, nil
+}
+
+// NumPages implements PageStore.
+func (s *FileStore) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Close releases the underlying file.
+func (s *FileStore) Close() error { return s.f.Close() }

@@ -1,0 +1,127 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"epfis/internal/btree"
+	"epfis/internal/buffer"
+	"epfis/internal/storage"
+)
+
+// This file implements the access-path family the paper explicitly set
+// aside ("We are assuming that there is no RID-list sort, union, or
+// intersection before the data records are fetched") and then listed as
+// future work (§6: "use of RID-list operations, index ANDing and ORing").
+//
+// A RID-list scan collects the qualifying RIDs first, sorts them into
+// physical page order, and only then fetches the data pages. The sorted
+// fetch touches every page exactly once regardless of buffer size — turning
+// the hard F(B) estimation problem into a distinct-page count — at the cost
+// of materializing and sorting the RID list (and losing the index's key
+// order).
+
+// CollectRIDs gathers the RIDs of all qualifying entries in index order.
+func (ix *Index) CollectRIDs(start, stop *btree.Bound) ([]storage.RID, error) {
+	var rids []storage.RID
+	err := ix.Tree.Scan(start, stop, func(e btree.Entry) error {
+		rids = append(rids, e.RID)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("table: collect rids: %w", err)
+	}
+	return rids, nil
+}
+
+// SortRIDs orders a RID list into physical page order, in place.
+func SortRIDs(rids []storage.RID) {
+	sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+}
+
+// UnionRIDs returns the sorted union of two RID lists (index ORing).
+// Inputs need not be sorted; duplicates collapse.
+func UnionRIDs(a, b []storage.RID) []storage.RID {
+	out := make([]storage.RID, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	SortRIDs(out)
+	dedup := out[:0]
+	for i, r := range out {
+		if i == 0 || r != out[i-1] {
+			dedup = append(dedup, r)
+		}
+	}
+	return dedup
+}
+
+// IntersectRIDs returns the sorted intersection of two RID lists (index
+// ANDing). Inputs need not be sorted.
+func IntersectRIDs(a, b []storage.RID) []storage.RID {
+	as := append([]storage.RID(nil), a...)
+	bs := append([]storage.RID(nil), b...)
+	SortRIDs(as)
+	SortRIDs(bs)
+	var out []storage.RID
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		switch as[i].Compare(bs[j]) {
+		case -1:
+			i++
+		case 1:
+			j++
+		default:
+			if len(out) == 0 || out[len(out)-1] != as[i] {
+				out = append(out, as[i])
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// FetchRIDList fetches every record in the list through the pool, in list
+// order, decoding each record. Pass a page-sorted list for the
+// one-fetch-per-page guarantee.
+func (t *Table) FetchRIDList(pool buffer.Pool, rids []storage.RID) (ScanResult, error) {
+	pool.Reset()
+	seen := make(map[storage.PageID]struct{})
+	var res ScanResult
+	for _, rid := range rids {
+		pg, err := pool.Get(rid.Page)
+		if err != nil {
+			return ScanResult{}, err
+		}
+		raw, err := pg.Record(rid.Slot)
+		if err != nil {
+			return ScanResult{}, fmt.Errorf("table: rid %v: %w", rid, err)
+		}
+		rec, err := storage.DecodeRecord(raw)
+		if err != nil {
+			return ScanResult{}, err
+		}
+		res.Records++
+		res.KeySum += rec.Key
+		seen[rid.Page] = struct{}{}
+	}
+	res.PagesAccessed = len(seen)
+	res.PageFetches = pool.Stats().Fetches
+	return res, nil
+}
+
+// RIDListScanThroughPool runs the full RID-list plan: collect qualifying
+// RIDs for the range, sort them into page order, then fetch. The fetch
+// count equals the number of distinct pages for any pool size >= 1.
+func (t *Table) RIDListScanThroughPool(pool buffer.Pool, column string, start, stop *btree.Bound) (ScanResult, error) {
+	ix, err := t.Index(column)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	rids, err := ix.CollectRIDs(start, stop)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	SortRIDs(rids)
+	return t.FetchRIDList(pool, rids)
+}

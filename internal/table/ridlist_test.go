@@ -1,0 +1,196 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"epfis/internal/btree"
+	"epfis/internal/buffer"
+	"epfis/internal/storage"
+)
+
+func TestCollectRIDs(t *testing.T) {
+	tb := buildSeq(t, 100, 10)
+	ix, _ := tb.Index("k")
+	rids, err := ix.CollectRIDs(btree.Ge(10), btree.Lt(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 20 {
+		t.Fatalf("%d rids", len(rids))
+	}
+}
+
+func TestSortRIDs(t *testing.T) {
+	rids := []storage.RID{{Page: 3, Slot: 1}, {Page: 1, Slot: 9}, {Page: 3, Slot: 0}, {Page: 0, Slot: 5}}
+	SortRIDs(rids)
+	for i := 1; i < len(rids); i++ {
+		if rids[i].Less(rids[i-1]) {
+			t.Fatalf("not sorted at %d: %v", i, rids)
+		}
+	}
+}
+
+func TestUnionIntersectRIDs(t *testing.T) {
+	a := []storage.RID{{Page: 1, Slot: 0}, {Page: 2, Slot: 0}, {Page: 3, Slot: 0}}
+	b := []storage.RID{{Page: 2, Slot: 0}, {Page: 4, Slot: 0}}
+	u := UnionRIDs(a, b)
+	if len(u) != 4 {
+		t.Errorf("union = %v", u)
+	}
+	i := IntersectRIDs(a, b)
+	if len(i) != 1 || i[0] != (storage.RID{Page: 2, Slot: 0}) {
+		t.Errorf("intersect = %v", i)
+	}
+	if got := UnionRIDs(nil, nil); len(got) != 0 {
+		t.Errorf("empty union = %v", got)
+	}
+	if got := IntersectRIDs(a, nil); len(got) != 0 {
+		t.Errorf("empty intersect = %v", got)
+	}
+}
+
+// Property: union/intersect agree with map-based reference sets.
+func TestRIDSetAlgebraProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) []storage.RID {
+			rids := make([]storage.RID, n)
+			for i := range rids {
+				rids[i] = storage.RID{Page: storage.PageID(rng.Intn(10)), Slot: uint16(rng.Intn(4))}
+			}
+			return rids
+		}
+		a, b := mk(rng.Intn(50)), mk(rng.Intn(50))
+		set := func(rids []storage.RID) map[storage.RID]bool {
+			m := map[storage.RID]bool{}
+			for _, r := range rids {
+				m[r] = true
+			}
+			return m
+		}
+		sa, sb := set(a), set(b)
+		u := UnionRIDs(a, b)
+		su := set(u)
+		if len(u) != len(su) {
+			return false // duplicates survived
+		}
+		for r := range sa {
+			if !su[r] {
+				return false
+			}
+		}
+		for r := range sb {
+			if !su[r] {
+				return false
+			}
+		}
+		if len(su) != len(sa)+len(sb)-lenIntersect(sa, sb) {
+			return false
+		}
+		in := IntersectRIDs(a, b)
+		for _, r := range in {
+			if !sa[r] || !sb[r] {
+				return false
+			}
+		}
+		return len(in) == lenIntersect(sa, sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func lenIntersect(a, b map[storage.RID]bool) int {
+	n := 0
+	for r := range a {
+		if b[r] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRIDListScanFetchesEachPageOnce(t *testing.T) {
+	// Worst-case unclustered table: a plain index scan with B=2 fetches one
+	// page per record; the RID-list scan fetches each distinct page once,
+	// regardless of buffer size.
+	const pages = 10
+	tb := buildMod(t, 100, pages, 10)
+	pool, err := buffer.NewLRU(tb.Store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := tb.ScanThroughPool(pool, "k", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PageFetches != 100 {
+		t.Fatalf("plain scan fetches = %d, want 100", plain.PageFetches)
+	}
+	ridlist, err := tb.RIDListScanThroughPool(pool, "k", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ridlist.PageFetches != pages {
+		t.Errorf("RID-list scan fetches = %d, want %d", ridlist.PageFetches, pages)
+	}
+	if ridlist.Records != 100 || ridlist.KeySum != plain.KeySum {
+		t.Errorf("RID-list scan records=%d keysum=%d, want 100/%d", ridlist.Records, ridlist.KeySum, plain.KeySum)
+	}
+}
+
+func TestRIDListScanPartialRange(t *testing.T) {
+	tb := buildSeq(t, 200, 20)
+	pool, err := buffer.NewLRU(tb.Store, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RIDListScanThroughPool(pool, "k", btree.Ge(40), btree.Lt(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 80 {
+		t.Errorf("records = %d", res.Records)
+	}
+	if res.PageFetches != int64(res.PagesAccessed) {
+		t.Errorf("fetches %d != pages accessed %d", res.PageFetches, res.PagesAccessed)
+	}
+}
+
+func TestFetchRIDListAfterANDing(t *testing.T) {
+	// Index ANDing on one index: two overlapping ranges, intersect, fetch.
+	tb := buildSeq(t, 100, 10)
+	ix, _ := tb.Index("k")
+	a, err := ix.CollectRIDs(btree.Ge(20), btree.Le(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.CollectRIDs(btree.Ge(50), btree.Le(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := IntersectRIDs(a, b)
+	if len(both) != 11 { // keys 50..60
+		t.Fatalf("intersection = %d rids", len(both))
+	}
+	pool, err := buffer.NewLRU(tb.Store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.FetchRIDList(pool, both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 11 {
+		t.Errorf("records = %d", res.Records)
+	}
+	var wantSum int64
+	for k := int64(50); k <= 60; k++ {
+		wantSum += k
+	}
+	if res.KeySum != wantSum {
+		t.Errorf("keysum = %d, want %d", res.KeySum, wantSum)
+	}
+}

@@ -1,0 +1,287 @@
+// Package table binds the storage substrates together: a Table is a heap
+// file of data pages plus one or more B-tree indexes over its key columns.
+//
+// The central operation for this system is producing the data-page reference
+// trace of an index scan — the sequence of page ids touched when the scan's
+// qualifying records are fetched in index-key order. That trace drives:
+//
+//   - LRU-Fit's one-pass buffer modeling (internal/lrusim),
+//   - the baselines' statistics passes (internal/baselines), and
+//   - the measurement of "actual" page fetches against which every estimator
+//     is scored (either via the stack simulator or a real buffer pool).
+package table
+
+import (
+	"errors"
+	"fmt"
+
+	"epfis/internal/btree"
+	"epfis/internal/buffer"
+	"epfis/internal/lrusim"
+	"epfis/internal/storage"
+)
+
+// Table is a heap file with an index per indexed column.
+type Table struct {
+	// Name identifies the table in catalogs and reports.
+	Name string
+	// Store holds both data and index pages.
+	Store storage.PageStore
+	// DataPages are the heap's page ids in physical order; len = the paper's T.
+	DataPages []storage.PageID
+	// NumRecords is the paper's N.
+	NumRecords int
+	// RecordsPerPage is the paper's R (page capacity used at build time).
+	RecordsPerPage int
+	// Indexes maps column name to its B-tree.
+	Indexes map[string]*Index
+}
+
+// Index is one B-tree index over a table column.
+type Index struct {
+	// Column names the indexed column.
+	Column string
+	// Tree is the underlying B-tree ((key, seq) -> RID).
+	Tree *btree.BTree
+	// DistinctKeys is the paper's I (column cardinality).
+	DistinctKeys int
+	// MinKey and MaxKey bound the key domain (valid when the table is
+	// non-empty).
+	MinKey, MaxKey int64
+}
+
+// Errors returned by this package.
+var (
+	ErrNoSuchIndex = errors.New("table: no such index")
+	ErrEmptyTable  = errors.New("table: empty table")
+)
+
+// T returns the number of data pages (paper notation).
+func (t *Table) T() int { return len(t.DataPages) }
+
+// N returns the number of records (paper notation).
+func (t *Table) N() int { return t.NumRecords }
+
+// Index returns the index on the named column.
+func (t *Table) Index(column string) (*Index, error) {
+	ix, ok := t.Indexes[column]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on table %q", ErrNoSuchIndex, column, t.Name)
+	}
+	return ix, nil
+}
+
+// ScanTrace returns the data-page reference trace of an index scan over the
+// given bounds (nil bounds = full scan): one page id per qualifying index
+// entry, in (key, seq) order.
+func (ix *Index) ScanTrace(start, stop *btree.Bound) (lrusim.Trace, error) {
+	var trace lrusim.Trace
+	err := ix.Tree.Scan(start, stop, func(e btree.Entry) error {
+		trace = append(trace, e.RID.Page)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("table: scan trace: %w", err)
+	}
+	return trace, nil
+}
+
+// FullScanTrace is ScanTrace(nil, nil): the trace LRU-Fit consumes.
+func (ix *Index) FullScanTrace() (lrusim.Trace, error) {
+	return ix.ScanTrace(nil, nil)
+}
+
+// ScanResult summarizes an index scan executed through a buffer pool.
+type ScanResult struct {
+	// Records is the number of qualifying records fetched.
+	Records int
+	// PagesAccessed is the number of distinct data pages touched (paper's A).
+	PagesAccessed int
+	// PageFetches is the number of physical page reads (paper's F).
+	PageFetches int64
+	// KeySum is a checksum over fetched record keys, proving the scan really
+	// decoded each record rather than only counting.
+	KeySum int64
+}
+
+// ScanThroughPool runs a real index scan: it iterates qualifying index
+// entries in key order and fetches every record's data page through the
+// pool, decoding the record to verify the RID. The pool's fetch counter
+// gives the actual page-fetch count F for this scan at the pool's size.
+func (t *Table) ScanThroughPool(pool buffer.Pool, column string, start, stop *btree.Bound) (ScanResult, error) {
+	return t.ScanThroughPoolFiltered(pool, column, start, stop, nil)
+}
+
+// ScanThroughPoolFiltered is ScanThroughPool with an index-sargable
+// predicate: filter is evaluated on each qualifying index entry and only
+// entries it accepts have their records fetched — the paper's model of
+// sargable predicates "applied to the index column values inspected during
+// the (partial) index scan". A nil filter accepts everything.
+func (t *Table) ScanThroughPoolFiltered(pool buffer.Pool, column string, start, stop *btree.Bound, filter func(btree.Entry) bool) (ScanResult, error) {
+	ix, err := t.Index(column)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	pool.Reset()
+	seen := make(map[storage.PageID]struct{})
+	var res ScanResult
+	err = ix.Tree.Scan(start, stop, func(e btree.Entry) error {
+		if filter != nil && !filter(e) {
+			return nil
+		}
+		pg, err := pool.Get(e.RID.Page)
+		if err != nil {
+			return err
+		}
+		raw, err := pg.Record(e.RID.Slot)
+		if err != nil {
+			return fmt.Errorf("rid %v: %w", e.RID, err)
+		}
+		rec, err := storage.DecodeRecord(raw)
+		if err != nil {
+			return err
+		}
+		if rec.Key != e.Key {
+			return fmt.Errorf("index entry key %d but record at %v has key %d", e.Key, e.RID, rec.Key)
+		}
+		if got := rec.SecondColumn(); got != e.Included {
+			return fmt.Errorf("index entry included %d but record at %v has %d", e.Included, e.RID, got)
+		}
+		res.Records++
+		res.KeySum += rec.Key
+		seen[e.RID.Page] = struct{}{}
+		return nil
+	})
+	if err != nil {
+		return ScanResult{}, fmt.Errorf("table: scan through pool: %w", err)
+	}
+	res.PagesAccessed = len(seen)
+	res.PageFetches = pool.Stats().Fetches
+	return res, nil
+}
+
+// CountRange returns the number of records whose key lies within the bounds
+// — the exact selectivity numerator for start/stop conditions.
+func (ix *Index) CountRange(start, stop *btree.Bound) (int, error) {
+	n := 0
+	err := ix.Tree.Scan(start, stop, func(btree.Entry) error {
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// Builder constructs a Table whose record placement is dictated by the
+// caller, which is how the data generators realize the paper's clustering
+// models. Records are presented in index-key order (the order index entries
+// will have); each carries the page index it must land on.
+type Builder struct {
+	table   *Table
+	heap    *storage.PlacedHeapBuilder
+	entries map[string][]btree.Entry
+	seqs    map[string]uint32
+	keys    map[string]map[int64]struct{}
+	minmax  map[string][2]int64
+}
+
+// NewBuilder starts a table with the given page count and page capacity
+// backed by a fresh in-memory store.
+func NewBuilder(name string, numPages, recordsPerPage int) (*Builder, error) {
+	return NewBuilderOn(storage.NewMemStore(), name, numPages, recordsPerPage)
+}
+
+// NewBuilderOn is NewBuilder over a caller-provided page store — e.g. a
+// storage.FileStore for a disk-backed table.
+func NewBuilderOn(store storage.PageStore, name string, numPages, recordsPerPage int) (*Builder, error) {
+	heap, err := storage.NewPlacedHeapBuilder(store, numPages, recordsPerPage)
+	if err != nil {
+		return nil, fmt.Errorf("table: builder: %w", err)
+	}
+	return &Builder{
+		table: &Table{
+			Name:           name,
+			Store:          store,
+			RecordsPerPage: recordsPerPage,
+			Indexes:        make(map[string]*Index),
+		},
+		heap:    heap,
+		entries: make(map[string][]btree.Entry),
+		seqs:    make(map[string]uint32),
+		keys:    make(map[string]map[int64]struct{}),
+		minmax:  make(map[string][2]int64),
+	}, nil
+}
+
+// Place stores one record with the given key for the given indexed column on
+// the page with the given index. Records for one column must be presented in
+// non-decreasing key order (index entry order); within a key, presentation
+// order defines RID order in the index, exactly as the paper's unsorted-RID
+// model requires.
+func (b *Builder) Place(column string, pageIdx int, key int64) error {
+	return b.PlaceEntry(column, pageIdx, key, 0)
+}
+
+// PlaceEntry is Place with a minor-column value (the paper's column b)
+// stored both in the record payload and in the index entry, so that
+// index-sargable predicates can be evaluated on index entries before any
+// data page is fetched.
+func (b *Builder) PlaceEntry(column string, pageIdx int, key int64, included uint32) error {
+	if n := len(b.entries[column]); n > 0 && b.entries[column][n-1].Key > key {
+		return fmt.Errorf("table: keys for column %q must be presented in order (got %d after %d)",
+			column, key, b.entries[column][n-1].Key)
+	}
+	rid, err := b.heap.PlaceWith(pageIdx, key, included)
+	if err != nil {
+		return err
+	}
+	seq := b.seqs[column]
+	b.seqs[column] = seq + 1
+	b.entries[column] = append(b.entries[column], btree.Entry{Key: key, Seq: seq, Included: included, RID: rid})
+	ks, ok := b.keys[column]
+	if !ok {
+		ks = make(map[int64]struct{})
+		b.keys[column] = ks
+	}
+	ks[key] = struct{}{}
+	mm, ok := b.minmax[column]
+	if !ok {
+		mm = [2]int64{key, key}
+	} else {
+		if key < mm[0] {
+			mm[0] = key
+		}
+		if key > mm[1] {
+			mm[1] = key
+		}
+	}
+	b.minmax[column] = mm
+	b.table.NumRecords++
+	return nil
+}
+
+// Build finalizes the heap pages and bulk-loads one B-tree per column.
+func (b *Builder) Build() (*Table, error) {
+	ids, err := b.heap.Finish()
+	if err != nil {
+		return nil, err
+	}
+	b.table.DataPages = ids
+	for column, entries := range b.entries {
+		tr, err := btree.Create(b.table.Store)
+		if err != nil {
+			return nil, fmt.Errorf("table: build index %q: %w", column, err)
+		}
+		if err := tr.BulkLoad(entries); err != nil {
+			return nil, fmt.Errorf("table: build index %q: %w", column, err)
+		}
+		mm := b.minmax[column]
+		b.table.Indexes[column] = &Index{
+			Column:       column,
+			Tree:         tr,
+			DistinctKeys: len(b.keys[column]),
+			MinKey:       mm[0],
+			MaxKey:       mm[1],
+		}
+	}
+	return b.table, nil
+}

@@ -1,0 +1,390 @@
+package table
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"epfis/internal/btree"
+	"epfis/internal/buffer"
+	"epfis/internal/lrusim"
+	"epfis/internal/storage"
+)
+
+// buildMod builds a table of n records with keys 0..n-1 placed round-robin
+// over pages (key i on page i % pages): a maximally unclustered layout.
+func buildMod(t testing.TB, n, pages, perPage int) *Table {
+	t.Helper()
+	b, err := NewBuilder("mod", pages, perPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := b.Place("k", i%pages, int64(i)); err != nil {
+			t.Fatalf("Place(%d): %v", i, err)
+		}
+	}
+	tb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// buildSeq builds a perfectly clustered table: keys in page order.
+func buildSeq(t testing.TB, n, perPage int) *Table {
+	t.Helper()
+	pages := (n + perPage - 1) / perPage
+	b, err := NewBuilder("seq", pages, perPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := b.Place("k", i/perPage, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestBuilderBasics(t *testing.T) {
+	tb := buildSeq(t, 100, 10)
+	if tb.T() != 10 || tb.N() != 100 || tb.RecordsPerPage != 10 {
+		t.Errorf("T=%d N=%d R=%d", tb.T(), tb.N(), tb.RecordsPerPage)
+	}
+	ix, err := tb.Index("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.DistinctKeys != 100 || ix.MinKey != 0 || ix.MaxKey != 99 {
+		t.Errorf("I=%d min=%d max=%d", ix.DistinctKeys, ix.MinKey, ix.MaxKey)
+	}
+	if err := ix.Tree.Check(); err != nil {
+		t.Fatalf("index Check: %v", err)
+	}
+	if _, err := tb.Index("nope"); !errors.Is(err, ErrNoSuchIndex) {
+		t.Errorf("Index(nope) err = %v", err)
+	}
+}
+
+func TestBuilderRejectsOutOfOrderKeys(t *testing.T) {
+	b, err := NewBuilder("x", 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Place("k", 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Place("k", 0, 3); err == nil {
+		t.Error("out-of-order key accepted")
+	}
+	// Equal keys are fine (duplicates).
+	if err := b.Place("k", 1, 5); err != nil {
+		t.Errorf("duplicate key rejected: %v", err)
+	}
+}
+
+func TestFullScanTraceClustered(t *testing.T) {
+	tb := buildSeq(t, 60, 10)
+	ix, _ := tb.Index("k")
+	trace, err := ix.FullScanTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 60 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	// Clustered: page ids non-decreasing, 6 distinct pages.
+	for i := 1; i < len(trace); i++ {
+		if trace[i] < trace[i-1] {
+			t.Fatalf("clustered trace decreases at %d: %d after %d", i, trace[i], trace[i-1])
+		}
+	}
+	if got := trace.DistinctPages(); got != 6 {
+		t.Errorf("DistinctPages = %d, want 6", got)
+	}
+}
+
+func TestScanTracePartial(t *testing.T) {
+	tb := buildSeq(t, 100, 10)
+	ix, _ := tb.Index("k")
+	trace, err := ix.ScanTrace(btree.Ge(20), btree.Lt(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 20 {
+		t.Fatalf("partial trace length = %d, want 20", len(trace))
+	}
+	if got := trace.DistinctPages(); got != 2 {
+		t.Errorf("partial DistinctPages = %d, want 2", got)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	tb := buildSeq(t, 100, 10)
+	ix, _ := tb.Index("k")
+	n, err := ix.CountRange(btree.Ge(10), btree.Le(19))
+	if err != nil || n != 10 {
+		t.Errorf("CountRange = %d, %v", n, err)
+	}
+	n, err = ix.CountRange(nil, nil)
+	if err != nil || n != 100 {
+		t.Errorf("CountRange(full) = %d, %v", n, err)
+	}
+}
+
+func TestScanThroughPoolClusteredIndependentOfB(t *testing.T) {
+	// Paper §2: clustered index scan has F == A for any B.
+	tb := buildSeq(t, 200, 20)
+	for _, size := range []int{1, 3, 10, 50} {
+		pool, err := buffer.NewLRU(tb.Store, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tb.ScanThroughPool(pool, "k", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Records != 200 || res.PagesAccessed != 10 {
+			t.Fatalf("records=%d accessed=%d", res.Records, res.PagesAccessed)
+		}
+		if res.PageFetches != 10 {
+			t.Errorf("B=%d: fetches = %d, want 10 (clustered)", size, res.PageFetches)
+		}
+		wantSum := int64(199 * 200 / 2)
+		if res.KeySum != wantSum {
+			t.Errorf("KeySum = %d, want %d", res.KeySum, wantSum)
+		}
+	}
+}
+
+func TestScanThroughPoolUnclusteredDependsOnB(t *testing.T) {
+	// Round-robin placement: keys 0..n-1 on page i%pages. A scan in key
+	// order cycles through all pages repeatedly — the worst case for a
+	// small buffer.
+	const pages = 10
+	tb := buildMod(t, 100, pages, 10)
+	small, err := buffer.NewLRU(tb.Store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSmall, err := tb.ScanThroughPool(small, "k", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := buffer.NewLRU(tb.Store, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBig, err := tb.ScanThroughPool(big, "k", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSmall.PageFetches != 100 {
+		t.Errorf("B=2 fetches = %d, want 100 (every ref misses)", resSmall.PageFetches)
+	}
+	if resBig.PageFetches != pages {
+		t.Errorf("B=%d fetches = %d, want %d", pages, resBig.PageFetches, pages)
+	}
+}
+
+func TestScanThroughPoolMatchesStackSimulation(t *testing.T) {
+	// The real pooled scan and the stack simulation must agree exactly for
+	// every buffer size: this welds the measurement path to the modeling
+	// path.
+	rng := rand.New(rand.NewSource(5))
+	const n, pages, perPage = 400, 20, 20
+	b, err := NewBuilder("rand", pages, perPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := make([]int, pages)
+	for i := 0; i < n; i++ {
+		pg := rng.Intn(pages)
+		for fill[pg] >= perPage {
+			pg = (pg + 1) % pages
+		}
+		if err := b.Place("k", pg, int64(i/4)); err != nil { // 4 dups per key
+			t.Fatal(err)
+		}
+		fill[pg]++
+	}
+	tb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := tb.Index("k")
+	trace, err := ix.FullScanTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := lrusim.Analyze(trace)
+	for _, size := range []int{1, 2, 5, 11, 20} {
+		pool, err := buffer.NewLRU(tb.Store, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tb.ScanThroughPool(pool, "k", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.PageFetches, curve.Fetches(size); got != want {
+			t.Errorf("B=%d: pooled scan fetched %d, stack curve says %d", size, got, want)
+		}
+	}
+}
+
+func TestPartialScanThroughPool(t *testing.T) {
+	tb := buildSeq(t, 100, 10)
+	pool, err := buffer.NewLRU(tb.Store, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.ScanThroughPool(pool, "k", btree.Ge(25), btree.Lt(75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 50 {
+		t.Errorf("Records = %d, want 50", res.Records)
+	}
+	if res.PagesAccessed != 6 { // pages 2..7
+		t.Errorf("PagesAccessed = %d, want 6", res.PagesAccessed)
+	}
+	if res.PageFetches != 6 {
+		t.Errorf("PageFetches = %d, want 6", res.PageFetches)
+	}
+}
+
+func TestScanThroughPoolMissingIndex(t *testing.T) {
+	tb := buildSeq(t, 10, 10)
+	pool, err := buffer.NewLRU(tb.Store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.ScanThroughPool(pool, "nope", nil, nil); !errors.Is(err, ErrNoSuchIndex) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestScanThroughPoolFiltered(t *testing.T) {
+	// A table with a minor column: filtered scans fetch only matching
+	// entries' pages, and the count matches a simulation of the filtered
+	// trace exactly.
+	b, err := NewBuilder("f", 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		// key = i/10 (10 dups per key), b value = i % 4, scattered pages.
+		if err := b.PlaceEntry("k", (i*7)%10, int64(i/10), uint32(i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := buffer.NewLRU(tb.Store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := func(e btree.Entry) bool { return e.Included == 2 }
+	res, err := tb.ScanThroughPoolFiltered(pool, "k", nil, nil, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 25 {
+		t.Errorf("filtered records = %d, want 25", res.Records)
+	}
+	// Cross-check against the filtered trace through the stack simulator.
+	ix, _ := tb.Index("k")
+	var filtered lrusim.Trace
+	err = ix.Tree.Scan(nil, nil, func(e btree.Entry) error {
+		if filter(e) {
+			filtered = append(filtered, e.RID.Page)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lrusim.Analyze(filtered).Fetches(2)
+	if res.PageFetches != want {
+		t.Errorf("filtered fetches = %d, stack sim says %d", res.PageFetches, want)
+	}
+	// Unfiltered scan fetches at least as much.
+	full, err := tb.ScanThroughPool(pool, "k", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.PageFetches < res.PageFetches {
+		t.Error("filtered scan fetched more than full scan")
+	}
+}
+
+func TestFileBackedTableEndToEnd(t *testing.T) {
+	// The full pipeline on a disk-backed store: build, index, scan through a
+	// pool, and verify the fetch count matches the in-memory build exactly.
+	fs, err := storage.OpenFileStore(filepath.Join(t.TempDir(), "table.db"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	build := func(b *Builder) *Table {
+		t.Helper()
+		for i := 0; i < 400; i++ {
+			if err := b.Place("k", (i*13)%20, int64(i/4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tb, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	onDisk, err := NewBuilderOn(fs, "disk", 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskTable := build(onDisk)
+	inMem, err := NewBuilder("mem", 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memTable := build(inMem)
+
+	for _, size := range []int{2, 8, 20} {
+		dp, err := buffer.NewLRU(diskTable.Store, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp, err := buffer.NewLRU(memTable.Store, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dres, err := diskTable.ScanThroughPool(dp, "k", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mres, err := memTable.ScanThroughPool(mp, "k", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dres != mres {
+			t.Errorf("B=%d: disk %+v vs mem %+v", size, dres, mres)
+		}
+	}
+	ix, err := diskTable.Index("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Tree.Check(); err != nil {
+		t.Fatalf("disk-backed index Check: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package zipfdist implements the generalized Zipf distribution of Knuth
+// (The Art of Computer Programming, Vol. 3), used by the paper's synthetic
+// data generator to model skew in the distribution of duplicates per
+// distinct value:
+//
+//	"Knuth (1973) described a generalized Zipf distribution with a parameter
+//	 θ that can be used to model distributions such as the uniform
+//	 distribution (θ = 0) or the '80-20' distribution (θ = 0.86)."
+//
+// Rank i (1-based) has probability p_i = c / i^θ with c normalizing the sum
+// to 1. θ = 0 degenerates to uniform; θ = 1 is classical Zipf.
+package zipfdist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadParams reports invalid distribution parameters.
+var ErrBadParams = errors.New("zipfdist: invalid parameters")
+
+// Zipf is a generalized Zipf distribution over ranks 1..N.
+type Zipf struct {
+	n     int64
+	theta float64
+	cum   []float64 // cum[i] = P(rank <= i+1)
+}
+
+// New builds the distribution over n ranks with skew parameter theta >= 0.
+func New(n int64, theta float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n = %d", ErrBadParams, n)
+	}
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return nil, fmt.Errorf("%w: theta = %g", ErrBadParams, theta)
+	}
+	z := &Zipf{n: n, theta: theta, cum: make([]float64, n)}
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += math.Pow(float64(i), -theta)
+		z.cum[i-1] = sum
+	}
+	for i := range z.cum {
+		z.cum[i] /= sum
+	}
+	z.cum[n-1] = 1 // exact, despite rounding
+	return z, nil
+}
+
+// N reports the number of ranks.
+func (z *Zipf) N() int64 { return z.n }
+
+// Theta reports the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// P returns the probability of rank i (1-based).
+func (z *Zipf) P(i int64) float64 {
+	if i < 1 || i > z.n {
+		return 0
+	}
+	if i == 1 {
+		return z.cum[0]
+	}
+	return z.cum[i-1] - z.cum[i-2]
+}
+
+// CDF returns P(rank <= i).
+func (z *Zipf) CDF(i int64) float64 {
+	if i < 1 {
+		return 0
+	}
+	if i > z.n {
+		return 1
+	}
+	return z.cum[i-1]
+}
+
+// Sample draws a rank in [1, N] by inverse-CDF binary search.
+func (z *Zipf) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	idx := sort.SearchFloat64s(z.cum, u)
+	if idx >= int(z.n) {
+		idx = int(z.n) - 1
+	}
+	return int64(idx) + 1
+}
+
+// Frequencies apportions total records across distinct ranks proportionally
+// to the Zipf probabilities using largest-remainder rounding, guaranteeing
+// every rank receives at least one record (a distinct value with zero
+// duplicates would not be a distinct value of the dataset). It requires
+// total >= distinct.
+func Frequencies(total, distinct int64, theta float64) ([]int64, error) {
+	if total < distinct {
+		return nil, fmt.Errorf("%w: total %d < distinct %d", ErrBadParams, total, distinct)
+	}
+	z, err := New(distinct, theta)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int64, distinct)
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, distinct)
+	// Reserve one record per rank up front, apportion the rest.
+	rest := float64(total - distinct)
+	assigned := int64(0)
+	for i := int64(0); i < distinct; i++ {
+		exact := rest * z.P(i+1)
+		fl := math.Floor(exact)
+		counts[i] = 1 + int64(fl)
+		assigned += 1 + int64(fl)
+		fracs[i] = frac{idx: int(i), rem: exact - fl}
+	}
+	// Distribute the remainder by largest fractional part (ties by rank).
+	left := total - assigned
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].rem != fracs[b].rem {
+			return fracs[a].rem > fracs[b].rem
+		}
+		return fracs[a].idx < fracs[b].idx
+	})
+	for i := int64(0); i < left; i++ {
+		counts[fracs[i%distinct].idx]++
+	}
+	return counts, nil
+}
+
+// EightyTwenty is the theta value Knuth associates with the "80-20" rule,
+// used by the paper's skewed synthetic datasets.
+const EightyTwenty = 0.86

@@ -1,0 +1,183 @@
+package zipfdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0); err == nil {
+		t.Error("New(0) accepted")
+	}
+	if _, err := New(10, -1); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := New(10, math.NaN()); err == nil {
+		t.Error("NaN theta accepted")
+	}
+}
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	z, err := New(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int64{1, 50, 100} {
+		if p := z.P(i); math.Abs(p-0.01) > 1e-12 {
+			t.Errorf("P(%d) = %g, want 0.01", i, p)
+		}
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 0.86, 1, 2} {
+		z, err := New(1000, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := int64(1); i <= 1000; i++ {
+			sum += z.P(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("theta=%g: sum P = %g", theta, sum)
+		}
+		if z.CDF(1000) != 1 {
+			t.Errorf("theta=%g: CDF(N) = %g", theta, z.CDF(1000))
+		}
+	}
+}
+
+func TestMonotoneDecreasingProbabilities(t *testing.T) {
+	z, err := New(500, 0.86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(2); i <= 500; i++ {
+		if z.P(i) > z.P(i-1)+1e-15 {
+			t.Fatalf("P(%d) = %g > P(%d) = %g", i, z.P(i), i-1, z.P(i-1))
+		}
+	}
+}
+
+func TestEightyTwentySkew(t *testing.T) {
+	// With theta = 0.86, the top 20% of ranks should carry roughly 80% of
+	// the mass (the motivation for the parameter value).
+	z, err := New(10_000, EightyTwenty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top20 := z.CDF(2000)
+	if top20 < 0.70 || top20 > 0.90 {
+		t.Errorf("top-20%% mass = %g, want ~0.8", top20)
+	}
+}
+
+func TestPOutOfRange(t *testing.T) {
+	z, _ := New(10, 1)
+	if z.P(0) != 0 || z.P(11) != 0 {
+		t.Error("out-of-range P != 0")
+	}
+	if z.CDF(0) != 0 || z.CDF(11) != 1 {
+		t.Error("out-of-range CDF wrong")
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	z, err := New(100, 0.86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const draws = 200_000
+	counts := make([]int64, 101)
+	for i := 0; i < draws; i++ {
+		r := z.Sample(rng)
+		if r < 1 || r > 100 {
+			t.Fatalf("sample out of range: %d", r)
+		}
+		counts[r]++
+	}
+	// Chi-square-lite: empirical freq within 15% of expected for big ranks.
+	for _, i := range []int64{1, 2, 5, 10} {
+		expected := z.P(i) * draws
+		got := float64(counts[i])
+		if math.Abs(got-expected)/expected > 0.15 {
+			t.Errorf("rank %d: observed %g, expected %g", i, got, expected)
+		}
+	}
+}
+
+func TestFrequenciesExactTotalAndPositivity(t *testing.T) {
+	for _, theta := range []float64{0, 0.86} {
+		for _, tc := range []struct{ total, distinct int64 }{
+			{1_000_000, 10_000}, {100, 100}, {101, 100}, {50, 7},
+		} {
+			counts, err := Frequencies(tc.total, tc.distinct, theta)
+			if err != nil {
+				t.Fatalf("Frequencies(%d, %d, %g): %v", tc.total, tc.distinct, theta, err)
+			}
+			var sum int64
+			for i, c := range counts {
+				if c < 1 {
+					t.Fatalf("rank %d has count %d", i+1, c)
+				}
+				sum += c
+			}
+			if sum != tc.total {
+				t.Errorf("theta=%g total=%d: sum = %d", theta, tc.total, sum)
+			}
+		}
+	}
+}
+
+func TestFrequenciesSkewOrdering(t *testing.T) {
+	counts, err := Frequencies(100_000, 100, 0.86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] <= counts[99] {
+		t.Errorf("rank 1 count %d <= rank 100 count %d", counts[0], counts[99])
+	}
+	// Uniform: all equal.
+	uni, err := Frequencies(100_000, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range uni {
+		if c != 1000 {
+			t.Errorf("uniform rank %d = %d, want 1000", i+1, c)
+		}
+	}
+}
+
+func TestFrequenciesValidation(t *testing.T) {
+	if _, err := Frequencies(5, 10, 0); err == nil {
+		t.Error("total < distinct accepted")
+	}
+}
+
+// Property: frequencies are non-increasing with rank for any theta >= 0
+// (allowing +-1 rounding jitter from largest-remainder).
+func TestFrequenciesAlmostMonotoneProperty(t *testing.T) {
+	f := func(seedRaw uint8, thetaRaw uint8) bool {
+		distinct := int64(seedRaw)%200 + 2
+		total := distinct * (1 + int64(thetaRaw)%50)
+		theta := float64(thetaRaw) / 128
+		counts, err := Frequencies(total, distinct, theta)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(counts); i++ {
+			if counts[i] > counts[i-1]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
