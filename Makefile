@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race bench fuzz serve vet all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-test the concurrent subsystems (catalog store + estimation service).
+race:
+	$(GO) test -race ./internal/catalog/... ./internal/service/... ./cmd/epfis-serve/...
+
+# Service throughput: single estimates vs 64-plan batches, 1 and 4 cores.
+bench:
+	$(GO) test -bench=ServiceEstimate -cpu 1,4 -run=NONE ./cmd/epfis-serve/
+
+# Short fuzz pass over the catalog JSON format.
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzCatalogRoundTrip -fuzztime=30s ./internal/stats/
+
+# Collect statistics for a demo index if needed, then serve it.
+serve:
+	@test -f catalog.json || $(GO) run ./cmd/epfis gen -out catalog.json -n 100000 -i 1000 -k 0.2
+	$(GO) run ./cmd/epfis-serve -addr :8080 -catalog catalog.json

@@ -1,0 +1,159 @@
+// Throughput benchmarks for the estimation service. Run with
+//
+//	go test -bench=ServiceEstimate -cpu 1,4 ./cmd/epfis-serve
+//
+// Both sub-benchmarks report ns/estimate: "single" pays one HTTP round trip
+// per estimate, "batch64" amortizes one round trip and one JSON document
+// across 64 estimates — the shape of an optimizer costing many candidate
+// plans per query. The per-estimate cost of batch64 should be well over 5x
+// cheaper than single.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"epfis/internal/catalog"
+	"epfis/internal/core"
+	"epfis/internal/datagen"
+	"epfis/internal/service"
+)
+
+// benchServer builds a service over one fitted synthetic index.
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	cfg := datagen.Config{Name: "orders", Column: "key", N: 100_000, I: 1_000, R: 40, K: 0.2, Seed: 1}
+	ds, err := datagen.GenerateDataset(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := core.LRUFit(ds.Trace(), core.Meta{Table: "orders", Column: "key", T: ds.T, N: cfg.N, I: cfg.I}, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := catalog.NewStore()
+	if _, err := store.Put(st); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := service.New(service.Config{Store: store})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// benchClient allows enough idle connections that parallel benchmark
+// goroutines reuse keep-alive connections instead of redialing.
+func benchClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}}
+}
+
+func drain(resp *http.Response) error {
+	_, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return err
+}
+
+func BenchmarkServiceEstimate(b *testing.B) {
+	const fanout = 64 // candidate plans costed per "query"
+
+	// A rotation of plan shapes, so the memo cache sees realistic re-costing
+	// rather than one key.
+	shapes := make([]struct {
+		B     int64
+		Sigma float64
+	}, 32)
+	for i := range shapes {
+		shapes[i].B = int64(12 + 77*i)
+		shapes[i].Sigma = float64(1+i) / float64(len(shapes)+1)
+	}
+
+	b.Run("single", func(b *testing.B) {
+		ts := benchServer(b)
+		client := benchClient()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				sh := shapes[i%len(shapes)]
+				i++
+				url := fmt.Sprintf("%s/v1/estimate?table=orders&column=key&b=%d&sigma=%g", ts.URL, sh.B, sh.Sigma)
+				resp, err := client.Get(url)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					drain(resp)
+					return
+				}
+				if err := drain(resp); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/estimate")
+	})
+
+	b.Run("batch64", func(b *testing.B) {
+		ts := benchServer(b)
+		client := benchClient()
+
+		// Pre-encode a few distinct 64-plan batch payloads.
+		type planInput struct {
+			Table  string  `json:"table"`
+			Column string  `json:"column"`
+			B      int64   `json:"b"`
+			Sigma  float64 `json:"sigma"`
+		}
+		payloads := make([][]byte, 4)
+		for p := range payloads {
+			var breq struct {
+				Requests []planInput `json:"requests"`
+			}
+			for i := 0; i < fanout; i++ {
+				sh := shapes[(p*fanout+i)%len(shapes)]
+				breq.Requests = append(breq.Requests, planInput{"orders", "key", sh.B, sh.Sigma})
+			}
+			raw, err := json.Marshal(breq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payloads[p] = raw
+		}
+
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				raw := payloads[i%len(payloads)]
+				i++
+				resp, err := client.Post(ts.URL+"/v1/estimate/batch", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					drain(resp)
+					return
+				}
+				if err := drain(resp); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		// One iteration costs 64 estimates; report the amortized unit cost.
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*fanout), "ns/estimate")
+	})
+}

@@ -1,0 +1,103 @@
+// Command epfis-serve runs the estimation service: the statistics catalog
+// plus Subprogram Est-IO behind an HTTP JSON API, so query optimizers can
+// cost candidate index-scan plans over the network at high QPS.
+//
+//	epfis-serve -addr :8080 -catalog catalog.json
+//
+// The catalog file is the same JSON format `epfis gen` writes. A missing
+// file starts the service empty; statistics can then be installed with
+// PUT /v1/indexes/{table}/{column} and are persisted back to the file with
+// the atomic-rename pattern. POST /v1/reload picks up a catalog refreshed
+// out-of-process (an LRU-Fit rerun) without restarting.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"epfis/internal/catalog"
+	"epfis/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "epfis-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("epfis-serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		path     = fs.String("catalog", "catalog.json", "statistics catalog file (created on first install if missing)")
+		memory   = fs.Bool("in-memory", false, "run without a catalog file (no persistence, no reload)")
+		cache    = fs.Int("cache", service.DefaultCacheEntries, "Est-IO memo cache entries (negative disables)")
+		timeout  = fs.Duration("timeout", service.DefaultRequestTimeout, "per-request timeout (negative disables)")
+		maxBatch = fs.Int("max-batch", service.DefaultMaxBatch, "maximum inputs per batch request")
+		quiet    = fs.Bool("quiet", false, "suppress lifecycle logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+
+	var (
+		store *catalog.Store
+		err   error
+	)
+	if *memory {
+		store = catalog.NewStore()
+	} else {
+		store, err = catalog.Open(*path)
+		if err != nil {
+			return err
+		}
+	}
+	if logger != nil {
+		switch {
+		case *memory:
+			logger.Printf("in-memory catalog (no persistence)")
+		case store.Len() == 0:
+			logger.Printf("catalog %s absent or empty; will be created on first install", *path)
+		default:
+			logger.Printf("loaded %d catalog entries from %s", store.Len(), *path)
+		}
+	}
+
+	srv, err := service.New(service.Config{
+		Store:          store,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+		MaxBatch:       *maxBatch,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	if err := srv.Run(ctx, *addr); err != nil {
+		return err
+	}
+	if logger != nil {
+		logger.Printf("stopped after %s", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsCorruptCatalog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-catalog", path, "-quiet"})
+	if err == nil {
+		t.Fatal("run accepted a corrupt catalog file")
+	}
+	if !strings.Contains(err.Error(), "catalog") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsBadAddress(t *testing.T) {
+	err := run([]string{"-in-memory", "-quiet", "-addr", "256.256.256.256:99999"})
+	if err == nil {
+		t.Fatal("run accepted an unusable listen address")
+	}
+}

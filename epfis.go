@@ -45,12 +45,14 @@ import (
 	"epfis/internal/baselines"
 	"epfis/internal/btree"
 	"epfis/internal/buffer"
+	"epfis/internal/catalog"
 	"epfis/internal/core"
 	"epfis/internal/datagen"
 	"epfis/internal/histogram"
 	"epfis/internal/join"
 	"epfis/internal/lrusim"
 	"epfis/internal/optimizer"
+	"epfis/internal/service"
 	"epfis/internal/stats"
 	"epfis/internal/storage"
 	"epfis/internal/table"
@@ -192,6 +194,49 @@ func NewCatalog() *Catalog { return stats.NewCatalog() }
 
 // LoadCatalog reads a catalog previously written with Catalog.SaveFile.
 func LoadCatalog(path string) (*Catalog, error) { return stats.LoadFile(path) }
+
+// Estimation service layer: a concurrent versioned catalog store plus the
+// HTTP JSON API that serves Est-IO at query-compilation QPS
+// (cmd/epfis-serve is the standalone binary).
+type (
+	// CatalogStore is the concurrent copy-on-write statistics store:
+	// lock-free snapshot reads, serialized writers, atomic-rename file
+	// persistence, and generation counters.
+	CatalogStore = catalog.Store
+	// CatalogSnapshot is an immutable point-in-time view of a CatalogStore.
+	CatalogSnapshot = catalog.Snapshot
+	// Service is the estimation HTTP service (GET /v1/estimate,
+	// POST /v1/estimate/batch, catalog management, /healthz, /metrics).
+	Service = service.Server
+	// ServiceConfig configures NewService.
+	ServiceConfig = service.Config
+)
+
+// NewCatalogStore returns an empty in-memory concurrent catalog store.
+func NewCatalogStore() *CatalogStore { return catalog.NewStore() }
+
+// OpenCatalogStore binds a concurrent catalog store to a catalog file,
+// loading it when present; writes persist back with atomic renames.
+func OpenCatalogStore(path string) (*CatalogStore, error) { return catalog.Open(path) }
+
+// NewService builds the estimation HTTP service over a catalog store.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// Typed Est-IO input-validation sentinels. Each wraps ErrBadInput, so
+// errors.Is(err, ErrBadInput) matches any of them; the estimation service
+// maps them to HTTP 400.
+var (
+	// ErrBadInput is the umbrella sentinel for invalid estimation inputs.
+	ErrBadInput = core.ErrBadInput
+	// ErrBadBuffer reports a buffer page count B < 1.
+	ErrBadBuffer = core.ErrBadBuffer
+	// ErrBadSigma reports a start/stop selectivity outside [0, 1].
+	ErrBadSigma = core.ErrBadSigma
+	// ErrBadSarg reports a sargable selectivity outside (0, 1].
+	ErrBadSarg = core.ErrBadSarg
+	// ErrStatsNotFound reports a catalog lookup miss.
+	ErrStatsNotFound = stats.ErrNotFound
+)
 
 // GenerateTable builds a synthetic table (real heap pages + B-tree index)
 // with the paper's window-clustering placement model, returning both the

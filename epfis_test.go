@@ -1,7 +1,10 @@
 package epfis_test
 
 import (
+	"encoding/json"
+	"errors"
 	"math"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
@@ -231,5 +234,66 @@ func TestFacadeJoinFlow(t *testing.T) {
 	}
 	if res.InnerFetches < 1 {
 		t.Error("no inner fetches measured")
+	}
+}
+
+// TestServiceFacade drives the estimation service end to end through the
+// public API: generate statistics, install them in a concurrent catalog
+// store, serve them over HTTP, and check the response matches a direct
+// Estimate call bit for bit.
+func TestServiceFacade(t *testing.T) {
+	ds, err := epfis.GenerateDataset(epfis.SyntheticConfig{
+		Name: "orders", N: 20_000, I: 500, R: 40, K: 0.2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := epfis.CollectStats(ds.Trace(), epfis.Meta{
+		Table: "orders", Column: "key", T: ds.T, N: 20_000, I: 500,
+	}, epfis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := epfis.NewCatalogStore()
+	if _, err := store.Put(st); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := epfis.NewService(epfis.ServiceConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	want, err := epfis.Estimate(st, 120, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/estimate?table=orders&column=key&b=120&sigma=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got struct {
+		Fetches    float64 `json:"fetches"`
+		Generation uint64  `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Fetches != want {
+		t.Fatalf("service estimate = %v, direct = %v", got.Fetches, want)
+	}
+
+	// The typed validation sentinels surface through the facade.
+	if _, err := epfis.Estimate(st, 0, 0.1, 1); !errors.Is(err, epfis.ErrBadBuffer) {
+		t.Fatalf("B=0 err = %v, want ErrBadBuffer", err)
+	}
+	if _, err := epfis.Estimate(st, 10, 0.1, 0); !errors.Is(err, epfis.ErrBadSarg) {
+		t.Fatalf("S=0 err = %v, want ErrBadSarg", err)
 	}
 }

@@ -1,0 +1,335 @@
+// Package catalog provides a concurrent, versioned statistics-catalog store
+// on top of package stats, designed for the estimation service's read-heavy
+// workload: Est-IO lookups happen on the planning hot path of every query,
+// while statistics installs and refreshes (LRU-Fit reruns) are rare.
+//
+// The concurrency model is copy-on-write snapshots:
+//
+//   - Readers call Snapshot (or the Get/Keys/Len conveniences) and receive an
+//     immutable view through a single atomic pointer load — no locks, no
+//     contention, no allocation. Entries inside a snapshot are shared and
+//     must be treated as read-only.
+//
+//   - Writers (Put, Delete, ReplaceAll, Reload) serialize behind a mutex,
+//     build a fresh entry map from the current one, persist it, and publish
+//     the new snapshot with one atomic store. A reader that loaded the old
+//     snapshot keeps a consistent view for as long as it holds the pointer.
+//
+// Every published snapshot carries a monotonically increasing generation
+// number, so callers (for example the service's estimate memo cache) can key
+// derived state by generation and have it invalidate naturally when
+// statistics change.
+//
+// When the store is bound to a file path, writes persist the whole catalog
+// with the atomic-rename pattern (temp file in the same directory, then
+// os.Rename), so a crash mid-write can never leave a truncated catalog, and
+// Reload re-reads the file in place so statistics refreshed out-of-process
+// swap in without downtime.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"epfis/internal/curvefit"
+	"epfis/internal/histogram"
+	"epfis/internal/stats"
+)
+
+// ErrNoPath is returned by Reload and Save on a store that is not bound to a
+// catalog file.
+var ErrNoPath = errors.New("catalog: store has no backing file")
+
+// ErrNotFound aliases the stats-package sentinel so callers can test lookup
+// misses without importing both packages.
+var ErrNotFound = stats.ErrNotFound
+
+// Snapshot is an immutable point-in-time view of the catalog. All methods
+// are safe for concurrent use; the *stats.IndexStats values it returns are
+// shared across snapshots and must not be mutated.
+type Snapshot struct {
+	gen     uint64
+	entries map[string]*stats.IndexStats
+	keys    []string // sorted
+}
+
+// Generation reports the snapshot's version number. Generations increase by
+// one per committed write; generation 0 is the empty store.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Len reports the number of catalog entries.
+func (s *Snapshot) Len() int { return len(s.entries) }
+
+// Keys lists the entry keys ("table.column") in sorted order. The returned
+// slice is a copy and may be retained or mutated by the caller.
+func (s *Snapshot) Keys() []string {
+	ks := make([]string, len(s.keys))
+	copy(ks, s.keys)
+	return ks
+}
+
+// Get returns the entry for table.column, or an error wrapping ErrNotFound.
+// The returned entry is shared; treat it as read-only.
+func (s *Snapshot) Get(table, column string) (*stats.IndexStats, error) {
+	e, ok := s.entries[table+"."+column]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNotFound, table, column)
+	}
+	return e, nil
+}
+
+// Lookup is Get by precomputed key, returning ok = false on a miss.
+func (s *Snapshot) Lookup(key string) (*stats.IndexStats, bool) {
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Catalog materializes the snapshot as a plain stats.Catalog (copying every
+// entry), for interoperation with code written against the non-concurrent
+// type.
+func (s *Snapshot) Catalog() (*stats.Catalog, error) {
+	c := stats.NewCatalog()
+	for _, k := range s.keys {
+		if err := c.Put(s.entries[k]); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Store is the concurrent, versioned catalog store. The zero value is not
+// usable; construct with NewStore or Open. Methods are safe for concurrent
+// use by any number of goroutines.
+type Store struct {
+	snap atomic.Pointer[Snapshot]
+
+	mu   sync.Mutex // serializes writers and persistence
+	path string     // "" = in-memory only
+}
+
+// NewStore returns an empty in-memory store (no persistence).
+func NewStore() *Store {
+	st := &Store{}
+	st.snap.Store(&Snapshot{entries: map[string]*stats.IndexStats{}})
+	return st
+}
+
+// Open binds a store to a catalog file. If the file exists it is loaded and
+// validated (generation 1); if it does not exist the store starts empty and
+// the file is created on the first write.
+func Open(path string) (*Store, error) {
+	st := NewStore()
+	st.path = path
+	c, err := stats.LoadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.snap.Store(snapshotOf(c, 1))
+	return st, nil
+}
+
+// Path reports the backing catalog file, or "" for an in-memory store.
+func (st *Store) Path() string { return st.path }
+
+// Snapshot returns the current immutable view. This is a single atomic load;
+// call it once per request and perform all related lookups against the same
+// snapshot for a consistent read.
+func (st *Store) Snapshot() *Snapshot { return st.snap.Load() }
+
+// Generation reports the current snapshot's generation.
+func (st *Store) Generation() uint64 { return st.Snapshot().gen }
+
+// Len reports the current number of entries.
+func (st *Store) Len() int { return st.Snapshot().Len() }
+
+// Keys lists the current entry keys in sorted order.
+func (st *Store) Keys() []string { return st.Snapshot().Keys() }
+
+// Get returns the current entry for table.column. The returned entry is
+// shared; treat it as read-only.
+func (st *Store) Get(table, column string) (*stats.IndexStats, error) {
+	return st.Snapshot().Get(table, column)
+}
+
+// Put validates and installs (or replaces) an entry, returning the new
+// generation. The entry is deep-copied, so the caller may keep mutating its
+// own copy.
+func (st *Store) Put(e *stats.IndexStats) (uint64, error) {
+	if err := e.Validate(); err != nil {
+		return 0, err
+	}
+	cp := deepCopy(e)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.snap.Load()
+	next := cloneEntries(cur.entries)
+	next[cp.Key()] = cp
+	return st.commitLocked(next)
+}
+
+// Delete removes the entry for table.column, reporting whether it existed.
+// Deleting a missing entry is a no-op that does not bump the generation.
+func (st *Store) Delete(table, column string) (bool, uint64, error) {
+	key := table + "." + column
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.snap.Load()
+	if _, ok := cur.entries[key]; !ok {
+		return false, cur.gen, nil
+	}
+	next := cloneEntries(cur.entries)
+	delete(next, key)
+	gen, err := st.commitLocked(next)
+	if err != nil {
+		return false, cur.gen, err
+	}
+	return true, gen, nil
+}
+
+// ReplaceAll swaps the entire catalog contents for c's entries in one
+// generation step (c itself is not retained).
+func (st *Store) ReplaceAll(c *stats.Catalog) (uint64, error) {
+	next := map[string]*stats.IndexStats{}
+	for _, k := range c.Keys() {
+		e, err := c.Get(splitKey(k))
+		if err != nil {
+			return 0, err
+		}
+		next[k] = deepCopy(e)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.commitLocked(next)
+}
+
+// Reload re-reads the backing catalog file and publishes its contents as a
+// new generation, so statistics refreshed by an out-of-process LRU-Fit run
+// swap in without downtime. In-flight readers keep their old snapshot.
+func (st *Store) Reload() (uint64, error) {
+	if st.path == "" {
+		return 0, ErrNoPath
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c, err := stats.LoadFile(st.path)
+	if err != nil {
+		return 0, err
+	}
+	next := snapshotOf(c, st.snap.Load().gen+1)
+	st.snap.Store(next)
+	return next.gen, nil
+}
+
+// Save persists the current snapshot to the backing file (atomic rename).
+// Writes already persist implicitly; Save is for forcing a write after
+// out-of-band changes or for checkpointing an Open-on-missing-file store.
+func (st *Store) Save() error {
+	if st.path == "" {
+		return ErrNoPath
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return writeAtomic(st.path, st.snap.Load())
+}
+
+// commitLocked persists (when file-backed) and publishes a new snapshot
+// built from entries. Persistence failures abort the commit: the in-memory
+// view and the file never diverge. Callers must hold st.mu.
+func (st *Store) commitLocked(entries map[string]*stats.IndexStats) (uint64, error) {
+	next := &Snapshot{
+		gen:     st.snap.Load().gen + 1,
+		entries: entries,
+		keys:    sortedKeys(entries),
+	}
+	if st.path != "" {
+		if err := writeAtomic(st.path, next); err != nil {
+			return 0, err
+		}
+	}
+	st.snap.Store(next)
+	return next.gen, nil
+}
+
+// writeAtomic serializes the snapshot to a temp file in the target's
+// directory and renames it into place, so readers of the file never observe
+// a partial catalog.
+func writeAtomic(path string, snap *Snapshot) error {
+	c, err := snap.Catalog()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".catalog-*.tmp")
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	return nil
+}
+
+func snapshotOf(c *stats.Catalog, gen uint64) *Snapshot {
+	entries := map[string]*stats.IndexStats{}
+	for _, k := range c.Keys() {
+		if e, err := c.Get(splitKey(k)); err == nil {
+			entries[k] = e
+		}
+	}
+	return &Snapshot{gen: gen, entries: entries, keys: sortedKeys(entries)}
+}
+
+func cloneEntries(m map[string]*stats.IndexStats) map[string]*stats.IndexStats {
+	out := make(map[string]*stats.IndexStats, len(m)+1)
+	for k, v := range m {
+		out[k] = v // entries are immutable; share them across generations
+	}
+	return out
+}
+
+// deepCopy clones an entry including its slice-backed fields, so snapshot
+// entries never alias caller-owned memory.
+func deepCopy(e *stats.IndexStats) *stats.IndexStats {
+	cp := *e
+	if e.Curve.Knots != nil {
+		cp.Curve.Knots = append([]curvefit.Point(nil), e.Curve.Knots...)
+	}
+	if e.KeyHistogram != nil {
+		cp.KeyHistogram = append([]histogram.Bucket(nil), e.KeyHistogram...)
+	}
+	return &cp
+}
+
+func sortedKeys(m map[string]*stats.IndexStats) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func splitKey(key string) (table, column string) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}

@@ -143,6 +143,21 @@ var (
 	ErrEmptyGrid = errors.New("core: empty modeling grid")
 )
 
+// Typed sentinels for each Est-IO input check. They all wrap ErrBadInput, so
+// errors.Is(err, ErrBadInput) keeps matching; network boundaries (the
+// estimation service) map any of them to HTTP 400.
+var (
+	// ErrBadBuffer reports B < 1: a scan needs at least one buffer page.
+	ErrBadBuffer = fmt.Errorf("%w: buffer pages B must be >= 1", ErrBadInput)
+	// ErrBadSigma reports a start/stop selectivity outside [0, 1].
+	ErrBadSigma = fmt.Errorf("%w: selectivity sigma must be in [0, 1]", ErrBadInput)
+	// ErrBadSarg reports a sargable selectivity outside (0, 1]. S = 0 is
+	// rejected rather than silently treated as "no sargable predicates":
+	// a genuinely zero selectivity means the predicate matches nothing, and
+	// remapping it to 1 would inflate the estimate by the whole scan.
+	ErrBadSarg = fmt.Errorf("%w: sargable selectivity S must be in (0, 1]", ErrBadInput)
+)
+
 func (m Meta) validate() error {
 	switch {
 	case m.T < 1:
@@ -330,8 +345,8 @@ type Input struct {
 	// Sigma is the selectivity of the starting and stopping conditions
 	// (fraction of records in the scanned key range), in [0, 1].
 	Sigma float64
-	// S is the selectivity of the index-sargable predicates, in (0, 1];
-	// 1 (or 0, treated as "none") means no sargable predicates.
+	// S is the selectivity of the index-sargable predicates, strictly in
+	// (0, 1]; pass 1 when there are no sargable predicates.
 	S float64
 }
 
@@ -361,18 +376,15 @@ func EstIO(st *stats.IndexStats, in Input, opts Options) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("core: %w", err)
 	}
 	if in.B < 1 {
-		return Estimate{}, fmt.Errorf("%w: B = %d", ErrBadInput, in.B)
+		return Estimate{}, fmt.Errorf("%w (got B = %d)", ErrBadBuffer, in.B)
 	}
-	if in.Sigma < 0 || in.Sigma > 1 {
-		return Estimate{}, fmt.Errorf("%w: sigma = %g", ErrBadInput, in.Sigma)
+	if !(in.Sigma >= 0 && in.Sigma <= 1) { // negated form also rejects NaN
+		return Estimate{}, fmt.Errorf("%w (got sigma = %g)", ErrBadSigma, in.Sigma)
 	}
-	if in.S < 0 || in.S > 1 {
-		return Estimate{}, fmt.Errorf("%w: S = %g", ErrBadInput, in.S)
+	if !(in.S > 0 && in.S <= 1) {
+		return Estimate{}, fmt.Errorf("%w (got S = %g)", ErrBadSarg, in.S)
 	}
 	s := in.S
-	if s == 0 {
-		s = 1 // "no sargable predicates"
-	}
 	var est Estimate
 	if in.Sigma == 0 {
 		est.SargableFactor = 1

@@ -329,13 +329,10 @@ func TestEstIOSargablePredicates(t *testing.T) {
 	if reduced.F >= base.F {
 		t.Errorf("sargable estimate %g >= base %g", reduced.F, base.F)
 	}
-	// S=0 is treated as "none".
-	none, err := EstIO(st, Input{B: 500, Sigma: 0.3, S: 0}, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if none.F != base.F {
-		t.Errorf("S=0 estimate %g != S=1 estimate %g", none.F, base.F)
+	// S=0 is out of the valid domain (0, 1]: a zero sargable selectivity
+	// means "matches nothing" and must not be silently remapped to 1.
+	if _, err := EstIO(st, Input{B: 500, Sigma: 0.3, S: 0}, Options{}); !errors.Is(err, ErrBadSarg) {
+		t.Errorf("S=0 err = %v, want ErrBadSarg", err)
 	}
 }
 
@@ -354,16 +351,28 @@ func TestEstIOZeroSigma(t *testing.T) {
 func TestEstIOInputValidation(t *testing.T) {
 	meta := Meta{Table: "t", Column: "c", T: 100, N: 1000, I: 100}
 	st := fitted(t, clusteredTrace(100, 10), meta, Options{})
-	bad := []Input{
-		{B: 0, Sigma: 0.5, S: 1},
-		{B: 10, Sigma: -0.1, S: 1},
-		{B: 10, Sigma: 1.1, S: 1},
-		{B: 10, Sigma: 0.5, S: -1},
-		{B: 10, Sigma: 0.5, S: 2},
+	bad := []struct {
+		in   Input
+		want error
+	}{
+		{Input{B: 0, Sigma: 0.5, S: 1}, ErrBadBuffer},
+		{Input{B: -3, Sigma: 0.5, S: 1}, ErrBadBuffer},
+		{Input{B: 10, Sigma: -0.1, S: 1}, ErrBadSigma},
+		{Input{B: 10, Sigma: 1.1, S: 1}, ErrBadSigma},
+		{Input{B: 10, Sigma: math.NaN(), S: 1}, ErrBadSigma},
+		{Input{B: 10, Sigma: 0.5, S: -1}, ErrBadSarg},
+		{Input{B: 10, Sigma: 0.5, S: 0}, ErrBadSarg},
+		{Input{B: 10, Sigma: 0.5, S: 2}, ErrBadSarg},
+		{Input{B: 10, Sigma: 0.5, S: math.NaN()}, ErrBadSarg},
 	}
-	for _, in := range bad {
-		if _, err := EstIO(st, in, Options{}); !errors.Is(err, ErrBadInput) {
-			t.Errorf("EstIO(%+v) err = %v, want ErrBadInput", in, err)
+	for _, tc := range bad {
+		_, err := EstIO(st, tc.in, Options{})
+		if !errors.Is(err, tc.want) {
+			t.Errorf("EstIO(%+v) err = %v, want %v", tc.in, err, tc.want)
+		}
+		// Every input sentinel also matches the umbrella ErrBadInput.
+		if !errors.Is(err, ErrBadInput) {
+			t.Errorf("EstIO(%+v) err = %v does not wrap ErrBadInput", tc.in, err)
 		}
 	}
 }

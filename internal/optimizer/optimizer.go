@@ -243,6 +243,12 @@ func (o *Optimizer) Choose(q Query) (Plan, []Plan, error) {
 	if err != nil {
 		return Plan{}, nil, err
 	}
+	// Est-IO's domain is S in (0, 1]. A histogram can estimate a sargable
+	// selectivity of exactly 0 (equality on an out-of-range key); floor it
+	// at one qualifying record so plans still cost, rather than erroring.
+	if s == 0 {
+		s = 1 / float64(n)
+	}
 
 	var plans []Plan
 

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"epfis/internal/core"
+)
+
+// memoKey identifies one Est-IO computation. The catalog generation is part
+// of the key, so installing or reloading statistics invalidates stale memo
+// entries implicitly — no explicit flush, and a reader racing a reload can
+// never be served an estimate from the wrong statistics version.
+type memoKey struct {
+	index string // "table.column"
+	gen   uint64
+	b     int64
+	sigma float64
+	sarg  float64
+}
+
+// memoCache is a sharded LRU memo for Est-IO results. Optimizers re-cost
+// identical plan shapes constantly (same index, same buffer budget, same
+// selectivity buckets), so even a small memo absorbs most of the estimate
+// traffic; sharding keeps lock hold times negligible under parallel load.
+type memoCache struct {
+	shards [memoShards]memoShard
+	seed   maphash.Seed
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+const memoShards = 16
+
+type memoShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[memoKey]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type memoEntry struct {
+	key memoKey
+	est core.Estimate
+}
+
+// newMemoCache builds a cache holding ~total entries split evenly across the
+// shards. total < memoShards still gets one entry per shard.
+func newMemoCache(total int) *memoCache {
+	per := total / memoShards
+	if per < 1 {
+		per = 1
+	}
+	c := &memoCache{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].entries = make(map[memoKey]*list.Element, per)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+func (c *memoCache) shard(k memoKey) *memoShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(k.index)
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[0:], k.gen)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(k.b))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(k.sigma))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(k.sarg))
+	h.Write(buf[:])
+	return &c.shards[h.Sum64()%memoShards]
+}
+
+func (c *memoCache) get(k memoKey) (core.Estimate, bool) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	el, ok := sh.entries[k]
+	if ok {
+		sh.lru.MoveToFront(el)
+		est := el.Value.(*memoEntry).est
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return est, true
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return core.Estimate{}, false
+}
+
+func (c *memoCache) put(k memoKey, est core.Estimate) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[k]; ok {
+		el.Value.(*memoEntry).est = est
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.entries[k] = sh.lru.PushFront(&memoEntry{key: k, est: est})
+	if sh.lru.Len() > sh.cap {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*memoEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len reports the live entry count across all shards.
+func (c *memoCache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].lru.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

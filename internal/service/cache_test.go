@@ -1,0 +1,77 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"epfis/internal/core"
+)
+
+func TestMemoCacheHitMissEvict(t *testing.T) {
+	// One entry per shard: the second distinct key in a shard evicts the
+	// first.
+	c := newMemoCache(memoShards)
+	k1 := memoKey{index: "t.a", gen: 1, b: 10, sigma: 0.1, sarg: 1}
+	if _, ok := c.get(k1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put(k1, core.Estimate{F: 42})
+	got, ok := c.get(k1)
+	if !ok || got.F != 42 {
+		t.Fatalf("get after put = (%v, %v)", got.F, ok)
+	}
+	// Same key, different generation, is a distinct entry.
+	k2 := k1
+	k2.gen = 2
+	if _, ok := c.get(k2); ok {
+		t.Fatal("generation bump did not miss")
+	}
+
+	// Overflowing a shard evicts its least-recently-used entry.
+	c2 := newMemoCache(memoShards) // capacity 1 per shard
+	var sh *memoShard
+	keys := make([]memoKey, 0, 2)
+	for i := 0; len(keys) < 2; i++ {
+		k := memoKey{index: fmt.Sprintf("t.c%d", i), gen: 1, b: 1, sigma: 0.5, sarg: 1}
+		s := c2.shard(k)
+		if sh == nil {
+			sh = s
+		}
+		if s == sh {
+			keys = append(keys, k)
+		}
+	}
+	c2.put(keys[0], core.Estimate{F: 1})
+	c2.put(keys[1], core.Estimate{F: 2})
+	if _, ok := c2.get(keys[0]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if got, ok := c2.get(keys[1]); !ok || got.F != 2 {
+		t.Fatalf("newest entry = (%v, %v)", got.F, ok)
+	}
+	if c2.evictions.Load() != 1 {
+		t.Fatalf("evictions = %d", c2.evictions.Load())
+	}
+}
+
+func TestMemoCacheBoundedUnderLoad(t *testing.T) {
+	const capacity = 64
+	c := newMemoCache(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := memoKey{index: "orders.key", gen: uint64(g), b: int64(i % 100), sigma: 0.1, sarg: 1}
+				c.put(k, core.Estimate{F: float64(i)})
+				c.get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.len(); n > capacity {
+		t.Fatalf("cache grew to %d entries, capacity %d", n, capacity)
+	}
+}

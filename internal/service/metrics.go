@@ -1,0 +1,102 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service's expvar-style counters: plain atomics updated
+// on the hot path, serialized on demand by GET /metrics. Routes are
+// registered once at construction, so observation is lock-free.
+type metrics struct {
+	start  time.Time
+	routes map[string]*routeStats // immutable after newMetrics
+
+	panics    atomic.Uint64
+	estimates atomic.Uint64 // individual estimates served (batch items count)
+}
+
+// routeStats aggregates one route's request counters and a latency summary
+// (count / total / max, enough for mean and worst-case dashboards).
+type routeStats struct {
+	count    atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	nanosSum atomic.Uint64
+	nanosMax atomic.Uint64
+}
+
+func newMetrics(routeNames []string) *metrics {
+	m := &metrics{start: time.Now(), routes: make(map[string]*routeStats, len(routeNames))}
+	for _, r := range routeNames {
+		m.routes[r] = &routeStats{}
+	}
+	return m
+}
+
+// observe records one served request. Unknown routes are dropped rather than
+// racing a map insert.
+func (m *metrics) observe(route string, status int, d time.Duration) {
+	rs, ok := m.routes[route]
+	if !ok {
+		return
+	}
+	rs.count.Add(1)
+	if status >= 400 {
+		rs.errors.Add(1)
+	}
+	ns := uint64(d.Nanoseconds())
+	rs.nanosSum.Add(ns)
+	for {
+		cur := rs.nanosMax.Load()
+		if ns <= cur || rs.nanosMax.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// routeSnapshot is the serialized form of one route's counters.
+type routeSnapshot struct {
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	AvgMicros float64 `json:"avgMicros"`
+	MaxMicros float64 `json:"maxMicros"`
+}
+
+// snapshot serializes all counters; cache may be nil when memoization is
+// disabled.
+func (m *metrics) snapshot(cache *memoCache) map[string]any {
+	routes := make(map[string]routeSnapshot, len(m.routes))
+	for name, rs := range m.routes {
+		n := rs.count.Load()
+		snap := routeSnapshot{
+			Requests:  n,
+			Errors:    rs.errors.Load(),
+			MaxMicros: float64(rs.nanosMax.Load()) / 1e3,
+		}
+		if n > 0 {
+			snap.AvgMicros = float64(rs.nanosSum.Load()) / float64(n) / 1e3
+		}
+		routes[name] = snap
+	}
+	out := map[string]any{
+		"uptimeSeconds": time.Since(m.start).Seconds(),
+		"routes":        routes,
+		"panics":        m.panics.Load(),
+		"estimates":     m.estimates.Load(),
+	}
+	if cache != nil {
+		hits, misses := cache.hits.Load(), cache.misses.Load()
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		out["cache"] = map[string]any{
+			"hits":      hits,
+			"misses":    misses,
+			"evictions": cache.evictions.Load(),
+			"entries":   cache.len(),
+			"hitRatio":  ratio,
+		}
+	}
+	return out
+}

@@ -1,0 +1,550 @@
+// Package service exposes the statistics catalog and Subprogram Est-IO as a
+// long-running HTTP JSON API — the estimation service a query optimizer
+// calls on its planning hot path. Est-IO is "a handful of float operations",
+// so the service is engineered for high QPS on small requests:
+//
+//   - every request resolves statistics through one lock-free catalog
+//     snapshot load (package catalog);
+//   - a sharded LRU memo cache absorbs re-costed identical plan shapes,
+//     keyed by (index, generation, B, sigma, S) so catalog updates
+//     invalidate implicitly;
+//   - POST /v1/estimate/batch amortizes HTTP and JSON overhead across the
+//     many candidate plans an optimizer costs per query;
+//   - per-route counters and latency summaries are plain atomics, serialized
+//     only when GET /metrics asks.
+//
+// Routes:
+//
+//	GET    /v1/estimate                     one estimate (query parameters)
+//	POST   /v1/estimate/batch               many estimates in one round trip
+//	GET    /v1/indexes                      catalog listing
+//	PUT    /v1/indexes/{table}/{column}     install statistics
+//	DELETE /v1/indexes/{table}/{column}     drop statistics
+//	POST   /v1/reload                       re-read the catalog file
+//	GET    /healthz                         liveness + catalog generation
+//	GET    /metrics                         counters (expvar-style JSON)
+//
+// Invalid estimation inputs surface as HTTP 400 carrying the core package's
+// typed sentinel message; unknown indexes as 404. Handlers run behind
+// panic-recovery and request-timeout middleware, and Run drains in-flight
+// requests on context cancellation (SIGTERM in cmd/epfis-serve).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"epfis/internal/catalog"
+	"epfis/internal/core"
+	"epfis/internal/stats"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheEntries   = 4096
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultMaxBatch       = 1024
+
+	maxBodyBytes = 8 << 20 // PUT bodies carry histograms; batches carry many inputs
+)
+
+// Config configures New. Store is required; everything else defaults.
+type Config struct {
+	// Store is the catalog the service reads and writes.
+	Store *catalog.Store
+	// CacheEntries sizes the Est-IO memo cache (total entries across
+	// shards). 0 = DefaultCacheEntries; negative disables memoization.
+	CacheEntries int
+	// RequestTimeout bounds each request's total handling time.
+	// 0 = DefaultRequestTimeout; negative disables the timeout.
+	RequestTimeout time.Duration
+	// MaxBatch caps the number of inputs per batch request.
+	// 0 = DefaultMaxBatch.
+	MaxBatch int
+	// Logger receives lifecycle and panic logs; nil discards them.
+	Logger *log.Logger
+}
+
+// Server is the estimation service. Construct with New; safe for concurrent
+// use.
+type Server struct {
+	store    *catalog.Store
+	cache    *memoCache // nil when disabled
+	met      *metrics
+	handler  http.Handler
+	maxBatch int
+	log      *log.Logger
+}
+
+// Route names, used as metrics keys.
+const (
+	routeEstimate    = "GET /v1/estimate"
+	routeBatch       = "POST /v1/estimate/batch"
+	routeIndexes     = "GET /v1/indexes"
+	routePutIndex    = "PUT /v1/indexes/{table}/{column}"
+	routeDeleteIndex = "DELETE /v1/indexes/{table}/{column}"
+	routeReload      = "POST /v1/reload"
+	routeHealthz     = "GET /healthz"
+	routeMetrics     = "GET /metrics"
+)
+
+// New builds the service around a catalog store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("service: Config.Store is required")
+	}
+	s := &Server{
+		store:    cfg.Store,
+		maxBatch: cfg.MaxBatch,
+		log:      cfg.Logger,
+	}
+	if s.maxBatch == 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	if s.log == nil {
+		s.log = log.New(io.Discard, "", 0)
+	}
+	switch {
+	case cfg.CacheEntries == 0:
+		s.cache = newMemoCache(DefaultCacheEntries)
+	case cfg.CacheEntries > 0:
+		s.cache = newMemoCache(cfg.CacheEntries)
+	}
+	s.met = newMetrics([]string{
+		routeEstimate, routeBatch, routeIndexes, routePutIndex,
+		routeDeleteIndex, routeReload, routeHealthz, routeMetrics,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle(routeEstimate, s.instrument(routeEstimate, s.handleEstimate))
+	mux.Handle(routeBatch, s.instrument(routeBatch, s.handleBatch))
+	mux.Handle(routeIndexes, s.instrument(routeIndexes, s.handleIndexes))
+	mux.Handle(routePutIndex, s.instrument(routePutIndex, s.handlePutIndex))
+	mux.Handle(routeDeleteIndex, s.instrument(routeDeleteIndex, s.handleDeleteIndex))
+	mux.Handle(routeReload, s.instrument(routeReload, s.handleReload))
+	mux.Handle(routeHealthz, s.instrument(routeHealthz, s.handleHealthz))
+	mux.Handle(routeMetrics, s.instrument(routeMetrics, s.handleMetrics))
+
+	var h http.Handler = mux
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = DefaultRequestTimeout
+	}
+	if timeout > 0 {
+		h = http.TimeoutHandler(h, timeout, `{"error":"request timed out"}`)
+	}
+	s.handler = h
+	return s, nil
+}
+
+// Handler returns the fully wrapped HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ServeHTTP makes Server itself an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Run listens on addr and serves until ctx is cancelled, then shuts down
+// gracefully, draining in-flight requests for up to 10 seconds.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run over an existing listener (useful for ephemeral test ports).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	s.log.Printf("service: listening on %s (%d catalog entries, generation %d)",
+		ln.Addr(), s.store.Len(), s.store.Generation())
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.log.Printf("service: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("service: shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// instrument wraps a handler with panic recovery and per-route metrics.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Add(1)
+				s.log.Printf("service: panic on %s: %v", route, p)
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, errors.New("internal error"))
+				}
+				rec.status = http.StatusInternalServerError
+			}
+			s.met.observe(route, rec.status, time.Since(start))
+		}()
+		h(rec, r)
+	})
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// estimateRequest is one Est-IO input addressed at a catalog entry. S is a
+// pointer so "omitted" (no sargable predicates, treated as 1) is
+// distinguishable from an explicit out-of-domain 0.
+type estimateRequest struct {
+	Table  string   `json:"table"`
+	Column string   `json:"column"`
+	B      int64    `json:"b"`
+	Sigma  float64  `json:"sigma"`
+	S      *float64 `json:"s,omitempty"`
+	Detail bool     `json:"detail,omitempty"`
+}
+
+func (r estimateRequest) sarg() float64 {
+	if r.S == nil {
+		return 1
+	}
+	return *r.S
+}
+
+// estimateResponse carries the estimate; Fetches is bit-exact with a direct
+// core.EstimateFetches call (JSON float64 encoding round-trips exactly).
+type estimateResponse struct {
+	Table      string         `json:"table"`
+	Column     string         `json:"column"`
+	B          int64          `json:"b"`
+	Sigma      float64        `json:"sigma"`
+	S          float64        `json:"s"`
+	Fetches    float64        `json:"fetches"`
+	Generation uint64         `json:"generation"`
+	Cached     bool           `json:"cached"`
+	Detail     *core.Estimate `json:"detail,omitempty"`
+}
+
+// estimate resolves statistics against one snapshot and runs (or recalls)
+// Est-IO. It is the shared core of the single and batch endpoints.
+func (s *Server) estimate(snap *catalog.Snapshot, req estimateRequest) (estimateResponse, error) {
+	st, err := snap.Get(req.Table, req.Column)
+	if err != nil {
+		return estimateResponse{}, err
+	}
+	resp := estimateResponse{
+		Table:      req.Table,
+		Column:     req.Column,
+		B:          req.B,
+		Sigma:      req.Sigma,
+		S:          req.sarg(),
+		Generation: snap.Generation(),
+	}
+	key := memoKey{
+		index: req.Table + "." + req.Column,
+		gen:   snap.Generation(),
+		b:     req.B,
+		sigma: req.Sigma,
+		sarg:  resp.S,
+	}
+	var est core.Estimate
+	cached := false
+	if s.cache != nil {
+		est, cached = s.cache.get(key)
+	}
+	if !cached {
+		est, err = core.EstIO(st, core.Input{B: req.B, Sigma: req.Sigma, S: resp.S}, core.Options{})
+		if err != nil {
+			return estimateResponse{}, err
+		}
+		if s.cache != nil {
+			s.cache.put(key, est)
+		}
+	}
+	s.met.estimates.Add(1)
+	resp.Fetches = est.F
+	resp.Cached = cached
+	if req.Detail {
+		d := est
+		resp.Detail = &d
+	}
+	return resp, nil
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	req, err := parseEstimateQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.estimate(s.store.Snapshot(), req)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func parseEstimateQuery(r *http.Request) (estimateRequest, error) {
+	q := r.URL.Query()
+	req := estimateRequest{Table: q.Get("table"), Column: q.Get("column")}
+	if req.Table == "" || req.Column == "" {
+		return req, errors.New("query parameters table and column are required")
+	}
+	var err error
+	if req.B, err = strconv.ParseInt(q.Get("b"), 10, 64); err != nil {
+		return req, fmt.Errorf("query parameter b: %w", err)
+	}
+	if req.Sigma, err = strconv.ParseFloat(q.Get("sigma"), 64); err != nil {
+		return req, fmt.Errorf("query parameter sigma: %w", err)
+	}
+	if raw := q.Get("s"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return req, fmt.Errorf("query parameter s: %w", err)
+		}
+		req.S = &v
+	}
+	if raw := q.Get("detail"); raw != "" {
+		v, err := strconv.ParseBool(raw)
+		if err != nil {
+			return req, fmt.Errorf("query parameter detail: %w", err)
+		}
+		req.Detail = v
+	}
+	return req, nil
+}
+
+// batchRequest and batchResponse amortize per-request overhead: one HTTP
+// round trip and one JSON document for the dozens of candidate plans an
+// optimizer costs while planning a single query.
+type batchRequest struct {
+	Requests []estimateRequest `json:"requests"`
+}
+
+type batchItem struct {
+	Estimate *estimateResponse `json:"estimate,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Status   int               `json:"status,omitempty"`
+}
+
+type batchResponse struct {
+	Count      int         `json:"count"`
+	Failed     int         `json:"failed"`
+	Generation uint64      `json:"generation"`
+	Items      []batchItem `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq batchRequest
+	if err := decodeJSON(w, r, &breq); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch has no requests"))
+		return
+	}
+	if len(breq.Requests) > s.maxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d", len(breq.Requests), s.maxBatch))
+		return
+	}
+	// One snapshot for the whole batch: every item is costed against the
+	// same catalog generation even if a writer lands mid-flight.
+	snap := s.store.Snapshot()
+	resp := batchResponse{
+		Count:      len(breq.Requests),
+		Generation: snap.Generation(),
+		Items:      make([]batchItem, len(breq.Requests)),
+	}
+	for i, req := range breq.Requests {
+		est, err := s.estimate(snap, req)
+		if err != nil {
+			resp.Items[i] = batchItem{Error: err.Error(), Status: statusOf(err)}
+			resp.Failed++
+			continue
+		}
+		resp.Items[i] = batchItem{Estimate: &est}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// indexSummary is one row of the catalog listing.
+type indexSummary struct {
+	Table            string    `json:"table"`
+	Column           string    `json:"column"`
+	Pages            int64     `json:"pages"`
+	Records          int64     `json:"records"`
+	DistinctKeys     int64     `json:"distinctKeys"`
+	ClusteringFactor float64   `json:"clusteringFactor"`
+	BufferMin        int64     `json:"bufferMin"`
+	BufferMax        int64     `json:"bufferMax"`
+	CurveKnots       int       `json:"curveKnots"`
+	HasHistogram     bool      `json:"hasHistogram"`
+	CollectedAt      time.Time `json:"collectedAt"`
+}
+
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	out := struct {
+		Generation uint64         `json:"generation"`
+		Count      int            `json:"count"`
+		Indexes    []indexSummary `json:"indexes"`
+	}{Generation: snap.Generation(), Count: snap.Len(), Indexes: []indexSummary{}}
+	for _, key := range snap.Keys() {
+		e, ok := snap.Lookup(key)
+		if !ok {
+			continue
+		}
+		out.Indexes = append(out.Indexes, indexSummary{
+			Table:            e.Table,
+			Column:           e.Column,
+			Pages:            e.T,
+			Records:          e.N,
+			DistinctKeys:     e.I,
+			ClusteringFactor: e.C,
+			BufferMin:        e.BMin,
+			BufferMax:        e.BMax,
+			CurveKnots:       len(e.Curve.Knots),
+			HasHistogram:     len(e.KeyHistogram) > 0,
+			CollectedAt:      e.CollectedAt,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePutIndex(w http.ResponseWriter, r *http.Request) {
+	table, column := r.PathValue("table"), r.PathValue("column")
+	var e stats.IndexStats
+	if err := decodeJSON(w, r, &e); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if e.Table == "" {
+		e.Table = table
+	}
+	if e.Column == "" {
+		e.Column = column
+	}
+	if e.Table != table || e.Column != column {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("body identifies %s.%s but path identifies %s.%s", e.Table, e.Column, table, column))
+		return
+	}
+	gen, err := s.store.Put(&e)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": e.Key(), "generation": gen})
+}
+
+func (s *Server) handleDeleteIndex(w http.ResponseWriter, r *http.Request) {
+	table, column := r.PathValue("table"), r.PathValue("column")
+	ok, gen, err := s.store.Delete(table, column)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s.%s", stats.ErrNotFound, table, column))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"generation": gen})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	gen, err := s.store.Reload()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, catalog.ErrNoPath) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "indexes": s.store.Len()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"generation":    snap.Generation(),
+		"indexes":       snap.Len(),
+		"uptimeSeconds": time.Since(s.met.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.snapshot(s.cache))
+}
+
+// statusOf maps domain errors to HTTP statuses: invalid Est-IO inputs are
+// client errors, unknown indexes are 404s, anything else is a 500.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, core.ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, stats.ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error(), "status": status})
+}

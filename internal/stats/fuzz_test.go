@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"epfis/internal/curvefit"
+)
+
+// FuzzCatalogRoundTrip hardens the catalog's JSON format, which the
+// estimation service exposes to untrusted input (PUT /v1/indexes and the
+// reloadable catalog file): any document that Load accepts must validate,
+// re-serialize, and re-load to an identical catalog — no panics, no NaN/Inf
+// smuggling, no entries that Validate would reject.
+func FuzzCatalogRoundTrip(f *testing.F) {
+	// Seed with a genuine catalog document.
+	c := NewCatalog()
+	err := c.Put(&IndexStats{
+		Table: "orders", Column: "key",
+		T: 100, N: 1000, I: 100,
+		BMin: 12, BMax: 100, FMin: 500, C: 0.5,
+		Curve: curvefit.PolyLine{Knots: []curvefit.Point{
+			{X: 12, Y: 500}, {X: 100, Y: 100},
+		}},
+		GridPoints:  2,
+		CollectedAt: time.Unix(0, 0).UTC(),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := c.Save(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"version":1,"entries":[]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"entries":[{"table":"t","column":"c","pages":-1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"version":1,"entries":[{"table":"t","column":"c","pages":1,` +
+		`"records":1,"distinctKeys":1,"bufferMin":1,"bufferMax":1,"fetchesAtBMin":1,` +
+		`"clusteringFactor":1e999,"fpfCurve":{"knots":[]}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c1, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; crashing is not
+		}
+		// Everything Load accepted has passed Validate.
+		for _, key := range c1.Keys() {
+			e, err := c1.Get(splitKey(key))
+			if err != nil {
+				t.Fatalf("Get(%q) after Load: %v", key, err)
+			}
+			if err := e.Validate(); err != nil {
+				t.Fatalf("Load admitted invalid entry %q: %v", key, err)
+			}
+		}
+		// Accepted catalogs round-trip losslessly.
+		var buf bytes.Buffer
+		if err := c1.Save(&buf); err != nil {
+			t.Fatalf("Save of loaded catalog: %v", err)
+		}
+		c2, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Load of saved catalog: %v\nserialized: %s", err, buf.String())
+		}
+		if !reflect.DeepEqual(c1.Keys(), c2.Keys()) {
+			t.Fatalf("keys changed across round trip: %v != %v", c1.Keys(), c2.Keys())
+		}
+		for _, key := range c1.Keys() {
+			e1, _ := c1.Get(splitKey(key))
+			e2, _ := c2.Get(splitKey(key))
+			if !reflect.DeepEqual(e1, e2) {
+				t.Fatalf("entry %q changed across round trip:\n%+v\n%+v", key, e1, e2)
+			}
+		}
+	})
+}
+
+// splitKey mirrors the catalog key convention "table.column" (column never
+// contains a dot; table may).
+func splitKey(key string) (table, column string) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}

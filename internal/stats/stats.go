@@ -6,6 +6,17 @@
 //
 // The catalog serializes to JSON so statistics collected by cmd/epfis can be
 // inspected and reused across runs.
+//
+// # Thread safety
+//
+// Catalog is a plain in-memory map with no internal synchronization: it is
+// safe for any number of goroutines to call read methods (Get, Len, Keys,
+// Save) concurrently, but writes (Put) must not run concurrently with any
+// other method. IndexStats values are passed around by shallow copy — the
+// copies share the Curve.Knots and KeyHistogram backing arrays — so treat
+// every entry obtained from a catalog as read-only. Long-running concurrent
+// services should use package catalog, which wraps this type in a
+// copy-on-write snapshot store with lock-free reads.
 package stats
 
 import (
@@ -105,7 +116,9 @@ func (s *IndexStats) Histogram() (*histogram.EquiDepth, error) {
 // Key identifies the entry within a catalog.
 func (s *IndexStats) Key() string { return s.Table + "." + s.Column }
 
-// Catalog is an in-memory system catalog of index statistics.
+// Catalog is an in-memory system catalog of index statistics. It is not
+// safe for concurrent mutation; see the package comment's thread-safety
+// notes (package catalog provides the concurrent store).
 type Catalog struct {
 	entries map[string]*IndexStats
 }
@@ -125,7 +138,10 @@ func (c *Catalog) Put(s *IndexStats) error {
 	return nil
 }
 
-// Get returns the entry for table.column.
+// Get returns the entry for table.column. The returned value is a shallow
+// copy: scalar fields are the caller's to change, but Curve.Knots and
+// KeyHistogram share backing arrays with the stored entry and must be
+// treated as read-only.
 func (c *Catalog) Get(tbl, column string) (*IndexStats, error) {
 	s, ok := c.entries[tbl+"."+column]
 	if !ok {
