@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench fuzz serve vet all
+.PHONY: build test race bench bench-json bench-smoke fuzz serve vet all
 
 all: build vet test
 
@@ -20,6 +20,16 @@ race:
 # Service throughput: single estimates vs 64-plan batches, 1 and 4 cores.
 bench:
 	$(GO) test -bench=ServiceEstimate -cpu 1,4 -run=NONE ./cmd/epfis-serve/
+
+# Tracked perf baseline: pooled-simulator and Measure microbenchmarks, the
+# warm-cache sweep, and full-suite wall-clock at -parallel 1/4, written as
+# BENCH_experiments.json (see README "Benchmarks and the perf baseline").
+bench-json:
+	$(GO) run ./cmd/epfis-bench -out BENCH_experiments.json
+
+# One-iteration pass over the perf-relevant benchmarks, as run in CI.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/lrusim/ ./internal/workload/ ./internal/experiment/
 
 # Short fuzz pass over the catalog JSON format.
 fuzz:

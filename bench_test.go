@@ -3,7 +3,9 @@
 // experiment end to end (dataset generation, statistics passes, 200-scan
 // error sweep) and reports the per-algorithm maximum |error| as custom
 // metrics, so `go test -bench=.` prints the same headline numbers the paper
-// discusses.
+// discusses. The experiment package shares datasets and suites through a
+// build cache; these benches clear it every iteration so each op really is
+// an end-to-end rebuild (cmd/epfis-bench measures the cached engine path).
 //
 // Benches default to a shape-preserving scaled run (Scale 25, 60 scans; see
 // DESIGN.md §6); set -epfis.full to run at paper size.
@@ -51,6 +53,7 @@ func benchGWLFigure(b *testing.B, figure int) {
 	var fig *experiment.FigureResult
 	var err error
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		fig, err = experiment.RunGWLFigure(figure, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -66,6 +69,7 @@ func benchSyntheticFigure(b *testing.B, figure int) {
 	}
 	var fig *experiment.FigureResult
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		fig, err = experiment.RunSyntheticFigure(spec, benchConfig())
 		if err != nil {
 			b.Fatal(err)
@@ -113,6 +117,7 @@ func BenchmarkFigure1FPFCurves(b *testing.B) {
 		cfg.Scale = 8
 	}
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		if _, err := experiment.RunFigure1(cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -148,6 +153,7 @@ func BenchmarkFigure21(b *testing.B) { benchSyntheticFigure(b, 21) }
 func BenchmarkMaxErrorSummary(b *testing.B) {
 	var sum *experiment.TableResult
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		var figs []*experiment.FigureResult
 		for _, spec := range experiment.SyntheticFigures {
 			fig, err := experiment.RunSyntheticFigure(spec, benchConfig())
@@ -174,6 +180,7 @@ func BenchmarkSegmentCountAblation(b *testing.B) {
 	var fig *experiment.FigureResult
 	var err error
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		fig, err = experiment.RunSegmentCountAblation(cfg, []int{1, 2, 4, 6, 8, 12})
 		if err != nil {
 			b.Fatal(err)
@@ -192,6 +199,7 @@ func BenchmarkSpacingAblation(b *testing.B) {
 	var fig *experiment.FigureResult
 	var err error
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		fig, err = experiment.RunSpacingAblation(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -209,6 +217,7 @@ func BenchmarkCorrectionAblation(b *testing.B) {
 	var fig *experiment.FigureResult
 	var err error
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		fig, err = experiment.RunCorrectionAblation(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -226,6 +235,7 @@ func BenchmarkCorrectionAblation(b *testing.B) {
 // BenchmarkSortedRIDStudy measures the §6 sorted-RID extension experiment.
 func BenchmarkSortedRIDStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		if _, err := experiment.RunSortedRIDStudy(benchConfig()); err != nil {
 			b.Fatal(err)
 		}
@@ -237,6 +247,7 @@ func BenchmarkPolicyStudy(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Scans = 30
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		if _, err := experiment.RunPolicyStudy(cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -248,6 +259,7 @@ func BenchmarkContentionStudy(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Scans = 40
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		if _, err := experiment.RunContentionStudy(cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -306,6 +318,7 @@ func BenchmarkSargableStudy(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Scans = 60
 	for i := 0; i < b.N; i++ {
+		experiment.ClearSharedCache()
 		if _, err := experiment.RunSargableStudy(cfg); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,251 @@
+// Command epfis-bench measures the repository's perf-tracked paths and
+// writes a machine-readable baseline (BENCH_experiments.json, via
+// `make bench-json`):
+//
+//   - microbenchmarks of the pooled Mattson simulator against the
+//     fresh-structures legacy path, and of the pooled parallel Measure
+//     against the per-scan-allocation legacy loop;
+//   - one warm-cache error sweep (the engine's marginal per-figure cost);
+//   - wall-clock for the full experiment suite through the engine at
+//     -parallel 1 and -parallel 4, plus an uncached baseline that drops the
+//     shared build cache between experiments (the pre-engine behavior);
+//   - a determinism bit: the parallel-1 and parallel-4 suite runs must
+//     render byte-identical output.
+//
+// Benchmarks run through testing.Benchmark, so numbers come from the std
+// benchmark machinery (auto-scaled iteration counts), not from parsing
+// benchmark text output. num_cpu and gomaxprocs are recorded so readers can
+// judge the parallel numbers: on a single-CPU machine the parallel-4 run
+// cannot beat serial, only match it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"epfis/internal/datagen"
+	"epfis/internal/experiment"
+	"epfis/internal/lrusim"
+	"epfis/internal/storage"
+	"epfis/internal/workload"
+)
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type suiteReport struct {
+	Experiments                    int     `json:"experiments"`
+	Scale                          int     `json:"scale"`
+	Scans                          int     `json:"scans"`
+	WallSecondsParallel1           float64 `json:"wall_seconds_parallel_1"`
+	WallSecondsParallel4           float64 `json:"wall_seconds_parallel_4"`
+	WallSecondsUncachedBaseline    float64 `json:"wall_seconds_uncached_baseline"`
+	SpeedupParallel4VsSerial       float64 `json:"speedup_parallel_4_vs_serial"`
+	SpeedupEngineVsUncached        float64 `json:"speedup_engine_vs_uncached"`
+	DeterministicAcrossParallelism bool    `json:"deterministic_across_parallelism"`
+}
+
+type report struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	NumCPU      int          `json:"num_cpu"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+	Suite       suiteReport  `json:"suite"`
+}
+
+func entry(name string, r testing.BenchmarkResult) benchEntry {
+	return benchEntry{
+		Name:        name,
+		Ops:         r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// lcgTrace builds a deterministic pseudo-random reference trace without
+// importing the test-only helpers of internal/lrusim.
+func lcgTrace(n int, pages uint64) lrusim.Trace {
+	trace := make(lrusim.Trace, n)
+	state := uint64(12345)
+	for i := range trace {
+		state = state*6364136223846793005 + 1442695040888963407
+		trace[i] = storage.PageID((state >> 33) % pages)
+	}
+	return trace
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "epfis-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_experiments.json", "output path for the JSON baseline")
+		scale = flag.Int("scale", 25, "dataset scale divisor for the suite runs")
+		scans = flag.Int("scans", 20, "scans per error sweep in the suite runs")
+	)
+	flag.Parse()
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	// --- Simulator microbenchmarks: pooled Scratch vs fresh structures. ---
+	trace := lcgTrace(100_000, 2_000)
+	scratch := lrusim.NewScratch()
+	rep.Benchmarks = append(rep.Benchmarks,
+		entry("lrusim/scratch_analyze_100k", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scratch.Analyze(trace)
+			}
+		})),
+		entry("lrusim/tree_analyze_legacy_100k", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				(lrusim.TreeSimulator{}).Run(trace).FetchCurve()
+			}
+		})),
+	)
+
+	// --- Measure: pooled parallel path vs the per-scan-allocation loop. ---
+	// Same shape as the internal/workload Measure benchmarks, so the two
+	// harnesses report comparable numbers.
+	ds, err := datagen.GenerateDataset(datagen.Config{
+		Name: "bench", N: 100_000, I: 1_000, R: 20, K: 0.2, Seed: 1,
+	})
+	if err != nil {
+		fatalf("dataset: %v", err)
+	}
+	gen, err := workload.NewGenerator(ds, 7)
+	if err != nil {
+		fatalf("generator: %v", err)
+	}
+	benchScans := gen.Mix(200, 0.5)
+	rep.Benchmarks = append(rep.Benchmarks,
+		entry("workload/measure_200scans_pooled", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				workload.Measure(ds, benchScans)
+			}
+		})),
+		entry("workload/measure_200scans_legacy", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := make([]workload.Measured, len(benchScans))
+				for j, s := range benchScans {
+					tr := ds.SliceTrace(s.Lo, s.Hi)
+					out[j] = workload.Measured{Scan: s, Curve: (lrusim.TreeSimulator{}).Run(tr).FetchCurve()}
+				}
+			}
+		})),
+	)
+
+	// --- Warm-cache error sweep: the engine's marginal per-figure cost once
+	// the dataset and suite are cached (the figure-level cache is bypassed by
+	// calling the runner directly, so the sweep itself runs every op). ---
+	cfg := experiment.Config{Scale: *scale, Scans: *scans, Seed: 1}
+	experiment.ClearSharedCache()
+	spec13, err := experiment.SyntheticSpecFor(13)
+	if err != nil {
+		fatalf("spec: %v", err)
+	}
+	rep.Benchmarks = append(rep.Benchmarks,
+		entry("experiment/figure13_sweep_warm_cache", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunSyntheticFigure(spec13, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+	)
+
+	// --- Full-suite wall clock: engine at parallel 1 and 4, then the
+	// uncached per-experiment baseline. Rendered bytes from the two engine
+	// runs feed the determinism bit. ---
+	exps := experiment.Registry()
+	rep.Suite = suiteReport{Experiments: len(exps), Scale: *scale, Scans: *scans}
+	runSuite := func(parallel int) (float64, [][]byte) {
+		experiment.ClearSharedCache()
+		defer experiment.ClearSharedCache()
+		eng := experiment.Engine{Parallel: parallel}
+		start := time.Now()
+		reports := eng.RunAll(cfg, exps)
+		elapsed := time.Since(start).Seconds()
+		rendered := make([][]byte, len(reports))
+		for i, r := range reports {
+			if r.Err != nil {
+				fatalf("suite (parallel=%d) %s: %v", parallel, r.ID, r.Err)
+			}
+			var buf bytes.Buffer
+			if err := r.Result.Render(&buf); err != nil {
+				fatalf("render %s: %v", r.ID, err)
+			}
+			rendered[i] = buf.Bytes()
+		}
+		return elapsed, rendered
+	}
+	var serialOut, parallelOut [][]byte
+	rep.Suite.WallSecondsParallel1, serialOut = runSuite(1)
+	rep.Suite.WallSecondsParallel4, parallelOut = runSuite(4)
+	rep.Suite.DeterministicAcrossParallelism = true
+	for i := range serialOut {
+		if !bytes.Equal(serialOut[i], parallelOut[i]) {
+			rep.Suite.DeterministicAcrossParallelism = false
+			fmt.Fprintf(os.Stderr, "epfis-bench: %s renders differently at parallel 1 vs 4\n", exps[i].ID)
+		}
+	}
+
+	start := time.Now()
+	for _, e := range exps {
+		experiment.ClearSharedCache()
+		if _, err := e.Run(cfg); err != nil {
+			fatalf("uncached baseline %s: %v", e.ID, err)
+		}
+	}
+	experiment.ClearSharedCache()
+	rep.Suite.WallSecondsUncachedBaseline = time.Since(start).Seconds()
+
+	rep.Suite.SpeedupParallel4VsSerial = rep.Suite.WallSecondsParallel1 / rep.Suite.WallSecondsParallel4
+	rep.Suite.SpeedupEngineVsUncached = rep.Suite.WallSecondsUncachedBaseline / rep.Suite.WallSecondsParallel1
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+
+	fmt.Printf("epfis-bench: wrote %s\n", *out)
+	for _, e := range rep.Benchmarks {
+		fmt.Printf("  %-36s %12.0f ns/op %8d allocs/op %12d B/op\n", e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+	}
+	s := rep.Suite
+	fmt.Printf("  suite (%d experiments, scale=%d, scans=%d): parallel1=%.2fs parallel4=%.2fs uncached=%.2fs\n",
+		s.Experiments, s.Scale, s.Scans, s.WallSecondsParallel1, s.WallSecondsParallel4, s.WallSecondsUncachedBaseline)
+	fmt.Printf("  speedup: engine-vs-uncached %.2fx, parallel4-vs-serial %.2fx (num_cpu=%d), deterministic=%v\n",
+		s.SpeedupEngineVsUncached, s.SpeedupParallel4VsSerial, rep.NumCPU, s.DeterministicAcrossParallelism)
+	if !s.DeterministicAcrossParallelism {
+		os.Exit(1)
+	}
+}

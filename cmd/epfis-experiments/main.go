@@ -1,142 +1,64 @@
 // Command epfis-experiments regenerates every table and figure of the
 // paper's evaluation (§5) plus the ablation studies DESIGN.md calls out:
 //
-//	epfis-experiments                  # scaled run (fast, shape-preserving)
-//	epfis-experiments -full            # paper-size run (N = 10^6 synthetic, full GWL shapes)
-//	epfis-experiments -only figure-13  # one experiment
-//	epfis-experiments -list            # list experiment ids
+//	epfis-experiments                    # scaled run (fast, shape-preserving)
+//	epfis-experiments -full              # paper-size run (N = 10^6 synthetic, full GWL shapes)
+//	epfis-experiments -only figure-13    # one experiment (comma-separate for several)
+//	epfis-experiments -parallel 8        # run experiments on 8 workers
+//	epfis-experiments -list              # list experiment ids
 //
-// Output is text: a value table per figure (the same series the paper
-// plots) followed by an ASCII chart. Paper-vs-measured numbers are recorded
-// in EXPERIMENTS.md.
+// Experiments run on the experiment engine's worker pool (-parallel,
+// default GOMAXPROCS). Results are bit-identical at any parallelism;
+// rendering always follows the canonical order. Progress and per-experiment
+// timing go to stderr, results to stdout: a value table per figure (the
+// same series the paper plots) followed by an ASCII chart. Paper-vs-measured
+// numbers are recorded in EXPERIMENTS.md.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"epfis/internal/experiment"
 )
 
-type runner func(cfg experiment.Config, w io.Writer) error
-
-func figureRunner(fn func(experiment.Config) (*experiment.FigureResult, error)) runner {
-	return func(cfg experiment.Config, w io.Writer) error {
-		fig, err := fn(cfg)
-		if err != nil {
-			return err
-		}
-		return fig.Render(w)
+// selectExperiments resolves the -only flag (comma-separated ids; empty =
+// the full registry in canonical order).
+func selectExperiments(only string) ([]experiment.Experiment, error) {
+	if only == "" {
+		return experiment.Registry(), nil
 	}
-}
-
-func tableRunner(fn func(experiment.Config) (*experiment.TableResult, error)) runner {
-	return func(cfg experiment.Config, w io.Writer) error {
-		tbl, err := fn(cfg)
-		if err != nil {
-			return err
-		}
-		return tbl.Render(w)
-	}
-}
-
-func experiments() (map[string]runner, []string) {
-	m := map[string]runner{
-		"table-2":  tableRunner(experiment.RunTable2),
-		"table-3":  tableRunner(experiment.RunTable3),
-		"figure-1": figureRunner(experiment.RunFigure1),
-		"summary-gwl": func(cfg experiment.Config, w io.Writer) error {
-			var figs []*experiment.FigureResult
-			for f := 2; f <= 9; f++ {
-				fig, err := experiment.RunGWLFigure(f, cfg)
-				if err != nil {
-					return err
-				}
-				figs = append(figs, fig)
-			}
-			return experiment.MaxErrorSummary("summary-gwl",
-				"Maximum |error| per algorithm across the GWL figures (paper §5.1)", figs).Render(w)
-		},
-		"summary-synthetic": func(cfg experiment.Config, w io.Writer) error {
-			var figs []*experiment.FigureResult
-			for _, spec := range experiment.SyntheticFigures {
-				fig, err := experiment.RunSyntheticFigure(spec, cfg)
-				if err != nil {
-					return err
-				}
-				figs = append(figs, fig)
-			}
-			return experiment.MaxErrorSummary("summary-synthetic",
-				"Maximum |error| per algorithm across the synthetic figures (paper §5.2)", figs).Render(w)
-		},
-		"ablation-segments": func(cfg experiment.Config, w io.Writer) error {
-			fig, err := experiment.RunSegmentCountAblation(cfg, nil)
-			if err != nil {
-				return err
-			}
-			return fig.Render(w)
-		},
-		"ablation-spacing":    figureRunner(experiment.RunSpacingAblation),
-		"ablation-fitter":     figureRunner(experiment.RunFitterAblation),
-		"ablation-correction": figureRunner(experiment.RunCorrectionAblation),
-		"study-scan-size":     figureRunner(experiment.RunScanSizeStudy),
-		"study-sorted-rids":   figureRunner(experiment.RunSortedRIDStudy),
-		"study-sargable":      figureRunner(experiment.RunSargableStudy),
-		"study-policy":        figureRunner(experiment.RunPolicyStudy),
-		"study-contention":    figureRunner(experiment.RunContentionStudy),
-	}
-	for f := 2; f <= 9; f++ {
-		f := f
-		m[fmt.Sprintf("figure-%d", f)] = func(cfg experiment.Config, w io.Writer) error {
-			fig, err := experiment.RunGWLFigure(f, cfg)
-			if err != nil {
-				return err
-			}
-			return fig.Render(w)
+	var ids []string
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
 		}
 	}
-	for _, spec := range experiment.SyntheticFigures {
-		spec := spec
-		m[fmt.Sprintf("figure-%d", spec.Figure)] = func(cfg experiment.Config, w io.Writer) error {
-			fig, err := experiment.RunSyntheticFigure(spec, cfg)
-			if err != nil {
-				return err
-			}
-			return fig.Render(w)
-		}
-	}
-	order := []string{"table-2", "table-3", "figure-1"}
-	for f := 2; f <= 21; f++ {
-		order = append(order, fmt.Sprintf("figure-%d", f))
-	}
-	order = append(order,
-		"summary-gwl", "summary-synthetic",
-		"ablation-segments", "ablation-spacing", "ablation-fitter", "ablation-correction",
-		"study-scan-size", "study-sorted-rids", "study-sargable", "study-policy", "study-contention",
-	)
-	return m, order
+	return experiment.LookupExperiments(ids)
 }
 
 func main() {
 	var (
-		full  = flag.Bool("full", false, "paper-size run (slow): synthetic N=10^6, full GWL table sizes")
-		scale = flag.Int("scale", 10, "dataset scale divisor for non-full runs")
-		scans = flag.Int("scans", 200, "scans per error sweep")
-		seed  = flag.Int64("seed", 1, "random seed")
-		only  = flag.String("only", "", "run a single experiment id")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		full     = flag.Bool("full", false, "paper-size run (slow): synthetic N=10^6, full GWL table sizes")
+		scale    = flag.Int("scale", 10, "dataset scale divisor for non-full runs")
+		scans    = flag.Int("scans", 200, "scans per error sweep")
+		seed     = flag.Int64("seed", 1, "random seed")
+		only     = flag.String("only", "", "run a comma-separated subset of experiment ids")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"experiments run concurrently (results are identical at any value)")
 	)
 	flag.Parse()
 
-	reg, order := experiments()
 	if *list {
-		ids := make([]string, 0, len(reg))
-		for id := range reg {
-			ids = append(ids, id)
+		var ids []string
+		for _, e := range experiment.Registry() {
+			ids = append(ids, e.ID)
 		}
 		sort.Strings(ids)
 		for _, id := range ids {
@@ -145,30 +67,52 @@ func main() {
 		return
 	}
 
+	exps, err := selectExperiments(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "epfis-experiments: %v (use -list)\n", err)
+		os.Exit(2)
+	}
+
 	cfg := experiment.Config{Scale: *scale, Scans: *scans, Seed: *seed}
 	if *full {
 		cfg.Scale = 1
 	}
 
-	run := func(id string) {
-		r, ok := reg[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "epfis-experiments: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+	eng := experiment.Engine{
+		Parallel: *parallel,
+		Progress: func(p experiment.Progress) {
+			if !p.Done {
+				return
+			}
+			status := "done"
+			if p.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %-20s %s in %v\n",
+				p.Index+1, p.Total, p.ID, status, p.Elapsed.Round(time.Millisecond))
+		},
+	}
+	start := time.Now()
+	reports := eng.RunAll(cfg, exps)
+
+	failed := 0
+	for _, r := range reports {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "epfis-experiments: %s: %v\n", r.ID, r.Err)
+			failed++
+			continue
 		}
-		start := time.Now()
-		if err := r(cfg, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "epfis-experiments: %s: %v\n", id, err)
+		// Timing goes to stderr with the progress events; stdout carries only
+		// the results, so runs at different -parallel diff byte-identically.
+		if err := r.Result.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "epfis-experiments: render %s: %v\n", r.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("   [%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
-
-	if *only != "" {
-		run(*only)
-		return
-	}
-	for _, id := range order {
-		run(id)
+	fmt.Fprintf(os.Stderr, "epfis-experiments: %d experiment(s) in %v (parallel=%d)\n",
+		len(reports), time.Since(start).Round(time.Millisecond), *parallel)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

@@ -1,35 +1,37 @@
 package main
 
 import (
-	"io"
+	"bytes"
 	"strings"
 	"testing"
 
 	"epfis/internal/experiment"
 )
 
-func TestRegistryCoversOrder(t *testing.T) {
-	reg, order := experiments()
-	seen := map[string]bool{}
-	for _, id := range order {
-		if _, ok := reg[id]; !ok {
-			t.Errorf("order lists unknown experiment %q", id)
-		}
-		if seen[id] {
-			t.Errorf("order repeats %q", id)
-		}
-		seen[id] = true
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for id := range reg {
-		if !seen[id] {
-			t.Errorf("experiment %q missing from default order", id)
-		}
+	if len(all) != len(experiment.Registry()) {
+		t.Errorf("empty -only selected %d of %d experiments", len(all), len(experiment.Registry()))
 	}
-	// Every paper table and figure must be present.
+	// Every paper table and figure must be selectable.
 	for _, id := range []string{"table-2", "table-3", "figure-1", "figure-9", "figure-21"} {
-		if _, ok := reg[id]; !ok {
-			t.Errorf("missing %q", id)
+		exps, err := selectExperiments(id)
+		if err != nil || len(exps) != 1 || exps[0].ID != id {
+			t.Errorf("selecting %q: exps=%v err=%v", id, exps, err)
 		}
+	}
+	exps, err := selectExperiments(" figure-13 , table-2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 2 || exps[0].ID != "figure-13" || exps[1].ID != "table-2" {
+		t.Errorf("comma selection wrong: %v", exps)
+	}
+	if _, err := selectExperiments("figure-99"); err == nil {
+		t.Error("unknown id did not error")
 	}
 }
 
@@ -37,16 +39,22 @@ func TestRunnersProduceOutput(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real experiments")
 	}
-	reg, _ := experiments()
+	exps, err := selectExperiments("table-2,figure-13,study-sargable")
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := experiment.Config{Scale: 50, Scans: 20, Seed: 1}
-	for _, id := range []string{"table-2", "figure-13", "study-sargable"} {
-		var sb strings.Builder
-		if err := reg[id](cfg, &sb); err != nil {
-			t.Fatalf("%s: %v", id, err)
+	for _, e := range exps {
+		res, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
 		}
-		if !strings.Contains(sb.String(), id) {
-			t.Errorf("%s output does not name itself", id)
+		var sb bytes.Buffer
+		if err := res.Render(&sb); err != nil {
+			t.Fatalf("%s render: %v", e.ID, err)
+		}
+		if !strings.Contains(sb.String(), e.ID) {
+			t.Errorf("%s output does not name itself", e.ID)
 		}
 	}
-	var _ io.Writer
 }

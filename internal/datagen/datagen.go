@@ -136,11 +136,24 @@ func (d *Dataset) Trace() lrusim.Trace {
 // SliceTrace returns the trace of entries [lo, hi) — a partial scan in index
 // order.
 func (d *Dataset) SliceTrace(lo, hi int) lrusim.Trace {
-	tr := make(lrusim.Trace, hi-lo)
-	for i := lo; i < hi; i++ {
-		tr[i-lo] = storage.PageID(d.PageOf[i])
+	return d.SliceTraceInto(nil, lo, hi)
+}
+
+// SliceTraceInto is SliceTrace writing into buf's storage when it has the
+// capacity, for callers that measure many scans and want to reuse one
+// buffer. The returned trace aliases buf; it is only valid until the next
+// reuse.
+func (d *Dataset) SliceTraceInto(buf lrusim.Trace, lo, hi int) lrusim.Trace {
+	n := hi - lo
+	if cap(buf) < n {
+		buf = make(lrusim.Trace, n)
+	} else {
+		buf = buf[:n]
 	}
-	return tr
+	for i := lo; i < hi; i++ {
+		buf[i-lo] = storage.PageID(d.PageOf[i])
+	}
+	return buf
 }
 
 // FilteredSliceTrace returns the trace of entries in [lo, hi) whose minor

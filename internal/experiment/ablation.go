@@ -40,7 +40,7 @@ func epfisMeanError(cfg Config, opts core.Options) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), opts)
+		suite, err := suiteFor(ds, MetaFor(ds.Config.Name, ds), opts)
 		if err != nil {
 			return 0, err
 		}
@@ -176,7 +176,7 @@ func RunCorrectionAblation(cfg Config) (*FigureResult, error) {
 		Notes:  []string{cfg.scaleNote(), "theta=0, K=1.0"},
 	}
 	for _, v := range variants {
-		suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), v.opts)
+		suite, err := suiteFor(ds, MetaFor(ds.Config.Name, ds), v.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +205,7 @@ func RunScanSizeStudy(cfg Config) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
+	suite, err := suiteFor(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchCfg is small enough for -benchtime=1x CI smoke runs while still
+// exercising every stage (dataset, suite, sweep). Scale 25 is the smallest
+// round size at which every GWL column still calibrates.
+var benchCfg = Config{Scale: 25, Scans: 20, Seed: 1}
+
+// BenchmarkErrorSweep measures one error sweep (all five estimators across
+// the buffer sweep) with the dataset and suite prebuilt, i.e. the marginal
+// cost the engine pays per figure once the cache is warm.
+func BenchmarkErrorSweep(b *testing.B) {
+	ClearSharedCache()
+	defer ClearSharedCache()
+	spec, err := SyntheticSpecFor(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := syntheticDataset(spec, benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite, err := suiteFor(ds, MetaFor(ds.Config.Name, ds), benchCfg.normalized().CoreOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ErrorSweep(ds, suite, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEngineSuite runs the full registry through the engine, rebuilding the
+// shared cache every iteration so each op is one complete suite run.
+func benchEngineSuite(b *testing.B, parallel int) {
+	b.Helper()
+	exps := Registry()
+	defer ClearSharedCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClearSharedCache()
+		for _, r := range (&Engine{Parallel: parallel}).RunAll(benchCfg, exps) {
+			if r.Err != nil {
+				b.Fatal(r.ID, r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkEngineSuiteSerial is the full figure suite at -parallel 1.
+func BenchmarkEngineSuiteSerial(b *testing.B) { benchEngineSuite(b, 1) }
+
+// BenchmarkEngineSuiteParallel is the full figure suite with one worker per
+// CPU (identical output, see TestEngineDeterministicAcrossParallelism).
+func BenchmarkEngineSuiteParallel(b *testing.B) { benchEngineSuite(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkEngineSuiteUncached runs every experiment with the cache dropped
+// between experiments — the pre-engine behavior where each figure, summary,
+// and ablation rebuilt its own datasets, calibrations, and suites. The gap
+// between this and BenchmarkEngineSuiteSerial is the shared cache's win.
+func BenchmarkEngineSuiteUncached(b *testing.B) {
+	exps := Registry()
+	defer ClearSharedCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range exps {
+			ClearSharedCache()
+			if _, err := e.Run(benchCfg); err != nil {
+				b.Fatal(e.ID, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package experiment
+
+// The engine is the experiment orchestrator: a registry of every paper
+// table, figure, summary, ablation, and study, plus a bounded worker pool
+// that runs any subset of them concurrently with deterministic results.
+//
+// Determinism contract: RunAll's report slice is ordered by the input slice,
+// each experiment's computation is internally ordered (ErrorSweep points
+// write their own index; per-point float accumulation is serial), and shared
+// intermediates come from the singleflight build cache — so the numbers are
+// bit-identical at any Parallel setting, including 1. Only wall-clock and
+// the interleaving of Progress callbacks vary.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Result is a runnable experiment's output: anything that renders itself as
+// text. Both *FigureResult and *TableResult satisfy it.
+type Result interface {
+	Render(w io.Writer) error
+}
+
+// Experiment is one registered experiment: a stable ID (the paper's label)
+// and a runner.
+type Experiment struct {
+	ID  string
+	Run func(cfg Config) (Result, error)
+}
+
+// figureExp adapts a figure runner, sharing results through the figure cache
+// so summaries that fold over the same figures do not recompute them.
+func figureExp(id string, fn func(Config) (*FigureResult, error)) Experiment {
+	return Experiment{ID: id, Run: func(cfg Config) (Result, error) {
+		fig, err := figureCached(id, cfg.normalized(), func() (*FigureResult, error) { return fn(cfg) })
+		if err != nil {
+			return nil, err
+		}
+		return fig, nil
+	}}
+}
+
+// tableExp adapts a table runner.
+func tableExp(id string, fn func(Config) (*TableResult, error)) Experiment {
+	return Experiment{ID: id, Run: func(cfg Config) (Result, error) {
+		tbl, err := fn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return tbl, nil
+	}}
+}
+
+// gwlFigureCached is RunGWLFigure behind the figure cache, shared by the
+// figure-N registry entries and the GWL summary.
+func gwlFigureCached(figure int, cfg Config) (*FigureResult, error) {
+	return figureCached(fmt.Sprintf("figure-%d", figure), cfg.normalized(),
+		func() (*FigureResult, error) { return RunGWLFigure(figure, cfg) })
+}
+
+// syntheticFigureCached is RunSyntheticFigure behind the figure cache,
+// shared by the figure-N registry entries and the synthetic summary.
+func syntheticFigureCached(spec SyntheticSpec, cfg Config) (*FigureResult, error) {
+	return figureCached(fmt.Sprintf("figure-%d", spec.Figure), cfg.normalized(),
+		func() (*FigureResult, error) { return RunSyntheticFigure(spec, cfg) })
+}
+
+// Registry returns every experiment in the canonical rendering order:
+// tables, Figure 1, the GWL figures (2-9), the synthetic figures (10-21),
+// the two maximum-error summaries, then the ablations and studies.
+func Registry() []Experiment {
+	exps := []Experiment{
+		tableExp("table-2", RunTable2),
+		tableExp("table-3", RunTable3),
+		figureExp("figure-1", RunFigure1),
+	}
+	for f := 2; f <= 9; f++ {
+		f := f
+		exps = append(exps, figureExp(fmt.Sprintf("figure-%d", f),
+			func(cfg Config) (*FigureResult, error) { return RunGWLFigure(f, cfg) }))
+	}
+	for _, spec := range SyntheticFigures {
+		spec := spec
+		exps = append(exps, figureExp(fmt.Sprintf("figure-%d", spec.Figure),
+			func(cfg Config) (*FigureResult, error) { return RunSyntheticFigure(spec, cfg) }))
+	}
+	exps = append(exps,
+		Experiment{ID: "summary-gwl", Run: func(cfg Config) (Result, error) {
+			figs := make([]*FigureResult, 0, len(GWLFigureColumns))
+			for f := 2; f <= 9; f++ {
+				fig, err := gwlFigureCached(f, cfg)
+				if err != nil {
+					return nil, err
+				}
+				figs = append(figs, fig)
+			}
+			return MaxErrorSummary("summary-gwl",
+				"Maximum |error| per algorithm across the GWL figures (paper §5.1)", figs), nil
+		}},
+		Experiment{ID: "summary-synthetic", Run: func(cfg Config) (Result, error) {
+			figs := make([]*FigureResult, 0, len(SyntheticFigures))
+			for _, spec := range SyntheticFigures {
+				fig, err := syntheticFigureCached(spec, cfg)
+				if err != nil {
+					return nil, err
+				}
+				figs = append(figs, fig)
+			}
+			return MaxErrorSummary("summary-synthetic",
+				"Maximum |error| per algorithm across the synthetic figures (paper §5.2)", figs), nil
+		}},
+		figureExp("ablation-segments", func(cfg Config) (*FigureResult, error) {
+			return RunSegmentCountAblation(cfg, nil)
+		}),
+		figureExp("ablation-spacing", RunSpacingAblation),
+		figureExp("ablation-fitter", RunFitterAblation),
+		figureExp("ablation-correction", RunCorrectionAblation),
+		figureExp("study-scan-size", RunScanSizeStudy),
+		figureExp("study-sorted-rids", RunSortedRIDStudy),
+		figureExp("study-sargable", RunSargableStudy),
+		figureExp("study-policy", RunPolicyStudy),
+		figureExp("study-contention", RunContentionStudy),
+	)
+	return exps
+}
+
+// LookupExperiments resolves ids against the registry, preserving the ids'
+// order. Unknown ids report an error listing what exists.
+func LookupExperiments(ids []string) ([]Experiment, error) {
+	byID := make(map[string]Experiment)
+	for _, e := range Registry() {
+		byID[e.ID] = e
+	}
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown experiment %q", id)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// RunReport is the outcome of one experiment in a RunAll batch.
+type RunReport struct {
+	ID      string
+	Result  Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// Progress is one engine event: an experiment starting (Done=false) or
+// finishing (Done=true, with Elapsed and any error). Events for different
+// experiments interleave under parallelism; the callback itself is
+// serialized, so implementations need no locking.
+type Progress struct {
+	ID      string
+	Index   int // position in the RunAll input
+	Total   int
+	Done    bool
+	Err     error
+	Elapsed time.Duration
+}
+
+// Engine runs batches of experiments on a bounded worker pool.
+type Engine struct {
+	// Parallel caps concurrent experiments; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Progress, when non-nil, receives start/finish events.
+	Progress func(Progress)
+}
+
+// RunAll runs every experiment and returns one report per input, in input
+// order. A failed experiment records its error in its report; the rest still
+// run. Results are bit-identical regardless of Parallel (see the package
+// comment on the determinism contract).
+func (e *Engine) RunAll(cfg Config, exps []Experiment) []RunReport {
+	reports := make([]RunReport, len(exps))
+	var progMu sync.Mutex
+	notify := func(p Progress) {
+		if e.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		defer progMu.Unlock()
+		e.Progress(p)
+	}
+	runOne := func(i int) {
+		exp := exps[i]
+		notify(Progress{ID: exp.ID, Index: i, Total: len(exps)})
+		start := time.Now()
+		res, err := exp.Run(cfg)
+		elapsed := time.Since(start)
+		reports[i] = RunReport{ID: exp.ID, Result: res, Err: err, Elapsed: elapsed}
+		notify(Progress{ID: exp.ID, Index: i, Total: len(exps), Done: true, Err: err, Elapsed: elapsed})
+	}
+	workers := e.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers <= 1 {
+		for i := range exps {
+			runOne(i)
+		}
+		return reports
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(exps) {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return reports
+}

@@ -39,7 +39,7 @@ func RunSortedRIDStudy(cfg Config) (*FigureResult, error) {
 	} {
 		n := int64(PaperSyntheticN / cfg.Scale)
 		i := int64(PaperSyntheticI / cfg.Scale)
-		ds, err := datagen.GenerateDataset(datagen.Config{
+		ds, err := generateDatasetCached(datagen.Config{
 			Name: "sorted-rid-study", N: n, I: i, R: PaperSyntheticR,
 			Theta: 0.86, K: 1.0, Seed: cfg.Seed, SortRIDs: variant.sort,
 		})
@@ -74,7 +74,7 @@ func RunPolicyStudy(cfg Config) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
+	suite, err := suiteFor(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -156,14 +156,14 @@ func RunContentionStudy(cfg Config) (*FigureResult, error) {
 	}
 	sides := make([]tableSide, 2)
 	for sIdx := range sides {
-		ds, err := datagen.GenerateDataset(datagen.Config{
+		ds, err := generateDatasetCached(datagen.Config{
 			Name: fmt.Sprintf("contention-%d", sIdx), N: n, I: i, R: PaperSyntheticR,
 			Theta: 0, K: 0.5, Seed: cfg.Seed + int64(sIdx),
 		})
 		if err != nil {
 			return nil, err
 		}
-		suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
+		suite, err := suiteFor(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -301,14 +301,14 @@ func RunSargableStudy(cfg Config) (*FigureResult, error) {
 	} {
 		n := int64(PaperSyntheticN / cfg.Scale)
 		i := int64(PaperSyntheticI / cfg.Scale)
-		ds, err := datagen.GenerateDataset(datagen.Config{
+		ds, err := generateDatasetCached(datagen.Config{
 			Name: "sargable-study-" + regime.label, N: n, I: i, R: PaperSyntheticR,
 			Theta: 0, K: regime.k, Seed: cfg.Seed, BCardinality: bCard,
 		})
 		if err != nil {
 			return nil, err
 		}
-		suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
+		suite, err := suiteFor(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
 		if err != nil {
 			return nil, err
 		}

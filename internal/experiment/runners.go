@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"epfis/internal/baselines"
 	"epfis/internal/core"
@@ -120,6 +123,11 @@ var ErrEmptySweep = errors.New("experiment: empty buffer sweep")
 // scan mix, measure actual fetches per scan per buffer size, query every
 // estimator, and aggregate with the paper's error metric. The returned
 // series map buffer size (as % of T) to error (%), one series per algorithm.
+//
+// Sweep points are independent — every estimator query is a pure function of
+// the read-only suite — so they run on all CPUs. Each point writes its own
+// series index, and per-point float accumulation order is untouched, so the
+// output is bit-identical to the serial loop regardless of worker count.
 func ErrorSweep(ds *datagen.Dataset, suite *Suite, cfg Config) ([]Series, error) {
 	cfg = cfg.normalized()
 	gen, err := workload.NewGenerator(ds, cfg.Seed+1009)
@@ -134,9 +142,14 @@ func ErrorSweep(ds *datagen.Dataset, suite *Suite, cfg Config) ([]Series, error)
 	}
 	series := make([]Series, len(suite.Estimators))
 	for i, e := range suite.Estimators {
-		series[i] = Series{Name: e.Name()}
+		series[i] = Series{
+			Name: e.Name(),
+			X:    make([]float64, len(sweep)),
+			Y:    make([]float64, len(sweep)),
+		}
 	}
-	for _, b := range sweep {
+	sweepPoint := func(j int) error {
+		b := sweep[j]
 		metrics := make([]workload.ErrorMetric, len(suite.Estimators))
 		for _, m := range measured {
 			actual := float64(m.Curve.Fetches(b))
@@ -147,7 +160,7 @@ func ErrorSweep(ds *datagen.Dataset, suite *Suite, cfg Config) ([]Series, error)
 			for i, e := range suite.Estimators {
 				est, err := e.Estimate(p)
 				if err != nil {
-					return nil, fmt.Errorf("experiment: %s at B=%d: %w", e.Name(), b, err)
+					return fmt.Errorf("experiment: %s at B=%d: %w", e.Name(), b, err)
 				}
 				metrics[i].Add(est, actual)
 			}
@@ -156,16 +169,53 @@ func ErrorSweep(ds *datagen.Dataset, suite *Suite, cfg Config) ([]Series, error)
 		for i := range metrics {
 			pct, err := metrics[i].Percent()
 			if err != nil {
-				return nil, err
+				return err
 			}
-			series[i].X = append(series[i].X, x)
-			series[i].Y = append(series[i].Y, pct)
+			series[i].X[j] = x
+			series[i].Y[j] = pct
+		}
+		return nil
+	}
+	errs := make([]error, len(sweep))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sweep) {
+		workers = len(sweep)
+	}
+	if workers <= 1 {
+		for j := range sweep {
+			errs[j] = sweepPoint(j)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(sweep) {
+						return
+					}
+					errs[j] = sweepPoint(j)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Report the lowest-index failure so the returned error does not depend
+	// on goroutine scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return series, nil
 }
 
-// syntheticDataset generates the dataset for one synthetic figure.
+// syntheticDataset generates (or fetches from the shared cache) the dataset
+// for one synthetic figure. Figures, ablations, and studies that share a
+// (spec, scale, seed) build it once.
 func syntheticDataset(spec SyntheticSpec, cfg Config) (*datagen.Dataset, error) {
 	cfg = cfg.normalized()
 	n := int64(PaperSyntheticN / cfg.Scale)
@@ -176,7 +226,7 @@ func syntheticDataset(spec SyntheticSpec, cfg Config) (*datagen.Dataset, error) 
 	if n < i {
 		n = i
 	}
-	return datagen.GenerateDataset(datagen.Config{
+	return generateDatasetCached(datagen.Config{
 		Name:  fmt.Sprintf("synthetic-theta%.2f-K%.2f", spec.Theta, spec.K),
 		N:     n,
 		I:     i,
@@ -194,7 +244,7 @@ func RunSyntheticFigure(spec SyntheticSpec, cfg Config) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	suite, err := NewSuite(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
+	suite, err := suiteFor(ds, MetaFor(ds.Config.Name, ds), cfg.CoreOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -234,12 +284,12 @@ func RunGWLFigure(figure int, cfg Config) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	recon, err := gwl.Reconstruct(spec, gwl.Options{Seed: cfg.Seed, Scale: cfg.Scale})
+	recon, err := reconstructCached(spec, gwl.Options{Seed: cfg.Seed, Scale: cfg.Scale})
 	if err != nil {
 		return nil, err
 	}
 	meta := core.Meta{Table: spec.Table.Name, Column: spec.Column, T: recon.T, N: recon.N, I: recon.I}
-	suite, err := NewSuite(recon.Dataset, meta, cfg.CoreOpts)
+	suite, err := suiteFor(recon.Dataset, meta, cfg.CoreOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +332,7 @@ func RunFigure1(cfg Config) (*FigureResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		recon, err := gwl.Reconstruct(spec, gwl.Options{Seed: cfg.Seed, Scale: cfg.Scale})
+		recon, err := reconstructCached(spec, gwl.Options{Seed: cfg.Seed, Scale: cfg.Scale})
 		if err != nil {
 			return nil, err
 		}
@@ -382,7 +432,7 @@ func RunTable3(cfg Config) (*TableResult, error) {
 		Notes:  []string{cfg.scaleNote(), "C measured by LRU-Fit on the calibrated reconstruction"},
 	}
 	for _, spec := range gwl.Columns {
-		recon, err := gwl.Reconstruct(spec, gwl.Options{Seed: cfg.Seed, Scale: cfg.Scale})
+		recon, err := reconstructCached(spec, gwl.Options{Seed: cfg.Seed, Scale: cfg.Scale})
 		if err != nil {
 			return nil, err
 		}

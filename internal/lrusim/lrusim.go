@@ -258,9 +258,12 @@ func (f *fenwick) rangeSum(lo, hi int) int {
 	return f.prefixSum(hi+1) - f.prefixSum(lo)
 }
 
-// Analyze runs the default (tree) simulator over the trace.
+// Analyze computes the trace's fetch curve with the default simulator. It is
+// a thin wrapper over the pooled Scratch path, so one-off callers get the
+// allocation-lean simulation without managing a Scratch themselves; loops
+// that analyze many traces should hold their own Scratch per goroutine.
 func Analyze(t Trace) *FetchCurve {
-	return TreeSimulator{}.Run(t).FetchCurve()
+	return AnalyzePooled(t)
 }
 
 // DirectFetches simulates a single LRU pool of the given size over the trace

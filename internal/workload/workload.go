@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"epfis/internal/datagen"
 	"epfis/internal/lrusim"
@@ -137,34 +138,47 @@ type Measured struct {
 // Mattson stack pass per scan. The curve gives the ground-truth a_i for
 // every buffer size simultaneously. Passes are independent pure
 // computations, so they run on all CPUs; the result order matches scans.
+// Workers claim scan indexes off an atomic counter (no feeder goroutine,
+// no per-index channel handoff) and each owns one lrusim.Scratch plus one
+// trace buffer, so a 200-scan measurement reuses per-worker structures
+// instead of allocating fresh maps, trees, and histograms per scan.
 func Measure(ds *datagen.Dataset, scans []Scan) []Measured {
 	out := make([]Measured, len(scans))
-	workers := runtime.NumCPU()
+	workers := runtime.GOMAXPROCS(0)
 	if workers > len(scans) {
 		workers = len(scans)
 	}
+	measureRange := func(scratch *lrusim.Scratch, buf lrusim.Trace, i int) lrusim.Trace {
+		s := scans[i]
+		buf = ds.SliceTraceInto(buf, s.Lo, s.Hi)
+		out[i] = Measured{Scan: s, Curve: scratch.Analyze(buf)}
+		return buf
+	}
 	if workers <= 1 {
-		for i, s := range scans {
-			out[i] = Measured{Scan: s, Curve: lrusim.Analyze(ds.SliceTrace(s.Lo, s.Hi))}
+		scratch := lrusim.NewScratch()
+		var buf lrusim.Trace
+		for i := range scans {
+			buf = measureRange(scratch, buf, i)
 		}
 		return out
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				s := scans[i]
-				out[i] = Measured{Scan: s, Curve: lrusim.Analyze(ds.SliceTrace(s.Lo, s.Hi))}
+			scratch := lrusim.NewScratch()
+			var buf lrusim.Trace
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scans) {
+					return
+				}
+				buf = measureRange(scratch, buf, i)
 			}
 		}()
 	}
-	for i := range scans {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	return out
 }
@@ -204,6 +218,12 @@ func (m *ErrorMetric) Percent() (float64, error) {
 // max(minAbs, 0.05*T) to 0.9*T in steps of 0.05*T. The paper uses
 // minAbs = 300; scaled-down experiments pass a proportionally smaller floor.
 // The sweep is empty when the floor exceeds 0.9*T.
+//
+// Points are computed by integer index — round(lo + i*step) — rather than by
+// accumulating b += step, so no floating-point drift builds up across the
+// sweep. The point count comes from the closed form once; its tolerance only
+// absorbs the representation error of step and hi themselves (e.g. T=10000:
+// lo + 17*step and 0.9*T are both "9000" up to ulps), not accumulated error.
 func BufferSweep(t int64, minAbs int64) []int {
 	step := float64(t) * 0.05
 	if step < 1 {
@@ -211,9 +231,13 @@ func BufferSweep(t int64, minAbs int64) []int {
 	}
 	lo := math.Max(float64(minAbs), step)
 	hi := 0.9 * float64(t)
-	var out []int
-	for b := lo; b <= hi+1e-9; b += step {
-		out = append(out, int(math.Round(b)))
+	n := int(math.Floor((hi-lo)/step+1e-9)) + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(math.Round(lo + float64(i)*step))
 	}
 	return out
 }
