@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke fuzz serve vet all
+.PHONY: build test race chaos bench bench-json bench-smoke fuzz serve vet all
 
 all: build vet test
 
@@ -17,6 +17,15 @@ test:
 race:
 	$(GO) test -race ./internal/catalog/... ./internal/service/... ./cmd/epfis-serve/...
 
+# Resilience drills under the race detector: fault injection on every catalog
+# write path mid-traffic, commit-abort and recovery invariants, overload
+# shedding, breaker/degraded behaviour, plus a recovery fuzz smoke.
+chaos:
+	$(GO) test -race ./internal/faultfs/ ./internal/resilience/
+	$(GO) test -race -run 'TestChaos|TestOverload|TestDeleted|TestHealthz|TestCommitAborts|TestFsync|TestOpenRecovers|TestReload' \
+		./internal/catalog/ ./internal/service/
+	$(GO) test -run=Fuzz -fuzz=FuzzOpenCatalogStore -fuzztime=20s ./internal/catalog/
+
 # Service throughput: single estimates vs 64-plan batches, 1 and 4 cores.
 bench:
 	$(GO) test -bench=ServiceEstimate -cpu 1,4 -run=NONE ./cmd/epfis-serve/
@@ -31,9 +40,11 @@ bench-json:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/lrusim/ ./internal/workload/ ./internal/experiment/
 
-# Short fuzz pass over the catalog JSON format.
+# Short fuzz passes: catalog JSON format, and store recovery from corrupt
+# catalog files (run one at a time; go fuzzing allows one -fuzz per package).
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzCatalogRoundTrip -fuzztime=30s ./internal/stats/
+	$(GO) test -run=Fuzz -fuzz=FuzzOpenCatalogStore -fuzztime=30s ./internal/catalog/
 
 # Collect statistics for a demo index if needed, then serve it.
 serve:

@@ -11,7 +11,12 @@
 // out-of-process (an LRU-Fit rerun) without restarting.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// requests. Overload and persistence-failure behaviour is tunable with
+// -max-inflight and -breaker-* (see the README's "Resilience & operations"
+// section), and the EPFIS_FAULTS / EPFIS_FAULT_SEED environment variables
+// arm deterministic filesystem fault injection for chaos drills:
+//
+//	EPFIS_FAULTS='sync:catalog:3:error' epfis-serve -catalog catalog.json
 package main
 
 import (
@@ -21,10 +26,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"epfis/internal/catalog"
+	"epfis/internal/faultfs"
 	"epfis/internal/service"
 )
 
@@ -45,6 +52,13 @@ func run(args []string) error {
 		timeout  = fs.Duration("timeout", service.DefaultRequestTimeout, "per-request timeout (negative disables)")
 		maxBatch = fs.Int("max-batch", service.DefaultMaxBatch, "maximum inputs per batch request")
 		quiet    = fs.Bool("quiet", false, "suppress lifecycle logging")
+
+		maxInflight = fs.Int("max-inflight", service.DefaultMaxInflight,
+			"concurrent requests admitted per route before shedding with 429 (negative disables)")
+		breakerFailures = fs.Int("breaker-failures", 0,
+			"consecutive persistence failures that open the circuit breaker (0 = default, negative disables)")
+		breakerCooldown = fs.Duration("breaker-cooldown", 0,
+			"how long the opened breaker rejects mutations before probing (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,14 +69,16 @@ func run(args []string) error {
 		logger = nil
 	}
 
-	var (
-		store *catalog.Store
-		err   error
-	)
+	fsys, err := faultFS(logger)
+	if err != nil {
+		return err
+	}
+
+	var store *catalog.Store
 	if *memory {
 		store = catalog.NewStore()
 	} else {
-		store, err = catalog.Open(*path)
+		store, err = catalog.OpenFS(*path, fsys)
 		if err != nil {
 			return err
 		}
@@ -71,6 +87,9 @@ func run(args []string) error {
 		switch {
 		case *memory:
 			logger.Printf("in-memory catalog (no persistence)")
+		case store.Recovered():
+			logger.Printf("catalog %s was corrupt or missing; recovered %d entries from previous generation %s",
+				*path, store.Len(), catalog.PrevPath(*path))
 		case store.Len() == 0:
 			logger.Printf("catalog %s absent or empty; will be created on first install", *path)
 		default:
@@ -79,11 +98,14 @@ func run(args []string) error {
 	}
 
 	srv, err := service.New(service.Config{
-		Store:          store,
-		CacheEntries:   *cache,
-		RequestTimeout: *timeout,
-		MaxBatch:       *maxBatch,
-		Logger:         logger,
+		Store:           store,
+		CacheEntries:    *cache,
+		RequestTimeout:  *timeout,
+		MaxBatch:        *maxBatch,
+		MaxInflight:     *maxInflight,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
@@ -100,4 +122,33 @@ func run(args []string) error {
 		logger.Printf("stopped after %s", time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// faultFS builds the catalog's filesystem. With EPFIS_FAULTS unset it is the
+// real OS; with a rule spec set (see faultfs.ParseRules for the grammar) it
+// is a deterministic fault injector for chaos drills, seeded from
+// EPFIS_FAULT_SEED so a failing drill can be replayed exactly.
+func faultFS(logger *log.Logger) (faultfs.FS, error) {
+	spec := os.Getenv("EPFIS_FAULTS")
+	if spec == "" {
+		return faultfs.OS(), nil
+	}
+	rules, err := faultfs.ParseRules(spec)
+	if err != nil {
+		return nil, fmt.Errorf("EPFIS_FAULTS: %w", err)
+	}
+	var seed int64 = 1
+	if raw := os.Getenv("EPFIS_FAULT_SEED"); raw != "" {
+		if seed, err = strconv.ParseInt(raw, 10, 64); err != nil {
+			return nil, fmt.Errorf("EPFIS_FAULT_SEED: %w", err)
+		}
+	}
+	inj := faultfs.NewInjector(faultfs.OS(), seed)
+	for _, r := range rules {
+		inj.Add(r)
+	}
+	if logger != nil {
+		logger.Printf("FAULT INJECTION ACTIVE: %d rule(s) from EPFIS_FAULTS (seed %d) — not for production", len(rules), seed)
+	}
+	return inj, nil
 }

@@ -27,3 +27,32 @@ func TestRunRejectsBadAddress(t *testing.T) {
 		t.Fatal("run accepted an unusable listen address")
 	}
 }
+
+func TestRunRejectsBadFaultSpec(t *testing.T) {
+	t.Setenv("EPFIS_FAULTS", "write:catalog:not-a-number:error")
+	err := run([]string{"-in-memory", "-quiet"})
+	if err == nil || !strings.Contains(err.Error(), "EPFIS_FAULTS") {
+		t.Fatalf("err = %v, want EPFIS_FAULTS parse failure", err)
+	}
+}
+
+func TestRunRejectsBadFaultSeed(t *testing.T) {
+	t.Setenv("EPFIS_FAULTS", "write:catalog:1:error")
+	t.Setenv("EPFIS_FAULT_SEED", "not-a-number")
+	err := run([]string{"-in-memory", "-quiet"})
+	if err == nil || !strings.Contains(err.Error(), "EPFIS_FAULT_SEED") {
+		t.Fatalf("err = %v, want EPFIS_FAULT_SEED parse failure", err)
+	}
+}
+
+func TestFaultFSBuildsInjector(t *testing.T) {
+	t.Setenv("EPFIS_FAULTS", "sync:catalog:2:error,write:*:1:slow=5ms")
+	t.Setenv("EPFIS_FAULT_SEED", "7")
+	fsys, err := faultFS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fsys.(interface{ Injected() int }); !ok {
+		t.Fatalf("faultFS returned %T, want an injector", fsys)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"epfis/internal/join"
 	"epfis/internal/lrusim"
 	"epfis/internal/optimizer"
+	"epfis/internal/resilience"
 	"epfis/internal/service"
 	"epfis/internal/stats"
 	"epfis/internal/storage"
@@ -210,17 +211,37 @@ type (
 	Service = service.Server
 	// ServiceConfig configures NewService.
 	ServiceConfig = service.Config
+	// ServiceClient is the retrying HTTP client for the estimation service:
+	// transport errors and 429/503 responses retry with backoff, honoring
+	// the server's Retry-After header.
+	ServiceClient = service.Client
+	// ServiceClientConfig configures NewServiceClient.
+	ServiceClientConfig = service.ClientConfig
+	// ServiceHealth is the /healthz document.
+	ServiceHealth = service.Health
+	// RetryPolicy tunes retry attempts, backoff, and jitter for
+	// ServiceClient (and is reusable standalone via internal/resilience).
+	RetryPolicy = resilience.RetryPolicy
 )
 
 // NewCatalogStore returns an empty in-memory concurrent catalog store.
 func NewCatalogStore() *CatalogStore { return catalog.NewStore() }
 
 // OpenCatalogStore binds a concurrent catalog store to a catalog file,
-// loading it when present; writes persist back with atomic renames.
+// loading it when present; writes persist back with checksummed atomic
+// renames (fsync before rename, previous generation retained). A corrupt or
+// truncated file is recovered from the previous generation when one exists;
+// CatalogStore.Recovered reports when that happened.
 func OpenCatalogStore(path string) (*CatalogStore, error) { return catalog.Open(path) }
 
 // NewService builds the estimation HTTP service over a catalog store.
 func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// NewServiceClient builds the retrying client for a running estimation
+// service.
+func NewServiceClient(cfg ServiceClientConfig) (*ServiceClient, error) {
+	return service.NewClient(cfg)
+}
 
 // Typed Est-IO input-validation sentinels. Each wraps ErrBadInput, so
 // errors.Is(err, ErrBadInput) matches any of them; the estimation service

@@ -21,22 +21,26 @@
 // statistics change.
 //
 // When the store is bound to a file path, writes persist the whole catalog
-// with the atomic-rename pattern (temp file in the same directory, then
-// os.Rename), so a crash mid-write can never leave a truncated catalog, and
+// crash-safely: a CRC32-C checksum trailer pins the payload, the temp file
+// is fsynced before the atomic rename, the previous generation is retained
+// as <path>.prev, and the directory is fsynced after the rename. Open
+// recovers from a corrupt, truncated, or crash-orphaned catalog file by
+// falling back to the retained previous generation (see persist.go), and
 // Reload re-reads the file in place so statistics refreshed out-of-process
-// swap in without downtime.
+// swap in without downtime. All filesystem access goes through a
+// faultfs.FS, so chaos tests (and the EPFIS_FAULTS knob) can inject torn
+// writes, failed fsyncs, and slow disks deterministically.
 package catalog
 
 import (
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"epfis/internal/curvefit"
+	"epfis/internal/faultfs"
 	"epfis/internal/histogram"
 	"epfis/internal/stats"
 )
@@ -108,36 +112,48 @@ func (s *Snapshot) Catalog() (*stats.Catalog, error) {
 type Store struct {
 	snap atomic.Pointer[Snapshot]
 
-	mu   sync.Mutex // serializes writers and persistence
-	path string     // "" = in-memory only
+	mu        sync.Mutex // serializes writers and persistence
+	path      string     // "" = in-memory only
+	fs        faultfs.FS // filesystem for persistence (faultfs.OS outside tests)
+	recovered bool       // Open served the .prev generation
 }
 
 // NewStore returns an empty in-memory store (no persistence).
 func NewStore() *Store {
-	st := &Store{}
+	st := &Store{fs: faultfs.OS()}
 	st.snap.Store(&Snapshot{entries: map[string]*stats.IndexStats{}})
 	return st
 }
 
-// Open binds a store to a catalog file. If the file exists it is loaded and
-// validated (generation 1); if it does not exist the store starts empty and
-// the file is created on the first write.
-func Open(path string) (*Store, error) {
+// Open binds a store to a catalog file. If the file exists it is loaded,
+// checksum-verified, and validated (generation 1); a corrupt or truncated
+// file falls back to the retained previous generation; if neither exists
+// the store starts empty and the file is created on the first write.
+func Open(path string) (*Store, error) { return OpenFS(path, faultfs.OS()) }
+
+// OpenFS is Open over an explicit filesystem — the injection point for
+// fault-injected chaos tests and the EPFIS_FAULTS knob.
+func OpenFS(path string, fsys faultfs.FS) (*Store, error) {
 	st := NewStore()
 	st.path = path
-	c, err := stats.LoadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return st, nil
-	}
+	st.fs = fsys
+	c, recovered, err := loadWithRecovery(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	st.snap.Store(snapshotOf(c, 1))
+	st.recovered = recovered
+	if c != nil {
+		st.snap.Store(snapshotOf(c, 1))
+	}
 	return st, nil
 }
 
 // Path reports the backing catalog file, or "" for an in-memory store.
 func (st *Store) Path() string { return st.path }
+
+// Recovered reports whether Open could not verify the main catalog file and
+// served the retained previous generation instead.
+func (st *Store) Recovered() bool { return st.recovered }
 
 // Snapshot returns the current immutable view. This is a single atomic load;
 // call it once per request and perform all related lookups against the same
@@ -219,9 +235,12 @@ func (st *Store) Reload() (uint64, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	c, err := stats.LoadFile(st.path)
+	c, err := loadVerified(st.fs, st.path)
 	if err != nil {
-		return 0, err
+		// Never adopt bytes that fail verification: the current snapshot
+		// stays published, and the caller (the service's degraded mode)
+		// decides how loudly to surface the failure.
+		return 0, fmt.Errorf("catalog: reload: %w", err)
 	}
 	next := snapshotOf(c, st.snap.Load().gen+1)
 	st.snap.Store(next)
@@ -237,7 +256,7 @@ func (st *Store) Save() error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return writeAtomic(st.path, st.snap.Load())
+	return writeAtomicFS(st.fs, st.path, st.snap.Load())
 }
 
 // commitLocked persists (when file-backed) and publishes a new snapshot
@@ -250,39 +269,12 @@ func (st *Store) commitLocked(entries map[string]*stats.IndexStats) (uint64, err
 		keys:    sortedKeys(entries),
 	}
 	if st.path != "" {
-		if err := writeAtomic(st.path, next); err != nil {
+		if err := writeAtomicFS(st.fs, st.path, next); err != nil {
 			return 0, err
 		}
 	}
 	st.snap.Store(next)
 	return next.gen, nil
-}
-
-// writeAtomic serializes the snapshot to a temp file in the target's
-// directory and renames it into place, so readers of the file never observe
-// a partial catalog.
-func writeAtomic(path string, snap *Snapshot) error {
-	c, err := snap.Catalog()
-	if err != nil {
-		return err
-	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".catalog-*.tmp")
-	if err != nil {
-		return fmt.Errorf("catalog: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := c.Save(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("catalog: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("catalog: %w", err)
-	}
-	return nil
 }
 
 func snapshotOf(c *stats.Catalog, gen uint64) *Snapshot {

@@ -1,0 +1,85 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"epfis/internal/faultfs"
+)
+
+// FuzzOpenCatalogStore hardens store recovery against arbitrary catalog
+// file contents: truncations, bit flips, spliced trailers, zero-length
+// files. Invariants:
+//
+//   - Open never panics: it recovers or rejects.
+//   - With a verified previous generation retained on disk, Open ALWAYS
+//     succeeds — either the main bytes verify, or recovery serves .prev.
+//   - Whatever Open accepts is a working store: readable and writable.
+func FuzzOpenCatalogStore(f *testing.F) {
+	// Seed with a genuine trailered file and characteristic damage shapes.
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.json")
+	st, err := Open(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := st.Put(entry("orders", "key", 500)); err != nil {
+		f.Fatal(err)
+	}
+	good, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])       // truncated
+	f.Add(good[:0])                 // zero-length
+	f.Add([]byte(`not json`))       // garbage
+	f.Add([]byte(`{"version":1,`))  // cut JSON
+	f.Add([]byte(`{"version":99}`)) // future format
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base := t.TempDir()
+		path := filepath.Join(base, "catalog.json")
+
+		// Case 1: no backup — Open recovers or rejects, never panics.
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if st, err := Open(path); err == nil {
+			exercise(t, st)
+		}
+
+		// Case 2: a good .prev generation is retained. Open must succeed —
+		// from the main bytes when they verify, from .prev otherwise.
+		if err := os.WriteFile(PrevPath(path), good, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open failed despite a good previous generation: %v\nmain bytes: %q", err, data)
+		}
+		exercise(t, st)
+	})
+}
+
+// exercise proves an opened store actually works: snapshot reads and a
+// persisted write.
+func exercise(t *testing.T, st *Store) {
+	t.Helper()
+	snap := st.Snapshot()
+	for _, k := range snap.Keys() {
+		if _, ok := snap.Lookup(k); !ok {
+			t.Fatalf("snapshot key %q does not resolve", k)
+		}
+	}
+	if _, err := st.Put(entry("fuzz", "probe", 700)); err != nil {
+		t.Fatalf("Put on opened store: %v", err)
+	}
+	if _, err := loadVerified(faultfs.OS(), st.Path()); err != nil {
+		t.Fatalf("file written by opened store does not verify: %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+package catalog
+
+// Crash-safe persistence for the catalog file.
+//
+// On disk a catalog is the stats-package JSON document followed by one
+// checksum trailer line:
+//
+//	{ "version": 1, "entries": [ ... ] }
+//	#epfis-catalog v1 crc32c=xxxxxxxx bytes=NNN
+//
+// The trailer pins the payload length and its CRC32-C, so truncation and
+// bit rot are detected even when the damaged bytes still parse as JSON.
+// Files without a trailer (hand-edited, or written by `epfis gen` /
+// stats.SaveFile) load as legacy files on the JSON parser's own validation;
+// json.Decoder reads exactly one value, so trailered files remain loadable
+// by plain stats.LoadFile too — the formats are mutually compatible.
+//
+// Writes follow the full crash-safety sequence: serialize to a temp file in
+// the target directory, fsync it, retain the previous generation as
+// <path>.prev, rename the temp file into place, and fsync the directory.
+// Recovery (Open) falls back to the .prev generation when the main file is
+// corrupt, truncated, or lost mid-rename.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"epfis/internal/faultfs"
+	"epfis/internal/stats"
+)
+
+// ErrCorrupt is wrapped by load failures caused by a checksum mismatch, a
+// truncated payload, or a malformed trailer.
+var ErrCorrupt = errors.New("catalog: corrupt catalog file")
+
+// trailerPrefix starts the checksum line; the v1 suffix versions the
+// trailer format itself (the payload format is versioned inside the JSON).
+const trailerPrefix = "#epfis-catalog v1 "
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// PrevPath is the retained previous-generation backup for a catalog path.
+func PrevPath(path string) string { return path + ".prev" }
+
+// encodeSnapshot serializes a snapshot to the trailered on-disk format.
+func encodeSnapshot(snap *Snapshot) ([]byte, error) {
+	c, err := snap.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		return nil, err
+	}
+	payload := buf.Len()
+	fmt.Fprintf(&buf, "%scrc32c=%08x bytes=%d\n",
+		trailerPrefix, crc32.Checksum(buf.Bytes()[:payload], crcTable), payload)
+	return buf.Bytes(), nil
+}
+
+// verifyPayload validates the trailer (when present) and returns the JSON
+// payload bytes. Legacy files without a trailer pass through whole.
+func verifyPayload(data []byte) ([]byte, error) {
+	idx := bytes.LastIndex(data, []byte(trailerPrefix))
+	if idx < 0 {
+		return data, nil // legacy file: JSON validation is the only guard
+	}
+	line := strings.TrimSuffix(string(data[idx+len(trailerPrefix):]), "\n")
+	if strings.ContainsAny(line, "\n\r") {
+		return nil, fmt.Errorf("%w: data after checksum trailer", ErrCorrupt)
+	}
+	var crc uint64
+	var n int
+	ok := false
+	if c, rest, found := strings.Cut(line, " "); found {
+		if cv, err := strconv.ParseUint(strings.TrimPrefix(c, "crc32c="), 16, 32); err == nil && strings.HasPrefix(c, "crc32c=") {
+			if bv, err := strconv.Atoi(strings.TrimPrefix(rest, "bytes=")); err == nil && strings.HasPrefix(rest, "bytes=") {
+				crc, n, ok = cv, bv, true
+			}
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: malformed checksum trailer %q", ErrCorrupt, line)
+	}
+	if n != idx {
+		return nil, fmt.Errorf("%w: payload is %d bytes, trailer pins %d (truncated or spliced)", ErrCorrupt, idx, n)
+	}
+	payload := data[:idx]
+	if got := crc32.Checksum(payload, crcTable); uint64(got) != crc {
+		return nil, fmt.Errorf("%w: crc32c %08x, trailer pins %08x", ErrCorrupt, got, crc)
+	}
+	return payload, nil
+}
+
+// loadVerified reads path through fsys, checks the trailer, and parses the
+// payload as a stats catalog.
+func loadVerified(fsys faultfs.FS, path string) (*stats.Catalog, error) {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := verifyPayload(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	c, err := stats.Load(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// loadWithRecovery loads the catalog at path, falling back to the retained
+// previous generation when the main file is corrupt, truncated, or missing
+// after a crashed write. It returns (nil, false, nil) when neither file
+// exists (a fresh store), and the main file's error when no fallback can
+// serve.
+func loadWithRecovery(fsys faultfs.FS, path string) (c *stats.Catalog, recovered bool, err error) {
+	c, mainErr := loadVerified(fsys, path)
+	if mainErr == nil {
+		return c, false, nil
+	}
+	// Corrupt, truncated, or missing after a crashed write: adopt the
+	// retained previous generation when it verifies.
+	prev, prevErr := loadVerified(fsys, PrevPath(path))
+	if prevErr == nil {
+		return prev, true, nil
+	}
+	if errors.Is(mainErr, os.ErrNotExist) && errors.Is(prevErr, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	return nil, false, mainErr
+}
+
+// writeAtomicFS persists the snapshot crash-safely: temp file + fsync,
+// retain the previous generation as .prev, rename into place, fsync the
+// directory. Any failure leaves the previous on-disk generation loadable
+// (directly or via .prev recovery).
+func writeAtomicFS(fsys faultfs.FS, path string, snap *Snapshot) error {
+	data, err := encodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, ".catalog-*.tmp")
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer fsys.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: %w", err)
+	}
+	// fsync before rename: the rename must never publish bytes that are
+	// still only in the page cache.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("catalog: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	// Retain the current generation before replacing it. A crash between
+	// the two renames leaves no main file, which recovery serves from
+	// .prev.
+	if err := fsys.Rename(path, PrevPath(path)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("catalog: retain previous generation: %w", err)
+	}
+	if err := fsys.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("catalog: sync dir: %w", err)
+	}
+	return nil
+}

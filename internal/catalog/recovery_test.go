@@ -1,0 +1,305 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"epfis/internal/faultfs"
+	"epfis/internal/stats"
+)
+
+// openedWith builds a file-backed store holding the given generations of
+// writes, so the main file and .prev differ.
+func openedWith(t *testing.T, path string) *Store {
+	t.Helper()
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(entry("orders", "key", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(entry("lineitem", "partkey", 600)); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestWriteLeavesPrevGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	openedWith(t, path)
+
+	// Main file holds both entries; .prev holds the one-entry generation.
+	main, err := loadVerified(faultfs.OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if main.Len() != 2 {
+		t.Fatalf("main has %d entries", main.Len())
+	}
+	prev, err := loadVerified(faultfs.OS(), PrevPath(path))
+	if err != nil {
+		t.Fatalf("no retained previous generation: %v", err)
+	}
+	if prev.Len() != 1 {
+		t.Fatalf("prev has %d entries, want 1", prev.Len())
+	}
+}
+
+func TestTrailerDetectsBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(entry("orders", "key", 500)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit inside the JSON payload: still valid JSON, still a
+	// valid entry — only the checksum can notice.
+	i := bytes.Index(data, []byte(`"pages": 100`))
+	if i < 0 {
+		t.Fatalf("payload layout changed:\n%s", data)
+	}
+	data[i+len(`"pages": 10`)] = '1'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadVerified(faultfs.OS(), path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped load err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenRecoversFromCorruptMain(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"zero-length", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-flipped", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/3] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"missing-after-crash", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "catalog.json")
+			openedWith(t, path)
+			tc.corrupt(t, path)
+
+			st, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open did not recover: %v", err)
+			}
+			if !st.Recovered() {
+				t.Fatal("Recovered() = false after fallback")
+			}
+			// The .prev generation held only orders.key.
+			if st.Len() != 1 {
+				t.Fatalf("recovered %d entries, want 1", st.Len())
+			}
+			if _, err := st.Get("orders", "key"); err != nil {
+				t.Fatalf("recovered store missing orders.key: %v", err)
+			}
+			// The recovered store must be writable again.
+			if _, err := st.Put(entry("fresh", "col", 700)); err != nil {
+				t.Fatalf("Put after recovery: %v", err)
+			}
+		})
+	}
+}
+
+func TestOpenErrorsWhenMainAndPrevCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	openedWith(t, path)
+	for _, p := range []string{path, PrevPath(path)} {
+		if err := os.WriteFile(p, []byte("not a catalog"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a catalog with both generations corrupt")
+	}
+}
+
+func TestOpenMissingBothStartsEmpty(t *testing.T) {
+	st, err := Open(filepath.Join(t.TempDir(), "catalog.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 0 || st.Recovered() {
+		t.Fatalf("fresh store: len=%d recovered=%v", st.Len(), st.Recovered())
+	}
+}
+
+func TestLegacyFileWithoutTrailerLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	c := stats.NewCatalog()
+	if err := c.Put(entry("orders", "key", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveFile(path); err != nil { // plain stats format, no trailer
+		t.Fatal(err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 || st.Recovered() {
+		t.Fatalf("legacy load: len=%d recovered=%v", st.Len(), st.Recovered())
+	}
+}
+
+func TestTraileredFileLoadsWithPlainStatsLoader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	openedWith(t, path)
+	c, err := stats.LoadFile(path)
+	if err != nil {
+		t.Fatalf("stats.LoadFile on trailered file: %v", err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCommitAbortsOnInjectedWriteFaults(t *testing.T) {
+	for _, op := range []faultfs.Op{
+		faultfs.OpCreate, faultfs.OpWrite, faultfs.OpSync,
+		faultfs.OpClose, faultfs.OpRename, faultfs.OpSyncDir,
+	} {
+		t.Run(string(op), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "catalog.json")
+			inj := faultfs.NewInjector(faultfs.OS(), 1)
+			st, err := OpenFS(path, inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Put(entry("orders", "key", 500)); err != nil {
+				t.Fatal(err)
+			}
+
+			inj.Add(faultfs.Rule{Op: op, Count: -1})
+			_, err = st.Put(entry("lineitem", "partkey", 600))
+			if !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("Put under %s fault = %v, want ErrInjected", op, err)
+			}
+			// In-memory view unchanged: the commit aborted whole.
+			if st.Len() != 1 || st.Generation() != 1 {
+				t.Fatalf("store mutated by failed commit: len=%d gen=%d", st.Len(), st.Generation())
+			}
+			// On-disk state still serves the last good generation.
+			inj.Reset()
+			st2, err := Open(path)
+			if err != nil {
+				t.Fatalf("reopen after %s fault: %v", op, err)
+			}
+			if _, err := st2.Get("orders", "key"); err != nil {
+				t.Fatalf("last good generation lost after %s fault: %v", op, err)
+			}
+		})
+	}
+}
+
+func TestPartialWriteNeverPublishes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	inj := faultfs.NewInjector(faultfs.OS(), 1)
+	st, err := OpenFS(path, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(entry("orders", "key", 500)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Add(faultfs.Rule{Op: faultfs.OpWrite, Mode: faultfs.ModePartial})
+	if _, err := st.Put(entry("lineitem", "partkey", 600)); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	inj.Reset()
+	c, err := loadVerified(faultfs.OS(), path)
+	if err != nil {
+		t.Fatalf("main file damaged by torn temp write: %v", err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("main file has %d entries", c.Len())
+	}
+}
+
+func TestFsyncHappensBeforeRename(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	inj := faultfs.NewInjector(faultfs.OS(), 1)
+	st, err := OpenFS(path, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(entry("orders", "key", 500)); err != nil {
+		t.Fatal(err)
+	}
+	var syncAt, renameAt, dirSyncAt int
+	for i, e := range inj.Trace() {
+		op := strings.Fields(e)[0]
+		switch {
+		case op == "sync" && syncAt == 0:
+			syncAt = i + 1
+		case op == "rename" && renameAt == 0:
+			renameAt = i + 1
+		case op == "syncdir" && dirSyncAt == 0:
+			dirSyncAt = i + 1
+		}
+	}
+	if syncAt == 0 || renameAt == 0 || dirSyncAt == 0 {
+		t.Fatalf("trace missing sync/rename/syncdir: %v", inj.Trace())
+	}
+	if !(syncAt < renameAt && renameAt < dirSyncAt) {
+		t.Fatalf("durability order violated: sync@%d rename@%d syncdir@%d", syncAt, renameAt, dirSyncAt)
+	}
+}
+
+func TestReloadRejectsCorruptFileAndKeepsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	st := openedWith(t, path)
+	gen := st.Generation()
+
+	if err := os.WriteFile(path, []byte(`{"version":1,"entries":[`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Reload(); err == nil {
+		t.Fatal("Reload accepted a corrupt file")
+	}
+	if st.Generation() != gen || st.Len() != 2 {
+		t.Fatalf("snapshot changed by failed reload: gen=%d len=%d", st.Generation(), st.Len())
+	}
+	if _, err := st.Get("orders", "key"); err != nil {
+		t.Fatal("last good snapshot lost after failed reload")
+	}
+}

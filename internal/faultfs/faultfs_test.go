@@ -1,0 +1,199 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeTemp drives one create→write→sync→close→rename cycle through fs,
+// mirroring the catalog's persistence sequence.
+func writeTemp(t *testing.T, fs FS, dir, final string, data []byte) error {
+	t.Helper()
+	f, err := fs.CreateTemp(dir, ".t-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(f.Name(), final); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	final := filepath.Join(dir, "out.json")
+	if err := writeTemp(t, OS(), dir, final, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS().ReadFile(final)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := OS().Remove(final); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS().ReadFile(final); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("ReadFile after Remove = %v, want ErrNotExist", err)
+	}
+}
+
+func TestInjectErrorOnNthOp(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS(), 1)
+	inj.Add(Rule{Op: OpRename, Nth: 2, Mode: ModeError})
+
+	// First cycle: rename #1 passes.
+	if err := writeTemp(t, inj, dir, filepath.Join(dir, "a"), []byte("x")); err != nil {
+		t.Fatalf("first cycle: %v", err)
+	}
+	// Second cycle: rename #2 faults.
+	err := writeTemp(t, inj, dir, filepath.Join(dir, "b"), []byte("y"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second cycle err = %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("faulted rename left target: %v", err)
+	}
+	// Third cycle: the rule fired its single count; rename #3 passes.
+	if err := writeTemp(t, inj, dir, filepath.Join(dir, "c"), []byte("z")); err != nil {
+		t.Fatalf("third cycle: %v", err)
+	}
+	if got := inj.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestInjectPartialWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS(), 1)
+	inj.Add(Rule{Op: OpWrite, Mode: ModePartial})
+
+	f, err := inj.CreateTemp(dir, ".t-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	f.Close()
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("torn write left %q, want first half", got)
+	}
+}
+
+func TestInjectSlowIsDeterministicPerSeed(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		inj := NewInjector(OS(), seed)
+		inj.Add(Rule{Op: OpReadFile, Mode: ModeSlow, Delay: 40 * time.Millisecond, Count: -1})
+		var out []time.Duration
+		for i := 0; i < 4; i++ {
+			d, _, err := inj.check(OpReadFile, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := delays(7), delays(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded delays diverged at %d: %v vs %v", i, a, b)
+		}
+		if a[i] < 20*time.Millisecond || a[i] > 40*time.Millisecond {
+			t.Fatalf("delay %v outside [Delay/2, Delay]", a[i])
+		}
+	}
+}
+
+func TestPathSubstringMatch(t *testing.T) {
+	inj := NewInjector(OS(), 1)
+	inj.Add(Rule{Op: OpReadFile, Path: "catalog", Count: -1})
+	if _, _, err := inj.check(OpReadFile, "/tmp/other.json"); err != nil {
+		t.Fatalf("non-matching path faulted: %v", err)
+	}
+	if _, _, err := inj.check(OpReadFile, "/tmp/catalog.json"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching path err = %v, want ErrInjected", err)
+	}
+}
+
+func TestTraceRecordsOrderAndFaults(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS(), 1)
+	if err := writeTemp(t, inj, dir, filepath.Join(dir, "a"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, e := range inj.Trace() {
+		ops = append(ops, strings.Fields(e)[0])
+	}
+	want := []string{"create", "write", "sync", "close", "rename", "syncdir"}
+	if len(ops) != len(want) {
+		t.Fatalf("trace ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("trace[%d] = %s, want %s (full %v)", i, ops[i], want[i], ops)
+		}
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	inj := NewInjector(OS(), 1)
+	inj.Add(Rule{Op: OpAny, Count: -1})
+	if _, _, err := inj.check(OpSync, "x"); !errors.Is(err, ErrInjected) {
+		t.Fatal("armed rule did not fire")
+	}
+	inj.Reset()
+	if _, _, err := inj.check(OpSync, "x"); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("write:catalog:1:error, rename:*:2:slow=50ms:-1 ,sync::3:partial:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	if rules[0] != (Rule{Op: OpWrite, Path: "catalog", Nth: 1, Mode: ModeError}) {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if rules[1] != (Rule{Op: OpRename, Path: "", Nth: 2, Mode: ModeSlow, Delay: 50 * time.Millisecond, Count: -1}) {
+		t.Fatalf("rule 1 = %+v", rules[1])
+	}
+	if rules[2] != (Rule{Op: OpSync, Path: "", Nth: 3, Mode: ModePartial, Count: 4}) {
+		t.Fatalf("rule 2 = %+v", rules[2])
+	}
+
+	for _, bad := range []string{
+		"", "write:catalog", "bogus:x:1:error", "write:x:0:error",
+		"write:x:1:explode", "write:x:1:slow=soon", "write:x:1:error:0",
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		}
+	}
+}

@@ -30,10 +30,10 @@ import (
 // (workload.Measure does), or go through Analyze, which draws from an
 // internal pool.
 type Scratch struct {
-	fen     []int32  // Fenwick tree over trace positions, 1-based
-	lastPos []int32  // dense page id -> position of its most recent reference
-	counts  []int64  // counts[d] = references at stack distance d
-	maxDist int      // high-water mark of counts actually touched
+	fen     []int32 // Fenwick tree over trace positions, 1-based
+	lastPos []int32 // dense page id -> position of its most recent reference
+	counts  []int64 // counts[d] = references at stack distance d
+	maxDist int     // high-water mark of counts actually touched
 
 	// Dense remap, slice path: denseOf[raw] is valid iff stamp[raw] == epoch.
 	denseOf []int32

@@ -1,0 +1,236 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// recordedSleeps swaps Retry's timer for a recorder, so backoff schedules
+// are asserted without waiting.
+func recordedSleeps() (*[]time.Duration, func(context.Context, time.Duration) error) {
+	var ds []time.Duration
+	return &ds, func(ctx context.Context, d time.Duration) error {
+		ds = append(ds, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	sleeps, sleep := recordedSleeps()
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{MaxAttempts: 5, Jitter: -1, Sleep: sleep},
+		func(context.Context) error {
+			calls++
+			if calls < 3 {
+				return errBoom
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+	// Two failures → two sleeps, pure exponential with jitter disabled.
+	want := []time.Duration{DefaultBaseDelay, time.Duration(float64(DefaultBaseDelay) * DefaultMultiplier)}
+	if len(*sleeps) != 2 || (*sleeps)[0] != want[0] || (*sleeps)[1] != want[1] {
+		t.Fatalf("sleeps = %v, want %v", *sleeps, want)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	_, sleep := recordedSleeps()
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{MaxAttempts: 3, Sleep: sleep},
+		func(context.Context) error { calls++; return errBoom })
+	if !errors.Is(err, errBoom) || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{},
+		func(context.Context) error { calls++; return Permanent(errBoom) })
+	if !errors.Is(err, errBoom) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestRetryHonorsAfterHint(t *testing.T) {
+	sleeps, sleep := recordedSleeps()
+	calls := 0
+	hint := 1300 * time.Millisecond
+	err := Retry(context.Background(), RetryPolicy{MaxAttempts: 2, Sleep: sleep},
+		func(context.Context) error {
+			calls++
+			if calls == 1 {
+				return After(errBoom, hint)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(*sleeps) != 1 || (*sleeps)[0] != hint {
+		t.Fatalf("sleeps = %v, want exactly the Retry-After hint %v", *sleeps, hint)
+	}
+	if After(nil, time.Second) != nil {
+		t.Fatal("After(nil) != nil")
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, RetryPolicy{MaxAttempts: 10, Sleep: func(context.Context, time.Duration) error { return nil }},
+		func(context.Context) error {
+			calls++
+			if calls == 2 {
+				cancel()
+			}
+			return errBoom
+		})
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want Canceled wrapping boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestRetryJitterDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		sleeps, sleep := recordedSleeps()
+		Retry(context.Background(), RetryPolicy{MaxAttempts: 4, Seed: seed, Sleep: sleep},
+			func(context.Context) error { return errBoom })
+		return *sleeps
+	}
+	a, b, c := run(3), run(3), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical jitter: %v", a)
+	}
+}
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Failures: 3, Cooldown: time.Second, Clock: clk.now})
+
+	for i := 0; i < 3; i++ {
+		if err := b.Do(func() error { return errBoom }); !errors.Is(err, errBoom) {
+			t.Fatalf("failure %d: %v", i, err)
+		}
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state = %s, want open", got)
+	}
+	_, retryAfter, err := b.Begin()
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Begin while open = %v", err)
+	}
+	if retryAfter <= 0 || retryAfter > time.Second {
+		t.Fatalf("retryAfter = %v", retryAfter)
+	}
+	if opens, rejected := b.Stats(); opens != 1 || rejected != 1 {
+		t.Fatalf("stats = %d opens, %d rejected", opens, rejected)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Failures: 2})
+	b.Do(func() error { return errBoom })
+	b.Do(func() error { return nil })
+	b.Do(func() error { return errBoom })
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state = %s, want closed (failures interleaved with success)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Failures: 1, Cooldown: time.Second, Clock: clk.now})
+	b.Do(func() error { return errBoom })
+	if b.State() != "open" {
+		t.Fatal("not open after failure")
+	}
+
+	// Cooldown elapses → exactly one probe admitted; a second concurrent
+	// Begin is rejected while the probe is in flight.
+	clk.advance(2 * time.Second)
+	commit, _, err := b.Begin()
+	if err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if _, _, err := b.Begin(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second probe admitted: %v", err)
+	}
+
+	// Failed probe re-opens immediately (one failure, regardless of the
+	// configured threshold).
+	commit(true)
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe = %s", b.State())
+	}
+
+	// Next cooldown, successful probe closes.
+	clk.advance(2 * time.Second)
+	commit, _, err = b.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(false)
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe = %s", b.State())
+	}
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerCommitIsIdempotent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Failures: 2})
+	commit, _, err := b.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit(true)
+	commit(true) // second call must not double-count
+	if b.State() != "closed" {
+		t.Fatalf("state = %s after one failure (threshold 2)", b.State())
+	}
+}

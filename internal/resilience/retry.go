@@ -1,0 +1,315 @@
+// Package resilience provides the two small fault-handling primitives the
+// estimation service and its client share: Retry (exponential backoff with
+// seeded jitter, context-aware, honoring server-provided delay hints) and
+// Breaker (a consecutive-failure circuit breaker with a half-open probe).
+//
+// Both are deliberately deterministic-friendly: Retry's jitter comes from a
+// seeded source and its sleeps can be stubbed, and Breaker takes an
+// injectable clock, so chaos tests assert exact behaviour instead of racing
+// wall time.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Defaults for RetryPolicy zero values.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 50 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+	DefaultMultiplier  = 2.0
+	DefaultJitter      = 0.2
+)
+
+// RetryPolicy configures Retry. The zero value retries DefaultMaxAttempts
+// times with 50ms → 2s exponential backoff and 20% jitter.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (0 = DefaultMaxAttempts; 1 = no retries).
+	MaxAttempts int
+	// BaseDelay is the delay before the first retry (0 = DefaultBaseDelay).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay (0 = DefaultMaxDelay).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt (0 = DefaultMultiplier).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized symmetrically around
+	// it, in [0, 1] (negative disables; 0 = DefaultJitter).
+	Jitter float64
+	// Seed makes the jitter sequence deterministic; 0 seeds from the
+	// policy defaults (still deterministic: seed 1).
+	Seed int64
+	// Sleep, when non-nil, replaces the context-aware timer (tests).
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Retry stops immediately and returns the original
+// error. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// delayHintError carries a server-provided backoff hint (Retry-After).
+type delayHintError struct {
+	err error
+	d   time.Duration
+}
+
+func (h *delayHintError) Error() string { return h.err.Error() }
+func (h *delayHintError) Unwrap() error { return h.err }
+
+// After wraps a retryable err with an explicit delay before the next
+// attempt, overriding the policy's backoff — how an HTTP client honors a
+// Retry-After header. A nil err stays nil.
+func After(err error, d time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &delayHintError{err: err, d: d}
+}
+
+// Retry runs fn until it succeeds, returns a Permanent error, exhausts the
+// policy's attempts, or ctx is done. The error returned is fn's last error
+// (unwrapped from Permanent/After), or ctx.Err() when the context ends the
+// loop first.
+func Retry(ctx context.Context, p RetryPolicy, fn func(ctx context.Context) error) error {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.Jitter == 0 {
+		p.Jitter = DefaultJitter
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return fmt.Errorf("%w (after %d attempts: %w)", cerr, attempt-1, err)
+			}
+			return cerr
+		}
+		err = fn(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if attempt >= p.MaxAttempts {
+			return err
+		}
+		next := delay
+		var hint *delayHintError
+		if errors.As(err, &hint) && hint.d > 0 {
+			next = hint.d
+		} else if p.Jitter > 0 {
+			// Symmetric jitter: next in [delay*(1-j), delay*(1+j)].
+			span := float64(next) * p.Jitter
+			next = time.Duration(float64(next) + span*(2*rng.Float64()-1))
+		}
+		if serr := sleep(ctx, next); serr != nil {
+			return fmt.Errorf("%w (after %d attempts: %w)", serr, attempt, err)
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+// sleepCtx waits for d or for ctx, whichever ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Breaker defaults.
+const (
+	DefaultBreakerFailures = 5
+	DefaultBreakerCooldown = 2 * time.Second
+)
+
+// ErrBreakerOpen is returned by Begin/Do while the breaker is open (also
+// while a half-open probe is already in flight).
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerConfig configures NewBreaker.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that opens the breaker
+	// (0 = DefaultBreakerFailures).
+	Failures int
+	// Cooldown is how long the breaker stays open before letting one
+	// half-open probe through (0 = DefaultBreakerCooldown).
+	Cooldown time.Duration
+	// Clock replaces time.Now (tests).
+	Clock func() time.Time
+}
+
+// Breaker is a consecutive-failure circuit breaker: Failures consecutive
+// recorded failures open it; after Cooldown one probe is admitted, and its
+// outcome closes or re-opens the circuit. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+
+	opens    uint64
+	rejected uint64
+}
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Failures <= 0 {
+		cfg.Failures = DefaultBreakerFailures
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultBreakerCooldown
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Begin asks to run one guarded operation. On admission it returns a commit
+// function the caller must invoke exactly once with the operation's outcome;
+// otherwise it returns ErrBreakerOpen and the time to wait before the next
+// attempt is worth making (for a Retry-After header).
+func (b *Breaker) Begin() (commit func(failure bool), retryAfter time.Duration, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Clock()
+	switch b.state {
+	case stateOpen:
+		if rem := b.openedAt.Add(b.cfg.Cooldown).Sub(now); rem > 0 {
+			b.rejected++
+			return nil, rem, ErrBreakerOpen
+		}
+		b.state = stateHalfOpen
+		fallthrough
+	case stateHalfOpen:
+		if b.probing {
+			b.rejected++
+			return nil, b.cfg.Cooldown, ErrBreakerOpen
+		}
+		b.probing = true
+	}
+	return b.commitFunc(), 0, nil
+}
+
+// commitFunc builds the once-only outcome recorder; callers hold b.mu.
+func (b *Breaker) commitFunc() func(failure bool) {
+	var once sync.Once
+	return func(failure bool) {
+		once.Do(func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			wasProbe := b.state == stateHalfOpen
+			b.probing = false
+			if !failure {
+				b.state = stateClosed
+				b.consecutive = 0
+				return
+			}
+			b.consecutive++
+			if wasProbe || b.consecutive >= b.cfg.Failures {
+				b.state = stateOpen
+				b.openedAt = b.cfg.Clock()
+				b.opens++
+			}
+		})
+	}
+}
+
+// Do runs fn behind the breaker, recording err != nil as a failure.
+func (b *Breaker) Do(fn func() error) error {
+	commit, _, err := b.Begin()
+	if err != nil {
+		return err
+	}
+	ferr := fn()
+	commit(ferr != nil)
+	return ferr
+}
+
+// State reports "closed", "open", or "half-open" (for health/metrics).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		// An expired cooldown reads as half-open: the next Begin probes.
+		if b.cfg.Clock().After(b.openedAt.Add(b.cfg.Cooldown)) {
+			return "half-open"
+		}
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Stats reports how many times the breaker opened and how many operations
+// it rejected.
+func (b *Breaker) Stats() (opens, rejected uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.rejected
+}

@@ -31,9 +31,10 @@ type memoCache struct {
 	shards [memoShards]memoShard
 	seed   maphash.Seed
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64 // entries removed by explicit sweeps
 }
 
 const memoShards = 16
@@ -111,6 +112,44 @@ func (c *memoCache) put(k memoKey, est core.Estimate) {
 		delete(sh.entries, oldest.Value.(*memoEntry).key)
 		c.evictions.Add(1)
 	}
+}
+
+// invalidateIndex removes every memo entry for index, across all
+// generations. Generation keying already makes stale entries unreachable
+// after a delete bumps the generation; this sweep additionally frees them,
+// so a dropped index cannot linger in memory (and a later re-install at a
+// coincidentally reused generation can never alias them).
+func (c *memoCache) invalidateIndex(index string) int {
+	return c.sweep(func(k memoKey) bool { return k.index == index })
+}
+
+// dropOtherGenerations removes entries whose generation differs from gen —
+// the post-write segment sweep: after a reload/install/delete publishes
+// generation gen, every older generation's memo entries are garbage by
+// construction of the (index, generation) key.
+func (c *memoCache) dropOtherGenerations(gen uint64) int {
+	return c.sweep(func(k memoKey) bool { return k.gen != gen })
+}
+
+// sweep removes entries matching drop, returning how many were removed.
+func (c *memoCache) sweep(drop func(memoKey) bool) int {
+	removed := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, el := range sh.entries {
+			if drop(k) {
+				sh.lru.Remove(el)
+				delete(sh.entries, k)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		c.invalidations.Add(uint64(removed))
+	}
+	return removed
 }
 
 // len reports the live entry count across all shards.

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"epfis/internal/resilience"
+)
+
+// Client is the thin Go client for the estimation service. It retries
+// transport errors and 429/503 responses with the configured policy,
+// honoring the server's Retry-After header, and treats every other non-2xx
+// status as permanent. Safe for concurrent use.
+type Client struct {
+	base  string
+	http  *http.Client
+	retry resilience.RetryPolicy
+}
+
+// ClientConfig configures NewClient. BaseURL is required.
+type ClientConfig struct {
+	// BaseURL is the service root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// Retry tunes the retry policy; the zero value uses the resilience
+	// defaults (4 attempts, 50ms → 2s backoff with jitter).
+	Retry resilience.RetryPolicy
+}
+
+// NewClient builds a client for the service at cfg.BaseURL.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("service: bad base URL %q", cfg.BaseURL)
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimSuffix(u.String(), "/"), http: hc, retry: cfg.Retry}, nil
+}
+
+// StatusError is a non-2xx service response. Is(err, ...) matching works
+// through errors.As.
+type StatusError struct {
+	Code    int    // HTTP status
+	Message string // server-provided error string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("service: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+// retryable reports whether the response status is worth retrying: shed
+// (429) and unavailable (503) are explicitly transient on this service.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// Estimate fetches one estimate. The returned response is bit-exact with a
+// direct core.EstimateFetches call against the served generation.
+func (c *Client) Estimate(ctx context.Context, req EstimateRequest) (EstimateResponse, error) {
+	q := url.Values{}
+	q.Set("table", req.Table)
+	q.Set("column", req.Column)
+	q.Set("b", strconv.FormatInt(req.B, 10))
+	q.Set("sigma", strconv.FormatFloat(req.Sigma, 'g', -1, 64))
+	if req.S != nil {
+		q.Set("s", strconv.FormatFloat(*req.S, 'g', -1, 64))
+	}
+	if req.Detail {
+		q.Set("detail", "1")
+	}
+	var out EstimateResponse
+	err := c.do(ctx, http.MethodGet, "/v1/estimate?"+q.Encode(), nil, &out)
+	return out, err
+}
+
+// EstimateBatch fetches many estimates in one round trip.
+func (c *Client) EstimateBatch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/estimate/batch", req, &out)
+	return out, err
+}
+
+// Reload asks the service to re-read its catalog file, returning the new
+// generation.
+func (c *Client) Reload(ctx context.Context) (uint64, error) {
+	var out struct {
+		Generation uint64 `json:"generation"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/reload", nil, &out)
+	return out.Generation, err
+}
+
+// Health fetches /healthz. A draining instance (503) is reported as a
+// *StatusError after retries, with the decoded document discarded.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// do runs one JSON request through the retry policy.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("service: encode request: %w", err)
+		}
+	}
+	return resilience.Retry(ctx, c.retry, func(ctx context.Context) error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err // transport errors retry on the backoff schedule
+		}
+		defer func() {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		if resp.StatusCode/100 != 2 {
+			serr := &StatusError{Code: resp.StatusCode}
+			var msg struct {
+				Error string `json:"error"`
+			}
+			if jerr := json.NewDecoder(resp.Body).Decode(&msg); jerr == nil {
+				serr.Message = msg.Error
+			}
+			if !retryable(resp.StatusCode) {
+				return resilience.Permanent(serr)
+			}
+			if d := parseRetryAfter(resp.Header.Get("Retry-After")); d > 0 {
+				return resilience.After(serr, d)
+			}
+			return serr
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resilience.Permanent(fmt.Errorf("service: decode response: %w", err))
+		}
+		return nil
+	})
+}
+
+// parseRetryAfter handles both Retry-After forms: delay-seconds and
+// HTTP-date. Zero means "no usable hint".
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"epfis/internal/resilience"
+)
+
+// fastRetry is a client retry policy with recorded, not real, sleeps.
+func fastRetry(slept *[]time.Duration) resilience.RetryPolicy {
+	return resilience.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		Jitter:      -1, // disable for determinism
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if slept != nil {
+				*slept = append(*slept, d)
+			}
+			return nil
+		},
+	}
+}
+
+func newClientFor(t *testing.T, ts *httptest.Server, slept *[]time.Duration) *Client {
+	t.Helper()
+	c, err := NewClient(ClientConfig{
+		BaseURL:    ts.URL,
+		HTTPClient: ts.Client(),
+		Retry:      fastRetry(slept),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClientEstimateMatchesDirectHandler(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := newClientFor(t, ts, nil)
+	got, err := c.Estimate(context.Background(), EstimateRequest{
+		Table: "orders", Column: "key", B: 100, Sigma: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want EstimateResponse
+	getJSON(t, ts, "/v1/estimate?table=orders&column=key&b=100&sigma=0.01", http.StatusOK, &want)
+	if got.Fetches != want.Fetches || got.Generation != want.Generation {
+		t.Fatalf("client estimate %+v != direct %+v", got, want)
+	}
+}
+
+func TestClientRetriesShedRequestsHonoringRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			writeError(w, http.StatusTooManyRequests, errOverloaded)
+			return
+		}
+		writeJSON(w, http.StatusOK, EstimateResponse{Fetches: 42})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var slept []time.Duration
+	c := newClientFor(t, ts, &slept)
+	got, err := c.Estimate(context.Background(), EstimateRequest{Table: "t", Column: "c", B: 1, Sigma: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fetches != 42 {
+		t.Fatalf("Fetches = %v, want 42", got.Fetches)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+	// Both waits must come from the Retry-After header, not the backoff.
+	if len(slept) != 2 || slept[0] != 3*time.Second || slept[1] != 3*time.Second {
+		t.Fatalf("slept %v, want [3s 3s]", slept)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusNotFound, errors.New("no such index"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newClientFor(t, ts, nil)
+	_, err := c.Estimate(context.Background(), EstimateRequest{Table: "t", Column: "c", B: 1, Sigma: 0.1})
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want StatusError 404", err)
+	}
+	if serr.Message != "no such index" {
+		t.Fatalf("Message = %q", serr.Message)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls, want 1 (404 is permanent)", n)
+	}
+}
+
+func TestClientRetriesExhaustReturnStatusError(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeRetryable(w, http.StatusServiceUnavailable, errors.New("draining"), time.Second)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := newClientFor(t, ts, nil)
+	_, err := c.Health(context.Background())
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want StatusError 503", err)
+	}
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("server saw %d calls, want MaxAttempts=4", n)
+	}
+}
+
+func TestClientBatchAndReloadAndHealth(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := newClientFor(t, ts, nil)
+	ctx := context.Background()
+
+	batch, err := c.EstimateBatch(ctx, BatchRequest{Requests: []EstimateRequest{
+		{Table: "orders", Column: "key", B: 100, Sigma: 0.01},
+		{Table: "no", Column: "such", B: 100, Sigma: 0.01},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Count != 2 || batch.Failed != 1 {
+		t.Fatalf("batch count=%d failed=%d, want 2/1", batch.Count, batch.Failed)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health status %q, want ok", h.Status)
+	}
+
+	// Reload on an in-memory store has no path: permanent 400.
+	_, err = c.Reload(ctx)
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusBadRequest {
+		t.Fatalf("reload err = %v, want StatusError 400", err)
+	}
+}
+
+func TestClientRejectsBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "/relative/only"} {
+		if _, err := NewClient(ClientConfig{BaseURL: bad}); err == nil {
+			t.Fatalf("NewClient(%q) accepted a bad base URL", bad)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"garbage", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// HTTP-date form: a point ~5s in the future parses to a positive wait.
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got <= 0 || got > 5*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v, want (0, 5s]", future, got)
+	}
+}

@@ -14,6 +14,9 @@ type metrics struct {
 
 	panics    atomic.Uint64
 	estimates atomic.Uint64 // individual estimates served (batch items count)
+
+	sheds          atomic.Uint64 // requests rejected by admission control (429)
+	reloadFailures atomic.Uint64 // reloads that left the service degraded
 }
 
 // routeStats aggregates one route's request counters and a latency summary
@@ -91,11 +94,12 @@ func (m *metrics) snapshot(cache *memoCache) map[string]any {
 			ratio = float64(hits) / float64(hits+misses)
 		}
 		out["cache"] = map[string]any{
-			"hits":      hits,
-			"misses":    misses,
-			"evictions": cache.evictions.Load(),
-			"entries":   cache.len(),
-			"hitRatio":  ratio,
+			"hits":          hits,
+			"misses":        misses,
+			"evictions":     cache.evictions.Load(),
+			"invalidations": cache.invalidations.Load(),
+			"entries":       cache.len(),
+			"hitRatio":      ratio,
 		}
 	}
 	return out

@@ -28,6 +28,27 @@
 // typed sentinel message; unknown indexes as 404. Handlers run behind
 // panic-recovery and request-timeout middleware, and Run drains in-flight
 // requests on context cancellation (SIGTERM in cmd/epfis-serve).
+//
+// # Resilience
+//
+// The service degrades explicitly instead of failing wholesale:
+//
+//   - Admission control bounds in-flight requests per route; excess load is
+//     shed with 429 + Retry-After before it queues (healthz and metrics are
+//     exempt, so operators can always observe an overloaded instance).
+//   - A circuit breaker guards the disk-touching paths (install, delete,
+//     reload): consecutive persistence failures open it, and further
+//     mutations are rejected with 503 + Retry-After until a cooldown probe
+//     succeeds. Estimate reads never touch the breaker — they are lock-free
+//     snapshot loads and keep working against the last good catalog.
+//   - Degraded mode: when a reload fails (corrupt file, injected fault, bad
+//     disk) the last good snapshot stays published and the service keeps
+//     answering from it; /healthz and /metrics report "degraded" with the
+//     stale generation and the reload error until a reload succeeds.
+//   - While draining on shutdown, /healthz turns 503 with Retry-After so
+//     load balancers rotate the instance out.
+//
+// Persistence failures surface as 503 (retryable), never as wrong answers.
 package service
 
 import (
@@ -40,10 +61,12 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"epfis/internal/catalog"
 	"epfis/internal/core"
+	"epfis/internal/resilience"
 	"epfis/internal/stats"
 )
 
@@ -52,9 +75,13 @@ const (
 	DefaultCacheEntries   = 4096
 	DefaultRequestTimeout = 5 * time.Second
 	DefaultMaxBatch       = 1024
+	DefaultMaxInflight    = 256
 
 	maxBodyBytes = 8 << 20 // PUT bodies carry histograms; batches carry many inputs
 )
+
+// errOverloaded is the admission-control shed response body.
+var errOverloaded = errors.New("service overloaded, retry later")
 
 // Config configures New. Store is required; everything else defaults.
 type Config struct {
@@ -69,8 +96,26 @@ type Config struct {
 	// MaxBatch caps the number of inputs per batch request.
 	// 0 = DefaultMaxBatch.
 	MaxBatch int
+	// MaxInflight bounds concurrently handled requests per route; excess
+	// requests are shed with 429 + Retry-After. /healthz and /metrics are
+	// exempt. 0 = DefaultMaxInflight; negative disables admission control.
+	MaxInflight int
+	// BreakerFailures is the consecutive persistence-failure count that
+	// opens the circuit breaker guarding disk-touching routes.
+	// 0 = resilience.DefaultBreakerFailures; negative disables the breaker.
+	BreakerFailures int
+	// BreakerCooldown is how long the opened breaker rejects mutations
+	// before probing again. 0 = resilience.DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 	// Logger receives lifecycle and panic logs; nil discards them.
 	Logger *log.Logger
+}
+
+// reloadFailure records why the service is degraded.
+type reloadFailure struct {
+	err      string
+	staleGen uint64 // generation still being served
+	at       time.Time
 }
 
 // Server is the estimation service. Construct with New; safe for concurrent
@@ -82,6 +127,11 @@ type Server struct {
 	handler  http.Handler
 	maxBatch int
 	log      *log.Logger
+
+	inflight map[string]chan struct{} // per-route admission tokens; nil route = unbounded
+	breaker  *resilience.Breaker      // nil when disabled
+	degraded atomic.Pointer[reloadFailure]
+	draining atomic.Bool
 }
 
 // Route names, used as metrics keys.
@@ -122,6 +172,28 @@ func New(cfg Config) (*Server, error) {
 		routeEstimate, routeBatch, routeIndexes, routePutIndex,
 		routeDeleteIndex, routeReload, routeHealthz, routeMetrics,
 	})
+
+	if cfg.BreakerFailures >= 0 {
+		s.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			Failures: cfg.BreakerFailures,
+			Cooldown: cfg.BreakerCooldown,
+		})
+	}
+	maxInflight := cfg.MaxInflight
+	if maxInflight == 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	if maxInflight > 0 {
+		// healthz/metrics stay exempt: an overloaded instance must still be
+		// observable and pass (or deliberately fail) its health checks.
+		s.inflight = make(map[string]chan struct{})
+		for _, route := range []string{
+			routeEstimate, routeBatch, routeIndexes,
+			routePutIndex, routeDeleteIndex, routeReload,
+		} {
+			s.inflight[route] = make(chan struct{}, maxInflight)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle(routeEstimate, s.instrument(routeEstimate, s.handleEstimate))
@@ -177,6 +249,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Flip health to draining before the listener closes, so balancers
+		// checking /healthz rotate this instance out during the drain.
+		s.draining.Store(true)
 		s.log.Printf("service: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -187,8 +262,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 }
 
-// instrument wraps a handler with panic recovery and per-route metrics.
+// instrument wraps a handler with admission control, panic recovery, and
+// per-route metrics.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	sem := s.inflight[route] // nil for exempt routes or disabled admission
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -203,6 +280,19 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			}
 			s.met.observe(route, rec.status, time.Since(start))
 		}()
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			default:
+				// The route is saturated: shed now, cheaply, instead of
+				// queueing work the client will have timed out on.
+				s.met.sheds.Add(1)
+				rec.Header().Set("Retry-After", "1")
+				writeError(rec, http.StatusTooManyRequests, errOverloaded)
+				return
+			}
+		}
 		h(rec, r)
 	})
 }
@@ -227,10 +317,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// estimateRequest is one Est-IO input addressed at a catalog entry. S is a
+// EstimateRequest is one Est-IO input addressed at a catalog entry. S is a
 // pointer so "omitted" (no sargable predicates, treated as 1) is
-// distinguishable from an explicit out-of-domain 0.
-type estimateRequest struct {
+// distinguishable from an explicit out-of-domain 0. Exported for the thin
+// Go client (see Client).
+type EstimateRequest struct {
 	Table  string   `json:"table"`
 	Column string   `json:"column"`
 	B      int64    `json:"b"`
@@ -239,16 +330,16 @@ type estimateRequest struct {
 	Detail bool     `json:"detail,omitempty"`
 }
 
-func (r estimateRequest) sarg() float64 {
+func (r EstimateRequest) sarg() float64 {
 	if r.S == nil {
 		return 1
 	}
 	return *r.S
 }
 
-// estimateResponse carries the estimate; Fetches is bit-exact with a direct
+// EstimateResponse carries the estimate; Fetches is bit-exact with a direct
 // core.EstimateFetches call (JSON float64 encoding round-trips exactly).
-type estimateResponse struct {
+type EstimateResponse struct {
 	Table      string         `json:"table"`
 	Column     string         `json:"column"`
 	B          int64          `json:"b"`
@@ -262,12 +353,12 @@ type estimateResponse struct {
 
 // estimate resolves statistics against one snapshot and runs (or recalls)
 // Est-IO. It is the shared core of the single and batch endpoints.
-func (s *Server) estimate(snap *catalog.Snapshot, req estimateRequest) (estimateResponse, error) {
+func (s *Server) estimate(snap *catalog.Snapshot, req EstimateRequest) (EstimateResponse, error) {
 	st, err := snap.Get(req.Table, req.Column)
 	if err != nil {
-		return estimateResponse{}, err
+		return EstimateResponse{}, err
 	}
-	resp := estimateResponse{
+	resp := EstimateResponse{
 		Table:      req.Table,
 		Column:     req.Column,
 		B:          req.B,
@@ -290,7 +381,7 @@ func (s *Server) estimate(snap *catalog.Snapshot, req estimateRequest) (estimate
 	if !cached {
 		est, err = core.EstIO(st, core.Input{B: req.B, Sigma: req.Sigma, S: resp.S}, core.Options{})
 		if err != nil {
-			return estimateResponse{}, err
+			return EstimateResponse{}, err
 		}
 		if s.cache != nil {
 			s.cache.put(key, est)
@@ -320,9 +411,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func parseEstimateQuery(r *http.Request) (estimateRequest, error) {
+func parseEstimateQuery(r *http.Request) (EstimateRequest, error) {
 	q := r.URL.Query()
-	req := estimateRequest{Table: q.Get("table"), Column: q.Get("column")}
+	req := EstimateRequest{Table: q.Get("table"), Column: q.Get("column")}
 	if req.Table == "" || req.Column == "" {
 		return req, errors.New("query parameters table and column are required")
 	}
@@ -350,28 +441,30 @@ func parseEstimateQuery(r *http.Request) (estimateRequest, error) {
 	return req, nil
 }
 
-// batchRequest and batchResponse amortize per-request overhead: one HTTP
+// BatchRequest and BatchResponse amortize per-request overhead: one HTTP
 // round trip and one JSON document for the dozens of candidate plans an
 // optimizer costs while planning a single query.
-type batchRequest struct {
-	Requests []estimateRequest `json:"requests"`
+type BatchRequest struct {
+	Requests []EstimateRequest `json:"requests"`
 }
 
-type batchItem struct {
-	Estimate *estimateResponse `json:"estimate,omitempty"`
+// BatchItem is one batch result: an estimate, or a per-item error.
+type BatchItem struct {
+	Estimate *EstimateResponse `json:"estimate,omitempty"`
 	Error    string            `json:"error,omitempty"`
 	Status   int               `json:"status,omitempty"`
 }
 
-type batchResponse struct {
+// BatchResponse is the batch endpoint's document.
+type BatchResponse struct {
 	Count      int         `json:"count"`
 	Failed     int         `json:"failed"`
 	Generation uint64      `json:"generation"`
-	Items      []batchItem `json:"items"`
+	Items      []BatchItem `json:"items"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var breq batchRequest
+	var breq BatchRequest
 	if err := decodeJSON(w, r, &breq); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -388,19 +481,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// One snapshot for the whole batch: every item is costed against the
 	// same catalog generation even if a writer lands mid-flight.
 	snap := s.store.Snapshot()
-	resp := batchResponse{
+	resp := BatchResponse{
 		Count:      len(breq.Requests),
 		Generation: snap.Generation(),
-		Items:      make([]batchItem, len(breq.Requests)),
+		Items:      make([]BatchItem, len(breq.Requests)),
 	}
 	for i, req := range breq.Requests {
 		est, err := s.estimate(snap, req)
 		if err != nil {
-			resp.Items[i] = batchItem{Error: err.Error(), Status: statusOf(err)}
+			resp.Items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
 			resp.Failed++
 			continue
 		}
-		resp.Items[i] = batchItem{Estimate: &est}
+		resp.Items[i] = BatchItem{Estimate: &est}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -467,53 +560,168 @@ func (s *Server) handlePutIndex(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("body identifies %s.%s but path identifies %s.%s", e.Table, e.Column, table, column))
 		return
 	}
-	gen, err := s.store.Put(&e)
-	if err != nil {
+	// Validation failures are the client's fault and must not trip the
+	// breaker; check before entering the guarded persistence path.
+	if err := e.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	commit, retryAfter, err := s.beginMutation()
+	if err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable, err, retryAfter)
+		return
+	}
+	gen, err := s.store.Put(&e)
+	commit(err != nil)
+	if err != nil {
+		// Past validation, a Put error is persistence trouble: retryable.
+		writeRetryable(w, http.StatusServiceUnavailable, err, time.Second)
+		return
+	}
+	if s.cache != nil {
+		s.cache.dropOtherGenerations(gen)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"key": e.Key(), "generation": gen})
 }
 
 func (s *Server) handleDeleteIndex(w http.ResponseWriter, r *http.Request) {
 	table, column := r.PathValue("table"), r.PathValue("column")
-	ok, gen, err := s.store.Delete(table, column)
+	commit, retryAfter, err := s.beginMutation()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeRetryable(w, http.StatusServiceUnavailable, err, retryAfter)
+		return
+	}
+	ok, gen, err := s.store.Delete(table, column)
+	commit(err != nil)
+	if err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable, err, time.Second)
 		return
 	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s.%s", stats.ErrNotFound, table, column))
 		return
 	}
+	if s.cache != nil {
+		// Belt and braces: generation keying already hides the dead
+		// entries, and this sweep frees them so a deleted index cannot
+		// linger in memory either.
+		s.cache.invalidateIndex(table + "." + column)
+		s.cache.dropOtherGenerations(gen)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"generation": gen})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	commit, retryAfter, err := s.beginMutation()
+	if err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable, err, retryAfter)
+		return
+	}
 	gen, err := s.store.Reload()
 	if err != nil {
-		status := http.StatusInternalServerError
 		if errors.Is(err, catalog.ErrNoPath) {
-			status = http.StatusBadRequest
+			// Configuration error, not disk trouble: no breaker strike, no
+			// degraded mode.
+			commit(false)
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
-		writeError(w, status, err)
+		commit(true)
+		// Keep answering from the last good snapshot and say so loudly.
+		s.degraded.Store(&reloadFailure{
+			err:      err.Error(),
+			staleGen: s.store.Generation(),
+			at:       time.Now(),
+		})
+		s.met.reloadFailures.Add(1)
+		s.log.Printf("service: reload failed, serving degraded from generation %d: %v", s.store.Generation(), err)
+		writeRetryable(w, http.StatusServiceUnavailable, err, time.Second)
 		return
+	}
+	commit(false)
+	s.degraded.Store(nil)
+	if s.cache != nil {
+		s.cache.dropOtherGenerations(gen)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "indexes": s.store.Len()})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// beginMutation funnels every disk-touching route through the circuit
+// breaker. With the breaker disabled it admits unconditionally.
+func (s *Server) beginMutation() (commit func(failure bool), retryAfter time.Duration, err error) {
+	if s.breaker == nil {
+		return func(bool) {}, 0, nil
+	}
+	return s.breaker.Begin()
+}
+
+// Health is the /healthz document (also returned by Client.Health).
+type Health struct {
+	Status          string  `json:"status"` // "ok", "degraded", or "draining"
+	Generation      uint64  `json:"generation"`
+	Indexes         int     `json:"indexes"`
+	UptimeSeconds   float64 `json:"uptimeSeconds"`
+	Degraded        bool    `json:"degraded"`
+	StaleGeneration uint64  `json:"staleGeneration,omitempty"`
+	LastReloadError string  `json:"lastReloadError,omitempty"`
+	Breaker         string  `json:"breaker,omitempty"` // closed / half-open / open
+	RecoveredAtOpen bool    `json:"recoveredAtOpen,omitempty"`
+}
+
+// health assembles the current Health document.
+func (s *Server) health() Health {
 	snap := s.store.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"generation":    snap.Generation(),
-		"indexes":       snap.Len(),
-		"uptimeSeconds": time.Since(s.met.start).Seconds(),
-	})
+	h := Health{
+		Status:          "ok",
+		Generation:      snap.Generation(),
+		Indexes:         snap.Len(),
+		UptimeSeconds:   time.Since(s.met.start).Seconds(),
+		RecoveredAtOpen: s.store.Recovered(),
+	}
+	if s.breaker != nil {
+		h.Breaker = s.breaker.State()
+	}
+	if f := s.degraded.Load(); f != nil {
+		h.Status = "degraded"
+		h.Degraded = true
+		h.StaleGeneration = f.staleGen
+		h.LastReloadError = f.err
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	if h.Status == "draining" {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	// Degraded is still 200: the instance answers estimates correctly from
+	// the last good generation, so liveness probes must not kill it.
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.snapshot(s.cache))
+	out := s.met.snapshot(s.cache)
+	res := map[string]any{
+		"sheds":          s.met.sheds.Load(),
+		"reloadFailures": s.met.reloadFailures.Load(),
+		"degraded":       s.degraded.Load() != nil,
+	}
+	if s.breaker != nil {
+		opens, rejected := s.breaker.Stats()
+		res["breaker"] = map[string]any{
+			"state":    s.breaker.State(),
+			"opens":    opens,
+			"rejected": rejected,
+		}
+	}
+	out["resilience"] = res
+	writeJSON(w, http.StatusOK, out)
 }
 
 // statusOf maps domain errors to HTTP statuses: invalid Est-IO inputs are
@@ -547,4 +755,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]any{"error": err.Error(), "status": status})
+}
+
+// writeRetryable is writeError plus a Retry-After header, for 429/503
+// responses the client should retry (Client honors the header).
+func writeRetryable(w http.ResponseWriter, status int, err error, after time.Duration) {
+	secs := int64(after / time.Second)
+	if after%time.Second != 0 || secs < 1 {
+		secs++ // round up; Retry-After is whole seconds, minimum 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, status, err)
 }

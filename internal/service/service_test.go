@@ -88,7 +88,7 @@ func TestEstimateMatchesDirectBitForBit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var got estimateResponse
+		var got EstimateResponse
 		path := fmt.Sprintf("/v1/estimate?table=orders&column=key&b=%d&sigma=%g&s=%g", tc.b, tc.sigma, tc.s)
 		getJSON(t, ts, path, http.StatusOK, &got)
 		if got.Fetches != want {
@@ -104,7 +104,7 @@ func TestEstimateMatchesDirectBitForBit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got estimateResponse
+	var got EstimateResponse
 	getJSON(t, ts, "/v1/estimate?table=orders&column=key&b=100&sigma=0.1&detail=1", http.StatusOK, &got)
 	if got.Detail == nil {
 		t.Fatal("detail=1 returned no detail")
@@ -174,13 +174,13 @@ func TestBatchEstimate(t *testing.T) {
 	defer ts.Close()
 
 	sarg := 0.5
-	breq := batchRequest{Requests: []estimateRequest{
+	breq := BatchRequest{Requests: []EstimateRequest{
 		{Table: "orders", Column: "key", B: 100, Sigma: 0.1},
 		{Table: "orders", Column: "key", B: 200, Sigma: 0.25, S: &sarg},
 		{Table: "orders", Column: "key", B: 0, Sigma: 0.1},   // invalid B
 		{Table: "nosuch", Column: "key", B: 100, Sigma: 0.1}, // unknown index
 	}}
-	var bresp batchResponse
+	var bresp BatchResponse
 	postJSON(t, ts, "/v1/estimate/batch", breq, http.StatusOK, &bresp)
 	if bresp.Count != 4 || bresp.Failed != 2 || len(bresp.Items) != 4 {
 		t.Fatalf("batch count=%d failed=%d items=%d", bresp.Count, bresp.Failed, len(bresp.Items))
@@ -209,10 +209,10 @@ func TestBatchEstimate(t *testing.T) {
 	}
 
 	// Empty and oversized batches are rejected outright.
-	postJSON(t, ts, "/v1/estimate/batch", batchRequest{}, http.StatusBadRequest, nil)
-	over := batchRequest{Requests: make([]estimateRequest, DefaultMaxBatch+1)}
+	postJSON(t, ts, "/v1/estimate/batch", BatchRequest{}, http.StatusBadRequest, nil)
+	over := BatchRequest{Requests: make([]EstimateRequest, DefaultMaxBatch+1)}
 	for i := range over.Requests {
-		over.Requests[i] = estimateRequest{Table: "orders", Column: "key", B: 10, Sigma: 0.1}
+		over.Requests[i] = EstimateRequest{Table: "orders", Column: "key", B: 10, Sigma: 0.1}
 	}
 	postJSON(t, ts, "/v1/estimate/batch", over, http.StatusBadRequest, nil)
 }
@@ -297,7 +297,7 @@ func TestMemoCacheServesRepeatsAndInvalidatesOnPut(t *testing.T) {
 	defer ts.Close()
 
 	const path = "/v1/estimate?table=orders&column=key&b=100&sigma=0.1"
-	var first, second estimateResponse
+	var first, second EstimateResponse
 	getJSON(t, ts, path, http.StatusOK, &first)
 	getJSON(t, ts, path, http.StatusOK, &second)
 	if first.Cached || !second.Cached {
@@ -312,7 +312,7 @@ func TestMemoCacheServesRepeatsAndInvalidatesOnPut(t *testing.T) {
 	if _, err := store.Put(fitStats(t, "orders", "key", 99)); err != nil {
 		t.Fatal(err)
 	}
-	var third estimateResponse
+	var third EstimateResponse
 	getJSON(t, ts, path, http.StatusOK, &third)
 	if third.Cached {
 		t.Fatal("estimate served from memo across a statistics install")
@@ -422,7 +422,7 @@ func TestConcurrentEstimatesAndInstalls(t *testing.T) {
 						return
 					}
 				} else {
-					breq := batchRequest{Requests: []estimateRequest{
+					breq := BatchRequest{Requests: []EstimateRequest{
 						{Table: "orders", Column: "key", B: int64(10 + i%100), Sigma: 0.2},
 						{Table: "orders", Column: "key", B: int64(10 + i%100), Sigma: 0.4},
 					}}
