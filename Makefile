@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos bench bench-json bench-smoke fuzz serve vet all
+.PHONY: build test race chaos bench bench-json bench-serve bench-smoke fuzz serve vet all
 
 all: build vet test
 
@@ -35,6 +35,13 @@ bench:
 # BENCH_experiments.json (see README "Benchmarks and the perf baseline").
 bench-json:
 	$(GO) run ./cmd/epfis-bench -out BENCH_experiments.json
+
+# Serving-path baseline: handler-level single/cache-hit/cache-miss/batch64/
+# parallel benchmarks written as BENCH_serve.json. Exits non-zero when
+# allocs/op exceed the committed budgets (the CI alloc gate; see README
+# "Performance").
+bench-serve:
+	$(GO) run ./cmd/epfis-bench -suite serve -out BENCH_serve.json
 
 # One-iteration pass over the perf-relevant benchmarks, as run in CI.
 bench-smoke:

@@ -1,6 +1,16 @@
 // Command epfis-bench measures the repository's perf-tracked paths and
-// writes a machine-readable baseline (BENCH_experiments.json, via
-// `make bench-json`):
+// writes machine-readable baselines. It has two suites, selected with
+// -suite:
+//
+// -suite serve (BENCH_serve.json, via `make bench-serve`) measures the
+// estimation service's serving path at the handler level — single estimate,
+// cache hit, cache miss, batch64, and parallel clients — and enforces the
+// committed allocation budgets (-max-allocs-single, -max-allocs-batch64),
+// exiting non-zero on a breach so CI fails on serving-path allocation
+// regressions.
+//
+// -suite experiments (BENCH_experiments.json, via `make bench-json`)
+// measures the experiment engine:
 //
 //   - microbenchmarks of the pooled Mattson simulator against the
 //     fresh-structures legacy path, and of the pooled parallel Measure
@@ -45,15 +55,20 @@ type benchEntry struct {
 }
 
 type suiteReport struct {
-	Experiments                    int     `json:"experiments"`
-	Scale                          int     `json:"scale"`
-	Scans                          int     `json:"scans"`
-	WallSecondsParallel1           float64 `json:"wall_seconds_parallel_1"`
-	WallSecondsParallel4           float64 `json:"wall_seconds_parallel_4"`
-	WallSecondsUncachedBaseline    float64 `json:"wall_seconds_uncached_baseline"`
-	SpeedupParallel4VsSerial       float64 `json:"speedup_parallel_4_vs_serial"`
-	SpeedupEngineVsUncached        float64 `json:"speedup_engine_vs_uncached"`
-	DeterministicAcrossParallelism bool    `json:"deterministic_across_parallelism"`
+	Experiments                 int     `json:"experiments"`
+	Scale                       int     `json:"scale"`
+	Scans                       int     `json:"scans"`
+	NumCPU                      int     `json:"num_cpu"`
+	WallSecondsParallel1        float64 `json:"wall_seconds_parallel_1"`
+	WallSecondsParallel4        float64 `json:"wall_seconds_parallel_4"`
+	WallSecondsUncachedBaseline float64 `json:"wall_seconds_uncached_baseline"`
+	// SpeedupParallel4VsSerial is null on a single-CPU host, where the
+	// parallel-4 run cannot beat serial and a "speedup" figure would be
+	// scheduler noise presented as signal; the Note says why.
+	SpeedupParallel4VsSerial       *float64 `json:"speedup_parallel_4_vs_serial"`
+	SpeedupParallel4VsSerialNote   string   `json:"speedup_parallel_4_vs_serial_note,omitempty"`
+	SpeedupEngineVsUncached        float64  `json:"speedup_engine_vs_uncached"`
+	DeterministicAcrossParallelism bool     `json:"deterministic_across_parallelism"`
 }
 
 type report struct {
@@ -94,11 +109,37 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_experiments.json", "output path for the JSON baseline")
+		suite = flag.String("suite", "experiments", "which suite to run: experiments | serve")
+		out   = flag.String("out", "", "output path for the JSON baseline (default BENCH_<suite>.json)")
 		scale = flag.Int("scale", 25, "dataset scale divisor for the suite runs")
 		scans = flag.Int("scans", 20, "scans per error sweep in the suite runs")
+
+		maxAllocsSingle = flag.Int64("max-allocs-single", 8,
+			"serve suite: fail when serve/single exceeds this allocs/op")
+		maxAllocsBatch64 = flag.Int64("max-allocs-batch64", 64,
+			"serve suite: fail when serve/batch64 exceeds this allocs/op")
 	)
 	flag.Parse()
+
+	switch *suite {
+	case "serve":
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		if !runServeSuite(*out, allocBudgets{
+			SingleAllocsPerOpMax:  *maxAllocsSingle,
+			Batch64AllocsPerOpMax: *maxAllocsBatch64,
+		}) {
+			os.Exit(1)
+		}
+		return
+	case "experiments":
+		if *out == "" {
+			*out = "BENCH_experiments.json"
+		}
+	default:
+		fatalf("unknown -suite %q (want experiments or serve)", *suite)
+	}
 
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -182,7 +223,7 @@ func main() {
 	// uncached per-experiment baseline. Rendered bytes from the two engine
 	// runs feed the determinism bit. ---
 	exps := experiment.Registry()
-	rep.Suite = suiteReport{Experiments: len(exps), Scale: *scale, Scans: *scans}
+	rep.Suite = suiteReport{Experiments: len(exps), Scale: *scale, Scans: *scans, NumCPU: rep.NumCPU}
 	runSuite := func(parallel int) (float64, [][]byte) {
 		experiment.ClearSharedCache()
 		defer experiment.ClearSharedCache()
@@ -224,7 +265,12 @@ func main() {
 	experiment.ClearSharedCache()
 	rep.Suite.WallSecondsUncachedBaseline = time.Since(start).Seconds()
 
-	rep.Suite.SpeedupParallel4VsSerial = rep.Suite.WallSecondsParallel1 / rep.Suite.WallSecondsParallel4
+	if rep.NumCPU > 1 {
+		speedup := rep.Suite.WallSecondsParallel1 / rep.Suite.WallSecondsParallel4
+		rep.Suite.SpeedupParallel4VsSerial = &speedup
+	} else {
+		rep.Suite.SpeedupParallel4VsSerialNote = "n/a: single-CPU host, parallel-4 cannot beat serial"
+	}
 	rep.Suite.SpeedupEngineVsUncached = rep.Suite.WallSecondsUncachedBaseline / rep.Suite.WallSecondsParallel1
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -243,8 +289,12 @@ func main() {
 	s := rep.Suite
 	fmt.Printf("  suite (%d experiments, scale=%d, scans=%d): parallel1=%.2fs parallel4=%.2fs uncached=%.2fs\n",
 		s.Experiments, s.Scale, s.Scans, s.WallSecondsParallel1, s.WallSecondsParallel4, s.WallSecondsUncachedBaseline)
-	fmt.Printf("  speedup: engine-vs-uncached %.2fx, parallel4-vs-serial %.2fx (num_cpu=%d), deterministic=%v\n",
-		s.SpeedupEngineVsUncached, s.SpeedupParallel4VsSerial, rep.NumCPU, s.DeterministicAcrossParallelism)
+	p4 := "n/a"
+	if s.SpeedupParallel4VsSerial != nil {
+		p4 = fmt.Sprintf("%.2fx", *s.SpeedupParallel4VsSerial)
+	}
+	fmt.Printf("  speedup: engine-vs-uncached %.2fx, parallel4-vs-serial %s (num_cpu=%d), deterministic=%v\n",
+		s.SpeedupEngineVsUncached, p4, rep.NumCPU, s.DeterministicAcrossParallelism)
 	if !s.DeterministicAcrossParallelism {
 		os.Exit(1)
 	}

@@ -13,7 +13,9 @@
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests. Overload and persistence-failure behaviour is tunable with
 // -max-inflight and -breaker-* (see the README's "Resilience & operations"
-// section), and the EPFIS_FAULTS / EPFIS_FAULT_SEED environment variables
+// section). -pprof-addr serves net/http/pprof on a separate listener for
+// live profiling (off by default; see the README's "Performance" section).
+// The EPFIS_FAULTS / EPFIS_FAULT_SEED environment variables
 // arm deterministic filesystem fault injection for chaos drills:
 //
 //	EPFIS_FAULTS='sync:catalog:3:error' epfis-serve -catalog catalog.json
@@ -24,6 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -52,6 +57,7 @@ func run(args []string) error {
 		timeout  = fs.Duration("timeout", service.DefaultRequestTimeout, "per-request timeout (negative disables)")
 		maxBatch = fs.Int("max-batch", service.DefaultMaxBatch, "maximum inputs per batch request")
 		quiet    = fs.Bool("quiet", false, "suppress lifecycle logging")
+		pprof    = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 
 		maxInflight = fs.Int("max-inflight", service.DefaultMaxInflight,
 			"concurrent requests admitted per route before shedding with 429 (negative disables)")
@@ -114,12 +120,52 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprof != "" {
+		if err := servePprof(ctx, *pprof, logger); err != nil {
+			return err
+		}
+	}
+
 	start := time.Now()
 	if err := srv.Run(ctx, *addr); err != nil {
 		return err
 	}
 	if logger != nil {
 		logger.Printf("stopped after %s", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// servePprof exposes the net/http/pprof endpoints on their own listener —
+// deliberately separate from the service address so profiling stays
+// reachable when admission control is shedding, and so operators can keep it
+// bound to localhost while the API faces the network. Off by default: the
+// profiler is opt-in via -pprof-addr.
+func servePprof(ctx context.Context, addr string, logger *log.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof-addr: %w", err)
+	}
+	// An explicit mux, not http.DefaultServeMux: nothing else in the process
+	// registers handlers implicitly.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && logger != nil {
+			logger.Printf("pprof server: %v", err)
+		}
+	}()
+	if logger != nil {
+		logger.Printf("pprof listening on http://%s/debug/pprof/", ln.Addr())
 	}
 	return nil
 }

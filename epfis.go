@@ -111,6 +111,10 @@ type (
 	IndexStats = stats.IndexStats
 	// Catalog stores IndexStats entries and round-trips to JSON.
 	Catalog = stats.Catalog
+	// CompiledEstimator is an IndexStats pre-validated and flattened for the
+	// estimation hot path: EstimateInto computes Est-IO without allocating,
+	// bit-identical to EstimateDetailed.
+	CompiledEstimator = core.CompiledEstimator
 )
 
 // Synthetic data generation.
@@ -188,6 +192,15 @@ func Estimate(st *IndexStats, bufferPages int64, sigma, s float64) (float64, err
 // (PF_B, the Equation-1 correction, the sargable urn factor).
 func EstimateDetailed(st *IndexStats, in Input, opts Options) (Detail, error) {
 	return core.EstIO(st, in, opts)
+}
+
+// Compile pre-validates and flattens a catalog entry into a
+// CompiledEstimator. Build it once per index (the estimation service does
+// this per catalog snapshot) and call EstimateInto per candidate plan: the
+// per-call path allocates nothing and returns the same results, bit for bit,
+// as EstimateDetailed.
+func Compile(st *IndexStats, opts Options) (*CompiledEstimator, error) {
+	return core.Compile(st, opts)
 }
 
 // NewCatalog returns an empty statistics catalog.

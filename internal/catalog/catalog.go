@@ -39,6 +39,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"epfis/internal/core"
 	"epfis/internal/curvefit"
 	"epfis/internal/faultfs"
 	"epfis/internal/histogram"
@@ -57,9 +58,10 @@ var ErrNotFound = stats.ErrNotFound
 // are safe for concurrent use; the *stats.IndexStats values it returns are
 // shared across snapshots and must not be mutated.
 type Snapshot struct {
-	gen     uint64
-	entries map[string]*stats.IndexStats
-	keys    []string // sorted
+	gen      uint64
+	entries  map[string]*stats.IndexStats
+	compiled map[string]*core.CompiledEstimator // same keys as entries
+	keys     []string                           // sorted
 }
 
 // Generation reports the snapshot's version number. Generations increase by
@@ -93,6 +95,21 @@ func (s *Snapshot) Lookup(key string) (*stats.IndexStats, bool) {
 	return e, ok
 }
 
+// Compiled returns the pre-compiled Est-IO estimator for table.column, built
+// once when the snapshot was published (off the request path). The serving
+// hot path uses this instead of re-validating the raw entry per call. It is a
+// plain map lookup: no locks, no allocation for short keys.
+func (s *Snapshot) Compiled(table, column string) (*core.CompiledEstimator, bool) {
+	ce, ok := s.compiled[table+"."+column]
+	return ce, ok
+}
+
+// CompiledByKey is Compiled by precomputed "table.column" key.
+func (s *Snapshot) CompiledByKey(key string) (*core.CompiledEstimator, bool) {
+	ce, ok := s.compiled[key]
+	return ce, ok
+}
+
 // Catalog materializes the snapshot as a plain stats.Catalog (copying every
 // entry), for interoperation with code written against the non-concurrent
 // type.
@@ -121,7 +138,7 @@ type Store struct {
 // NewStore returns an empty in-memory store (no persistence).
 func NewStore() *Store {
 	st := &Store{fs: faultfs.OS()}
-	st.snap.Store(&Snapshot{entries: map[string]*stats.IndexStats{}})
+	st.snap.Store(newSnapshot(0, map[string]*stats.IndexStats{}, nil))
 	return st
 }
 
@@ -263,11 +280,8 @@ func (st *Store) Save() error {
 // built from entries. Persistence failures abort the commit: the in-memory
 // view and the file never diverge. Callers must hold st.mu.
 func (st *Store) commitLocked(entries map[string]*stats.IndexStats) (uint64, error) {
-	next := &Snapshot{
-		gen:     st.snap.Load().gen + 1,
-		entries: entries,
-		keys:    sortedKeys(entries),
-	}
+	cur := st.snap.Load()
+	next := newSnapshot(cur.gen+1, entries, cur)
 	if st.path != "" {
 		if err := writeAtomicFS(st.fs, st.path, next); err != nil {
 			return 0, err
@@ -284,7 +298,38 @@ func snapshotOf(c *stats.Catalog, gen uint64) *Snapshot {
 			entries[k] = e
 		}
 	}
-	return &Snapshot{gen: gen, entries: entries, keys: sortedKeys(entries)}
+	return newSnapshot(gen, entries, nil)
+}
+
+// newSnapshot assembles a snapshot, compiling an Est-IO estimator for every
+// entry. Compilation happens here — on the writer's (or loader's) path, never
+// on a request path — and entries carried over unchanged from prev (same
+// pointer, thanks to the copy-on-write entry sharing in cloneEntries) reuse
+// prev's compiled estimator instead of recompiling. An entry that fails to
+// compile (impossible for entries that passed validation, but recovery paths
+// are deliberately paranoid) simply has no compiled form; readers fall back
+// to interpreted EstIO for it.
+func newSnapshot(gen uint64, entries map[string]*stats.IndexStats, prev *Snapshot) *Snapshot {
+	s := &Snapshot{
+		gen:      gen,
+		entries:  entries,
+		compiled: make(map[string]*core.CompiledEstimator, len(entries)),
+		keys:     sortedKeys(entries),
+	}
+	for k, e := range entries {
+		if prev != nil {
+			if pe, ok := prev.entries[k]; ok && pe == e {
+				if ce, ok := prev.compiled[k]; ok {
+					s.compiled[k] = ce
+					continue
+				}
+			}
+		}
+		if ce, err := core.Compile(e, core.Options{}); err == nil {
+			s.compiled[k] = ce
+		}
+	}
+	return s
 }
 
 func cloneEntries(m map[string]*stats.IndexStats) map[string]*stats.IndexStats {

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+
+	"epfis/internal/stats"
+)
+
+// CompiledEstimator is Est-IO resolved against one catalog entry ahead of
+// time: the entry is validated once, its polyline knots are flattened into
+// plain float64 slices, and every per-entry constant of Equation 1 and the
+// urn model (T, N, C, 1−C, 1−1/T) is precomputed. The hot call is then a
+// branch-light interpolation plus a handful of float operations, with no
+// allocation and no per-call validation of the statistics — exactly what an
+// optimizer costing thousands of candidate plans per search needs.
+//
+// Compiled estimators are immutable and safe for concurrent use. EstimateInto
+// is bit-identical to EstIO over the same entry and options: every
+// intermediate term is computed by the same floating-point expression in the
+// same order (see TestCompiledMatchesEstIOBitForBit and the equivalence
+// fuzz target).
+type CompiledEstimator struct {
+	xs, ys []float64 // polyline knots, flat; len >= 2, xs strictly increasing
+
+	t, n      float64 // float T (pages) and N (records)
+	c         float64 // clustering factor
+	oneMinusC float64 // 1 - C, shared by Equation 1 and the urn model
+	powBase   float64 // 1 - 1/T, the Cardenas base
+
+	phiUsesMax        bool
+	disableCorrection bool
+}
+
+// Compile validates the entry once and resolves it (with opts) into a
+// CompiledEstimator. The entry's slices are copied, so the caller may mutate
+// or drop the entry afterwards.
+func Compile(st *stats.IndexStats, opts Options) (*CompiledEstimator, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	knots := st.Curve.Knots
+	ce := &CompiledEstimator{
+		xs:                make([]float64, len(knots)),
+		ys:                make([]float64, len(knots)),
+		t:                 float64(st.T),
+		n:                 float64(st.N),
+		c:                 st.C,
+		oneMinusC:         1 - st.C,
+		phiUsesMax:        opts.PhiUsesMax,
+		disableCorrection: opts.DisableCorrection,
+	}
+	ce.powBase = 1 - 1/ce.t
+	for i, k := range knots {
+		ce.xs[i] = k.X
+		ce.ys[i] = k.Y
+	}
+	return ce, nil
+}
+
+// EstimateInto runs Est-IO against the compiled entry, writing the full
+// result into out. It performs no allocation: invalid inputs return the bare
+// typed sentinels (ErrBadBuffer, ErrBadSigma, ErrBadSarg) without wrapping,
+// and out is fully overwritten on every call (including error returns, where
+// it is zeroed).
+func (ce *CompiledEstimator) EstimateInto(out *Estimate, in Input) error {
+	*out = Estimate{}
+	if in.B < 1 {
+		return ErrBadBuffer
+	}
+	if !(in.Sigma >= 0 && in.Sigma <= 1) { // negated form also rejects NaN
+		return ErrBadSigma
+	}
+	if !(in.S > 0 && in.S <= 1) {
+		return ErrBadSarg
+	}
+	s := in.S
+	if in.Sigma == 0 {
+		out.SargableFactor = 1
+		return nil
+	}
+
+	t := ce.t
+	n := ce.n
+	sigma := in.Sigma
+
+	// Step 4: PF_B from the stored segment approximation, clamped to the
+	// physical bounds of a full scan: T <= F <= N.
+	out.PFB = clamp(ce.eval(float64(in.B)), t, n)
+
+	// Step 5: scale down by sigma.
+	out.Base = sigma * out.PFB
+
+	// Step 6: heuristic correction for small sigma (Equation 1).
+	if ce.phiUsesMax {
+		out.Phi = math.Max(1, float64(in.B)/t)
+	} else {
+		out.Phi = math.Min(1, float64(in.B)/t)
+	}
+	if out.Phi >= 3*sigma {
+		out.Nu = 1
+	}
+	if out.Nu == 1 && !ce.disableCorrection {
+		cardenas := t * (1 - math.Pow(ce.powBase, sigma*n))
+		out.Correction = math.Min(1, out.Phi/(6*sigma)) * ce.oneMinusC * cardenas
+	}
+	f := out.Base + float64(out.Nu)*out.Correction
+
+	// Step 7: index-sargable predicate reduction via the urn model.
+	out.SargableFactor = 1
+	if s < 1 {
+		q := ce.c*sigma*t + ce.oneMinusC*math.Min(t, sigma*n)
+		k := s * sigma * n
+		if q >= 1 {
+			out.SargableFactor = 1 - math.Pow(1-1/q, k)
+		}
+		f *= out.SargableFactor
+	}
+
+	out.F = clamp(f, 0, s*sigma*n)
+	return nil
+}
+
+// Estimate is EstimateInto returning the result by value.
+func (ce *CompiledEstimator) Estimate(in Input) (Estimate, error) {
+	var out Estimate
+	err := ce.EstimateInto(&out, in)
+	return out, err
+}
+
+// EstimateFetches is the one-line convenience over EstimateInto.
+func (ce *CompiledEstimator) EstimateFetches(b int64, sigma, s float64) (float64, error) {
+	var out Estimate
+	if err := ce.EstimateInto(&out, Input{B: b, Sigma: sigma, S: s}); err != nil {
+		return 0, err
+	}
+	return out.F, nil
+}
+
+// Pages reports the compiled entry's T (data pages), for callers that sanity-
+// check buffer sizes against table size without re-fetching the entry.
+func (ce *CompiledEstimator) Pages() int64 { return int64(ce.t) }
+
+// eval is curvefit.PolyLine.Eval over the flattened knots: interpolation
+// between knots, linear extrapolation beyond the ends. The arithmetic —
+// including the binary search's probe order — mirrors the PolyLine
+// implementation exactly so results stay bit-identical.
+func (ce *CompiledEstimator) eval(x float64) float64 {
+	xs, ys := ce.xs, ce.ys
+	last := len(xs) - 1
+	if x <= xs[0] {
+		return lerpFlat(xs[0], ys[0], xs[1], ys[1], x)
+	}
+	if x >= xs[last] {
+		return lerpFlat(xs[last-1], ys[last-1], xs[last], ys[last], x)
+	}
+	// sort.Search for the first knot with X >= x, inlined.
+	i, j := 0, len(xs)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if !(xs[h] >= x) {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return lerpFlat(xs[i-1], ys[i-1], xs[i], ys[i], x)
+}
+
+func lerpFlat(ax, ay, bx, by, x float64) float64 {
+	if bx == ax {
+		return ay
+	}
+	t := (x - ax) / (bx - ax)
+	return ay + t*(by-ay)
+}

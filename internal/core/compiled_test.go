@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"epfis/internal/curvefit"
+	"epfis/internal/lrusim"
+	"epfis/internal/stats"
+	"epfis/internal/storage"
+)
+
+// randomStats builds a random but always-valid IndexStats from rng, covering
+// tiny and large tables, clustered and unclustered factors, and curves from 2
+// to 10 knots (including N < T heaps, where the FMin consistency check is
+// vacuous).
+func randomStats(rng *rand.Rand) *stats.IndexStats {
+	t := 1 + rng.Int63n(1_000_000)
+	var n int64
+	if rng.Intn(8) == 0 {
+		n = 1 + rng.Int63n(t) // fewer records than pages
+	} else {
+		n = t + rng.Int63n(40*t+1)
+	}
+	i := 1 + rng.Int63n(n)
+	bmin := 1 + rng.Int63n(t)
+	bmax := bmin + rng.Int63n(t+1)
+
+	knots := 2 + rng.Intn(9)
+	pts := make([]curvefit.Point, knots)
+	x := float64(bmin)
+	y := float64(n) * (0.5 + rng.Float64())
+	for k := range pts {
+		pts[k] = curvefit.Point{X: x, Y: y}
+		x += 1 + rng.Float64()*float64(bmax-bmin+1)
+		y -= rng.Float64() * y / 2 // monotone-ish decreasing, stays positive
+	}
+
+	fmin := t + rng.Int63n(n+1)
+	if n < t {
+		fmin = rng.Int63n(n + 1) // FMin check only binds when N >= T
+	}
+	return &stats.IndexStats{
+		Table:       "t",
+		Column:      "c",
+		T:           t,
+		N:           n,
+		I:           i,
+		BMin:        bmin,
+		BMax:        bmax,
+		FMin:        fmin,
+		C:           rng.Float64(),
+		Curve:       curvefit.PolyLine{Knots: pts},
+		GridPoints:  knots,
+		CollectedAt: time.Unix(0, 0).UTC(),
+	}
+}
+
+// assertBitIdentical compares every field of two estimates at the bit level.
+func assertBitIdentical(t *testing.T, want, got Estimate, ctx string) {
+	t.Helper()
+	fields := []struct {
+		name string
+		w, g float64
+	}{
+		{"F", want.F, got.F},
+		{"PFB", want.PFB, got.PFB},
+		{"Base", want.Base, got.Base},
+		{"Phi", want.Phi, got.Phi},
+		{"Correction", want.Correction, got.Correction},
+		{"SargableFactor", want.SargableFactor, got.SargableFactor},
+	}
+	for _, f := range fields {
+		if math.Float64bits(f.w) != math.Float64bits(f.g) {
+			t.Errorf("%s: %s = %v (bits %#x) compiled, %v (bits %#x) EstIO",
+				ctx, f.name, f.g, math.Float64bits(f.g), f.w, math.Float64bits(f.w))
+		}
+	}
+	if want.Nu != got.Nu {
+		t.Errorf("%s: Nu = %d compiled, %d EstIO", ctx, got.Nu, want.Nu)
+	}
+}
+
+// compareAcrossInputs checks EstIO and the compiled estimator agree bit for
+// bit (results and error identity) over a grid of inputs spanning the valid
+// domain, its edges, and invalid values.
+func compareAcrossInputs(t *testing.T, st *stats.IndexStats, opts Options, rng *rand.Rand) {
+	t.Helper()
+	ce, err := Compile(st, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	bs := []int64{0, 1, 2, st.BMin - 1, st.BMin, (st.BMin + st.BMax) / 2, st.BMax, st.BMax + 17, st.T, 4 * st.T, 1 << 40}
+	sigmas := []float64{-0.5, 0, 1e-9, 0.001, 0.3, 0.999, 1, 1.5, math.NaN(), math.Inf(1)}
+	sargs := []float64{0, 1e-6, 0.25, 0.999, 1, 2, math.NaN()}
+	for i := 0; i < 6; i++ {
+		bs = append(bs, 1+rng.Int63n(2*st.BMax))
+		sigmas = append(sigmas, rng.Float64())
+		sargs = append(sargs, math.Nextafter(0, 1)+rng.Float64())
+	}
+	for _, b := range bs {
+		for _, sigma := range sigmas {
+			for _, s := range sargs {
+				in := Input{B: b, Sigma: sigma, S: s}
+				want, wantErr := EstIO(st, in, opts)
+				var got Estimate
+				gotErr := ce.EstimateInto(&got, in)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("B=%d sigma=%v s=%v: EstIO err %v, compiled err %v", b, sigma, s, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					// Same typed sentinel, even though EstIO wraps with context.
+					for _, sentinel := range []error{ErrBadBuffer, ErrBadSigma, ErrBadSarg} {
+						if errors.Is(wantErr, sentinel) != errors.Is(gotErr, sentinel) {
+							t.Fatalf("B=%d sigma=%v s=%v: EstIO err %v, compiled err %v disagree on %v",
+								b, sigma, s, wantErr, gotErr, sentinel)
+						}
+					}
+					if got != (Estimate{}) {
+						t.Fatalf("B=%d sigma=%v s=%v: compiled left residue %+v on error", b, sigma, s, got)
+					}
+					continue
+				}
+				assertBitIdentical(t, want, got, "inputs")
+			}
+		}
+	}
+}
+
+func TestCompiledMatchesEstIOBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		st := randomStats(rng)
+		opts := Options{}
+		switch trial % 4 {
+		case 1:
+			opts.PhiUsesMax = true
+		case 2:
+			opts.DisableCorrection = true
+		case 3:
+			opts.PhiUsesMax = true
+			opts.DisableCorrection = true
+		}
+		compareAcrossInputs(t, st, opts, rng)
+	}
+}
+
+// TestCompiledMatchesRealFit runs the equivalence against statistics produced
+// by the real LRU-Fit pipeline rather than synthetic-random entries.
+func TestCompiledMatchesRealFit(t *testing.T) {
+	tr := make(lrusim.Trace, 0, 6000)
+	state := uint64(7)
+	for len(tr) < cap(tr) {
+		state = state*6364136223846793005 + 1442695040888963407
+		tr = append(tr, storage.PageID((state>>33)%600))
+	}
+	st, err := LRUFit(tr, Meta{Table: "t", Column: "c", T: 600, N: int64(len(tr)), I: 300}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareAcrossInputs(t, st, Options{}, rand.New(rand.NewSource(2)))
+}
+
+// TestCompileRejectsInvalidStats mirrors EstIO's per-call validation.
+func TestCompileRejectsInvalidStats(t *testing.T) {
+	st := randomStats(rand.New(rand.NewSource(3)))
+	st.T = 0
+	if _, err := Compile(st, Options{}); err == nil {
+		t.Fatal("Compile accepted T = 0")
+	}
+}
+
+// TestEstimateIntoAllocates proves the hot call is allocation-free on both
+// the success and the error path.
+func TestEstimateIntoAllocates(t *testing.T) {
+	st := randomStats(rand.New(rand.NewSource(4)))
+	ce, err := Compile(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Estimate
+	if n := testing.AllocsPerRun(200, func() {
+		if err := ce.EstimateInto(&out, Input{B: st.BMin + 3, Sigma: 0.25, S: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("EstimateInto success path allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := ce.EstimateInto(&out, Input{B: 0, Sigma: 0.25, S: 0.5}); err == nil {
+			t.Fatal("no error for B = 0")
+		}
+	}); n != 0 {
+		t.Errorf("EstimateInto error path allocates %v/op, want 0", n)
+	}
+}
+
+// FuzzCompiledEquivalence derives an entry and one input from the fuzz
+// corpus and requires EstIO and the compiled estimator to agree bit for bit.
+func FuzzCompiledEquivalence(f *testing.F) {
+	f.Add(int64(1), int64(100), uint16(3), int64(50), 0.1, 0.5)
+	f.Add(int64(99), int64(5), uint16(2), int64(1), 1.0, 1.0)
+	f.Add(int64(7), int64(1_000_000), uint16(10), int64(123456), 0.0001, 0.01)
+	f.Fuzz(func(t *testing.T, seed, tPages int64, knots uint16, b int64, sigma, s float64) {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomStats(rng)
+		if tPages > 0 {
+			st.T = 1 + tPages%1_000_000
+			if st.N < st.T {
+				st.FMin = rng.Int63n(st.N + 1)
+			}
+		}
+		if err := st.Validate(); err != nil {
+			t.Skip()
+		}
+		ce, err := Compile(st, Options{})
+		if err != nil {
+			t.Skip()
+		}
+		in := Input{B: b, Sigma: sigma, S: s}
+		want, wantErr := EstIO(st, in, Options{})
+		var got Estimate
+		gotErr := ce.EstimateInto(&got, in)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("EstIO err %v, compiled err %v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		assertBitIdentical(t, want, got, "fuzz")
+	})
+}

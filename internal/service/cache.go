@@ -1,11 +1,8 @@
 package service
 
 import (
-	"container/list"
-	"encoding/binary"
-	"hash/maphash"
 	"math"
-	"sync"
+	"math/bits"
 	"sync/atomic"
 
 	"epfis/internal/core"
@@ -14,22 +11,54 @@ import (
 // memoKey identifies one Est-IO computation. The catalog generation is part
 // of the key, so installing or reloading statistics invalidates stale memo
 // entries implicitly — no explicit flush, and a reader racing a reload can
-// never be served an estimate from the wrong statistics version.
+// never be served an estimate from the wrong statistics version. Table and
+// column are kept as separate fields (not concatenated) so building a key on
+// the serving hot path performs no allocation.
 type memoKey struct {
-	index string // "table.column"
-	gen   uint64
-	b     int64
-	sigma float64
-	sarg  float64
+	table  string
+	column string
+	gen    uint64
+	b      int64
+	sigma  float64
+	sarg   float64
 }
 
-// memoCache is a sharded LRU memo for Est-IO results. Optimizers re-cost
-// identical plan shapes constantly (same index, same buffer budget, same
-// selectivity buckets), so even a small memo absorbs most of the estimate
-// traffic; sharding keeps lock hold times negligible under parallel load.
+// memoEntry is one published cache record. Entries are immutable after
+// publication: replacement stores a fresh entry rather than mutating, so a
+// reader holding a pointer always sees a consistent (key, estimate) pair.
+type memoEntry struct {
+	key memoKey
+	est core.Estimate
+}
+
+// memoWindow is the open-addressing probe window: a key may live in any of
+// the memoWindow slots starting at its home index. It doubles as the CLOCK
+// eviction arena — when the window is full, the insert sweeps it once,
+// granting second chances (clearing reference bits) until it finds a victim.
+const memoWindow = 8
+
+// memoCache is a fixed-size open-addressed memo for Est-IO results.
+// Optimizers re-cost identical plan shapes constantly (same index, same
+// buffer budget, same selectivity buckets), so even a small memo absorbs most
+// of the estimate traffic.
+//
+// Unlike the earlier mutex+map+container/list LRU, every slot is a single
+// atomic pointer with an adjacent atomic reference bit:
+//
+//   - get is a hash plus at most memoWindow atomic loads — no locks, no
+//     allocation, and readers never contend with each other;
+//   - put publishes one freshly allocated immutable entry with an atomic
+//     store (the only allocation in the cache, paid on misses);
+//   - eviction is CLOCK (second chance) within the probe window instead of
+//     global LRU — an approximation that costs O(window) atomics instead of
+//     a locked list splice.
+//
+// The table size is fixed at construction (rounded up to a power of two), so
+// the cache can never grow past its configured capacity.
 type memoCache struct {
-	shards [memoShards]memoShard
-	seed   maphash.Seed
+	slots []atomic.Pointer[memoEntry]
+	ref   []atomic.Uint32 // CLOCK reference bits, parallel to slots
+	mask  uint64          // len(slots) - 1
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
@@ -37,90 +66,109 @@ type memoCache struct {
 	invalidations atomic.Uint64 // entries removed by explicit sweeps
 }
 
-const memoShards = 16
-
-type memoShard struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[memoKey]*list.Element
-	lru     *list.List // front = most recently used
-}
-
-type memoEntry struct {
-	key memoKey
-	est core.Estimate
-}
-
-// newMemoCache builds a cache holding ~total entries split evenly across the
-// shards. total < memoShards still gets one entry per shard.
+// newMemoCache builds a cache with at least total slots (rounded up to a
+// power of two, minimum one probe window).
 func newMemoCache(total int) *memoCache {
-	per := total / memoShards
-	if per < 1 {
-		per = 1
+	if total < memoWindow {
+		total = memoWindow
 	}
-	c := &memoCache{seed: maphash.MakeSeed()}
-	for i := range c.shards {
-		c.shards[i].cap = per
-		c.shards[i].entries = make(map[memoKey]*list.Element, per)
-		c.shards[i].lru = list.New()
+	size := 1 << bits.Len(uint(total-1)) // next power of two >= total
+	return &memoCache{
+		slots: make([]atomic.Pointer[memoEntry], size),
+		ref:   make([]atomic.Uint32, size),
+		mask:  uint64(size - 1),
 	}
-	return c
 }
 
-func (c *memoCache) shard(k memoKey) *memoShard {
-	var h maphash.Hash
-	h.SetSeed(c.seed)
-	h.WriteString(k.index)
-	var buf [32]byte
-	binary.LittleEndian.PutUint64(buf[0:], k.gen)
-	binary.LittleEndian.PutUint64(buf[8:], uint64(k.b))
-	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(k.sigma))
-	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(k.sarg))
-	h.Write(buf[:])
-	return &c.shards[h.Sum64()%memoShards]
+// hash is FNV-1a over the key's fields with a final avalanche mix. Inlined
+// byte loops over the two strings keep it allocation-free.
+func (k *memoKey) hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(k.table); i++ {
+		h = (h ^ uint64(k.table[i])) * prime
+	}
+	h = (h ^ '.') * prime
+	for i := 0; i < len(k.column); i++ {
+		h = (h ^ uint64(k.column[i])) * prime
+	}
+	for _, w := range [4]uint64{k.gen, uint64(k.b), math.Float64bits(k.sigma), math.Float64bits(k.sarg)} {
+		h = (h ^ (w & 0xff)) * prime
+		h = (h ^ (w >> 8 & 0xffff)) * prime
+		h = (h ^ (w >> 24)) * prime
+	}
+	// splitmix64-style finalizer so adjacent b values spread across slots.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 func (c *memoCache) get(k memoKey) (core.Estimate, bool) {
-	sh := c.shard(k)
-	sh.mu.Lock()
-	el, ok := sh.entries[k]
-	if ok {
-		sh.lru.MoveToFront(el)
-		est := el.Value.(*memoEntry).est
-		sh.mu.Unlock()
-		c.hits.Add(1)
-		return est, true
+	home := k.hash()
+	for i := uint64(0); i < memoWindow; i++ {
+		slot := (home + i) & c.mask
+		e := c.slots[slot].Load()
+		if e != nil && e.key == k {
+			if c.ref[slot].Load() == 0 {
+				c.ref[slot].Store(1) // second-chance bit for CLOCK
+			}
+			c.hits.Add(1)
+			return e.est, true
+		}
 	}
-	sh.mu.Unlock()
 	c.misses.Add(1)
 	return core.Estimate{}, false
 }
 
 func (c *memoCache) put(k memoKey, est core.Estimate) {
-	sh := c.shard(k)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if el, ok := sh.entries[k]; ok {
-		el.Value.(*memoEntry).est = est
-		sh.lru.MoveToFront(el)
-		return
+	e := &memoEntry{key: k, est: est}
+	home := k.hash()
+	// First pass: take over the key's existing slot, or claim an empty one.
+	for i := uint64(0); i < memoWindow; i++ {
+		slot := (home + i) & c.mask
+		cur := c.slots[slot].Load()
+		if cur != nil && cur.key == k {
+			c.slots[slot].Store(e)
+			c.ref[slot].Store(1)
+			return
+		}
+		if cur == nil && c.slots[slot].CompareAndSwap(nil, e) {
+			c.ref[slot].Store(1)
+			return
+		}
 	}
-	sh.entries[k] = sh.lru.PushFront(&memoEntry{key: k, est: est})
-	if sh.lru.Len() > sh.cap {
-		oldest := sh.lru.Back()
-		sh.lru.Remove(oldest)
-		delete(sh.entries, oldest.Value.(*memoEntry).key)
+	// Window full: CLOCK sweep. Referenced slots get their second chance
+	// (bit cleared); the first unreferenced slot is the victim. If every
+	// slot was referenced, the home slot — now cleared — is overwritten.
+	victim := home & c.mask
+	for i := uint64(0); i < memoWindow; i++ {
+		slot := (home + i) & c.mask
+		if c.ref[slot].Load() != 0 {
+			c.ref[slot].Store(0)
+			continue
+		}
+		victim = slot
+		break
+	}
+	if c.slots[victim].Swap(e) != nil {
 		c.evictions.Add(1)
 	}
+	c.ref[victim].Store(1)
 }
 
-// invalidateIndex removes every memo entry for index, across all
+// invalidateIndex removes every memo entry for table.column, across all
 // generations. Generation keying already makes stale entries unreachable
 // after a delete bumps the generation; this sweep additionally frees them,
 // so a dropped index cannot linger in memory (and a later re-install at a
 // coincidentally reused generation can never alias them).
-func (c *memoCache) invalidateIndex(index string) int {
-	return c.sweep(func(k memoKey) bool { return k.index == index })
+func (c *memoCache) invalidateIndex(table, column string) int {
+	return c.sweep(func(k *memoKey) bool { return k.table == table && k.column == column })
 }
 
 // dropOtherGenerations removes entries whose generation differs from gen —
@@ -128,23 +176,24 @@ func (c *memoCache) invalidateIndex(index string) int {
 // generation gen, every older generation's memo entries are garbage by
 // construction of the (index, generation) key.
 func (c *memoCache) dropOtherGenerations(gen uint64) int {
-	return c.sweep(func(k memoKey) bool { return k.gen != gen })
+	return c.sweep(func(k *memoKey) bool { return k.gen != gen })
 }
 
-// sweep removes entries matching drop, returning how many were removed.
-func (c *memoCache) sweep(drop func(memoKey) bool) int {
+// sweep removes entries matching drop, returning how many were removed. It
+// walks every slot with CAS removal, so it is safe against concurrent reads
+// and inserts (an entry inserted concurrently after its slot was examined
+// simply survives until the next sweep — the generation key keeps it
+// unreachable for readers either way).
+func (c *memoCache) sweep(drop func(*memoKey) bool) int {
 	removed := 0
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		for k, el := range sh.entries {
-			if drop(k) {
-				sh.lru.Remove(el)
-				delete(sh.entries, k)
-				removed++
-			}
+	for i := range c.slots {
+		e := c.slots[i].Load()
+		if e == nil || !drop(&e.key) {
+			continue
 		}
-		sh.mu.Unlock()
+		if c.slots[i].CompareAndSwap(e, nil) {
+			removed++
+		}
 	}
 	if removed > 0 {
 		c.invalidations.Add(uint64(removed))
@@ -152,13 +201,13 @@ func (c *memoCache) sweep(drop func(memoKey) bool) int {
 	return removed
 }
 
-// len reports the live entry count across all shards.
+// len reports the live entry count.
 func (c *memoCache) len() int {
 	n := 0
-	for i := range c.shards {
-		c.shards[i].mu.Lock()
-		n += c.shards[i].lru.Len()
-		c.shards[i].mu.Unlock()
+	for i := range c.slots {
+		if c.slots[i].Load() != nil {
+			n++
+		}
 	}
 	return n
 }

@@ -8,11 +8,9 @@ import (
 	"epfis/internal/core"
 )
 
-func TestMemoCacheHitMissEvict(t *testing.T) {
-	// One entry per shard: the second distinct key in a shard evicts the
-	// first.
-	c := newMemoCache(memoShards)
-	k1 := memoKey{index: "t.a", gen: 1, b: 10, sigma: 0.1, sarg: 1}
+func TestMemoCacheHitMissAndGenerationKeying(t *testing.T) {
+	c := newMemoCache(64)
+	k1 := memoKey{table: "t", column: "a", gen: 1, b: 10, sigma: 0.1, sarg: 1}
 	if _, ok := c.get(k1); ok {
 		t.Fatal("hit on empty cache")
 	}
@@ -27,31 +25,76 @@ func TestMemoCacheHitMissEvict(t *testing.T) {
 	if _, ok := c.get(k2); ok {
 		t.Fatal("generation bump did not miss")
 	}
+	// Replacing a live key keeps exactly one entry.
+	c.put(k1, core.Estimate{F: 43})
+	if got, _ := c.get(k1); got.F != 43 {
+		t.Fatalf("replacement not visible, F = %v", got.F)
+	}
+	if n := c.len(); n != 1 {
+		t.Fatalf("len = %d after same-key replacement, want 1", n)
+	}
+	if c.hits.Load() != 2 || c.misses.Load() != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", c.hits.Load(), c.misses.Load())
+	}
+}
 
-	// Overflowing a shard evicts its least-recently-used entry.
-	c2 := newMemoCache(memoShards) // capacity 1 per shard
-	var sh *memoShard
-	keys := make([]memoKey, 0, 2)
-	for i := 0; len(keys) < 2; i++ {
-		k := memoKey{index: fmt.Sprintf("t.c%d", i), gen: 1, b: 1, sigma: 0.5, sarg: 1}
-		s := c2.shard(k)
-		if sh == nil {
-			sh = s
-		}
-		if s == sh {
-			keys = append(keys, k)
-		}
+// TestMemoCacheClockEviction fills one probe window and checks the CLOCK
+// sweep evicts an unreferenced entry rather than growing.
+func TestMemoCacheClockEviction(t *testing.T) {
+	c := newMemoCache(memoWindow) // table of exactly one window
+	keys := make([]memoKey, memoWindow+1)
+	for i := range keys {
+		keys[i] = memoKey{table: "t", column: fmt.Sprintf("c%d", i), gen: 1, b: 1, sigma: 0.5, sarg: 1}
+		c.put(keys[i], core.Estimate{F: float64(i)})
 	}
-	c2.put(keys[0], core.Estimate{F: 1})
-	c2.put(keys[1], core.Estimate{F: 2})
-	if _, ok := c2.get(keys[0]); ok {
-		t.Fatal("LRU entry survived eviction")
+	if n := c.len(); n > memoWindow {
+		t.Fatalf("cache grew to %d entries, capacity %d", n, memoWindow)
 	}
-	if got, ok := c2.get(keys[1]); !ok || got.F != 2 {
+	if c.evictions.Load() == 0 {
+		t.Fatal("overflow did not evict")
+	}
+	// The newest insert is always resident.
+	last := keys[len(keys)-1]
+	if got, ok := c.get(last); !ok || got.F != float64(memoWindow) {
 		t.Fatalf("newest entry = (%v, %v)", got.F, ok)
 	}
-	if c2.evictions.Load() != 1 {
-		t.Fatalf("evictions = %d", c2.evictions.Load())
+}
+
+// TestMemoCacheSweeps covers the explicit removal paths: per-index
+// invalidation and cross-generation drops.
+func TestMemoCacheSweeps(t *testing.T) {
+	c := newMemoCache(256)
+	put := func(table, column string, gen uint64, b int64) memoKey {
+		k := memoKey{table: table, column: column, gen: gen, b: b, sigma: 0.25, sarg: 1}
+		c.put(k, core.Estimate{F: float64(b)})
+		return k
+	}
+	kOrders1 := put("orders", "key", 1, 10)
+	kOrders2 := put("orders", "key", 2, 10)
+	kLine := put("lineitem", "partkey", 2, 20)
+
+	if n := c.invalidateIndex("orders", "key"); n != 2 {
+		t.Fatalf("invalidateIndex removed %d entries, want 2", n)
+	}
+	if _, ok := c.get(kOrders1); ok {
+		t.Fatal("invalidated entry still served (gen 1)")
+	}
+	if _, ok := c.get(kOrders2); ok {
+		t.Fatal("invalidated entry still served (gen 2)")
+	}
+	if got, ok := c.get(kLine); !ok || got.F != 20 {
+		t.Fatal("unrelated index swept away")
+	}
+
+	put("orders", "key", 1, 30)
+	if n := c.dropOtherGenerations(2); n != 1 {
+		t.Fatalf("dropOtherGenerations removed %d entries, want 1", n)
+	}
+	if got, ok := c.get(kLine); !ok || got.F != 20 {
+		t.Fatal("current-generation entry swept away")
+	}
+	if c.invalidations.Load() != 3 {
+		t.Fatalf("invalidations = %d, want 3", c.invalidations.Load())
 	}
 }
 
@@ -64,14 +107,34 @@ func TestMemoCacheBoundedUnderLoad(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				k := memoKey{index: "orders.key", gen: uint64(g), b: int64(i % 100), sigma: 0.1, sarg: 1}
+				k := memoKey{table: "orders", column: "key", gen: uint64(g), b: int64(i % 100), sigma: 0.1, sarg: 1}
 				c.put(k, core.Estimate{F: float64(i)})
-				c.get(k)
+				if est, ok := c.get(k); ok && est.F != float64(i) {
+					// A concurrent writer may have replaced the same key, but
+					// a hit must never return a (key, value) mismatch.
+					if est.F < 0 || est.F >= 500 {
+						t.Errorf("torn read: F = %v", est.F)
+					}
+				}
 			}
 		}(g)
 	}
 	wg.Wait()
 	if n := c.len(); n > capacity {
 		t.Fatalf("cache grew to %d entries, capacity %d", n, capacity)
+	}
+}
+
+// TestMemoCacheZeroAllocGet proves the read path allocates nothing.
+func TestMemoCacheZeroAllocGet(t *testing.T) {
+	c := newMemoCache(64)
+	k := memoKey{table: "orders", column: "key", gen: 1, b: 10, sigma: 0.1, sarg: 1}
+	c.put(k, core.Estimate{F: 7})
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := c.get(k); !ok {
+			t.Fatal("miss")
+		}
+	}); n != 0 {
+		t.Errorf("get allocates %v/op, want 0", n)
 	}
 }

@@ -347,23 +347,24 @@ func TestDeletedIndexNeverServesCachedEstimates(t *testing.T) {
 }
 
 // TestEstimateHotPathAllocations pins the allocation budget of the memoized
-// estimate path. The single allocation is the memo-key index string
-// (table+"."+column), which predates the resilience layer; admission
-// control, degraded-mode checks, and breaker state must add nothing.
+// estimate path at zero: the memo key is built field-wise (no string
+// concatenation), the result travels by out-pointer, and admission control,
+// degraded-mode checks, and breaker state add nothing.
 func TestEstimateHotPathAllocations(t *testing.T) {
 	srv, store, _ := newTestServer(t)
 	snap := store.Snapshot()
-	req := EstimateRequest{Table: "orders", Column: "key", B: 100, Sigma: 0.05}
-	if _, err := srv.estimate(snap, req); err != nil { // warm the memo
+	in := estimateInput{table: "orders", column: "key", b: 100, sigma: 0.05, s: 1}
+	var res estimateResult
+	if err := srv.estimate(snap, &in, &res); err != nil { // warm the memo
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if _, err := srv.estimate(snap, req); err != nil {
+		if err := srv.estimate(snap, &in, &res); err != nil {
 			t.Fatal(err)
 		}
 	})
-	if allocs > 1 {
-		t.Fatalf("memoized estimate allocates %.1f objects/op, budget is 1", allocs)
+	if allocs != 0 {
+		t.Fatalf("memoized estimate allocates %.1f objects/op, budget is 0", allocs)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -69,28 +70,102 @@ func retryable(code int) bool {
 // Estimate fetches one estimate. The returned response is bit-exact with a
 // direct core.EstimateFetches call against the served generation.
 func (c *Client) Estimate(ctx context.Context, req EstimateRequest) (EstimateResponse, error) {
-	q := url.Values{}
-	q.Set("table", req.Table)
-	q.Set("column", req.Column)
-	q.Set("b", strconv.FormatInt(req.B, 10))
-	q.Set("sigma", strconv.FormatFloat(req.Sigma, 'g', -1, 64))
+	buf := getBuf()
+	defer putBuf(buf)
+	b := append(*buf, "/v1/estimate?table="...)
+	b = appendQueryEscape(b, req.Table)
+	b = append(b, "&column="...)
+	b = appendQueryEscape(b, req.Column)
+	b = append(b, "&b="...)
+	b = strconv.AppendInt(b, req.B, 10)
+	b = append(b, "&sigma="...)
+	b = strconv.AppendFloat(b, req.Sigma, 'g', -1, 64)
 	if req.S != nil {
-		q.Set("s", strconv.FormatFloat(*req.S, 'g', -1, 64))
+		b = append(b, "&s="...)
+		b = strconv.AppendFloat(b, *req.S, 'g', -1, 64)
 	}
 	if req.Detail {
-		q.Set("detail", "1")
+		b = append(b, "&detail=1"...)
 	}
+	*buf = b
 	var out EstimateResponse
-	err := c.do(ctx, http.MethodGet, "/v1/estimate?"+q.Encode(), nil, &out)
+	err := c.do(ctx, http.MethodGet, string(b), nil, &out)
 	return out, err
 }
 
-// EstimateBatch fetches many estimates in one round trip.
+// EstimateBatch fetches many estimates in one round trip. The request body
+// is encoded into a pooled buffer (appendBatchRequest emits the same bytes
+// json.Marshal would), so a load generator issuing batches back to back
+// reuses one buffer instead of re-allocating per call.
 func (c *Client) EstimateBatch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
 	var out BatchResponse
-	err := c.do(ctx, http.MethodPost, "/v1/estimate/batch", req, &out)
+	for i := range req.Requests {
+		r := &req.Requests[i]
+		if badJSONNumber(r.Sigma) || (r.S != nil && badJSONNumber(*r.S)) {
+			return out, fmt.Errorf("service: encode request: unsupported value in request %d", i)
+		}
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+	*buf = appendBatchRequest(*buf, &req)
+	err := c.do(ctx, http.MethodPost, "/v1/estimate/batch", *buf, &out)
 	return out, err
 }
+
+func badJSONNumber(f float64) bool { return math.IsNaN(f) || math.IsInf(f, 0) }
+
+// appendBatchRequest encodes a BatchRequest exactly as encoding/json does
+// (field order, omitempty s and detail), into a caller-owned buffer.
+func appendBatchRequest(dst []byte, req *BatchRequest) []byte {
+	dst = append(dst, `{"requests":`...)
+	if req.Requests == nil {
+		return append(dst, "null}"...)
+	}
+	dst = append(dst, '[')
+	for i := range req.Requests {
+		r := &req.Requests[i]
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"table":`...)
+		dst = appendJSONString(dst, r.Table)
+		dst = append(dst, `,"column":`...)
+		dst = appendJSONString(dst, r.Column)
+		dst = append(dst, `,"b":`...)
+		dst = strconv.AppendInt(dst, r.B, 10)
+		dst = append(dst, `,"sigma":`...)
+		dst = appendJSONFloat(dst, r.Sigma)
+		if r.S != nil {
+			dst = append(dst, `,"s":`...)
+			dst = appendJSONFloat(dst, *r.S)
+		}
+		if r.Detail {
+			dst = append(dst, `,"detail":true`...)
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, "]}"...)
+}
+
+// appendQueryEscape appends url.QueryEscape(s) to dst without intermediate
+// strings.
+func appendQueryEscape(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == '~':
+			dst = append(dst, c)
+		case c == ' ':
+			dst = append(dst, '+')
+		default:
+			dst = append(dst, '%', upperHexDigits[c>>4], upperHexDigits[c&0xF])
+		}
+	}
+	return dst
+}
+
+const upperHexDigits = "0123456789ABCDEF"
 
 // Reload asks the service to re-read its catalog file, returning the new
 // generation.
@@ -110,15 +185,10 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	return out, err
 }
 
-// do runs one JSON request through the retry policy.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body []byte
-	if in != nil {
-		var err error
-		if body, err = json.Marshal(in); err != nil {
-			return fmt.Errorf("service: encode request: %w", err)
-		}
-	}
+// do runs one JSON request through the retry policy. body (may be nil) is a
+// pre-encoded JSON document owned by the caller for the duration of the
+// call; responses are read into a pooled buffer and decoded from it.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
 	return resilience.Retry(ctx, c.retry, func(ctx context.Context) error {
 		var rd io.Reader
 		if body != nil {
@@ -139,12 +209,22 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 		}()
+		// Read the whole response into a pooled buffer: one reusable
+		// allocation across calls instead of a fresh json.Decoder buffer per
+		// response.
+		rbuf := getBuf()
+		defer putBuf(rbuf)
+		raw, err := readBody(resp.Body, *rbuf)
+		*rbuf = raw
+		if err != nil {
+			return fmt.Errorf("service: read response: %w", err)
+		}
 		if resp.StatusCode/100 != 2 {
 			serr := &StatusError{Code: resp.StatusCode}
 			var msg struct {
 				Error string `json:"error"`
 			}
-			if jerr := json.NewDecoder(resp.Body).Decode(&msg); jerr == nil {
+			if jerr := json.Unmarshal(raw, &msg); jerr == nil {
 				serr.Message = msg.Error
 			}
 			if !retryable(resp.StatusCode) {
@@ -158,7 +238,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if out == nil {
 			return nil
 		}
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
 			return resilience.Permanent(fmt.Errorf("service: decode response: %w", err))
 		}
 		return nil

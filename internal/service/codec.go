@@ -1,0 +1,808 @@
+// JSON codec for the two estimate hot paths. GET /v1/estimate and
+// POST /v1/estimate/batch are the routes an optimizer hammers at plan-search
+// QPS, so they do not go through encoding/json (whose reflection walk and
+// per-request garbage dominated the serving profile). Instead:
+//
+//   - responses are appended into pooled []byte buffers with strconv
+//     (appendEstimateResponse / the batch assembly in service.go), emitting
+//     byte-for-byte the same JSON encoding/json produced — same field order,
+//     same float formatting (the ES6 shortest form with json's exponent
+//     cutoffs), same HTML-escaped strings, same trailing newline — proven by
+//     the equivalence and golden tests in codec_test.go;
+//
+//   - batch request bodies are parsed by a minimal scanner specialized to the
+//     BatchRequest shape (decodeBatchBody), reading into pooled scratch
+//     structures: item fields become substrings of one body string, so a
+//     64-item batch costs one body-string allocation instead of hundreds of
+//     reflection-driven ones. Unknown fields are rejected exactly like the
+//     old DisallowUnknownFields decoder;
+//
+//   - single-estimate query strings are parsed straight off URL.RawQuery
+//     (parseEstimateQuery) without materializing url.Values: zero
+//     allocations, plus the hardening the old parser lacked — duplicated
+//     parameters are rejected, and NaN/±Inf sigma or s values are refused
+//     with the core package's typed sentinels before they reach Est-IO.
+//
+// Cold routes (catalog management, health, metrics, error bodies) still use
+// encoding/json; correctness there matters and nanoseconds do not.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"epfis/internal/core"
+)
+
+// estimateInput is the decoded form of one estimate request on the serving
+// hot path. Unlike the wire-facing EstimateRequest it stores the sargable
+// selectivity by value (absent = 1, exactly the old S-pointer semantics
+// resolved at parse time), so decoding performs no pointer allocation.
+type estimateInput struct {
+	table  string
+	column string
+	b      int64
+	sigma  float64
+	s      float64
+	detail bool
+}
+
+// estimateResult is the computed half of a response.
+type estimateResult struct {
+	est    core.Estimate
+	gen    uint64
+	cached bool
+}
+
+// --- pooled buffers ---------------------------------------------------------
+
+// maxPooledBuf bounds what goes back into the pools, so one huge batch does
+// not pin megabytes of scratch forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// batchScratch aggregates every reusable piece of batch handling: the body
+// read buffer, the decoded items, and the two response assembly buffers.
+type batchScratch struct {
+	body  []byte
+	reqs  []estimateInput
+	items []byte
+	out   []byte
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func getBatchScratch() *batchScratch { return batchPool.Get().(*batchScratch) }
+
+func putBatchScratch(s *batchScratch) {
+	if cap(s.body) > maxPooledBuf || cap(s.items) > maxPooledBuf || cap(s.out) > maxPooledBuf {
+		return
+	}
+	s.body = s.body[:0]
+	s.reqs = s.reqs[:0]
+	s.items = s.items[:0]
+	s.out = s.out[:0]
+	batchPool.Put(s)
+}
+
+// readBody drains the request body (already wrapped by MaxBytesReader) into
+// the scratch buffer, reusing its capacity across requests.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// --- response encoding ------------------------------------------------------
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, replicating
+// encoding/json's encoder with HTML escaping enabled (the writeJSON default):
+// control characters, quotes, backslashes, <, >, &, U+2028/U+2029, and
+// invalid UTF-8 are escaped identically.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == ' ' || c == ' ' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	dst = append(dst, '"')
+	return dst
+}
+
+// appendJSONFloat appends f with encoding/json's exact formatting: shortest
+// round-trip form, 'f' notation except below 1e-6 / at or above 1e21, and
+// the e-09 → e-9 exponent cleanup.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+func appendJSONBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendEstimateDetail appends the core.Estimate document (the detail=1
+// payload), matching encoding/json's field order for the untagged struct.
+func appendEstimateDetail(dst []byte, est *core.Estimate) []byte {
+	dst = append(dst, `{"F":`...)
+	dst = appendJSONFloat(dst, est.F)
+	dst = append(dst, `,"PFB":`...)
+	dst = appendJSONFloat(dst, est.PFB)
+	dst = append(dst, `,"Base":`...)
+	dst = appendJSONFloat(dst, est.Base)
+	dst = append(dst, `,"Phi":`...)
+	dst = appendJSONFloat(dst, est.Phi)
+	dst = append(dst, `,"Nu":`...)
+	dst = strconv.AppendInt(dst, int64(est.Nu), 10)
+	dst = append(dst, `,"Correction":`...)
+	dst = appendJSONFloat(dst, est.Correction)
+	dst = append(dst, `,"SargableFactor":`...)
+	dst = appendJSONFloat(dst, est.SargableFactor)
+	return append(dst, '}')
+}
+
+// appendEstimateResponse appends one EstimateResponse document — the exact
+// bytes encoding/json produces for the struct, without the struct.
+func appendEstimateResponse(dst []byte, in *estimateInput, res *estimateResult) []byte {
+	dst = append(dst, `{"table":`...)
+	dst = appendJSONString(dst, in.table)
+	dst = append(dst, `,"column":`...)
+	dst = appendJSONString(dst, in.column)
+	dst = append(dst, `,"b":`...)
+	dst = strconv.AppendInt(dst, in.b, 10)
+	dst = append(dst, `,"sigma":`...)
+	dst = appendJSONFloat(dst, in.sigma)
+	dst = append(dst, `,"s":`...)
+	dst = appendJSONFloat(dst, in.s)
+	dst = append(dst, `,"fetches":`...)
+	dst = appendJSONFloat(dst, res.est.F)
+	dst = append(dst, `,"generation":`...)
+	dst = strconv.AppendUint(dst, res.gen, 10)
+	dst = append(dst, `,"cached":`...)
+	dst = appendJSONBool(dst, res.cached)
+	if in.detail {
+		dst = append(dst, `,"detail":`...)
+		dst = appendEstimateDetail(dst, &res.est)
+	}
+	return append(dst, '}')
+}
+
+// appendBatchItemError appends one failed BatchItem document.
+func appendBatchItemError(dst []byte, msg string, status int) []byte {
+	dst = append(dst, `{"error":`...)
+	dst = appendJSONString(dst, msg)
+	dst = append(dst, `,"status":`...)
+	dst = strconv.AppendInt(dst, int64(status), 10)
+	return append(dst, '}')
+}
+
+// writeResponseBytes mirrors writeJSON's header sequence with a
+// pre-assembled body (the buffer already carries the trailing newline the
+// old json.Encoder appended).
+func writeResponseBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// --- query-string parsing ---------------------------------------------------
+
+var (
+	errMissingTableColumn = errors.New("query parameters table and column are required")
+)
+
+// needsUnescape reports whether a query component contains percent escapes
+// or '+' (space) and therefore cannot be used as a raw substring.
+func needsUnescape(s string) bool {
+	return strings.IndexByte(s, '%') >= 0 || strings.IndexByte(s, '+') >= 0
+}
+
+// parseEstimateQuery decodes GET /v1/estimate parameters straight off
+// URL.RawQuery into out. The common case — unescaped parameters — allocates
+// nothing: values are substrings of the raw query. Semantics match the old
+// url.Values-based parser (pairs with semicolons or broken escapes are
+// dropped, unknown parameters are ignored), with two hardenings on top:
+// a parameter supplied more than once is a 400, and NaN/±Inf sigma or s are
+// rejected here with the core typed sentinels instead of flowing onward.
+func parseEstimateQuery(r *http.Request, out *estimateInput) error {
+	*out = estimateInput{s: 1}
+	const (
+		seenTable = 1 << iota
+		seenColumn
+		seenB
+		seenSigma
+		seenS
+		seenDetail
+	)
+	var seen uint8
+	var rawB, rawSigma, rawS, rawDetail string
+
+	query := r.URL.RawQuery
+	for len(query) > 0 {
+		pair := query
+		if i := strings.IndexByte(query, '&'); i >= 0 {
+			pair, query = query[:i], query[i+1:]
+		} else {
+			query = ""
+		}
+		if pair == "" || strings.IndexByte(pair, ';') >= 0 {
+			continue // url.Values drops semicolon pairs; so do we
+		}
+		key, val := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			key, val = pair[:i], pair[i+1:]
+		}
+		if needsUnescape(key) {
+			k, err := unescapeQuery(key)
+			if err != nil {
+				continue // url.Values drops undecodable pairs
+			}
+			key = k
+		}
+		var bit uint8
+		switch key {
+		case "table":
+			bit = seenTable
+		case "column":
+			bit = seenColumn
+		case "b":
+			bit = seenB
+		case "sigma":
+			bit = seenSigma
+		case "s":
+			bit = seenS
+		case "detail":
+			bit = seenDetail
+		default:
+			continue // unknown parameters stay ignored
+		}
+		if seen&bit != 0 {
+			return fmt.Errorf("query parameter %s supplied more than once", key)
+		}
+		seen |= bit
+		if needsUnescape(val) {
+			v, err := unescapeQuery(val)
+			if err != nil {
+				seen &^= bit
+				continue
+			}
+			val = v
+		}
+		switch bit {
+		case seenTable:
+			out.table = val
+		case seenColumn:
+			out.column = val
+		case seenB:
+			rawB = val
+		case seenSigma:
+			rawSigma = val
+		case seenS:
+			rawS = val
+		case seenDetail:
+			rawDetail = val
+		}
+	}
+
+	// Fixed validation order, matching the old parser: identity, b, sigma,
+	// s, detail.
+	if out.table == "" || out.column == "" {
+		return errMissingTableColumn
+	}
+	var err error
+	if out.b, err = strconv.ParseInt(rawB, 10, 64); err != nil {
+		return fmt.Errorf("query parameter b: %w", err)
+	}
+	if out.sigma, err = strconv.ParseFloat(rawSigma, 64); err != nil {
+		return fmt.Errorf("query parameter sigma: %w", err)
+	}
+	if math.IsNaN(out.sigma) || math.IsInf(out.sigma, 0) {
+		return core.ErrBadSigma
+	}
+	if rawS != "" {
+		if out.s, err = strconv.ParseFloat(rawS, 64); err != nil {
+			return fmt.Errorf("query parameter s: %w", err)
+		}
+		if math.IsNaN(out.s) || math.IsInf(out.s, 0) {
+			return core.ErrBadSarg
+		}
+	}
+	if rawDetail != "" {
+		if out.detail, err = strconv.ParseBool(rawDetail); err != nil {
+			return fmt.Errorf("query parameter detail: %w", err)
+		}
+	}
+	return nil
+}
+
+// unescapeQuery is url.QueryUnescape for the rare escaped component.
+func unescapeQuery(s string) (string, error) {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '+':
+			b.WriteByte(' ')
+		case '%':
+			if i+2 >= len(s) {
+				return "", errors.New("invalid URL escape")
+			}
+			hi, ok1 := unhex(s[i+1])
+			lo, ok2 := unhex(s[i+2])
+			if !ok1 || !ok2 {
+				return "", errors.New("invalid URL escape")
+			}
+			b.WriteByte(hi<<4 | lo)
+			i += 2
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String(), nil
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// --- batch body decoding ----------------------------------------------------
+
+// jsonScanner is a minimal JSON reader over one string. It understands
+// exactly the BatchRequest grammar; strings without escapes and all number
+// tokens come back as substrings of the input, so decoding a batch costs one
+// string conversion for the whole body rather than per-field allocations.
+type jsonScanner struct {
+	s string
+	i int
+}
+
+func (sc *jsonScanner) skipSpace() {
+	for sc.i < len(sc.s) {
+		switch sc.s[sc.i] {
+		case ' ', '\t', '\n', '\r':
+			sc.i++
+		default:
+			return
+		}
+	}
+}
+
+func (sc *jsonScanner) expect(c byte) error {
+	sc.skipSpace()
+	if sc.i >= len(sc.s) || sc.s[sc.i] != c {
+		return fmt.Errorf("invalid batch JSON: expected %q at offset %d", c, sc.i)
+	}
+	sc.i++
+	return nil
+}
+
+// peek returns the next non-space byte without consuming it (0 at EOF).
+func (sc *jsonScanner) peek() byte {
+	sc.skipSpace()
+	if sc.i >= len(sc.s) {
+		return 0
+	}
+	return sc.s[sc.i]
+}
+
+// literal consumes the given keyword (true/false/null).
+func (sc *jsonScanner) literal(word string) error {
+	sc.skipSpace()
+	if !strings.HasPrefix(sc.s[sc.i:], word) {
+		return fmt.Errorf("invalid batch JSON: expected %q at offset %d", word, sc.i)
+	}
+	sc.i += len(word)
+	return nil
+}
+
+// str reads a JSON string. The no-escape fast path returns a substring; the
+// escape path decodes into a fresh string (rare for identifier-like values).
+func (sc *jsonScanner) str() (string, error) {
+	if err := sc.expect('"'); err != nil {
+		return "", err
+	}
+	start := sc.i
+	for sc.i < len(sc.s) {
+		switch sc.s[sc.i] {
+		case '"':
+			out := sc.s[start:sc.i]
+			sc.i++
+			return out, nil
+		case '\\':
+			return sc.strSlow(start)
+		default:
+			sc.i++
+		}
+	}
+	return "", errors.New("invalid batch JSON: unterminated string")
+}
+
+// strSlow finishes reading a string that contains at least one escape.
+func (sc *jsonScanner) strSlow(start int) (string, error) {
+	var b strings.Builder
+	b.WriteString(sc.s[start:sc.i])
+	for sc.i < len(sc.s) {
+		c := sc.s[sc.i]
+		switch {
+		case c == '"':
+			sc.i++
+			return b.String(), nil
+		case c == '\\':
+			sc.i++
+			if sc.i >= len(sc.s) {
+				return "", errors.New("invalid batch JSON: truncated escape")
+			}
+			switch e := sc.s[sc.i]; e {
+			case '"', '\\', '/':
+				b.WriteByte(e)
+				sc.i++
+			case 'b':
+				b.WriteByte('\b')
+				sc.i++
+			case 'f':
+				b.WriteByte('\f')
+				sc.i++
+			case 'n':
+				b.WriteByte('\n')
+				sc.i++
+			case 'r':
+				b.WriteByte('\r')
+				sc.i++
+			case 't':
+				b.WriteByte('\t')
+				sc.i++
+			case 'u':
+				r, err := sc.unicodeEscape()
+				if err != nil {
+					return "", err
+				}
+				b.WriteRune(r)
+			default:
+				return "", fmt.Errorf("invalid batch JSON: bad escape \\%c", e)
+			}
+		case c < 0x20:
+			return "", errors.New("invalid batch JSON: control character in string")
+		default:
+			r, size := utf8.DecodeRuneInString(sc.s[sc.i:])
+			b.WriteRune(r) // invalid UTF-8 becomes U+FFFD, as encoding/json does
+			sc.i += size
+		}
+	}
+	return "", errors.New("invalid batch JSON: unterminated string")
+}
+
+// unicodeEscape reads the XXXX of a \uXXXX escape (the backslash and 'u' are
+// already consumed), combining surrogate pairs like encoding/json.
+func (sc *jsonScanner) unicodeEscape() (rune, error) {
+	sc.i++ // consume 'u'
+	r, err := sc.hex4()
+	if err != nil {
+		return 0, err
+	}
+	if utf16.IsSurrogate(r) {
+		if strings.HasPrefix(sc.s[sc.i:], `\u`) {
+			save := sc.i
+			sc.i += 2
+			r2, err := sc.hex4()
+			if err != nil {
+				return 0, err
+			}
+			if combined := utf16.DecodeRune(r, r2); combined != utf8.RuneError {
+				return combined, nil
+			}
+			sc.i = save // unpaired: emit replacement, reprocess the second escape
+		}
+		return utf8.RuneError, nil
+	}
+	return r, nil
+}
+
+func (sc *jsonScanner) hex4() (rune, error) {
+	if sc.i+4 > len(sc.s) {
+		return 0, errors.New("invalid batch JSON: truncated \\u escape")
+	}
+	var r rune
+	for k := 0; k < 4; k++ {
+		v, ok := unhex(sc.s[sc.i+k])
+		if !ok {
+			return 0, errors.New("invalid batch JSON: bad \\u escape")
+		}
+		r = r<<4 | rune(v)
+	}
+	sc.i += 4
+	return r, nil
+}
+
+// numberToken scans one JSON number, returning it as a substring for
+// strconv; ParseInt/ParseFloat validate the digits exactly as the reflection
+// decoder did.
+func (sc *jsonScanner) numberToken() (string, error) {
+	sc.skipSpace()
+	start := sc.i
+	if sc.i < len(sc.s) && sc.s[sc.i] == '-' {
+		sc.i++
+	}
+	if sc.i >= len(sc.s) || sc.s[sc.i] < '0' || sc.s[sc.i] > '9' {
+		return "", fmt.Errorf("invalid batch JSON: expected number at offset %d", start)
+	}
+	for sc.i < len(sc.s) {
+		switch c := sc.s[sc.i]; {
+		case c >= '0' && c <= '9', c == '.', c == 'e', c == 'E', c == '+', c == '-':
+			sc.i++
+		default:
+			return sc.s[start:sc.i], nil
+		}
+	}
+	return sc.s[start:], nil
+}
+
+// decodeBatchBody parses {"requests":[...]} into scratch.reqs, enforcing
+// maxBatch while scanning so an oversized batch fails before its tail is
+// parsed. It accepts what the old DisallowUnknownFields json.Decoder
+// accepted: unknown fields are errors, null field values are no-ops
+// (a null s keeps the "no sargable predicates" default), duplicate fields
+// last-win, and trailing data after the document is ignored (json.Decoder
+// reads exactly one value).
+func decodeBatchBody(body string, maxBatch int, scratch *batchScratch) error {
+	sc := jsonScanner{s: body}
+	if sc.peek() == 0 {
+		return errors.New("decode request body: empty body")
+	}
+	if err := sc.expect('{'); err != nil {
+		return fmt.Errorf("decode request body: %w", err)
+	}
+	if sc.peek() == '}' {
+		sc.i++
+		return nil
+	}
+	for {
+		key, err := sc.str()
+		if err != nil {
+			return fmt.Errorf("decode request body: %w", err)
+		}
+		if err := sc.expect(':'); err != nil {
+			return fmt.Errorf("decode request body: %w", err)
+		}
+		switch key {
+		case "requests":
+			if err := decodeRequestsArray(&sc, maxBatch, scratch); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("decode request body: json: unknown field %q", key)
+		}
+		switch sc.peek() {
+		case ',':
+			sc.i++
+		case '}':
+			sc.i++
+			return nil
+		default:
+			return fmt.Errorf("decode request body: invalid batch JSON at offset %d", sc.i)
+		}
+	}
+}
+
+func decodeRequestsArray(sc *jsonScanner, maxBatch int, scratch *batchScratch) error {
+	if sc.peek() == 'n' { // "requests": null
+		if err := sc.literal("null"); err != nil {
+			return fmt.Errorf("decode request body: %w", err)
+		}
+		scratch.reqs = scratch.reqs[:0]
+		return nil
+	}
+	if err := sc.expect('['); err != nil {
+		return fmt.Errorf("decode request body: %w", err)
+	}
+	scratch.reqs = scratch.reqs[:0]
+	if sc.peek() == ']' {
+		sc.i++
+		return nil
+	}
+	for {
+		if maxBatch > 0 && len(scratch.reqs) >= maxBatch {
+			return fmt.Errorf("batch exceeds limit %d", maxBatch)
+		}
+		scratch.reqs = append(scratch.reqs, estimateInput{s: 1})
+		if err := decodeBatchItem(sc, &scratch.reqs[len(scratch.reqs)-1]); err != nil {
+			return err
+		}
+		switch sc.peek() {
+		case ',':
+			sc.i++
+		case ']':
+			sc.i++
+			return nil
+		default:
+			return fmt.Errorf("decode request body: invalid batch JSON at offset %d", sc.i)
+		}
+	}
+}
+
+func decodeBatchItem(sc *jsonScanner, out *estimateInput) error {
+	if err := sc.expect('{'); err != nil {
+		return fmt.Errorf("decode request body: %w", err)
+	}
+	if sc.peek() == '}' {
+		sc.i++
+		return nil
+	}
+	for {
+		key, err := sc.str()
+		if err != nil {
+			return fmt.Errorf("decode request body: %w", err)
+		}
+		if err := sc.expect(':'); err != nil {
+			return fmt.Errorf("decode request body: %w", err)
+		}
+		null := sc.peek() == 'n'
+		if null {
+			if err := sc.literal("null"); err != nil {
+				return fmt.Errorf("decode request body: %w", err)
+			}
+		}
+		switch key {
+		case "table", "column":
+			if !null {
+				v, err := sc.str()
+				if err != nil {
+					return fmt.Errorf("decode request body: field %s: %w", key, err)
+				}
+				if key == "table" {
+					out.table = v
+				} else {
+					out.column = v
+				}
+			}
+		case "b":
+			if !null {
+				tok, err := sc.numberToken()
+				if err != nil {
+					return fmt.Errorf("decode request body: field b: %w", err)
+				}
+				if out.b, err = strconv.ParseInt(tok, 10, 64); err != nil {
+					return fmt.Errorf("decode request body: cannot decode number %q into field b", tok)
+				}
+			}
+		case "sigma", "s":
+			if !null {
+				tok, err := sc.numberToken()
+				if err != nil {
+					return fmt.Errorf("decode request body: field %s: %w", key, err)
+				}
+				v, err := strconv.ParseFloat(tok, 64)
+				if err != nil {
+					return fmt.Errorf("decode request body: cannot decode number %q into field %s", tok, key)
+				}
+				if key == "sigma" {
+					out.sigma = v
+				} else {
+					out.s = v
+				}
+			}
+		case "detail":
+			if !null {
+				switch sc.peek() {
+				case 't':
+					if err := sc.literal("true"); err != nil {
+						return fmt.Errorf("decode request body: %w", err)
+					}
+					out.detail = true
+				case 'f':
+					if err := sc.literal("false"); err != nil {
+						return fmt.Errorf("decode request body: %w", err)
+					}
+					out.detail = false
+				default:
+					return fmt.Errorf("decode request body: field detail: expected bool at offset %d", sc.i)
+				}
+			}
+		default:
+			return fmt.Errorf("decode request body: json: unknown field %q", key)
+		}
+		switch sc.peek() {
+		case ',':
+			sc.i++
+		case '}':
+			sc.i++
+			return nil
+		default:
+			return fmt.Errorf("decode request body: invalid batch JSON at offset %d", sc.i)
+		}
+	}
+}

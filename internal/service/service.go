@@ -4,10 +4,16 @@
 // so the service is engineered for high QPS on small requests:
 //
 //   - every request resolves statistics through one lock-free catalog
-//     snapshot load (package catalog);
-//   - a sharded LRU memo cache absorbs re-costed identical plan shapes,
-//     keyed by (index, generation, B, sigma, S) so catalog updates
-//     invalidate implicitly;
+//     snapshot load (package catalog), and runs the snapshot's pre-compiled
+//     estimator (core.CompiledEstimator) rather than interpreting the
+//     statistics entry per call;
+//   - a lock-free open-addressed memo cache (CLOCK eviction) absorbs
+//     re-costed identical plan shapes, keyed by (index, generation, B,
+//     sigma, S) so catalog updates invalidate implicitly;
+//   - the two estimate routes bypass encoding/json entirely: pooled
+//     append-based encoding and a specialized batch decoder (codec.go) keep
+//     the steady-state serving path at a handful of allocations per request
+//     while emitting byte-identical JSON;
 //   - POST /v1/estimate/batch amortizes HTTP and JSON overhead across the
 //     many candidate plans an optimizer costs per query;
 //   - per-route counters and latency summaries are plain atomics, serialized
@@ -61,6 +67,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -268,7 +275,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	sem := s.inflight[route] // nil for exempt routes or disabled admission
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec := recPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.status, rec.wrote = w, http.StatusOK, false
 		defer func() {
 			if p := recover(); p != nil {
 				s.met.panics.Add(1)
@@ -279,6 +287,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 				rec.status = http.StatusInternalServerError
 			}
 			s.met.observe(route, rec.status, time.Since(start))
+			rec.ResponseWriter = nil
+			recPool.Put(rec)
 		}()
 		if sem != nil {
 			select {
@@ -297,12 +307,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	})
 }
 
-// statusRecorder captures the response status for metrics.
+// statusRecorder captures the response status for metrics. Instances are
+// pooled by instrument; a recorder is returned to the pool only after the
+// handler and its deferred metrics observation are both done with it.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	wrote  bool
 }
+
+var recPool = sync.Pool{New: func() any { return new(statusRecorder) }}
 
 func (r *statusRecorder) WriteHeader(code int) {
 	if !r.wrote {
@@ -352,93 +366,66 @@ type EstimateResponse struct {
 }
 
 // estimate resolves statistics against one snapshot and runs (or recalls)
-// Est-IO. It is the shared core of the single and batch endpoints.
-func (s *Server) estimate(snap *catalog.Snapshot, req EstimateRequest) (EstimateResponse, error) {
-	st, err := snap.Get(req.Table, req.Column)
-	if err != nil {
-		return EstimateResponse{}, err
-	}
-	resp := EstimateResponse{
-		Table:      req.Table,
-		Column:     req.Column,
-		B:          req.B,
-		Sigma:      req.Sigma,
-		S:          req.sarg(),
-		Generation: snap.Generation(),
-	}
-	key := memoKey{
-		index: req.Table + "." + req.Column,
-		gen:   snap.Generation(),
-		b:     req.B,
-		sigma: req.Sigma,
-		sarg:  resp.S,
-	}
-	var est core.Estimate
-	cached := false
-	if s.cache != nil {
-		est, cached = s.cache.get(key)
-	}
-	if !cached {
-		est, err = core.EstIO(st, core.Input{B: req.B, Sigma: req.Sigma, S: resp.S}, core.Options{})
+// Est-IO. It is the shared core of the single and batch endpoints, and the
+// allocation-free center of the serving path: inputs and results travel by
+// pointer, the memo key is built field-wise, and the estimator itself is the
+// snapshot's pre-compiled form (flat slices, no interface dispatch) whenever
+// one exists — EstIO interpretation remains only as the fallback for entries
+// whose compilation failed.
+func (s *Server) estimate(snap *catalog.Snapshot, in *estimateInput, out *estimateResult) error {
+	ce, ok := snap.Compiled(in.table, in.column)
+	var entry *stats.IndexStats
+	if !ok {
+		var err error
+		entry, err = snap.Get(in.table, in.column)
 		if err != nil {
-			return EstimateResponse{}, err
+			return err
 		}
-		if s.cache != nil {
-			s.cache.put(key, est)
+	}
+	out.gen = snap.Generation()
+	out.cached = false
+	key := memoKey{table: in.table, column: in.column, gen: out.gen, b: in.b, sigma: in.sigma, sarg: in.s}
+	if s.cache != nil {
+		if est, hit := s.cache.get(key); hit {
+			out.est = est
+			out.cached = true
+			s.met.estimates.Add(1)
+			return nil
 		}
+	}
+	var err error
+	if ce != nil {
+		err = ce.EstimateInto(&out.est, core.Input{B: in.b, Sigma: in.sigma, S: in.s})
+	} else {
+		out.est, err = core.EstIO(entry, core.Input{B: in.b, Sigma: in.sigma, S: in.s}, core.Options{})
+	}
+	if err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.put(key, out.est)
 	}
 	s.met.estimates.Add(1)
-	resp.Fetches = est.F
-	resp.Cached = cached
-	if req.Detail {
-		d := est
-		resp.Detail = &d
-	}
-	return resp, nil
+	return nil
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	req, err := parseEstimateQuery(r)
-	if err != nil {
+	var in estimateInput
+	if err := parseEstimateQuery(r, &in); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.estimate(s.store.Snapshot(), req)
-	if err != nil {
+	var res estimateResult
+	if err := s.estimate(s.store.Snapshot(), &in, &res); err != nil {
 		writeError(w, statusOf(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func parseEstimateQuery(r *http.Request) (EstimateRequest, error) {
-	q := r.URL.Query()
-	req := EstimateRequest{Table: q.Get("table"), Column: q.Get("column")}
-	if req.Table == "" || req.Column == "" {
-		return req, errors.New("query parameters table and column are required")
-	}
-	var err error
-	if req.B, err = strconv.ParseInt(q.Get("b"), 10, 64); err != nil {
-		return req, fmt.Errorf("query parameter b: %w", err)
-	}
-	if req.Sigma, err = strconv.ParseFloat(q.Get("sigma"), 64); err != nil {
-		return req, fmt.Errorf("query parameter sigma: %w", err)
-	}
-	if raw := q.Get("s"); raw != "" {
-		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil {
-			return req, fmt.Errorf("query parameter s: %w", err)
-		}
-		req.S = &v
-	}
-	if raw := q.Get("detail"); raw != "" {
-		v, err := strconv.ParseBool(raw)
-		if err != nil {
-			return req, fmt.Errorf("query parameter detail: %w", err)
-		}
-		req.Detail = v
-	}
-	return req, nil
+	buf := getBuf()
+	b := appendEstimateResponse(*buf, &in, &res)
+	b = append(b, '\n') // json.Encoder.Encode appended one; stay byte-identical
+	writeResponseBytes(w, http.StatusOK, b)
+	*buf = b
+	putBuf(buf)
 }
 
 // BatchRequest and BatchResponse amortize per-request overhead: one HTTP
@@ -464,38 +451,57 @@ type BatchResponse struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var breq BatchRequest
-	if err := decodeJSON(w, r, &breq); err != nil {
+	scratch := getBatchScratch()
+	defer putBatchScratch(scratch)
+	body, err := readBody(http.MaxBytesReader(w, r.Body, maxBodyBytes), scratch.body)
+	scratch.body = body
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request body: %w", err))
+		return
+	}
+	// One string conversion for the whole body; every item field decodes as a
+	// substring of it.
+	if err := decodeBatchBody(string(body), s.maxBatch, scratch); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(breq.Requests) == 0 {
+	if len(scratch.reqs) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("batch has no requests"))
-		return
-	}
-	if len(breq.Requests) > s.maxBatch {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("batch of %d exceeds limit %d", len(breq.Requests), s.maxBatch))
 		return
 	}
 	// One snapshot for the whole batch: every item is costed against the
 	// same catalog generation even if a writer lands mid-flight.
 	snap := s.store.Snapshot()
-	resp := BatchResponse{
-		Count:      len(breq.Requests),
-		Generation: snap.Generation(),
-		Items:      make([]BatchItem, len(breq.Requests)),
-	}
-	for i, req := range breq.Requests {
-		est, err := s.estimate(snap, req)
-		if err != nil {
-			resp.Items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
-			resp.Failed++
+	items := scratch.items[:0]
+	failed := 0
+	var res estimateResult
+	for i := range scratch.reqs {
+		in := &scratch.reqs[i]
+		if i > 0 {
+			items = append(items, ',')
+		}
+		if err := s.estimate(snap, in, &res); err != nil {
+			items = appendBatchItemError(items, err.Error(), statusOf(err))
+			failed++
 			continue
 		}
-		resp.Items[i] = BatchItem{Estimate: &est}
+		items = append(items, `{"estimate":`...)
+		items = appendEstimateResponse(items, in, &res)
+		items = append(items, '}')
 	}
-	writeJSON(w, http.StatusOK, resp)
+	scratch.items = items
+	out := scratch.out[:0]
+	out = append(out, `{"count":`...)
+	out = strconv.AppendInt(out, int64(len(scratch.reqs)), 10)
+	out = append(out, `,"failed":`...)
+	out = strconv.AppendInt(out, int64(failed), 10)
+	out = append(out, `,"generation":`...)
+	out = strconv.AppendUint(out, snap.Generation(), 10)
+	out = append(out, `,"items":[`...)
+	out = append(out, items...)
+	out = append(out, ']', '}', '\n')
+	scratch.out = out
+	writeResponseBytes(w, http.StatusOK, out)
 }
 
 // indexSummary is one row of the catalog listing.
@@ -605,7 +611,7 @@ func (s *Server) handleDeleteIndex(w http.ResponseWriter, r *http.Request) {
 		// Belt and braces: generation keying already hides the dead
 		// entries, and this sweep frees them so a deleted index cannot
 		// linger in memory either.
-		s.cache.invalidateIndex(table + "." + column)
+		s.cache.invalidateIndex(table, column)
 		s.cache.dropOtherGenerations(gen)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"generation": gen})
