@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos bench bench-json bench-serve bench-smoke fuzz serve vet all
+.PHONY: build test race chaos bench bench-json bench-serve bench-smoke fuzz obs-check serve vet all
 
 all: build vet test
 
@@ -46,6 +46,14 @@ bench-serve:
 # One-iteration pass over the perf-relevant benchmarks, as run in CI.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/lrusim/ ./internal/workload/ ./internal/experiment/
+
+# Observability smoke: spin up a live service instance and check /metrics in
+# both negotiated formats (the Prometheus exposition is run through the obs
+# format validator), /debug/traces span breakdowns, traceparent echo, and the
+# /healthz build-info fields, all over real HTTP. Point it at a running
+# instance instead with `go run ./cmd/epfis-obscheck -addr localhost:8080`.
+obs-check:
+	$(GO) run ./cmd/epfis-obscheck
 
 # Short fuzz passes: catalog JSON format, and store recovery from corrupt
 # catalog files (run one at a time; go fuzzing allows one -fuzz per package).

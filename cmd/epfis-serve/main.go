@@ -15,6 +15,14 @@
 // -max-inflight and -breaker-* (see the README's "Resilience & operations"
 // section). -pprof-addr serves net/http/pprof on a separate listener for
 // live profiling (off by default; see the README's "Performance" section).
+//
+// Observability (see the README's "Observability" section): lifecycle and
+// degradation events are structured log/slog records shaped by -log-level
+// and -log-format; GET /metrics serves Prometheus text when asked for
+// text/plain (JSON stays the default); GET /debug/traces exposes a ring of
+// recent request traces sized with -trace-ring, with requests at or above
+// -slow-trace flagged slow.
+//
 // The EPFIS_FAULTS / EPFIS_FAULT_SEED environment variables
 // arm deterministic filesystem fault injection for chaos drills:
 //
@@ -25,7 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -65,14 +73,23 @@ func run(args []string) error {
 			"consecutive persistence failures that open the circuit breaker (0 = default, negative disables)")
 		breakerCooldown = fs.Duration("breaker-cooldown", 0,
 			"how long the opened breaker rejects mutations before probing (0 = default)")
+
+		logLevel = fs.String("log-level", "info",
+			"minimum log level: debug, info, warn, or error")
+		logFormat = fs.String("log-format", "text",
+			"log record encoding: text or json")
+		traceRing = fs.Int("trace-ring", 0,
+			fmt.Sprintf("completed traces kept for GET /debug/traces (0 = default %d, negative disables tracing)", service.DefaultTraceRing))
+		slowTrace = fs.Duration("slow-trace", 0,
+			fmt.Sprintf("requests at or above this duration are flagged slow (0 = default %s, negative flags all)", service.DefaultSlowTrace))
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
-	if *quiet {
-		logger = nil
+	logger, err := buildLogger(*quiet, *logLevel, *logFormat)
+	if err != nil {
+		return err
 	}
 
 	fsys, err := faultFS(logger)
@@ -92,14 +109,14 @@ func run(args []string) error {
 	if logger != nil {
 		switch {
 		case *memory:
-			logger.Printf("in-memory catalog (no persistence)")
+			logger.Info("in-memory catalog (no persistence)")
 		case store.Recovered():
-			logger.Printf("catalog %s was corrupt or missing; recovered %d entries from previous generation %s",
-				*path, store.Len(), catalog.PrevPath(*path))
+			logger.Warn("catalog corrupt or missing; recovered previous generation",
+				"path", *path, "entries", store.Len(), "recoveredFrom", catalog.PrevPath(*path))
 		case store.Len() == 0:
-			logger.Printf("catalog %s absent or empty; will be created on first install", *path)
+			logger.Info("catalog absent or empty; will be created on first install", "path", *path)
 		default:
-			logger.Printf("loaded %d catalog entries from %s", store.Len(), *path)
+			logger.Info("catalog loaded", "path", *path, "entries", store.Len())
 		}
 	}
 
@@ -111,7 +128,9 @@ func run(args []string) error {
 		MaxInflight:     *maxInflight,
 		BreakerFailures: *breakerFailures,
 		BreakerCooldown: *breakerCooldown,
-		Logger:          logger,
+		Slog:            logger,
+		TraceRing:       *traceRing,
+		SlowTrace:       *slowTrace,
 	})
 	if err != nil {
 		return err
@@ -131,9 +150,31 @@ func run(args []string) error {
 		return err
 	}
 	if logger != nil {
-		logger.Printf("stopped after %s", time.Since(start).Round(time.Millisecond))
+		logger.Info("stopped", "uptime", time.Since(start).Round(time.Millisecond).String())
 	}
 	return nil
+}
+
+// buildLogger assembles the process logger from the -quiet/-log-level/
+// -log-format flags. Quiet returns nil: every call site nil-guards, and the
+// service layer substitutes a discard handler.
+func buildLogger(quiet bool, level, format string) (*slog.Logger, error) {
+	if quiet {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: unknown format %q (want text or json)", format)
+	}
 }
 
 // servePprof exposes the net/http/pprof endpoints on their own listener —
@@ -141,7 +182,7 @@ func run(args []string) error {
 // reachable when admission control is shedding, and so operators can keep it
 // bound to localhost while the API faces the network. Off by default: the
 // profiler is opt-in via -pprof-addr.
-func servePprof(ctx context.Context, addr string, logger *log.Logger) error {
+func servePprof(ctx context.Context, addr string, logger *slog.Logger) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("pprof-addr: %w", err)
@@ -161,11 +202,11 @@ func servePprof(ctx context.Context, addr string, logger *log.Logger) error {
 	}()
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && logger != nil {
-			logger.Printf("pprof server: %v", err)
+			logger.Error("pprof server", "error", err)
 		}
 	}()
 	if logger != nil {
-		logger.Printf("pprof listening on http://%s/debug/pprof/", ln.Addr())
+		logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
 	}
 	return nil
 }
@@ -174,7 +215,7 @@ func servePprof(ctx context.Context, addr string, logger *log.Logger) error {
 // real OS; with a rule spec set (see faultfs.ParseRules for the grammar) it
 // is a deterministic fault injector for chaos drills, seeded from
 // EPFIS_FAULT_SEED so a failing drill can be replayed exactly.
-func faultFS(logger *log.Logger) (faultfs.FS, error) {
+func faultFS(logger *slog.Logger) (faultfs.FS, error) {
 	spec := os.Getenv("EPFIS_FAULTS")
 	if spec == "" {
 		return faultfs.OS(), nil
@@ -194,7 +235,8 @@ func faultFS(logger *log.Logger) (faultfs.FS, error) {
 		inj.Add(r)
 	}
 	if logger != nil {
-		logger.Printf("FAULT INJECTION ACTIVE: %d rule(s) from EPFIS_FAULTS (seed %d) — not for production", len(rules), seed)
+		logger.Warn("FAULT INJECTION ACTIVE — not for production",
+			"rules", len(rules), "seed", seed)
 	}
 	return inj, nil
 }

@@ -45,6 +45,33 @@ func TestRunRejectsBadFaultSeed(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadLogLevel(t *testing.T) {
+	err := run([]string{"-in-memory", "-log-level", "chatty"})
+	if err == nil || !strings.Contains(err.Error(), "-log-level") {
+		t.Fatalf("err = %v, want -log-level parse failure", err)
+	}
+}
+
+func TestRunRejectsBadLogFormat(t *testing.T) {
+	err := run([]string{"-in-memory", "-log-format", "logfmt2"})
+	if err == nil || !strings.Contains(err.Error(), "-log-format") {
+		t.Fatalf("err = %v, want -log-format rejection", err)
+	}
+}
+
+func TestBuildLogger(t *testing.T) {
+	if l, err := buildLogger(true, "info", "text"); err != nil || l != nil {
+		t.Fatalf("quiet: logger = %v, err = %v, want nil/nil", l, err)
+	}
+	for _, format := range []string{"text", "json"} {
+		for _, level := range []string{"debug", "info", "warn", "ERROR"} {
+			if l, err := buildLogger(false, level, format); err != nil || l == nil {
+				t.Fatalf("level %q format %q: logger = %v, err = %v", level, format, l, err)
+			}
+		}
+	}
+}
+
 func TestFaultFSBuildsInjector(t *testing.T) {
 	t.Setenv("EPFIS_FAULTS", "sync:catalog:2:error,write:*:1:slow=5ms")
 	t.Setenv("EPFIS_FAULT_SEED", "7")

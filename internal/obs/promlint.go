@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition is a small, independent parser for the Prometheus text
+// exposition format (version 0.0.4). It is deliberately not the code that
+// renders the exposition — the obs-check tooling and tests use it to keep
+// AppendText honest. It checks:
+//
+//   - line syntax: HELP/TYPE comments, sample lines
+//     `name{labels} value [timestamp]`, metric and label name grammar,
+//     escaped label values, parseable values (including +Inf/-Inf/NaN);
+//   - at most one TYPE per family, appearing before the family's samples;
+//   - no duplicate series (same name and label set);
+//   - histogram shape: every `_bucket` sample carries an `le` label, each
+//     bucket group ends with `le="+Inf"`, cumulative bucket counts are
+//     non-decreasing, and `_count` equals the +Inf bucket.
+func ValidateExposition(data []byte) error {
+	p := &expoParser{
+		typed:   map[string]string{},
+		sampled: map[string]bool{},
+		series:  map[string]bool{},
+		hists:   map[string]*histCheck{},
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if err := p.line(line); err != nil {
+			return fmt.Errorf("exposition line %d: %w", i+1, err)
+		}
+	}
+	return p.finish()
+}
+
+// histCheck accumulates one histogram series group (family + labels sans le).
+type histCheck struct {
+	where   string
+	bounds  []float64
+	counts  []uint64
+	count   uint64
+	hasCnt  bool
+	hasBkts bool
+}
+
+type expoParser struct {
+	typed   map[string]string // family -> declared type
+	sampled map[string]bool   // family -> sample seen
+	series  map[string]bool   // name+labels -> seen
+	hists   map[string]*histCheck
+}
+
+func (p *expoParser) line(line string) error {
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return p.comment(line)
+	}
+	return p.sample(line)
+}
+
+func (p *expoParser) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := p.typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if p.sampled[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		p.typed[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	}
+	return nil
+}
+
+func (p *expoParser) sample(line string) error {
+	name, rest, err := scanMetricName(line)
+	if err != nil {
+		return err
+	}
+	labels, rest, err := scanLabels(rest)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	rest = strings.TrimLeft(rest, " ")
+	valueField, tsField, _ := strings.Cut(rest, " ")
+	value, err := parseSampleValue(valueField)
+	if err != nil {
+		return fmt.Errorf("%s: bad value %q", name, valueField)
+	}
+	if tsField != "" {
+		if _, err := strconv.ParseInt(strings.TrimSpace(tsField), 10, 64); err != nil {
+			return fmt.Errorf("%s: bad timestamp %q", name, tsField)
+		}
+	}
+
+	family, suffix := histFamily(name, p.typed)
+	p.sampled[family] = true
+	seriesKey := name + "{" + canonicalLabels(labels) + "}"
+	if p.series[seriesKey] {
+		return fmt.Errorf("duplicate series %s", seriesKey)
+	}
+	p.series[seriesKey] = true
+
+	if suffix != "" {
+		group := family + "{" + canonicalLabelsExcept(labels, "le") + "}"
+		hc := p.hists[group]
+		if hc == nil {
+			hc = &histCheck{where: group}
+			p.hists[group] = hc
+		}
+		switch suffix {
+		case "_bucket":
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				return fmt.Errorf("%s: histogram bucket without le label", name)
+			}
+			bound, err := parseSampleValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le value %q", name, le)
+			}
+			hc.bounds = append(hc.bounds, bound)
+			hc.counts = append(hc.counts, uint64(value))
+			hc.hasBkts = true
+		case "_count":
+			hc.count = uint64(value)
+			hc.hasCnt = true
+		}
+	}
+	return nil
+}
+
+func (p *expoParser) finish() error {
+	groups := make([]string, 0, len(p.hists))
+	for g := range p.hists {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		hc := p.hists[g]
+		if !hc.hasBkts {
+			continue
+		}
+		last := math.Inf(-1)
+		var prev uint64
+		for i, b := range hc.bounds {
+			if b <= last {
+				return fmt.Errorf("%s: bucket bounds not increasing (le=%g after %g)", hc.where, b, last)
+			}
+			if hc.counts[i] < prev {
+				return fmt.Errorf("%s: cumulative bucket counts decrease at le=%g", hc.where, b)
+			}
+			last, prev = b, hc.counts[i]
+		}
+		if !math.IsInf(last, 1) {
+			return fmt.Errorf("%s: bucket group does not end with le=\"+Inf\"", hc.where)
+		}
+		if hc.hasCnt && hc.count != prev {
+			return fmt.Errorf("%s: _count %d != +Inf bucket %d", hc.where, hc.count, prev)
+		}
+	}
+	return nil
+}
+
+// histFamily maps a sample name to its family: for declared histograms the
+// _bucket/_sum/_count suffixes belong to the base name.
+func histFamily(name string, typed map[string]string) (family, histSuffix string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typed[base] == "histogram" {
+			return base, suffix
+		}
+	}
+	return name, ""
+}
+
+func scanMetricName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, line[i:], nil
+}
+
+// scanLabels parses an optional {k="v",...} block, returning the pairs and
+// the remainder of the line.
+func scanLabels(s string) ([]Label, string, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, s, nil
+	}
+	s = s[1:]
+	var out []Label
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return out, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, s, fmt.Errorf("label pair missing '='")
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validLabelName(lname) {
+			return nil, s, fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, s, fmt.Errorf("label %s value not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, s, fmt.Errorf("label %s value unterminated", lname)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, s, fmt.Errorf("label %s value has truncated escape", lname)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, s, fmt.Errorf("label %s value has bad escape \\%c", lname, s[1])
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		out = append(out, Label{Name: lname, Value: val.String()})
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return out, s[1:], nil
+		}
+		return nil, s, fmt.Errorf("expected ',' or '}' after label %s", lname)
+	}
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func labelValue(labels []Label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+func canonicalLabels(labels []Label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func canonicalLabelsExcept(labels []Label, skip string) string {
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l.Name == skip {
+			continue
+		}
+		parts = append(parts, l.Name+"="+strconv.Quote(l.Value))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

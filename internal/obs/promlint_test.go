@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := strings.Join([]string{
+		"# HELP epfis_requests_total Requests served.",
+		"# TYPE epfis_requests_total counter",
+		`epfis_requests_total{route="GET /v1/estimate",status="2xx"} 12`,
+		`epfis_requests_total{route="GET /v1/estimate",status="5xx"} 0`,
+		"# HELP epfis_lat_seconds Latency.",
+		"# TYPE epfis_lat_seconds histogram",
+		`epfis_lat_seconds_bucket{le="0.001"} 2`,
+		`epfis_lat_seconds_bucket{le="0.01"} 5`,
+		`epfis_lat_seconds_bucket{le="+Inf"} 7`,
+		"epfis_lat_seconds_sum 0.042",
+		"epfis_lat_seconds_count 7",
+		"# TYPE epfis_up gauge",
+		"epfis_up 1",
+		"epfis_untyped_thing 3.5 1700000000000",
+		`epfis_escaped{v="a\"b\\c\nd"} NaN`,
+		"",
+	}, "\n")
+	if err := ValidateExposition([]byte(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"bad metric name", "0bad 1\n", "invalid metric name"},
+		{"bad value", "epfis_x notanumber\n", "bad value"},
+		{"bad timestamp", "epfis_x 1 soon\n", "bad timestamp"},
+		{"bad label name", `epfis_x{0l="v"} 1` + "\n", "invalid label name"},
+		{"unquoted label", `epfis_x{l=v} 1` + "\n", "not quoted"},
+		{"unterminated label", `epfis_x{l="v} 1` + "\n", "unterminated"},
+		{"bad escape", `epfis_x{l="\t"} 1` + "\n", "bad escape"},
+		{"bad type", "# TYPE epfis_x frobnicator\n", "unknown metric type"},
+		{"duplicate type", "# TYPE epfis_x counter\n# TYPE epfis_x counter\n", "duplicate TYPE"},
+		{"type after samples", "epfis_x 1\n# TYPE epfis_x counter\n", "after its samples"},
+		{"duplicate series", "epfis_x 1\nepfis_x 2\n", "duplicate series"},
+		{
+			"bucket without le",
+			"# TYPE epfis_h histogram\nepfis_h_bucket 1\n",
+			"without le",
+		},
+		{
+			"missing +Inf",
+			"# TYPE epfis_h histogram\n" + `epfis_h_bucket{le="1"} 1` + "\nepfis_h_count 1\n",
+			"does not end with",
+		},
+		{
+			"non-monotonic buckets",
+			"# TYPE epfis_h histogram\n" +
+				`epfis_h_bucket{le="1"} 5` + "\n" +
+				`epfis_h_bucket{le="2"} 3` + "\n" +
+				`epfis_h_bucket{le="+Inf"} 5` + "\n",
+			"decrease",
+		},
+		{
+			"unsorted bounds",
+			"# TYPE epfis_h histogram\n" +
+				`epfis_h_bucket{le="2"} 1` + "\n" +
+				`epfis_h_bucket{le="1"} 2` + "\n" +
+				`epfis_h_bucket{le="+Inf"} 2` + "\n",
+			"not increasing",
+		},
+		{
+			"count mismatch",
+			"# TYPE epfis_h histogram\n" +
+				`epfis_h_bucket{le="+Inf"} 5` + "\nepfis_h_count 4\n",
+			"_count 4 != +Inf bucket 5",
+		},
+	}
+	for _, tc := range cases {
+		err := ValidateExposition([]byte(tc.text))
+		if err == nil {
+			t.Errorf("%s: accepted:\n%s", tc.name, tc.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateExpositionHistogramGroupsByLabels(t *testing.T) {
+	// Two label sets of the same histogram family validate independently.
+	text := "# TYPE epfis_h histogram\n" +
+		`epfis_h_bucket{route="a",le="1"} 1` + "\n" +
+		`epfis_h_bucket{route="a",le="+Inf"} 2` + "\n" +
+		`epfis_h_count{route="a"} 2` + "\n" +
+		`epfis_h_bucket{route="b",le="1"} 9` + "\n" +
+		`epfis_h_bucket{route="b",le="+Inf"} 9` + "\n" +
+		`epfis_h_count{route="b"} 9` + "\n"
+	if err := ValidateExposition([]byte(text)); err != nil {
+		t.Fatalf("grouped histogram rejected: %v", err)
+	}
+	broken := strings.Replace(text, `epfis_h_count{route="b"} 9`, `epfis_h_count{route="b"} 8`, 1)
+	if err := ValidateExposition([]byte(broken)); err == nil {
+		t.Fatal("mismatched group accepted")
+	}
+}

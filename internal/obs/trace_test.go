@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tp := NewTraceparent()
+	s := tp.String()
+	if len(s) != traceparentLen || !strings.HasPrefix(s, "00-") {
+		t.Fatalf("String() = %q", s)
+	}
+	got, ok := ParseTraceparent(s)
+	if !ok || got != tp {
+		t.Fatalf("round trip failed: %q -> %+v ok=%v", s, got, ok)
+	}
+	if len(tp.TraceString()) != 32 {
+		t.Fatalf("TraceString() = %q", tp.TraceString())
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("valid header rejected: %q", valid)
+	}
+	// Future version with extra dash-separated data is accepted.
+	if _, ok := ParseTraceparent("cc" + valid[2:] + "-extradata"); !ok {
+		t.Fatal("future-version header with suffix rejected")
+	}
+	bad := []string{
+		"",
+		"short",
+		valid[:54],                          // truncated
+		valid + "x",                         // version 00 must be exact length
+		"ff" + valid[2:],                    // version ff invalid
+		strings.ToUpper(valid),              // uppercase hex forbidden
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e473Z-00f067aa0ba902b7-01", // non-hex
+	}
+	for _, v := range bad {
+		if _, ok := ParseTraceparent(v); ok {
+			t.Errorf("accepted malformed header %q", v)
+		}
+	}
+}
+
+func TestNewIdsUnique(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 1000; i++ {
+		tp := NewTraceparent()
+		if tp.Trace.IsZero() || tp.Span.IsZero() {
+			t.Fatal("generated zero id")
+		}
+		if seen[tp.Trace] {
+			t.Fatal("duplicate trace id")
+		}
+		seen[tp.Trace] = true
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	if _, ok := TraceparentFrom(context.Background()); ok {
+		t.Fatal("empty context claims a traceparent")
+	}
+	tp := NewTraceparent()
+	ctx := ContextWithTraceparent(context.Background(), tp)
+	got, ok := TraceparentFrom(ctx)
+	if !ok || got != tp {
+		t.Fatalf("context round trip: %+v ok=%v", got, ok)
+	}
+}
+
+func TestTraceBufSpans(t *testing.T) {
+	start := time.Now()
+	tb := GetTraceBuf(NewTraceparent(), "GET /v1/estimate", start)
+	defer PutTraceBuf(tb)
+	tb.Mark(StageParse)
+	tb.Mark(StageCache)
+	tb.Mark(StageEstimate)
+	tb.Mark(StageEncode)
+	tb.CloseSpan()
+	if tb.n != 4 {
+		t.Fatalf("n = %d, want 4", tb.n)
+	}
+	names := []string{StageParse, StageCache, StageEstimate, StageEncode}
+	var prevEnd time.Duration
+	for i, want := range names {
+		sp := tb.spans[i]
+		if sp.Name != want {
+			t.Fatalf("span %d = %q, want %q", i, sp.Name, want)
+		}
+		if sp.End < sp.Start || sp.Start < prevEnd {
+			t.Fatalf("span %d not ordered: %+v", i, sp)
+		}
+		prevEnd = sp.End
+	}
+	// Overflow past MaxSpans is dropped, not grown.
+	for i := 0; i < MaxSpans+4; i++ {
+		tb.Mark(StageParse)
+	}
+	if tb.n != MaxSpans {
+		t.Fatalf("n = %d after overflow, want %d", tb.n, MaxSpans)
+	}
+}
+
+func TestNilTraceBufSafe(t *testing.T) {
+	var tb *TraceBuf
+	tb.Mark(StageParse) // must not panic
+	tb.CloseSpan()
+	PutTraceBuf(tb)
+	var ring *TraceRing
+	ring.Record(tb, 200, time.Now(), time.Millisecond, false)
+}
+
+func TestTraceRing(t *testing.T) {
+	ring := NewTraceRing(3)
+	if ring.Len() != 3 {
+		t.Fatalf("Len = %d", ring.Len())
+	}
+	for i := 0; i < 5; i++ {
+		tb := GetTraceBuf(NewTraceparent(), "GET /v1/estimate", time.Now())
+		tb.Mark(StageParse)
+		ring.Record(tb, 200+i, time.Now(), time.Duration(i)*time.Millisecond, i%2 == 0)
+		PutTraceBuf(tb)
+	}
+	recs := ring.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(recs))
+	}
+	// Newest first: statuses 204, 203, 202.
+	for i, want := range []int{204, 203, 202} {
+		if recs[i].Status != want {
+			t.Fatalf("recs[%d].Status = %d, want %d", i, recs[i].Status, want)
+		}
+		if recs[i].NSpans != 1 || recs[i].Spans[0].Name != StageParse {
+			t.Fatalf("recs[%d] spans = %+v", i, recs[i])
+		}
+	}
+	total, slow := ring.Totals()
+	if total != 5 || slow != 3 {
+		t.Fatalf("Totals = %d, %d", total, slow)
+	}
+}
+
+func TestTraceRingRecordAllocFree(t *testing.T) {
+	ring := NewTraceRing(8)
+	tp := NewTraceparent()
+	start := time.Now()
+	if n := testing.AllocsPerRun(200, func() {
+		tb := GetTraceBuf(tp, "GET /v1/estimate", start)
+		tb.Mark(StageParse)
+		tb.Mark(StageEncode)
+		ring.Record(tb, 200, start, time.Millisecond, false)
+		PutTraceBuf(tb)
+	}); n != 0 {
+		t.Fatalf("trace record path allocates %.1f/op, want 0", n)
+	}
+}

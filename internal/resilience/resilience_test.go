@@ -234,3 +234,58 @@ func TestBreakerCommitIsIdempotent(t *testing.T) {
 		t.Fatalf("state = %s after one failure (threshold 2)", b.State())
 	}
 }
+
+func TestBreakerOnStateChange(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var mu sync.Mutex
+	var transitions []string
+	var b *Breaker
+	b = NewBreaker(BreakerConfig{
+		Failures: 2, Cooldown: time.Second, Clock: clk.now,
+		OnStateChange: func(from, to string) {
+			mu.Lock()
+			transitions = append(transitions, from+"->"+to)
+			mu.Unlock()
+			// Re-entering the breaker from the hook must not deadlock: the
+			// hook runs outside the lock.
+			_ = b.State()
+		},
+	})
+
+	// Two failures open the breaker.
+	for i := 0; i < 2; i++ {
+		_ = b.Do(func() error { return errBoom })
+	}
+	// Cooldown expires; failed probe: open -> half-open -> open.
+	clk.advance(2 * time.Second)
+	_ = b.Do(func() error { return errBoom })
+	// Successful probe closes: open -> half-open -> closed.
+	clk.advance(2 * time.Second)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{
+		"closed->open",
+		"open->half-open", "half-open->open",
+		"open->half-open", "half-open->closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions[%d] = %s, want %s (all: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+func TestBreakerNoHookNoPanic(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Failures: 1})
+	_ = b.Do(func() error { return errBoom })
+	if b.State() != "open" {
+		t.Fatalf("state = %s", b.State())
+	}
+}

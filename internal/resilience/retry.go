@@ -187,6 +187,11 @@ type BreakerConfig struct {
 	Cooldown time.Duration
 	// Clock replaces time.Now (tests).
 	Clock func() time.Time
+	// OnStateChange, when non-nil, is called after every state transition
+	// with the old and new state names ("closed", "open", "half-open"). It
+	// runs outside the breaker's lock, so it may log or record metrics
+	// without risking deadlock; it must not block for long.
+	OnStateChange func(from, to string)
 }
 
 // Breaker is a consecutive-failure circuit breaker: Failures consecutive
@@ -232,25 +237,63 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // otherwise it returns ErrBreakerOpen and the time to wait before the next
 // attempt is worth making (for a Retry-After header).
 func (b *Breaker) Begin() (commit func(failure bool), retryAfter time.Duration, err error) {
+	var notify func()
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	now := b.cfg.Clock()
 	switch b.state {
 	case stateOpen:
 		if rem := b.openedAt.Add(b.cfg.Cooldown).Sub(now); rem > 0 {
 			b.rejected++
+			b.mu.Unlock()
 			return nil, rem, ErrBreakerOpen
 		}
-		b.state = stateHalfOpen
+		notify = b.setStateLocked(stateHalfOpen)
 		fallthrough
 	case stateHalfOpen:
 		if b.probing {
 			b.rejected++
+			b.mu.Unlock()
+			if notify != nil {
+				notify()
+			}
 			return nil, b.cfg.Cooldown, ErrBreakerOpen
 		}
 		b.probing = true
 	}
-	return b.commitFunc(), 0, nil
+	commit = b.commitFunc()
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return commit, 0, nil
+}
+
+// setStateLocked transitions to the given state and, when a hook is
+// configured, returns its invocation for the caller to run after releasing
+// b.mu. Returns nil when nothing changed or no hook is set.
+func (b *Breaker) setStateLocked(to breakerState) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	if b.cfg.OnStateChange == nil {
+		return nil
+	}
+	fromName, toName := from.String(), to.String()
+	hook := b.cfg.OnStateChange
+	return func() { hook(fromName, toName) }
+}
+
+func (s breakerState) String() string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
 }
 
 // commitFunc builds the once-only outcome recorder; callers hold b.mu.
@@ -258,20 +301,24 @@ func (b *Breaker) commitFunc() func(failure bool) {
 	var once sync.Once
 	return func(failure bool) {
 		once.Do(func() {
+			var notify func()
 			b.mu.Lock()
-			defer b.mu.Unlock()
 			wasProbe := b.state == stateHalfOpen
 			b.probing = false
 			if !failure {
-				b.state = stateClosed
+				notify = b.setStateLocked(stateClosed)
 				b.consecutive = 0
-				return
+			} else {
+				b.consecutive++
+				if wasProbe || b.consecutive >= b.cfg.Failures {
+					notify = b.setStateLocked(stateOpen)
+					b.openedAt = b.cfg.Clock()
+					b.opens++
+				}
 			}
-			b.consecutive++
-			if wasProbe || b.consecutive >= b.cfg.Failures {
-				b.state = stateOpen
-				b.openedAt = b.cfg.Clock()
-				b.opens++
+			b.mu.Unlock()
+			if notify != nil {
+				notify()
 			}
 		})
 	}

@@ -126,3 +126,68 @@ func TestAllocBudgetBatch64(t *testing.T) {
 		t.Errorf("batch64 allocates %.1f/op, budget %d", n, batch64AllocBudget)
 	}
 }
+
+// TestAllocBudgetSingleTraced pins the single-estimate path with every
+// tracing feature exercised at once: an inbound traceparent to parse and
+// re-parent, a slow-trace threshold of -1 so every request is flagged slow
+// and copied into the ring, and the response header echo. This is the
+// worst-case observability overhead, and it must fit the same budget.
+func TestAllocBudgetSingleTraced(t *testing.T) {
+	store := catalog.NewStore()
+	if _, err := store.Put(fitStats(t, "orders", "key", 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, RequestTimeout: -1, SlowTrace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/estimate?table=orders&column=key&b=64&sigma=0.05", nil)
+	req.Header.Set("Traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	w := newAllocWriter()
+
+	serve := func() {
+		w.reset()
+		srv.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			t.Fatalf("status %d: %s", w.status, w.body)
+		}
+	}
+	serve()
+	if got := w.h.Get("Traceparent"); len(got) != 55 || got[:36] != "00-4bf92f3577b34da6a3ce929d0e0e4736-" {
+		t.Fatalf("response traceparent = %q, want same trace id re-parented", got)
+	}
+	if n := testing.AllocsPerRun(200, serve); n > singleAllocBudget {
+		t.Errorf("traced single estimate allocates %.1f/op, budget %d", n, singleAllocBudget)
+	}
+}
+
+// TestAllocBudgetBatch64Traced is the batch counterpart: slow-flagged and
+// ring-recorded on every request, within the same 64-alloc budget.
+func TestAllocBudgetBatch64Traced(t *testing.T) {
+	store := catalog.NewStore()
+	if _, err := store.Put(fitStats(t, "orders", "key", 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, RequestTimeout: -1, SlowTrace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := &rewindBody{r: bytes.NewReader(batch64Body(t))}
+	req := httptest.NewRequest(http.MethodPost, "/v1/estimate/batch", body)
+	req.Header.Set("Traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	w := newAllocWriter()
+
+	serve := func() {
+		w.reset()
+		body.rewind()
+		req.Body = body
+		srv.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			t.Fatalf("status %d: %s", w.status, w.body)
+		}
+	}
+	serve()
+	if n := testing.AllocsPerRun(100, serve); n > batch64AllocBudget {
+		t.Errorf("traced batch64 allocates %.1f/op, budget %d", n, batch64AllocBudget)
+	}
+}

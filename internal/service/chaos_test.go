@@ -355,11 +355,11 @@ func TestEstimateHotPathAllocations(t *testing.T) {
 	snap := store.Snapshot()
 	in := estimateInput{table: "orders", column: "key", b: 100, sigma: 0.05, s: 1}
 	var res estimateResult
-	if err := srv.estimate(snap, &in, &res); err != nil { // warm the memo
+	if err := srv.estimate(snap, &in, &res, nil); err != nil { // warm the memo
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if err := srv.estimate(snap, &in, &res); err != nil {
+		if err := srv.estimate(snap, &in, &res, nil); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"epfis/internal/obs"
 	"epfis/internal/resilience"
 )
 
@@ -187,8 +188,16 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 
 // do runs one JSON request through the retry policy. body (may be nil) is a
 // pre-encoded JSON document owned by the caller for the duration of the
-// call; responses are read into a pooled buffer and decoded from it.
+// call; responses are read into a pooled buffer and decoded from it. Every
+// attempt carries the same traceparent — taken from ctx when the caller put
+// one there (obs.ContextWithTraceparent), freshly generated otherwise — so
+// the retries of one logical call correlate server-side.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	tp, ok := obs.TraceparentFrom(ctx)
+	if !ok {
+		tp = obs.NewTraceparent()
+	}
+	traceparent := tp.String()
 	return resilience.Retry(ctx, c.retry, func(ctx context.Context) error {
 		var rd io.Reader
 		if body != nil {
@@ -198,6 +207,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if err != nil {
 			return resilience.Permanent(err)
 		}
+		req.Header.Set(obs.TraceparentHeader, traceparent)
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}

@@ -185,7 +185,7 @@ func TestBatchResponseBytesMatchOldCodec(t *testing.T) {
 	for i, r := range breq.Requests {
 		in := estimateInput{table: r.Table, column: r.Column, b: r.B, sigma: r.Sigma, s: r.sarg(), detail: r.Detail}
 		var res estimateResult
-		if err := srv.estimate(snap, &in, &res); err != nil {
+		if err := srv.estimate(snap, &in, &res, nil); err != nil {
 			want.Items[i] = BatchItem{Error: err.Error(), Status: statusOf(err)}
 			want.Failed++
 			continue

@@ -1,0 +1,424 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"epfis/internal/catalog"
+	"epfis/internal/obs"
+)
+
+// Observability defaults for Config zero values.
+const (
+	DefaultTraceRing = 256
+	DefaultSlowTrace = 100 * time.Millisecond
+)
+
+// latencyBuckets spans 1µs … ~4s log-spaced: estimates serve in about a
+// microsecond while disk-touching mutations run to milliseconds.
+var latencyBuckets = obs.ExpBuckets(1e-6, 4, 12)
+
+// sigmaBuckets covers the selectivity fraction domain (0, 1]; values above 1
+// land in +Inf and flag malformed traffic.
+var sigmaBuckets = []float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+
+// statusClasses are the per-route response labels. Shed (429) and
+// unavailable/draining (503) responses get their own labels so overload and
+// drain behaviour is visible separately from generic 4xx/5xx.
+var statusClasses = [...]string{"2xx", "3xx", "4xx", "429", "5xx", "503"}
+
+func statusClass(status int) int {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return 3
+	case status == http.StatusServiceUnavailable:
+		return 5
+	case status >= 500:
+		return 4
+	case status >= 400:
+		return 2
+	case status >= 300:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// routeObs holds one route's hot-path instruments as direct pointers:
+// recording is a histogram observe plus one counter increment, with no map
+// lookups, locks, or allocation.
+type routeObs struct {
+	lat    *obs.Histogram
+	status [len(statusClasses)]*obs.Counter
+}
+
+// obsIndexKey addresses a per-index estimate counter. A comparable struct of
+// strings: hot-path lookups build it on the stack from fields the request
+// already holds, so no key string is ever concatenated while serving.
+type obsIndexKey struct{ table, column string }
+
+// serverObs is the server's observability wiring: the metric registry, the
+// ring of completed request traces, and the structured logger.
+type serverObs struct {
+	reg  *obs.Registry
+	log  *slog.Logger
+	ring *obs.TraceRing // nil when tracing is disabled
+	slow time.Duration  // negative: every request is flagged slow
+
+	routes map[string]*routeObs
+
+	bufferPages        *obs.Histogram
+	sigmaDist          *obs.Histogram
+	breakerTransitions *obs.Counter
+
+	// Per-index estimate counters: registration happens on catalog mutations
+	// under idxMu; the serving path reads an immutable snapshot map through
+	// one atomic pointer load.
+	idxMu  sync.Mutex
+	idxAll map[obsIndexKey]*obs.Counter
+	idx    atomic.Pointer[map[obsIndexKey]*obs.Counter]
+}
+
+// newServerObs builds the registry and all instruments. Called from New once
+// store, cache, metrics, breaker, and the degraded/draining flags exist, so
+// the scrape-time bridges can close over them.
+func newServerObs(s *Server, cfg Config, routes []string) *serverObs {
+	o := &serverObs{
+		reg:    obs.NewRegistry(),
+		log:    newServiceLogger(cfg),
+		slow:   cfg.SlowTrace,
+		routes: make(map[string]*routeObs, len(routes)),
+		idxAll: make(map[obsIndexKey]*obs.Counter),
+	}
+	if o.slow == 0 {
+		o.slow = DefaultSlowTrace
+	}
+	ringSize := cfg.TraceRing
+	if ringSize == 0 {
+		ringSize = DefaultTraceRing
+	}
+	if ringSize > 0 {
+		o.ring = obs.NewTraceRing(ringSize)
+	}
+
+	for _, route := range routes {
+		ro := &routeObs{
+			lat: o.reg.Histogram("epfis_http_request_duration_seconds",
+				"Request latency by route.", latencyBuckets,
+				obs.Label{Name: "route", Value: route}),
+		}
+		for i, class := range statusClasses {
+			ro.status[i] = o.reg.Counter("epfis_http_requests_total",
+				"Requests served by route and status class; shed (429) and draining/unavailable (503) responses have their own labels.",
+				obs.Label{Name: "route", Value: route},
+				obs.Label{Name: "status", Value: class})
+		}
+		o.routes[route] = ro
+	}
+
+	o.bufferPages = o.reg.Histogram("epfis_estimate_buffer_pages",
+		"Requested LRU buffer capacity B across estimate calls.", obs.Pow2Buckets(0, 24))
+	o.sigmaDist = o.reg.Histogram("epfis_estimate_sigma",
+		"Requested selectivity fraction sigma across estimate calls.", sigmaBuckets)
+	o.breakerTransitions = o.reg.Counter("epfis_breaker_transitions_total",
+		"Circuit breaker state transitions.")
+
+	met := s.met
+	o.reg.CounterFunc("epfis_estimates_total",
+		"Individual estimates served (batch items count individually).",
+		func() float64 { return float64(met.estimates.Load()) })
+	o.reg.CounterFunc("epfis_panics_total",
+		"Handler panics recovered by the instrumentation middleware.",
+		func() float64 { return float64(met.panics.Load()) })
+	o.reg.CounterFunc("epfis_admission_shed_total",
+		"Requests shed with 429 by per-route admission control.",
+		func() float64 { return float64(met.sheds.Load()) })
+	o.reg.CounterFunc("epfis_reload_failures_total",
+		"Catalog reloads that left the service degraded.",
+		func() float64 { return float64(met.reloadFailures.Load()) })
+	o.reg.GaugeFunc("epfis_uptime_seconds",
+		"Seconds since the service was constructed.",
+		func() float64 { return time.Since(met.start).Seconds() })
+
+	if c := s.cache; c != nil {
+		o.reg.CounterFunc("epfis_cache_hits_total", "Est-IO memo cache hits.",
+			func() float64 { return float64(c.hits.Load()) })
+		o.reg.CounterFunc("epfis_cache_misses_total", "Est-IO memo cache misses.",
+			func() float64 { return float64(c.misses.Load()) })
+		o.reg.CounterFunc("epfis_cache_evictions_total", "Est-IO memo cache CLOCK evictions.",
+			func() float64 { return float64(c.evictions.Load()) })
+		o.reg.CounterFunc("epfis_cache_invalidations_total", "Est-IO memo cache invalidations.",
+			func() float64 { return float64(c.invalidations.Load()) })
+		o.reg.GaugeFunc("epfis_cache_entries", "Live Est-IO memo cache entries.",
+			func() float64 { return float64(c.len()) })
+	}
+
+	store := s.store
+	o.reg.GaugeFunc("epfis_catalog_generation", "Current catalog generation.",
+		func() float64 { return float64(store.Generation()) })
+	o.reg.GaugeFunc("epfis_catalog_indexes", "Indexes in the current catalog snapshot.",
+		func() float64 { return float64(store.Len()) })
+	o.reg.GaugeFunc("epfis_catalog_recovered",
+		"1 when the catalog was recovered from the previous generation at open.",
+		func() float64 { return boolGauge(store.Recovered()) })
+	o.reg.GaugeFunc("epfis_degraded",
+		"1 while serving from a stale generation after a failed reload.",
+		func() float64 { return boolGauge(s.degraded.Load() != nil) })
+	o.reg.GaugeFunc("epfis_draining",
+		"1 while the service drains in-flight requests during shutdown.",
+		func() float64 { return boolGauge(s.draining.Load()) })
+
+	if br := s.breaker; br != nil {
+		o.reg.GaugeFunc("epfis_breaker_state",
+			"Circuit breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 {
+				switch br.State() {
+				case "open":
+					return 2
+				case "half-open":
+					return 1
+				default:
+					return 0
+				}
+			})
+		o.reg.CounterFunc("epfis_breaker_opens_total", "Times the circuit breaker opened.",
+			func() float64 { opens, _ := br.Stats(); return float64(opens) })
+		o.reg.CounterFunc("epfis_breaker_rejected_total",
+			"Mutations rejected while the circuit breaker was open.",
+			func() float64 { _, rejected := br.Stats(); return float64(rejected) })
+	}
+
+	if o.ring != nil {
+		o.reg.CounterFunc("epfis_traces_total", "Completed request traces recorded.",
+			func() float64 { total, _ := o.ring.Totals(); return float64(total) })
+		o.reg.CounterFunc("epfis_traces_slow_total",
+			"Completed traces over the slow-trace threshold.",
+			func() float64 { _, slow := o.ring.Totals(); return float64(slow) })
+	}
+
+	bi := buildInfo()
+	o.reg.GaugeFunc("epfis_build_info", "Constant 1 labelled with build metadata.",
+		func() float64 { return 1 },
+		obs.Label{Name: "version", Value: bi.version},
+		obs.Label{Name: "revision", Value: bi.revision},
+		obs.Label{Name: "goversion", Value: bi.goVersion})
+
+	o.syncIndexes(store.Snapshot())
+	return o
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// tracing reports whether request tracing is enabled.
+func (o *serverObs) tracing() bool { return o.ring != nil }
+
+// isSlow applies the slow-trace threshold (negative flags everything).
+func (o *serverObs) isSlow(d time.Duration) bool { return o.slow < 0 || d >= o.slow }
+
+// observeRoute records one served request on the route's histogram and
+// status-class counter — two direct-pointer instrument updates.
+func (o *serverObs) observeRoute(ro *routeObs, status int, d time.Duration) {
+	if ro == nil {
+		return
+	}
+	ro.lat.Observe(d.Seconds())
+	ro.status[statusClass(status)].Inc()
+}
+
+// observeEstimate records the requested (B, sigma) point and the per-index
+// traffic counter. The index lookup is one atomic pointer load and one map
+// probe with a stack-built comparable key — no allocation.
+func (o *serverObs) observeEstimate(table, column string, b int64, sigma float64) {
+	o.bufferPages.Observe(float64(b))
+	o.sigmaDist.Observe(sigma)
+	if m := o.idx.Load(); m != nil {
+		if c := (*m)[obsIndexKey{table: table, column: column}]; c != nil {
+			c.Inc()
+		}
+	}
+}
+
+// syncIndexes registers estimate counters for catalog entries that lack one
+// and republishes the lock-free lookup snapshot. Called at construction and
+// after catalog mutations — never on the serving path. Counters persist
+// across drops (Prometheus counters must not vanish mid-scrape-series).
+func (o *serverObs) syncIndexes(snap *catalog.Snapshot) {
+	o.idxMu.Lock()
+	defer o.idxMu.Unlock()
+	for _, key := range snap.Keys() {
+		e, ok := snap.Lookup(key)
+		if !ok {
+			continue
+		}
+		k := obsIndexKey{table: e.Table, column: e.Column}
+		if _, ok := o.idxAll[k]; ok {
+			continue
+		}
+		o.idxAll[k] = o.reg.Counter("epfis_index_estimates_total",
+			"Estimates addressed at each catalog index.",
+			obs.Label{Name: "index", Value: e.Table + "." + e.Column})
+	}
+	pub := make(map[obsIndexKey]*obs.Counter, len(o.idxAll))
+	for k, c := range o.idxAll {
+		pub[k] = c
+	}
+	o.idx.Store(&pub)
+}
+
+// onBreakerChange is wired as the resilience.Breaker state hook: it counts
+// the transition and logs it at warn with structured attrs.
+func (s *Server) onBreakerChange(from, to string) {
+	o := s.obs
+	if o == nil { // transition during New, before wiring completes
+		return
+	}
+	o.breakerTransitions.Inc()
+	if o.log.Enabled(context.Background(), slog.LevelWarn) {
+		o.log.LogAttrs(context.Background(), slog.LevelWarn, "breaker state change",
+			slog.String("from", from), slog.String("to", to))
+	}
+}
+
+// discardHandler is a no-op slog.Handler. (The stdlib gained one after the
+// Go version CI pins, so the service carries its own.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// newServiceLogger resolves the configured structured logger: Slog wins, a
+// legacy Logger is bridged through a text handler on its writer, and with
+// neither set logs are discarded.
+func newServiceLogger(cfg Config) *slog.Logger {
+	if cfg.Slog != nil {
+		return cfg.Slog
+	}
+	if cfg.Logger != nil {
+		return slog.New(slog.NewTextHandler(cfg.Logger.Writer(), nil))
+	}
+	return slog.New(discardHandler{})
+}
+
+// buildMeta is the once-resolved build identification served by /healthz and
+// the epfis_build_info metric.
+type buildMeta struct{ version, revision, goVersion string }
+
+var buildInfo = sync.OnceValue(func() buildMeta {
+	bi := buildMeta{version: "unknown", revision: "unknown", goVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.version = info.Main.Version
+	}
+	for _, st := range info.Settings {
+		if st.Key == "vcs.revision" {
+			bi.revision = st.Value
+		}
+	}
+	return bi
+})
+
+// traceOf recovers the request's span buffer from the pooled status
+// recorder. A nil result (tracing disabled, or a writer the middleware did
+// not wrap) is safe to pass everywhere: TraceBuf methods no-op on nil.
+func traceOf(w http.ResponseWriter) *obs.TraceBuf {
+	if rec, ok := w.(*statusRecorder); ok {
+		return rec.trace
+	}
+	return nil
+}
+
+// wantsProm reports whether a /metrics request asked for the Prometheus text
+// format — ?format=prom, or an Accept header naming text/plain. The default
+// stays the historical JSON document.
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
+}
+
+// traceSpanDoc is one stage in a /debug/traces entry.
+type traceSpanDoc struct {
+	Name        string  `json:"name"`
+	StartMicros float64 `json:"startMicros"`
+	DurMicros   float64 `json:"durMicros"`
+}
+
+// traceDoc is one completed request in /debug/traces, newest first.
+type traceDoc struct {
+	Trace          string         `json:"trace"`
+	Span           string         `json:"span"`
+	Parent         string         `json:"parent,omitempty"`
+	Route          string         `json:"route"`
+	Status         int            `json:"status"`
+	Start          time.Time      `json:"start"`
+	DurationMicros float64        `json:"durationMicros"`
+	Slow           bool           `json:"slow"`
+	Spans          []traceSpanDoc `json:"spans"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	o := s.obs
+	if o.ring == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing disabled"))
+		return
+	}
+	slowOnly := r.URL.Query().Get("slow") == "1"
+	total, slow := o.ring.Totals()
+	out := struct {
+		Ring                int        `json:"ring"`
+		Total               uint64     `json:"total"`
+		Slow                uint64     `json:"slow"`
+		SlowThresholdMicros float64    `json:"slowThresholdMicros,omitempty"`
+		Traces              []traceDoc `json:"traces"`
+	}{Ring: o.ring.Len(), Total: total, Slow: slow, Traces: []traceDoc{}}
+	if o.slow > 0 {
+		out.SlowThresholdMicros = float64(o.slow) / 1e3
+	}
+	for _, rec := range o.ring.Snapshot() {
+		if slowOnly && !rec.Slow {
+			continue
+		}
+		td := traceDoc{
+			Trace:          rec.TP.TraceString(),
+			Span:           rec.TP.Span.String(),
+			Route:          rec.Route,
+			Status:         rec.Status,
+			Start:          rec.Wall,
+			DurationMicros: float64(rec.Duration) / 1e3,
+			Slow:           rec.Slow,
+			Spans:          make([]traceSpanDoc, 0, rec.NSpans),
+		}
+		if rec.HasParent {
+			td.Parent = rec.Parent.String()
+		}
+		for i := 0; i < rec.NSpans; i++ {
+			sp := rec.Spans[i]
+			td.Spans = append(td.Spans, traceSpanDoc{
+				Name:        sp.Name,
+				StartMicros: float64(sp.Start) / 1e3,
+				DurMicros:   float64(sp.End-sp.Start) / 1e3,
+			})
+		}
+		out.Traces = append(out.Traces, td)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,456 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"epfis/internal/catalog"
+	"epfis/internal/obs"
+)
+
+// newObsServer builds a server with every request flagged slow, so one
+// request is enough to land a span breakdown in the trace ring.
+func newObsServer(t testing.TB) (*Server, *catalog.Store) {
+	t.Helper()
+	store := catalog.NewStore()
+	if _, err := store.Put(fitStats(t, "orders", "key", 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, SlowTrace: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, store
+}
+
+func TestTraceparentEchoAndPropagation(t *testing.T) {
+	srv, _ := newObsServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// An inbound traceparent is re-parented: same trace id, fresh span id.
+	const inbound = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/estimate?table=orders&column=key&b=64&sigma=0.05", nil)
+	req.Header.Set("Traceparent", inbound)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	echoed := resp.Header.Get("Traceparent")
+	tp, ok := obs.ParseTraceparent(echoed)
+	if !ok {
+		t.Fatalf("response traceparent %q unparseable", echoed)
+	}
+	if got := tp.TraceString(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id not propagated: %s", got)
+	}
+	if tp.Span.String() == "00f067aa0ba902b7" {
+		t.Fatal("span id not re-parented")
+	}
+
+	// Malformed and absent headers fall back to locally generated ids.
+	for _, hdr := range []string{"", "not-a-traceparent", strings.ToUpper(inbound)} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if hdr != "" {
+			req.Header.Set("Traceparent", hdr)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		tp, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+		if !ok {
+			t.Fatalf("header %q: response traceparent %q unparseable", hdr, resp.Header.Get("Traceparent"))
+		}
+		if tp.TraceString() == "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Fatalf("header %q: malformed input must not be propagated", hdr)
+		}
+	}
+}
+
+func TestClientPropagatesTraceparent(t *testing.T) {
+	srv, _ := newObsServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client, err := NewClient(ClientConfig{BaseURL: ts.URL, HTTPClient: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A caller-provided traceparent travels Client -> service and shows up
+	// with its parent span in the trace ring.
+	tp := obs.NewTraceparent()
+	ctx := obs.ContextWithTraceparent(context.Background(), tp)
+	if _, err := client.Estimate(ctx, EstimateRequest{Table: "orders", Column: "key", B: 64, Sigma: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	// Without one, the client generates a fresh identity per call.
+	if _, err := client.Estimate(context.Background(), EstimateRequest{Table: "orders", Column: "key", B: 64, Sigma: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+
+	found := false
+	for _, rec := range srv.obs.ring.Snapshot() {
+		if rec.TP.Trace == tp.Trace {
+			found = true
+			if !rec.HasParent || rec.Parent != tp.Span {
+				t.Fatalf("trace %s recorded without client parent span: %+v", tp.TraceString(), rec)
+			}
+			if rec.TP.Span == tp.Span {
+				t.Fatal("server reused the client span id")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("client trace %s not found in ring", tp.TraceString())
+	}
+}
+
+func TestDebugTracesSpanBreakdown(t *testing.T) {
+	srv, _ := newObsServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A memo-cold estimate records all four stages.
+	resp, err := ts.Client().Get(ts.URL + "/v1/estimate?table=orders&column=key&b=512&sigma=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	var out struct {
+		Ring   int    `json:"ring"`
+		Total  uint64 `json:"total"`
+		Slow   uint64 `json:"slow"`
+		Traces []struct {
+			Trace          string  `json:"trace"`
+			Route          string  `json:"route"`
+			Status         int     `json:"status"`
+			DurationMicros float64 `json:"durationMicros"`
+			Slow           bool    `json:"slow"`
+			Spans          []struct {
+				Name        string  `json:"name"`
+				StartMicros float64 `json:"startMicros"`
+				DurMicros   float64 `json:"durMicros"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	r2, err := ts.Client().Get(ts.URL + "/debug/traces?slow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Ring != DefaultTraceRing || out.Total == 0 || out.Slow == 0 {
+		t.Fatalf("trace totals: %+v", out)
+	}
+	var est *struct {
+		Trace          string  `json:"trace"`
+		Route          string  `json:"route"`
+		Status         int     `json:"status"`
+		DurationMicros float64 `json:"durationMicros"`
+		Slow           bool    `json:"slow"`
+		Spans          []struct {
+			Name        string  `json:"name"`
+			StartMicros float64 `json:"startMicros"`
+			DurMicros   float64 `json:"durMicros"`
+		} `json:"spans"`
+	}
+	for i := range out.Traces {
+		if out.Traces[i].Route == routeEstimate {
+			est = &out.Traces[i]
+			break
+		}
+	}
+	if est == nil {
+		t.Fatalf("no %s trace in ring: %+v", routeEstimate, out.Traces)
+	}
+	if est.Status != http.StatusOK || !est.Slow || len(est.Trace) != 32 {
+		t.Fatalf("estimate trace: %+v", est)
+	}
+	want := []string{obs.StageParse, obs.StageCache, obs.StageEstimate, obs.StageEncode}
+	if len(est.Spans) != len(want) {
+		t.Fatalf("spans = %+v, want %v", est.Spans, want)
+	}
+	for i, name := range want {
+		if est.Spans[i].Name != name {
+			t.Fatalf("span %d = %q, want %q", i, est.Spans[i].Name, name)
+		}
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	store := catalog.NewStore()
+	if _, err := store.Put(fitStats(t, "orders", "key", 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, TraceRing: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/estimate?table=orders&column=key&b=64&sigma=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("Traceparent"); got != "" {
+		t.Fatalf("disabled tracing still echoes traceparent %q", got)
+	}
+	r2, err := ts.Client().Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/traces status = %d with tracing disabled", r2.StatusCode)
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	srv, _ := newObsServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Drive a little traffic so histograms and counters are non-empty.
+	for i := 0; i < 4; i++ {
+		resp, err := ts.Client().Get(ts.URL + "/v1/estimate?table=orders&column=key&b=64&sigma=0.05")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/estimate?table=nosuch&column=key&b=64&sigma=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Default stays the JSON document.
+	dflt, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dflt.Body.Close()
+	if ct := dflt.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default /metrics Content-Type = %q", ct)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(dflt.Body).Decode(&doc); err != nil {
+		t.Fatalf("default /metrics not JSON: %v", err)
+	}
+	if _, ok := doc["routes"]; !ok {
+		t.Fatalf("JSON document lost its routes map: %v", doc)
+	}
+
+	// Both negotiation forms yield a valid Prometheus exposition.
+	fetch := func(build func() *http.Request) string {
+		t.Helper()
+		resp, err := ts.Client().Do(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+			t.Fatalf("prom /metrics Content-Type = %q", ct)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateExposition(data); err != nil {
+			t.Fatalf("invalid exposition: %v\n%s", err, data)
+		}
+		return string(data)
+	}
+	byQuery := fetch(func() *http.Request {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics?format=prom", nil)
+		return req
+	})
+	fetch(func() *http.Request {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+		req.Header.Set("Accept", "text/plain")
+		return req
+	})
+
+	for _, want := range []string{
+		`epfis_http_requests_total{route="GET /v1/estimate",status="2xx"} 4`,
+		`epfis_http_requests_total{route="GET /v1/estimate",status="4xx"} 1`,
+		`epfis_http_request_duration_seconds_bucket{route="GET /v1/estimate",le="+Inf"} 5`,
+		`epfis_index_estimates_total{index="orders.key"} 4`,
+		"epfis_estimate_buffer_pages_bucket",
+		"epfis_estimate_sigma_bucket",
+		"epfis_cache_hits_total",
+		"epfis_catalog_generation 1",
+		"epfis_degraded 0",
+		"epfis_draining 0",
+		"epfis_traces_total",
+		"epfis_build_info{",
+		"epfis_uptime_seconds",
+	} {
+		if !strings.Contains(byQuery, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestShedAndDrainingStatusLabels(t *testing.T) {
+	store := catalog.NewStore()
+	if _, err := store.Put(fitStats(t, "orders", "key", 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, MaxInflight: 1, RequestTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Saturate the estimate route's admission semaphore directly, then one
+	// request sheds with 429.
+	srv.inflight[routeEstimate] <- struct{}{}
+	resp, err := ts.Client().Get(ts.URL + "/v1/estimate?table=orders&column=key&b=64&sigma=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated route status = %d, want 429", resp.StatusCode)
+	}
+	<-srv.inflight[routeEstimate]
+
+	// Draining healthz answers 503.
+	srv.draining.Store(true)
+	r2, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", r2.StatusCode)
+	}
+	srv.draining.Store(false)
+
+	r3, err := ts.Client().Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	data, err := io.ReadAll(r3.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(data); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		`epfis_http_requests_total{route="GET /v1/estimate",status="429"} 1`,
+		`epfis_http_requests_total{route="GET /healthz",status="503"} 1`,
+		"epfis_admission_shed_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHealthzBuildInfo(t *testing.T) {
+	srv, _ := newObsServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var h Health
+	getJSON(t, ts, "/healthz", http.StatusOK, &h)
+	if h.GoVersion == "" || h.Version == "" || h.Revision == "" {
+		t.Fatalf("healthz missing build info: %+v", h)
+	}
+	if h.Generation != 1 || h.UptimeSeconds < 0 {
+		t.Fatalf("healthz generation/uptime: %+v", h)
+	}
+}
+
+func TestPutIndexRegistersEstimateCounter(t *testing.T) {
+	srv, _ := newObsServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	st := fitStats(t, "users", "id", 7)
+	body, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/indexes/users/id", strings.NewReader(string(body)))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status %d", resp.StatusCode)
+	}
+
+	r2, err := ts.Client().Get(ts.URL + "/v1/estimate?table=users&column=id&b=64&sigma=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+
+	r3, err := ts.Client().Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	data, err := io.ReadAll(r3.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `epfis_index_estimates_total{index="users.id"} 1`) {
+		t.Fatalf("installed index has no estimate counter:\n%s", data)
+	}
+}
+
+func TestSlowTraceThreshold(t *testing.T) {
+	store := catalog.NewStore()
+	if _, err := store.Put(fitStats(t, "orders", "key", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A generous threshold: microsecond requests must not be flagged slow.
+	srv, err := New(Config{Store: store, SlowTrace: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/estimate?table=orders&column=key&b=64&sigma=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	total, slow := srv.obs.ring.Totals()
+	if total == 0 || slow != 0 {
+		t.Fatalf("totals = %d/%d, want >0 total and 0 slow", total, slow)
+	}
+}

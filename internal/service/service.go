@@ -27,8 +27,11 @@
 //	PUT    /v1/indexes/{table}/{column}     install statistics
 //	DELETE /v1/indexes/{table}/{column}     drop statistics
 //	POST   /v1/reload                       re-read the catalog file
-//	GET    /healthz                         liveness + catalog generation
-//	GET    /metrics                         counters (expvar-style JSON)
+//	GET    /healthz                         liveness + build info + generation
+//	GET    /metrics                         counters (JSON default; Prometheus
+//	                                        text via Accept: text/plain or
+//	                                        ?format=prom)
+//	GET    /debug/traces                    recent request traces (JSON)
 //
 // Invalid estimation inputs surface as HTTP 400 carrying the core package's
 // typed sentinel message; unknown indexes as 404. Handlers run behind
@@ -55,6 +58,23 @@
 //     load balancers rotate the instance out.
 //
 // Persistence failures surface as 503 (retryable), never as wrong answers.
+//
+// # Observability
+//
+// A zero-allocation observability core (package obs) is threaded through
+// every request: per-route latency histograms and status-class counters,
+// estimate-shape distributions (requested B, sigma, per-index counts), and
+// bridges over the cache, breaker, degraded, and catalog state, all
+// exported as a Prometheus text exposition when GET /metrics is asked for
+// text/plain (the JSON document stays the default). Requests carry W3C
+// traceparent identities — inbound headers are re-parented, absent or
+// malformed ones replaced — with per-stage spans (parse/cache/estimate/
+// encode) recorded into pooled buffers and retained in a fixed ring served
+// by GET /debug/traces. Lifecycle and degradation events are structured
+// log/slog records (Config.Slog). The hot path records into preallocated
+// atomics only: with tracing and histograms enabled the estimate routes
+// stay within the committed alloc budgets (see cmd/epfis-bench -suite
+// serve).
 package service
 
 import (
@@ -62,8 +82,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -73,6 +93,7 @@ import (
 
 	"epfis/internal/catalog"
 	"epfis/internal/core"
+	"epfis/internal/obs"
 	"epfis/internal/resilience"
 	"epfis/internal/stats"
 )
@@ -115,7 +136,21 @@ type Config struct {
 	// before probing again. 0 = resilience.DefaultBreakerCooldown.
 	BreakerCooldown time.Duration
 	// Logger receives lifecycle and panic logs; nil discards them.
+	// Deprecated in favour of Slog: when only Logger is set it is bridged
+	// through a slog text handler on its writer.
 	Logger *log.Logger
+	// Slog receives structured service logs (request tracing, degraded-mode
+	// transitions, breaker state changes). Takes precedence over Logger;
+	// with both nil, logs are discarded.
+	Slog *slog.Logger
+	// TraceRing sizes the ring of recently completed request traces served
+	// at GET /debug/traces. 0 = DefaultTraceRing; negative disables request
+	// tracing entirely (no traceparent handling, no span recording).
+	TraceRing int
+	// SlowTrace is the duration at which a completed request is flagged
+	// slow: counted in epfis_traces_slow_total and logged at warn.
+	// 0 = DefaultSlowTrace; negative flags every request (tests, drills).
+	SlowTrace time.Duration
 }
 
 // reloadFailure records why the service is degraded.
@@ -131,9 +166,9 @@ type Server struct {
 	store    *catalog.Store
 	cache    *memoCache // nil when disabled
 	met      *metrics
+	obs      *serverObs
 	handler  http.Handler
 	maxBatch int
-	log      *log.Logger
 
 	inflight map[string]chan struct{} // per-route admission tokens; nil route = unbounded
 	breaker  *resilience.Breaker      // nil when disabled
@@ -151,6 +186,7 @@ const (
 	routeReload      = "POST /v1/reload"
 	routeHealthz     = "GET /healthz"
 	routeMetrics     = "GET /metrics"
+	routeTraces      = "GET /debug/traces"
 )
 
 // New builds the service around a catalog store.
@@ -161,13 +197,9 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		store:    cfg.Store,
 		maxBatch: cfg.MaxBatch,
-		log:      cfg.Logger,
 	}
 	if s.maxBatch == 0 {
 		s.maxBatch = DefaultMaxBatch
-	}
-	if s.log == nil {
-		s.log = log.New(io.Discard, "", 0)
 	}
 	switch {
 	case cfg.CacheEntries == 0:
@@ -175,17 +207,23 @@ func New(cfg Config) (*Server, error) {
 	case cfg.CacheEntries > 0:
 		s.cache = newMemoCache(cfg.CacheEntries)
 	}
-	s.met = newMetrics([]string{
+	routeNames := []string{
 		routeEstimate, routeBatch, routeIndexes, routePutIndex,
 		routeDeleteIndex, routeReload, routeHealthz, routeMetrics,
-	})
+		routeTraces,
+	}
+	s.met = newMetrics(routeNames)
 
 	if cfg.BreakerFailures >= 0 {
 		s.breaker = resilience.NewBreaker(resilience.BreakerConfig{
 			Failures: cfg.BreakerFailures,
 			Cooldown: cfg.BreakerCooldown,
+			// The hook fires only on mutations at runtime, after New has
+			// finished wiring s.obs (and guards nil regardless).
+			OnStateChange: s.onBreakerChange,
 		})
 	}
+	s.obs = newServerObs(s, cfg, routeNames)
 	maxInflight := cfg.MaxInflight
 	if maxInflight == 0 {
 		maxInflight = DefaultMaxInflight
@@ -211,6 +249,7 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle(routeReload, s.instrument(routeReload, s.handleReload))
 	mux.Handle(routeHealthz, s.instrument(routeHealthz, s.handleHealthz))
 	mux.Handle(routeMetrics, s.instrument(routeMetrics, s.handleMetrics))
+	mux.Handle(routeTraces, s.instrument(routeTraces, s.handleTraces))
 
 	var h http.Handler = mux
 	timeout := cfg.RequestTimeout
@@ -250,8 +289,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	s.log.Printf("service: listening on %s (%d catalog entries, generation %d)",
-		ln.Addr(), s.store.Len(), s.store.Generation())
+	s.obs.log.LogAttrs(ctx, slog.LevelInfo, "service listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("indexes", s.store.Len()),
+		slog.Uint64("generation", s.store.Generation()))
 	select {
 	case err := <-errc:
 		return err
@@ -259,7 +300,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		// Flip health to draining before the listener closes, so balancers
 		// checking /healthz rotate this instance out during the drain.
 		s.draining.Store(true)
-		s.log.Printf("service: shutting down")
+		s.obs.log.LogAttrs(context.Background(), slog.LevelInfo, "service draining")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
@@ -269,24 +310,61 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 }
 
-// instrument wraps a handler with admission control, panic recovery, and
-// per-route metrics.
+// instrument wraps a handler with admission control, panic recovery,
+// per-route metrics, and request tracing. The route's instruments are
+// resolved once at wrap time, so per-request recording touches no maps. With
+// tracing on, the incoming traceparent is parsed (or a fresh identity
+// generated), echoed on the response, and a pooled span buffer rides the
+// status recorder through the handler; shed (429) responses are recorded in
+// the same per-route metrics as handled ones, with their own status label.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	sem := s.inflight[route] // nil for exempt routes or disabled admission
+	ro := s.obs.routes[route]
+	tracing := s.obs.tracing()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := recPool.Get().(*statusRecorder)
-		rec.ResponseWriter, rec.status, rec.wrote = w, http.StatusOK, false
+		rec.ResponseWriter, rec.status, rec.wrote, rec.trace = w, http.StatusOK, false, nil
+		if tracing {
+			tp, hasParent := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+			var parent obs.SpanID
+			if hasParent {
+				parent = tp.Span
+				tp.Span = obs.NewSpanID()
+			} else {
+				tp = obs.NewTraceparent()
+			}
+			tb := obs.GetTraceBuf(tp, route, start)
+			tb.Parent, tb.HasParent = parent, hasParent
+			rec.trace = tb
+			w.Header().Set(obs.TraceparentHeader, tp.String())
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				s.met.panics.Add(1)
-				s.log.Printf("service: panic on %s: %v", route, p)
+				s.obs.log.LogAttrs(context.Background(), slog.LevelError, "handler panic",
+					slog.String("route", route), slog.Any("panic", p))
 				if !rec.wrote {
 					writeError(rec, http.StatusInternalServerError, errors.New("internal error"))
 				}
 				rec.status = http.StatusInternalServerError
 			}
-			s.met.observe(route, rec.status, time.Since(start))
+			d := time.Since(start)
+			s.met.observe(route, rec.status, d)
+			s.obs.observeRoute(ro, rec.status, d)
+			if tb := rec.trace; tb != nil {
+				slow := s.obs.isSlow(d)
+				s.obs.ring.Record(tb, rec.status, start, d, slow)
+				if slow && s.obs.log.Enabled(context.Background(), slog.LevelWarn) {
+					s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+						slog.String("route", route),
+						slog.String("trace", tb.TP.TraceString()),
+						slog.Int("status", rec.status),
+						slog.Duration("duration", d))
+				}
+				rec.trace = nil
+				obs.PutTraceBuf(tb)
+			}
 			rec.ResponseWriter = nil
 			recPool.Put(rec)
 		}()
@@ -307,13 +385,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	})
 }
 
-// statusRecorder captures the response status for metrics. Instances are
-// pooled by instrument; a recorder is returned to the pool only after the
-// handler and its deferred metrics observation are both done with it.
+// statusRecorder captures the response status for metrics and carries the
+// request's trace buffer to the handlers (avoiding a context allocation).
+// Instances are pooled by instrument; a recorder is returned to the pool
+// only after the handler and its deferred metrics observation are both done
+// with it.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	wrote  bool
+	trace  *obs.TraceBuf
 }
 
 var recPool = sync.Pool{New: func() any { return new(statusRecorder) }}
@@ -372,7 +453,8 @@ type EstimateResponse struct {
 // snapshot's pre-compiled form (flat slices, no interface dispatch) whenever
 // one exists — EstIO interpretation remains only as the fallback for entries
 // whose compilation failed.
-func (s *Server) estimate(snap *catalog.Snapshot, in *estimateInput, out *estimateResult) error {
+func (s *Server) estimate(snap *catalog.Snapshot, in *estimateInput, out *estimateResult, tb *obs.TraceBuf) error {
+	s.obs.observeEstimate(in.table, in.column, in.b, in.sigma)
 	ce, ok := snap.Compiled(in.table, in.column)
 	var entry *stats.IndexStats
 	if !ok {
@@ -385,6 +467,7 @@ func (s *Server) estimate(snap *catalog.Snapshot, in *estimateInput, out *estima
 	out.gen = snap.Generation()
 	out.cached = false
 	key := memoKey{table: in.table, column: in.column, gen: out.gen, b: in.b, sigma: in.sigma, sarg: in.s}
+	tb.Mark(obs.StageCache)
 	if s.cache != nil {
 		if est, hit := s.cache.get(key); hit {
 			out.est = est
@@ -393,6 +476,7 @@ func (s *Server) estimate(snap *catalog.Snapshot, in *estimateInput, out *estima
 			return nil
 		}
 	}
+	tb.Mark(obs.StageEstimate)
 	var err error
 	if ce != nil {
 		err = ce.EstimateInto(&out.est, core.Input{B: in.b, Sigma: in.sigma, S: in.s})
@@ -410,22 +494,26 @@ func (s *Server) estimate(snap *catalog.Snapshot, in *estimateInput, out *estima
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	tb := traceOf(w)
+	tb.Mark(obs.StageParse)
 	var in estimateInput
 	if err := parseEstimateQuery(r, &in); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var res estimateResult
-	if err := s.estimate(s.store.Snapshot(), &in, &res); err != nil {
+	if err := s.estimate(s.store.Snapshot(), &in, &res, tb); err != nil {
 		writeError(w, statusOf(err), err)
 		return
 	}
+	tb.Mark(obs.StageEncode)
 	buf := getBuf()
 	b := appendEstimateResponse(*buf, &in, &res)
 	b = append(b, '\n') // json.Encoder.Encode appended one; stay byte-identical
 	writeResponseBytes(w, http.StatusOK, b)
 	*buf = b
 	putBuf(buf)
+	tb.CloseSpan()
 }
 
 // BatchRequest and BatchResponse amortize per-request overhead: one HTTP
@@ -451,6 +539,8 @@ type BatchResponse struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tb := traceOf(w)
+	tb.Mark(obs.StageParse)
 	scratch := getBatchScratch()
 	defer putBatchScratch(scratch)
 	body, err := readBody(http.MaxBytesReader(w, r.Body, maxBodyBytes), scratch.body)
@@ -474,13 +564,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Snapshot()
 	items := scratch.items[:0]
 	failed := 0
+	// Batch items share one aggregate estimate span (per-item spans would
+	// overflow the fixed buffer and say little); the estimate() internals
+	// pass nil and stay span-silent.
+	tb.Mark(obs.StageEstimate)
 	var res estimateResult
 	for i := range scratch.reqs {
 		in := &scratch.reqs[i]
 		if i > 0 {
 			items = append(items, ',')
 		}
-		if err := s.estimate(snap, in, &res); err != nil {
+		if err := s.estimate(snap, in, &res, nil); err != nil {
 			items = appendBatchItemError(items, err.Error(), statusOf(err))
 			failed++
 			continue
@@ -490,6 +584,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		items = append(items, '}')
 	}
 	scratch.items = items
+	tb.Mark(obs.StageEncode)
 	out := scratch.out[:0]
 	out = append(out, `{"count":`...)
 	out = strconv.AppendInt(out, int64(len(scratch.reqs)), 10)
@@ -502,6 +597,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out = append(out, ']', '}', '\n')
 	scratch.out = out
 	writeResponseBytes(w, http.StatusOK, out)
+	tb.CloseSpan()
 }
 
 // indexSummary is one row of the catalog listing.
@@ -587,6 +683,7 @@ func (s *Server) handlePutIndex(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		s.cache.dropOtherGenerations(gen)
 	}
+	s.obs.syncIndexes(s.store.Snapshot())
 	writeJSON(w, http.StatusOK, map[string]any{"key": e.Key(), "generation": gen})
 }
 
@@ -640,15 +737,21 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			at:       time.Now(),
 		})
 		s.met.reloadFailures.Add(1)
-		s.log.Printf("service: reload failed, serving degraded from generation %d: %v", s.store.Generation(), err)
+		s.obs.log.LogAttrs(r.Context(), slog.LevelError, "reload failed, serving degraded",
+			slog.Uint64("staleGeneration", s.store.Generation()),
+			slog.String("error", err.Error()))
 		writeRetryable(w, http.StatusServiceUnavailable, err, time.Second)
 		return
 	}
 	commit(false)
-	s.degraded.Store(nil)
+	if s.degraded.Swap(nil) != nil {
+		s.obs.log.LogAttrs(r.Context(), slog.LevelInfo, "reload recovered, degraded mode cleared",
+			slog.Uint64("generation", gen))
+	}
 	if s.cache != nil {
 		s.cache.dropOtherGenerations(gen)
 	}
+	s.obs.syncIndexes(s.store.Snapshot())
 	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "indexes": s.store.Len()})
 }
 
@@ -661,12 +764,17 @@ func (s *Server) beginMutation() (commit func(failure bool), retryAfter time.Dur
 	return s.breaker.Begin()
 }
 
-// Health is the /healthz document (also returned by Client.Health).
+// Health is the /healthz document (also returned by Client.Health). The
+// build fields let probes distinguish a fresh restart of a new binary from a
+// long-running degraded instance.
 type Health struct {
 	Status          string  `json:"status"` // "ok", "degraded", or "draining"
 	Generation      uint64  `json:"generation"`
 	Indexes         int     `json:"indexes"`
 	UptimeSeconds   float64 `json:"uptimeSeconds"`
+	Version         string  `json:"version,omitempty"`   // module version from build info
+	Revision        string  `json:"revision,omitempty"`  // vcs.revision from build info
+	GoVersion       string  `json:"goVersion,omitempty"` // toolchain that built the binary
 	Degraded        bool    `json:"degraded"`
 	StaleGeneration uint64  `json:"staleGeneration,omitempty"`
 	LastReloadError string  `json:"lastReloadError,omitempty"`
@@ -677,11 +785,15 @@ type Health struct {
 // health assembles the current Health document.
 func (s *Server) health() Health {
 	snap := s.store.Snapshot()
+	bi := buildInfo()
 	h := Health{
 		Status:          "ok",
 		Generation:      snap.Generation(),
 		Indexes:         snap.Len(),
 		UptimeSeconds:   time.Since(s.met.start).Seconds(),
+		Version:         bi.version,
+		Revision:        bi.revision,
+		GoVersion:       bi.goVersion,
 		RecoveredAtOpen: s.store.Recovered(),
 	}
 	if s.breaker != nil {
@@ -712,6 +824,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Content negotiation: ?format=prom or Accept: text/plain yields the
+	// Prometheus text exposition; the default stays the historical JSON
+	// document so existing consumers see identical bytes.
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		w.WriteHeader(http.StatusOK)
+		buf := getBuf()
+		b := s.obs.reg.AppendText((*buf)[:0])
+		_, _ = w.Write(b)
+		*buf = b
+		putBuf(buf)
+		return
+	}
 	out := s.met.snapshot(s.cache)
 	res := map[string]any{
 		"sheds":          s.met.sheds.Load(),
