@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos bench bench-json bench-serve bench-smoke fuzz obs-check serve vet all
+.PHONY: build test race chaos cluster-check bench bench-json bench-serve bench-smoke fuzz obs-check serve vet all
 
 all: build vet test
 
@@ -15,7 +15,7 @@ test:
 
 # Race-test the concurrent subsystems (catalog store + estimation service).
 race:
-	$(GO) test -race ./internal/catalog/... ./internal/service/... ./cmd/epfis-serve/...
+	$(GO) test -race ./internal/catalog/... ./internal/cluster/... ./internal/service/... ./cmd/epfis-serve/...
 
 # Resilience drills under the race detector: fault injection on every catalog
 # write path mid-traffic, commit-abort and recovery invariants, overload
@@ -46,6 +46,13 @@ bench-serve:
 # One-iteration pass over the perf-relevant benchmarks, as run in CI.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/lrusim/ ./internal/workload/ ./internal/experiment/
+
+# Cluster smoke: spawn a 3-node cluster (R=2) on loopback, install an index
+# through one node, verify bit-exact estimates from all three (own vs proxy),
+# verify the checksummed snapshot stream imports, then kill a node and verify
+# the survivors keep serving. See README "Running a cluster".
+cluster-check:
+	$(GO) run ./cmd/epfis-clustercheck
 
 # Observability smoke: spin up a live service instance and check /metrics in
 # both negotiated formats (the Prometheus exposition is run through the obs

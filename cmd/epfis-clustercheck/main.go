@@ -1,0 +1,323 @@
+// Command epfis-clustercheck smoke-tests cluster mode end to end over real
+// HTTP: it spawns a 3-node cluster (the same servers epfis-serve runs) on
+// loopback ports, installs a freshly fitted index through one node, verifies
+// every node answers the same estimate bit-for-bit (serving its own keys or
+// proxying to an owner), verifies the snapshot stream imports cleanly, then
+// kills one node and verifies the survivors keep serving bit-exact answers.
+//
+//	epfis-clustercheck
+//
+// Exit status is non-zero when any check fails; `make cluster-check` runs it
+// in CI alongside the chaos and observability drills.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"epfis/internal/catalog"
+	"epfis/internal/cluster"
+	"epfis/internal/core"
+	"epfis/internal/datagen"
+	"epfis/internal/service"
+	"epfis/internal/stats"
+)
+
+const (
+	checkTable  = "epfis_clustercheck"
+	checkColumn = "key"
+	numNodes    = 3
+	replicas    = 2
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "epfis-clustercheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// member is one spawned node: its base URL plus the handles needed to kill it.
+type member struct {
+	id     string
+	base   string
+	store  *catalog.Store
+	node   *cluster.Node
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("epfis-clustercheck", flag.ExitOnError)
+	timeout := fs.Duration("timeout", 60*time.Second, "overall deadline for the checks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	out := os.Stdout
+
+	// Listeners first: every node must know every URL before it starts.
+	lns := make([]net.Listener, numNodes)
+	urls := make([]string, numNodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+
+	members := make([]*member, numNodes)
+	for i := range members {
+		m, err := spawn(ctx, fmt.Sprintf("node-%c", 'a'+i), lns[i], urls)
+		if err != nil {
+			return err
+		}
+		defer m.cancel()
+		members[i] = m
+	}
+	client := &http.Client{}
+	for _, m := range members {
+		if err := pollHealthz(ctx, client, m.base); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "ok spawn: %d nodes up (R=%d)\n", numNodes, replicas)
+
+	// Let gossip converge: every node must see all members on its ring.
+	if err := waitFor(ctx, "membership convergence", func() bool {
+		for _, m := range members {
+			if m.node.Ring().Len() != numNodes {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ok gossip: all rings have %d members\n", numNodes)
+
+	// Install a freshly fitted index through one node; replication must land
+	// it on every store.
+	st, err := fitCheckStats()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	putPath := fmt.Sprintf("/v1/indexes/%s/%s", checkTable, checkColumn)
+	if _, _, err := do(ctx, client, http.MethodPut, members[0].base+putPath, body); err != nil {
+		return fmt.Errorf("install check index: %w", err)
+	}
+	for _, m := range members {
+		if m.store.Len() != 1 {
+			return fmt.Errorf("replication: %s has %d catalog entries, want 1", m.id, m.store.Len())
+		}
+	}
+	fmt.Fprintf(out, "ok install: %s.%s replicated to all %d stores\n", checkTable, checkColumn, numNodes)
+
+	// Every node must answer the estimate bit-for-bit — owners serve locally,
+	// non-owners proxy one hop.
+	want, err := core.EstimateFetches(st, 128, 0.1, 1)
+	if err != nil {
+		return err
+	}
+	key := checkTable + "." + checkColumn
+	estPath := fmt.Sprintf("/v1/estimate?table=%s&column=%s&b=128&sigma=0.1", checkTable, checkColumn)
+	for _, m := range members {
+		got, err := estimate(ctx, client, m.base+estPath)
+		if err != nil {
+			return fmt.Errorf("estimate via %s: %w", m.id, err)
+		}
+		if got != want {
+			return fmt.Errorf("estimate via %s = %v, want %v (owns=%v)", m.id, got, want, m.node.Owns(key))
+		}
+	}
+	fmt.Fprintf(out, "ok estimate: bit-exact (%v) from all %d nodes\n", want, numNodes)
+
+	// The snapshot stream must carry the checksummed catalog and import into
+	// a fresh store — the path a recovering node uses.
+	_, raw, err := do(ctx, client, http.MethodGet, members[0].base+cluster.PathSnapshot, nil)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	fresh := catalog.NewStore()
+	if _, err := fresh.ImportSnapshot(raw); err != nil {
+		return fmt.Errorf("snapshot import: %w", err)
+	}
+	if fresh.Len() != 1 {
+		return fmt.Errorf("snapshot import: %d entries, want 1", fresh.Len())
+	}
+	fmt.Fprintf(out, "ok snapshot: %d-byte checksummed stream imports cleanly\n", len(raw))
+
+	// Kill one node abruptly. The survivors must keep answering bit-exactly:
+	// each one either owns the key or proxies to the surviving owner.
+	victim := members[numNodes-1]
+	victim.cancel()
+	<-victim.done
+	fmt.Fprintf(out, "ok kill: %s terminated\n", victim.id)
+
+	for _, m := range members[:numNodes-1] {
+		var got float64
+		// The first attempt may race the dead node's teardown; allow brief
+		// retries, but only honest errors are tolerated along the way.
+		err := retry(ctx, 20, 100*time.Millisecond, func() error {
+			var err error
+			got, err = estimate(ctx, client, m.base+estPath)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("post-kill estimate via %s: %w", m.id, err)
+		}
+		if got != want {
+			return fmt.Errorf("post-kill estimate via %s = %v, want %v", m.id, got, want)
+		}
+	}
+	fmt.Fprintf(out, "ok survive: bit-exact (%v) from both survivors after the kill\n", want)
+	return nil
+}
+
+// spawn starts one cluster-mode service node on a pre-opened listener.
+func spawn(ctx context.Context, id string, ln net.Listener, urls []string) (*member, error) {
+	store := catalog.NewStore()
+	node, err := cluster.NewNode(cluster.Config{
+		SelfID:    id,
+		SelfURL:   "http://" + ln.Addr().String(),
+		Seeds:     urls,
+		Replicas:  replicas,
+		Heartbeat: 100 * time.Millisecond,
+		Store:     store,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := service.New(service.Config{Store: store, Cluster: node})
+	if err != nil {
+		return nil, err
+	}
+	nctx, cancel := context.WithCancel(ctx)
+	go node.Run(nctx)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(nctx, ln) }()
+	return &member{
+		id:     id,
+		base:   "http://" + ln.Addr().String(),
+		store:  store,
+		node:   node,
+		cancel: cancel,
+		done:   done,
+	}, nil
+}
+
+// waitFor polls cond until it holds or ctx expires.
+func waitFor(ctx context.Context, what string, cond func() bool) error {
+	for {
+		if cond() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("timed out waiting for %s", what)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// retry runs fn up to n times with a fixed pause between attempts.
+func retry(ctx context.Context, n int, pause time.Duration, fn func() error) error {
+	var err error
+	for i := 0; i < n; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(pause):
+		}
+	}
+	return err
+}
+
+// estimate fetches one estimate and returns its fetches field.
+func estimate(ctx context.Context, client *http.Client, url string) (float64, error) {
+	_, raw, err := do(ctx, client, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	var resp struct {
+		Fetches float64 `json:"fetches"`
+	}
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Fetches, nil
+}
+
+// pollHealthz waits for one node to answer /healthz with 200.
+func pollHealthz(ctx context.Context, client *http.Client, base string) error {
+	for {
+		_, _, err := do(ctx, client, http.MethodGet, base+"/healthz", nil)
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("healthz %s: %w (last error: %v)", base, ctx.Err(), err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// do runs one request, treating any non-2xx status as an error.
+func do(ctx context.Context, client *http.Client, method, url string, body []byte) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, nil, fmt.Errorf("%s %s: %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return resp, raw, nil
+}
+
+// fitCheckStats runs the real LRU-Fit pipeline over a small synthetic index
+// so the installed statistics are paper-shaped, not hand-rolled.
+func fitCheckStats() (*stats.IndexStats, error) {
+	cfg := datagen.Config{Name: checkTable, Column: checkColumn, N: 20_000, I: 500, R: 40, K: 0.2, Seed: 17}
+	ds, err := datagen.GenerateDataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	meta := core.Meta{Table: checkTable, Column: checkColumn, T: ds.T, N: cfg.N, I: cfg.I}
+	return core.LRUFit(ds.Trace(), meta, core.Options{})
+}

@@ -40,10 +40,12 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"epfis/internal/catalog"
+	"epfis/internal/cluster"
 	"epfis/internal/faultfs"
 	"epfis/internal/service"
 )
@@ -82,6 +84,17 @@ func run(args []string) error {
 			fmt.Sprintf("completed traces kept for GET /debug/traces (0 = default %d, negative disables tracing)", service.DefaultTraceRing))
 		slowTrace = fs.Duration("slow-trace", 0,
 			fmt.Sprintf("requests at or above this duration are flagged slow (0 = default %s, negative flags all)", service.DefaultSlowTrace))
+
+		clusterSeeds = fs.String("cluster-seeds", "",
+			"comma-separated peer base URLs; non-empty enables cluster mode")
+		nodeID = fs.String("node-id", "",
+			"stable node identity on the hash ring (required with -cluster-seeds)")
+		nodeURL = fs.String("node-url", "",
+			"base URL peers reach this node at, e.g. http://host:8080 (required with -cluster-seeds)")
+		replicas = fs.Int("replicas", cluster.DefaultReplicas,
+			fmt.Sprintf("replica-set size R per index key (1..%d)", cluster.MaxReplicas))
+		heartbeat = fs.Duration("heartbeat", cluster.DefaultHeartbeat,
+			"cluster gossip interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +133,25 @@ func run(args []string) error {
 		}
 	}
 
+	var node *cluster.Node
+	if *clusterSeeds != "" {
+		if *nodeID == "" || *nodeURL == "" {
+			return fmt.Errorf("-cluster-seeds requires -node-id and -node-url")
+		}
+		node, err = cluster.NewNode(cluster.Config{
+			SelfID:    *nodeID,
+			SelfURL:   *nodeURL,
+			Seeds:     splitSeeds(*clusterSeeds),
+			Replicas:  *replicas,
+			Heartbeat: *heartbeat,
+			Store:     store,
+			Log:       logger,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	srv, err := service.New(service.Config{
 		Store:           store,
 		CacheEntries:    *cache,
@@ -131,6 +163,7 @@ func run(args []string) error {
 		Slog:            logger,
 		TraceRing:       *traceRing,
 		SlowTrace:       *slowTrace,
+		Cluster:         node,
 	})
 	if err != nil {
 		return err
@@ -138,6 +171,14 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if node != nil {
+		go node.Run(ctx)
+		if logger != nil {
+			logger.Info("cluster mode enabled", "nodeID", *nodeID, "nodeURL", *nodeURL,
+				"replicas", *replicas, "seeds", *clusterSeeds)
+		}
+	}
 
 	if *pprof != "" {
 		if err := servePprof(ctx, *pprof, logger); err != nil {
@@ -153,6 +194,17 @@ func run(args []string) error {
 		logger.Info("stopped", "uptime", time.Since(start).Round(time.Millisecond).String())
 	}
 	return nil
+}
+
+// splitSeeds parses the -cluster-seeds list, trimming blanks.
+func splitSeeds(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // buildLogger assembles the process logger from the -quiet/-log-level/

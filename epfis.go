@@ -46,6 +46,7 @@ import (
 	"epfis/internal/btree"
 	"epfis/internal/buffer"
 	"epfis/internal/catalog"
+	"epfis/internal/cluster"
 	"epfis/internal/core"
 	"epfis/internal/datagen"
 	"epfis/internal/histogram"
@@ -236,6 +237,45 @@ type (
 	// ServiceClient (and is reusable standalone via internal/resilience).
 	RetryPolicy = resilience.RetryPolicy
 )
+
+// Cluster layer: coordinator-free sharding of the estimation service across
+// nodes — consistent-hash ownership, heartbeat/gossip membership, and
+// catalog snapshot streaming (see internal/cluster and the README's
+// "Running a cluster" section).
+type (
+	// ClusterNode is the per-process cluster agent: ring, membership,
+	// gossip, and catalog anti-entropy. Pass it to ServiceConfig.Cluster.
+	ClusterNode = cluster.Node
+	// ClusterNodeConfig configures NewClusterNode.
+	ClusterNodeConfig = cluster.Config
+	// ClusterRing is the immutable consistent-hash ring (virtual nodes,
+	// deterministic R-way replica sets).
+	ClusterRing = cluster.Ring
+	// ClusterClient routes estimates by ring position with hedging,
+	// per-node breakers, and 421 re-routing.
+	ClusterClient = service.ClusterClient
+	// ClusterClientConfig configures NewClusterClient.
+	ClusterClientConfig = service.ClusterClientConfig
+)
+
+// NewClusterNode builds the cluster agent for one estimation-service
+// process. Start its gossip loop with Run and pass it to NewService via
+// ServiceConfig.Cluster.
+func NewClusterNode(cfg ClusterNodeConfig) (*ClusterNode, error) {
+	return cluster.NewNode(cfg)
+}
+
+// NewClusterClient builds the cluster-aware client over a seed list of node
+// URLs.
+func NewClusterClient(cfg ClusterClientConfig) (*ClusterClient, error) {
+	return service.NewClusterClient(cfg)
+}
+
+// BuildClusterRing constructs a consistent-hash ring over member IDs —
+// exposed for tooling that needs to predict placement offline.
+func BuildClusterRing(members []string, vnodes int) *ClusterRing {
+	return cluster.BuildRing(members, vnodes)
+}
 
 // NewCatalogStore returns an empty in-memory concurrent catalog store.
 func NewCatalogStore() *CatalogStore { return catalog.NewStore() }

@@ -1,0 +1,83 @@
+package catalog
+
+// Snapshot streaming hooks for the cluster layer.
+//
+// ExportSnapshot serializes the current snapshot in the exact trailered
+// on-disk format (payload JSON + checksum trailer), so a peer pulling the
+// stream gets end-to-end corruption detection for free: the same
+// verifyPayload that guards Open guards the network transfer. ImportSnapshot
+// is the receiving side — verify, parse, validate, then commit through the
+// normal commitLocked path, which recompiles estimators via core.Compile and
+// persists through the store's (possibly fault-injected) filesystem.
+//
+// ContentHash gives both sides a cheap content-addressed identity for
+// anti-entropy: it hashes the canonical JSON payload only (no trailer, no
+// generation), so two stores holding identical statistics report identical
+// hashes regardless of how many local generations each has been through.
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+
+	"epfis/internal/stats"
+)
+
+// ExportSnapshot serializes the current snapshot in the trailered catalog
+// format and reports the generation it captured. The bytes are safe to
+// stream as-is; the embedded trailer lets the receiver verify integrity.
+func (st *Store) ExportSnapshot() ([]byte, uint64, error) {
+	snap := st.Snapshot()
+	data, err := encodeSnapshot(snap)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, snap.gen, nil
+}
+
+// ImportSnapshot verifies a trailered catalog stream (as produced by
+// ExportSnapshot), parses and validates the statistics, and swaps them in as
+// a new generation — recompiling estimators through the usual core.Compile
+// ingress path and persisting through the store's filesystem. Unlike file
+// loading, a stream without a checksum trailer is rejected: network
+// transfers get no legacy grace.
+func (st *Store) ImportSnapshot(data []byte) (uint64, error) {
+	if !bytes.Contains(data, []byte(trailerPrefix)) {
+		return 0, fmt.Errorf("%w: snapshot stream has no checksum trailer", ErrCorrupt)
+	}
+	payload, err := verifyPayload(data)
+	if err != nil {
+		return 0, err
+	}
+	c, err := stats.Load(bytes.NewReader(payload))
+	if err != nil {
+		return 0, fmt.Errorf("catalog: import snapshot: %w", err)
+	}
+	next := map[string]*stats.IndexStats{}
+	for _, k := range c.Keys() {
+		e, err := c.Get(splitKey(k))
+		if err != nil {
+			return 0, err
+		}
+		next[k] = deepCopy(e)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.commitLocked(next)
+}
+
+// ContentHash reports the CRC32-C of the canonical JSON payload of the
+// current snapshot (rendered "crc32c:xxxxxxxx") and the generation it was
+// computed at. Identical statistics hash identically on every node.
+func (st *Store) ContentHash() (string, uint64, error) {
+	snap := st.Snapshot()
+	c, err := snap.Catalog()
+	if err != nil {
+		return "", 0, err
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		return "", 0, err
+	}
+	return fmt.Sprintf("crc32c:%08x", crc32.Checksum(buf.Bytes(), crcTable)), snap.gen, nil
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Membership defaults.
+const (
+	DefaultHeartbeat    = 500 * time.Millisecond
+	DefaultSuspectAfter = 2 * time.Second
+	DefaultDeadAfter    = 10 * time.Second
+)
+
+// State is a peer's health as seen by this node.
+type State int
+
+const (
+	// StateAlive: heard from within SuspectAfter.
+	StateAlive State = iota
+	// StateSuspect: silent for longer than SuspectAfter but not yet DeadAfter.
+	StateSuspect
+	// StateDead: silent for longer than DeadAfter. Dead peers stay in the
+	// member set (and therefore the ring) so placement does not churn on
+	// failures; their keys are served by the surviving replicas.
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	default:
+		return "alive"
+	}
+}
+
+// ParseState inverts State.String (unknown strings read as suspect, the
+// conservative middle ground).
+func ParseState(s string) State {
+	switch s {
+	case "alive":
+		return StateAlive
+	case "dead":
+		return StateDead
+	default:
+		return StateSuspect
+	}
+}
+
+// PeerInfo is one peer's externally visible record.
+type PeerInfo struct {
+	ID          string
+	URL         string
+	State       State
+	Generation  uint64 // peer's catalog generation, from its last heartbeat
+	Epoch       uint64 // peer's mutation epoch, from its last heartbeat
+	CatalogHash string // peer's catalog content hash, from its last heartbeat
+	LastSeen    time.Time
+}
+
+// peerEntry is the mutable record behind PeerInfo.
+type peerEntry struct {
+	id          string
+	url         string
+	generation  uint64
+	epoch       uint64
+	catalogHash string
+	lastSeen    time.Time // zero until first contact
+	everSeen    bool
+}
+
+// Membership tracks the peers this node knows about. State is derived from
+// LastSeen against the injectable clock — the same seam resilience.Breaker
+// uses — so suspect/dead transitions are exact in tests instead of racing
+// wall time. Safe for concurrent use.
+type Membership struct {
+	mu           sync.Mutex
+	selfID       string
+	peers        map[string]*peerEntry
+	clock        func() time.Time
+	suspectAfter time.Duration
+	deadAfter    time.Duration
+	version      uint64 // bumps when the member set changes (ring rebuild cue)
+	birth        time.Time
+}
+
+// NewMembership builds an empty membership table for selfID. Zero durations
+// take the defaults; a nil clock uses time.Now.
+func NewMembership(selfID string, suspectAfter, deadAfter time.Duration, clock func() time.Time) *Membership {
+	if suspectAfter <= 0 {
+		suspectAfter = DefaultSuspectAfter
+	}
+	if deadAfter <= suspectAfter {
+		deadAfter = DefaultDeadAfter
+		if deadAfter <= suspectAfter {
+			deadAfter = 5 * suspectAfter
+		}
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	m := &Membership{
+		selfID:       selfID,
+		peers:        map[string]*peerEntry{},
+		clock:        clock,
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		version:      1,
+		birth:        clock(),
+	}
+	return m
+}
+
+// Upsert records a peer ID → URL mapping (discovery via seeds or gossip).
+// It reports whether the member set changed. Self is never added. A peer
+// that moved URLs (a restart on a new port) is updated in place.
+func (m *Membership) Upsert(id, url string) bool {
+	if id == "" || id == m.selfID {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		m.peers[id] = &peerEntry{id: id, url: url}
+		m.version++
+		return true
+	}
+	if url != "" && p.url != url {
+		p.url = url
+	}
+	return false
+}
+
+// ObserveAlive marks a peer heard-from now, recording the catalog state its
+// heartbeat carried. Unknown IDs are ignored (Upsert first).
+func (m *Membership) ObserveAlive(id string, generation, epoch uint64, catalogHash string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		return
+	}
+	p.lastSeen = m.clock()
+	p.everSeen = true
+	p.generation = generation
+	p.epoch = epoch
+	p.catalogHash = catalogHash
+}
+
+// stateOf derives a peer's state from its silence. A never-heard peer ages
+// from the membership's birth, so a seed that is down from the start still
+// progresses alive → suspect → dead.
+func (m *Membership) stateOf(p *peerEntry, now time.Time) State {
+	since := p.lastSeen
+	if !p.everSeen {
+		since = m.birth
+	}
+	switch age := now.Sub(since); {
+	case age > m.deadAfter:
+		return StateDead
+	case age > m.suspectAfter:
+		return StateSuspect
+	default:
+		return StateAlive
+	}
+}
+
+// Peers lists all known peers (excluding self) sorted by ID, with states
+// derived at call time.
+func (m *Membership) Peers() []PeerInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clock()
+	out := make([]PeerInfo, 0, len(m.peers))
+	for _, p := range m.peers {
+		out = append(out, PeerInfo{
+			ID:          p.id,
+			URL:         p.url,
+			State:       m.stateOf(p, now),
+			Generation:  p.generation,
+			Epoch:       p.epoch,
+			CatalogHash: p.catalogHash,
+			LastSeen:    p.lastSeen,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Peer returns one peer's record.
+func (m *Membership) Peer(id string) (PeerInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[id]
+	if !ok {
+		return PeerInfo{}, false
+	}
+	return PeerInfo{
+		ID:          p.id,
+		URL:         p.url,
+		State:       m.stateOf(p, m.clock()),
+		Generation:  p.generation,
+		Epoch:       p.epoch,
+		CatalogHash: p.catalogHash,
+		LastSeen:    p.lastSeen,
+	}, true
+}
+
+// MemberIDs lists every member ID including self — the ring's input. Dead
+// peers are included deliberately: placement must not churn when a node
+// flaps, only when the operator changes the configured set.
+func (m *Membership) MemberIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers)+1)
+	out = append(out, m.selfID)
+	for id := range m.peers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version reports the member-set version; it bumps only when a member is
+// added, so callers can rebuild derived state (the ring) exactly when needed.
+func (m *Membership) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}

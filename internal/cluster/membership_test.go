@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable-clock seam shared with resilience tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestMembershipUpsertAndVersion(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMembership("self", time.Second, 5*time.Second, clk.Now)
+	v0 := m.Version()
+
+	if m.Upsert("self", "http://self") {
+		t.Error("Upsert(self) should be a no-op")
+	}
+	if m.Upsert("", "http://anon") {
+		t.Error("Upsert(empty id) should be a no-op")
+	}
+	if !m.Upsert("p1", "http://p1") {
+		t.Error("first Upsert(p1) should report a member-set change")
+	}
+	if m.Upsert("p1", "http://p1") {
+		t.Error("repeat Upsert(p1) should not report a change")
+	}
+	if m.Version() != v0+1 {
+		t.Errorf("Version = %d, want %d", m.Version(), v0+1)
+	}
+
+	// URL moves update in place without a version bump.
+	m.Upsert("p1", "http://p1-restarted")
+	if p, _ := m.Peer("p1"); p.URL != "http://p1-restarted" {
+		t.Errorf("URL after move = %q", p.URL)
+	}
+	if m.Version() != v0+1 {
+		t.Error("URL move must not bump the member-set version")
+	}
+
+	m.Upsert("p2", "http://p2")
+	want := []string{"p1", "p2", "self"}
+	if got := m.MemberIDs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("MemberIDs = %v, want %v", got, want)
+	}
+}
+
+func TestMembershipStateTransitions(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMembership("self", 2*time.Second, 10*time.Second, clk.Now)
+	m.Upsert("p1", "http://p1")
+	m.ObserveAlive("p1", 3, 7, "crc32c:deadbeef")
+
+	get := func() PeerInfo {
+		p, ok := m.Peer("p1")
+		if !ok {
+			t.Fatal("peer p1 vanished")
+		}
+		return p
+	}
+
+	if p := get(); p.State != StateAlive {
+		t.Fatalf("fresh peer state = %v, want alive", p.State)
+	}
+	if p := get(); p.Generation != 3 || p.Epoch != 7 || p.CatalogHash != "crc32c:deadbeef" {
+		t.Errorf("heartbeat payload not recorded: %+v", p)
+	}
+
+	clk.Advance(2500 * time.Millisecond) // past suspectAfter
+	if p := get(); p.State != StateSuspect {
+		t.Fatalf("state after 2.5s silence = %v, want suspect", p.State)
+	}
+
+	clk.Advance(8 * time.Second) // 10.5s total: past deadAfter
+	if p := get(); p.State != StateDead {
+		t.Fatalf("state after 10.5s silence = %v, want dead", p.State)
+	}
+
+	// Dead peers stay in the member set — the ring must not churn on flaps.
+	if got := m.MemberIDs(); !reflect.DeepEqual(got, []string{"p1", "self"}) {
+		t.Errorf("dead peer evicted from MemberIDs: %v", got)
+	}
+
+	// A heartbeat resurrects it.
+	m.ObserveAlive("p1", 4, 8, "crc32c:beefdead")
+	if p := get(); p.State != StateAlive {
+		t.Fatalf("state after resurrection = %v, want alive", p.State)
+	}
+}
+
+func TestMembershipNeverSeenPeerAgesFromBirth(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMembership("self", 2*time.Second, 10*time.Second, clk.Now)
+	m.Upsert("seed-down", "http://down")
+
+	if p, _ := m.Peer("seed-down"); p.State != StateAlive {
+		t.Fatalf("grace state = %v, want alive", p.State)
+	}
+	clk.Advance(3 * time.Second)
+	if p, _ := m.Peer("seed-down"); p.State != StateSuspect {
+		t.Fatalf("never-seen peer after 3s = %v, want suspect", p.State)
+	}
+	clk.Advance(8 * time.Second)
+	if p, _ := m.Peer("seed-down"); p.State != StateDead {
+		t.Fatalf("never-seen peer after 11s = %v, want dead", p.State)
+	}
+}
+
+func TestMembershipObserveUnknownIgnored(t *testing.T) {
+	m := NewMembership("self", 0, 0, nil)
+	m.ObserveAlive("ghost", 1, 1, "h") // must not panic or add a member
+	if len(m.Peers()) != 0 {
+		t.Errorf("ObserveAlive on unknown id added a peer: %v", m.Peers())
+	}
+}
+
+func TestStateStringRoundTrip(t *testing.T) {
+	for _, s := range []State{StateAlive, StateSuspect, StateDead} {
+		if got := ParseState(s.String()); got != s {
+			t.Errorf("ParseState(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	if got := ParseState("weird"); got != StateSuspect {
+		t.Errorf("ParseState(unknown) = %v, want suspect", got)
+	}
+}
+
+func TestMembershipPeersSorted(t *testing.T) {
+	m := NewMembership("self", 0, 0, nil)
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		m.Upsert(id, "http://"+id)
+	}
+	peers := m.Peers()
+	var ids []string
+	for _, p := range peers {
+		ids = append(ids, p.ID)
+	}
+	if !reflect.DeepEqual(ids, []string{"alpha", "mid", "zeta"}) {
+		t.Errorf("Peers order = %v", ids)
+	}
+}

@@ -1,0 +1,581 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"epfis/internal/catalog"
+	"epfis/internal/obs"
+)
+
+// Cluster route paths and headers, shared by the node, the service layer
+// that mounts the handlers, and the cluster-aware client.
+const (
+	PathHealth   = "/v1/cluster/health"
+	PathGossip   = "/v1/cluster/gossip"
+	PathSnapshot = "/v1/cluster/snapshot"
+
+	// HeaderNode carries the sending/serving node ID.
+	HeaderNode = "X-Epfis-Node"
+	// HeaderEpoch carries the cluster mutation epoch of a replicated
+	// mutation or a snapshot stream.
+	HeaderEpoch = "X-Epfis-Epoch"
+	// HeaderGeneration carries the serving node's catalog generation on a
+	// snapshot stream.
+	HeaderGeneration = "X-Epfis-Generation"
+	// HeaderReplicated marks a mutation as replication fan-out (the value is
+	// the originating node ID); receivers apply it locally and do not
+	// re-forward.
+	HeaderReplicated = "X-Epfis-Replicated"
+	// HeaderForwarded marks a proxied estimate request (the value is the
+	// forwarding node ID); a receiver that still does not own the key
+	// answers 421 instead of forwarding again, so stale rings cannot loop.
+	HeaderForwarded = "X-Epfis-Forwarded"
+)
+
+// snapshotPullTimeout bounds one anti-entropy snapshot transfer.
+const snapshotPullTimeout = 30 * time.Second
+
+// NodeInfo is one node's record in the gossip documents.
+type NodeInfo struct {
+	ID          string `json:"id"`
+	URL         string `json:"url"`
+	State       string `json:"state"`
+	Generation  uint64 `json:"generation"`
+	Epoch       uint64 `json:"epoch"`
+	CatalogHash string `json:"catalogHash,omitempty"`
+}
+
+// Doc is the document exchanged by heartbeats and served at
+// GET /v1/cluster/health: the sender's own state plus every member it knows.
+type Doc struct {
+	Self     NodeInfo   `json:"self"`
+	Replicas int        `json:"replicas"`
+	VNodes   int        `json:"vnodes"`
+	Members  []NodeInfo `json:"members"`
+}
+
+// Config configures NewNode. SelfID, SelfURL, and Store are required.
+type Config struct {
+	// SelfID is this node's stable identity on the ring. Placement hashes
+	// it, so it must be unique and must survive restarts.
+	SelfID string
+	// SelfURL is the base URL peers reach this node at (http://host:port).
+	SelfURL string
+	// Seeds are peer base URLs contacted at startup to join the cluster.
+	Seeds []string
+	// Replicas is R, the replica-set size per key (0 = DefaultReplicas,
+	// capped at MaxReplicas).
+	Replicas int
+	// VNodes is the virtual nodes per member (0 = DefaultVNodes).
+	VNodes int
+	// Heartbeat is the gossip interval (0 = DefaultHeartbeat).
+	Heartbeat time.Duration
+	// SuspectAfter / DeadAfter drive peer state decay (0 = defaults).
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Clock replaces time.Now (tests) — the injectable-clock seam shared
+	// with resilience.Breaker.
+	Clock func() time.Time
+	// HTTPClient performs gossip and snapshot transfers; nil uses a private
+	// client with sane timeouts.
+	HTTPClient *http.Client
+	// Store is the node's catalog store; snapshot streaming exports from and
+	// imports into it.
+	Store *catalog.Store
+	// Log receives membership and sync events; nil discards.
+	Log *slog.Logger
+}
+
+// Node is the per-process cluster agent. Construct with NewNode; all methods
+// are safe for concurrent use.
+type Node struct {
+	cfg   Config
+	store *catalog.Store
+	mem   *Membership
+	hc    *http.Client
+	log   *slog.Logger
+
+	ring        atomic.Pointer[Ring]
+	ringVersion atomic.Uint64 // membership version the ring was built at
+
+	epoch atomic.Uint64
+
+	// Cached catalog content hash, keyed by generation.
+	hashMu  sync.Mutex
+	hashGen uint64
+	hashVal string
+
+	pulling atomic.Bool // single-flight guard for snapshot pulls
+
+	pullsOK   atomic.Uint64
+	pullsFail atomic.Uint64
+	rounds    atomic.Uint64
+
+	// Per-peer instruments, registered lazily as peers are discovered.
+	obsMu  sync.Mutex
+	reg    *obs.Registry
+	peerUp map[string]*obs.Gauge
+	hbLat  map[string]*obs.Histogram
+}
+
+// NewNode validates cfg and builds the agent. The initial ring contains self
+// only (plus any seed-discovered peers after the first Tick); seeds are
+// contacted by Run/Tick, never by NewNode.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.SelfID == "" {
+		return nil, errors.New("cluster: Config.SelfID is required")
+	}
+	if cfg.SelfURL == "" {
+		return nil, errors.New("cluster: Config.SelfURL is required")
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("cluster: Config.Store is required")
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.Replicas < 1 || cfg.Replicas > MaxReplicas {
+		return nil, fmt.Errorf("cluster: Replicas must be in [1, %d], got %d", MaxReplicas, cfg.Replicas)
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(discardHandler{})
+	}
+	n := &Node{
+		cfg:    cfg,
+		store:  cfg.Store,
+		mem:    NewMembership(cfg.SelfID, cfg.SuspectAfter, cfg.DeadAfter, cfg.Clock),
+		log:    cfg.Log,
+		peerUp: map[string]*obs.Gauge{},
+		hbLat:  map[string]*obs.Histogram{},
+	}
+	n.hc = cfg.HTTPClient
+	if n.hc == nil {
+		n.hc = &http.Client{Timeout: 5 * time.Second}
+	}
+	// A node that boots with statistics starts at epoch 1 so empty peers
+	// pull from it; an empty node starts at 0 and adopts whatever the
+	// cluster has.
+	if cfg.Store.Len() > 0 {
+		n.epoch.Store(1)
+	}
+	n.rebuildRing()
+	return n, nil
+}
+
+// discardHandler mirrors the service's no-op slog handler (the stdlib gained
+// one after the Go version CI pins).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// SelfID returns the node's ring identity.
+func (n *Node) SelfID() string { return n.cfg.SelfID }
+
+// SelfURL returns the node's advertised base URL.
+func (n *Node) SelfURL() string { return n.cfg.SelfURL }
+
+// Replicas returns R, the replica-set size.
+func (n *Node) Replicas() int { return n.cfg.Replicas }
+
+// Ring returns the current ring (immutable; one atomic load).
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// Owns reports whether this node is in the key's replica set. It is
+// allocation-free — the serving path's ownership check.
+func (n *Node) Owns(key string) bool {
+	return n.ring.Load().Owns(n.cfg.SelfID, key, n.cfg.Replicas)
+}
+
+// Owners returns the key's replica set as peer records, self included (a
+// self entry carries this node's own state). Order is ring order: the first
+// entry is the primary.
+func (n *Node) Owners(key string) []PeerInfo {
+	ids := n.ring.Load().Owners(key, n.cfg.Replicas)
+	out := make([]PeerInfo, 0, len(ids))
+	for _, id := range ids {
+		if id == n.cfg.SelfID {
+			out = append(out, PeerInfo{ID: id, URL: n.cfg.SelfURL, State: StateAlive})
+			continue
+		}
+		if p, ok := n.mem.Peer(id); ok {
+			out = append(out, p)
+		} else {
+			out = append(out, PeerInfo{ID: id, State: StateSuspect})
+		}
+	}
+	return out
+}
+
+// Peers lists the known peers (excluding self).
+func (n *Node) Peers() []PeerInfo { return n.mem.Peers() }
+
+// Epoch returns the node's current mutation epoch.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// BumpEpoch advances the mutation epoch for a locally originated catalog
+// mutation and returns the new value.
+func (n *Node) BumpEpoch() uint64 { return n.epoch.Add(1) }
+
+// ObserveEpoch folds a remote epoch in (Lamport max), so replicated
+// mutations and snapshot imports keep epochs comparable cluster-wide.
+func (n *Node) ObserveEpoch(e uint64) {
+	for {
+		cur := n.epoch.Load()
+		if e <= cur || n.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// CatalogHash returns the content hash of the current catalog snapshot,
+// cached per generation (computing it encodes the snapshot, so the cache
+// keeps heartbeats cheap between mutations).
+func (n *Node) CatalogHash() string {
+	gen := n.store.Generation()
+	n.hashMu.Lock()
+	defer n.hashMu.Unlock()
+	if n.hashGen == gen && n.hashVal != "" {
+		return n.hashVal
+	}
+	hash, hgen, err := n.store.ContentHash()
+	if err != nil {
+		return ""
+	}
+	n.hashGen, n.hashVal = hgen, hash
+	return hash
+}
+
+// selfInfo assembles this node's own gossip record.
+func (n *Node) selfInfo() NodeInfo {
+	return NodeInfo{
+		ID:          n.cfg.SelfID,
+		URL:         n.cfg.SelfURL,
+		State:       StateAlive.String(),
+		Generation:  n.store.Generation(),
+		Epoch:       n.epoch.Load(),
+		CatalogHash: n.CatalogHash(),
+	}
+}
+
+// HealthDoc assembles the document served at GET /v1/cluster/health and sent
+// as the gossip payload.
+func (n *Node) HealthDoc() Doc {
+	peers := n.mem.Peers()
+	doc := Doc{
+		Self:     n.selfInfo(),
+		Replicas: n.cfg.Replicas,
+		VNodes:   n.cfg.VNodes,
+		Members:  make([]NodeInfo, 0, len(peers)+1),
+	}
+	doc.Members = append(doc.Members, doc.Self)
+	for _, p := range peers {
+		doc.Members = append(doc.Members, NodeInfo{
+			ID:          p.ID,
+			URL:         p.URL,
+			State:       p.State.String(),
+			Generation:  p.Generation,
+			Epoch:       p.Epoch,
+			CatalogHash: p.CatalogHash,
+		})
+	}
+	return doc
+}
+
+// Merge folds a received gossip document in: the sender is marked alive with
+// the catalog state it reported, and member entries it carries are added to
+// the member table (discovery — states are NOT adopted; only direct contact
+// makes a peer alive here). It returns this node's own document, which the
+// gossip handler echoes back. Merge also feeds anti-entropy: a sender that
+// is ahead (higher epoch, different hash) triggers an async snapshot pull.
+func (n *Node) Merge(remote Doc) Doc {
+	changed := n.mem.Upsert(remote.Self.ID, remote.Self.URL)
+	n.mem.ObserveAlive(remote.Self.ID, remote.Self.Generation, remote.Self.Epoch, remote.Self.CatalogHash)
+	for _, m := range remote.Members {
+		if n.mem.Upsert(m.ID, m.URL) {
+			changed = true
+		}
+	}
+	if changed {
+		n.rebuildRing()
+	}
+	n.maybePull(remote.Self)
+	return n.HealthDoc()
+}
+
+// rebuildRing rebuilds the ring from the current member set if the set
+// changed since the last build.
+func (n *Node) rebuildRing() {
+	v := n.mem.Version()
+	if n.ring.Load() != nil && n.ringVersion.Load() == v {
+		return
+	}
+	ring := BuildRing(n.mem.MemberIDs(), n.cfg.VNodes)
+	n.ring.Store(ring)
+	n.ringVersion.Store(v)
+	n.log.LogAttrs(context.Background(), slog.LevelInfo, "cluster ring rebuilt",
+		slog.Int("members", ring.Len()), slog.Uint64("memberVersion", v))
+}
+
+// Run gossips on the heartbeat interval until ctx is done. Seeds are
+// contacted on the first round.
+func (n *Node) Run(ctx context.Context) error {
+	t := time.NewTicker(n.cfg.Heartbeat)
+	defer t.Stop()
+	n.Tick(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			n.Tick(ctx)
+		}
+	}
+}
+
+// Tick runs one gossip round: exchange documents with every known peer (and,
+// until peers are discovered, the configured seeds), refresh peer states and
+// metrics, and rebuild the ring if the member set grew. Exported so tests
+// and drills can drive rounds deterministically without the timer.
+func (n *Node) Tick(ctx context.Context) {
+	n.rounds.Add(1)
+	type target struct{ id, url string } // id "" = seed (identity unknown yet)
+	var targets []target
+	seen := map[string]bool{n.cfg.SelfURL: true}
+	for _, p := range n.mem.Peers() {
+		if p.URL != "" && !seen[p.URL] {
+			seen[p.URL] = true
+			targets = append(targets, target{id: p.ID, url: p.URL})
+		}
+	}
+	for _, s := range n.cfg.Seeds {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			targets = append(targets, target{url: s})
+		}
+	}
+	doc := n.HealthDoc()
+	var wg sync.WaitGroup
+	for _, tg := range targets {
+		wg.Add(1)
+		go func(tg target) {
+			defer wg.Done()
+			start := time.Now()
+			reply, err := n.gossipOnce(ctx, tg.url, doc)
+			if err != nil {
+				n.log.LogAttrs(ctx, slog.LevelDebug, "gossip failed",
+					slog.String("peer", tg.url), slog.String("error", err.Error()))
+				return
+			}
+			n.observeHeartbeat(reply.Self.ID, time.Since(start))
+			n.Merge(reply)
+		}(tg)
+	}
+	wg.Wait()
+	n.syncPeerGauges()
+}
+
+// gossipOnce POSTs this node's document to one peer and decodes the reply.
+func (n *Node) gossipOnce(ctx context.Context, baseURL string, doc Doc) (Doc, error) {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return Doc{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+PathGossip, bytes.NewReader(body))
+	if err != nil {
+		return Doc{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderNode, n.cfg.SelfID)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return Doc{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return Doc{}, fmt.Errorf("cluster: gossip %s: status %d", baseURL, resp.StatusCode)
+	}
+	var reply Doc
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply); err != nil {
+		return Doc{}, fmt.Errorf("cluster: gossip %s: %w", baseURL, err)
+	}
+	return reply, nil
+}
+
+// maybePull schedules an async snapshot pull from a peer whose catalog is
+// ahead of ours: strictly higher mutation epoch with a different content
+// hash. Pulls are single-flight. Equal epochs with diverging hashes are a
+// conflict gossip cannot resolve; they are logged and left to operators
+// (the next mutation's epoch bump breaks the tie).
+func (n *Node) maybePull(remote NodeInfo) {
+	selfEpoch := n.epoch.Load()
+	if remote.Epoch < selfEpoch || remote.URL == "" {
+		return
+	}
+	hash := n.CatalogHash()
+	if remote.CatalogHash == "" || remote.CatalogHash == hash {
+		return
+	}
+	if remote.Epoch == selfEpoch {
+		n.log.LogAttrs(context.Background(), slog.LevelWarn, "catalog divergence at equal epoch",
+			slog.String("peer", remote.ID), slog.Uint64("epoch", selfEpoch),
+			slog.String("selfHash", hash), slog.String("peerHash", remote.CatalogHash))
+		return
+	}
+	if !n.pulling.CompareAndSwap(false, true) {
+		return
+	}
+	url := remote.URL
+	go func() {
+		defer n.pulling.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), snapshotPullTimeout)
+		defer cancel()
+		if err := n.PullSnapshot(ctx, url); err != nil {
+			n.pullsFail.Add(1)
+			n.log.LogAttrs(ctx, slog.LevelWarn, "snapshot pull failed",
+				slog.String("peer", url), slog.String("error", err.Error()))
+		}
+	}()
+}
+
+// PullSnapshot streams the checksummed catalog snapshot from a peer and
+// imports it: the trailer is verified, the payload re-validated, estimators
+// recompiled through the catalog's core.Compile ingress path, and the result
+// persisted through the store's (possibly fault-injected) filesystem. The
+// peer's epoch header folds into ours on success.
+func (n *Node) PullSnapshot(ctx context.Context, baseURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathSnapshot, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(HeaderNode, n.cfg.SelfID)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: snapshot %s: status %d", baseURL, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot %s: %w", baseURL, err)
+	}
+	gen, err := n.store.ImportSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot %s: %w", baseURL, err)
+	}
+	var remoteEpoch uint64
+	if raw := resp.Header.Get(HeaderEpoch); raw != "" {
+		fmt.Sscanf(raw, "%d", &remoteEpoch)
+	}
+	n.ObserveEpoch(remoteEpoch)
+	n.pullsOK.Add(1)
+	n.log.LogAttrs(ctx, slog.LevelInfo, "catalog snapshot pulled",
+		slog.String("peer", baseURL), slog.Uint64("generation", gen),
+		slog.Uint64("epoch", remoteEpoch), slog.Int("indexes", n.store.Len()))
+	return nil
+}
+
+// Pulls reports completed and failed snapshot pulls (tests, metrics).
+func (n *Node) Pulls() (ok, failed uint64) {
+	return n.pullsOK.Load(), n.pullsFail.Load()
+}
+
+// Rounds reports the number of gossip rounds run.
+func (n *Node) Rounds() uint64 { return n.rounds.Load() }
+
+// RegisterMetrics wires the node's cluster metrics into an obs registry:
+// cluster-level gauges/counters now, and per-peer epfis_cluster_peer_up
+// gauges plus heartbeat-latency histograms as peers are discovered.
+func (n *Node) RegisterMetrics(reg *obs.Registry) {
+	n.obsMu.Lock()
+	n.reg = reg
+	n.obsMu.Unlock()
+	reg.GaugeFunc("epfis_cluster_epoch", "Cluster mutation epoch (Lamport).",
+		func() float64 { return float64(n.epoch.Load()) })
+	reg.GaugeFunc("epfis_cluster_members", "Members on the hash ring, self included.",
+		func() float64 { return float64(n.ring.Load().Len()) })
+	reg.GaugeFunc("epfis_cluster_replicas", "Replica-set size R.",
+		func() float64 { return float64(n.cfg.Replicas) })
+	reg.CounterFunc("epfis_cluster_gossip_rounds_total", "Gossip rounds run.",
+		func() float64 { return float64(n.rounds.Load()) })
+	reg.CounterFunc("epfis_cluster_snapshot_pulls_total", "Catalog snapshots pulled from peers.",
+		func() float64 { return float64(n.pullsOK.Load()) })
+	reg.CounterFunc("epfis_cluster_snapshot_pull_failures_total", "Snapshot pulls that failed.",
+		func() float64 { return float64(n.pullsFail.Load()) })
+	n.syncPeerGauges()
+}
+
+// heartbeatBuckets spans 100µs … ~1.6s: loopback heartbeats are sub-ms, WAN
+// peers and injected slow-IO land in the tail.
+var heartbeatBuckets = obs.ExpBuckets(1e-4, 2, 14)
+
+// observeHeartbeat records one successful heartbeat round trip to a peer.
+func (n *Node) observeHeartbeat(peerID string, d time.Duration) {
+	if peerID == "" {
+		return
+	}
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	if n.reg == nil {
+		return
+	}
+	h, ok := n.hbLat[peerID]
+	if !ok {
+		h = n.reg.Histogram("epfis_cluster_heartbeat_seconds",
+			"Gossip round-trip latency by peer.", heartbeatBuckets,
+			obs.Label{Name: "peer", Value: peerID})
+		n.hbLat[peerID] = h
+	}
+	h.Observe(d.Seconds())
+}
+
+// syncPeerGauges refreshes the per-peer up gauges (1 alive, 0 otherwise),
+// registering gauges for newly discovered peers.
+func (n *Node) syncPeerGauges() {
+	peers := n.mem.Peers()
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	if n.reg == nil {
+		return
+	}
+	for _, p := range peers {
+		g, ok := n.peerUp[p.ID]
+		if !ok {
+			g = n.reg.Gauge("epfis_cluster_peer_up",
+				"1 while the peer is alive (heard from within the suspect window).",
+				obs.Label{Name: "peer", Value: p.ID})
+			n.peerUp[p.ID] = g
+		}
+		if p.State == StateAlive {
+			g.Set(1)
+		} else {
+			g.Set(0)
+		}
+	}
+}

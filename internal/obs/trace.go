@@ -202,6 +202,7 @@ const (
 	StageCache    = "cache"
 	StageEstimate = "estimate"
 	StageEncode   = "encode"
+	StageProxy    = "proxy" // cluster mode: request forwarded to the owning node
 )
 
 // MaxSpans bounds the per-request span buffer; stages past the limit are

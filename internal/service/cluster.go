@@ -1,0 +1,297 @@
+package service
+
+// Cluster-mode serving: ownership routing, request forwarding, mutation
+// replication, and the three cluster routes (health, gossip, snapshot).
+//
+// Everything here is reached only when Config.Cluster is set. The single-node
+// serving path pays exactly one nil-pointer check per request (s.cluster ==
+// nil), so the committed alloc budgets are untouched with cluster mode off.
+//
+// Routing model: the catalog is fully replicated (mutations fan out
+// synchronously; gossip anti-entropy repairs missed peers via snapshot
+// streaming), while the consistent-hash ring assigns each index key an R-way
+// replica set that answers estimates for it — owners keep hot memo-cache
+// locality and bound each node's working set. A node receiving an estimate
+// for a key it does not own proxies it to an owner (one hop, marked with
+// X-Epfis-Forwarded); a forwarded request that still lands on a non-owner
+// answers 421 Misdirected Request with the owner set, so stale rings
+// re-route instead of looping.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"epfis/internal/cluster"
+	"epfis/internal/obs"
+)
+
+// Cluster route names (metrics keys, mux patterns).
+const (
+	routeClusterHealth   = "GET " + cluster.PathHealth
+	routeClusterGossip   = "POST " + cluster.PathGossip
+	routeClusterSnapshot = "GET " + cluster.PathSnapshot
+)
+
+// errNotOwner is the 421 body message prefix.
+var errAllOwnersDown = errors.New("no owner reachable for key")
+
+// clusterObs is the proxy-vs-own serving metrics, registered only in cluster
+// mode.
+type clusterObs struct {
+	servedOwn     *obs.Counter
+	proxied       *obs.Counter
+	misdirected   *obs.Counter
+	proxyFailures *obs.Counter
+	replicated    *obs.Counter
+	replFailures  *obs.Counter
+}
+
+func newClusterObs(reg *obs.Registry) *clusterObs {
+	src := func(v string) obs.Label { return obs.Label{Name: "source", Value: v} }
+	return &clusterObs{
+		servedOwn: reg.Counter("epfis_cluster_estimates_total",
+			"Estimates by serving disposition.", src("own")),
+		proxied: reg.Counter("epfis_cluster_estimates_total",
+			"Estimates by serving disposition.", src("proxied")),
+		misdirected: reg.Counter("epfis_cluster_estimates_total",
+			"Estimates by serving disposition.", src("misdirected")),
+		proxyFailures: reg.Counter("epfis_cluster_proxy_failures_total",
+			"Estimate proxy attempts that exhausted every owner."),
+		replicated: reg.Counter("epfis_cluster_replication_total",
+			"Mutations replicated to peers."),
+		replFailures: reg.Counter("epfis_cluster_replication_failures_total",
+			"Peer replication sends that failed (anti-entropy repairs them)."),
+	}
+}
+
+// clusterKey builds the ring key for an estimate input.
+func clusterKey(in *estimateInput) string { return in.table + "." + in.column }
+
+// ownsEstimate reports whether this node should answer for the input's key.
+func (s *Server) ownsEstimate(in *estimateInput) bool {
+	return s.cluster.Owns(clusterKey(in))
+}
+
+// clusterRoute handles ownership for the single-estimate route. It reports
+// true when it fully handled the request (proxied or rejected); false means
+// this node owns the key and the caller serves it locally.
+func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request, in *estimateInput, tb *obs.TraceBuf) bool {
+	key := clusterKey(in)
+	if s.cluster.Owns(key) {
+		s.cobs.servedOwn.Inc()
+		w.Header().Set(cluster.HeaderNode, s.cluster.SelfID())
+		return false
+	}
+	if r.Header.Get(cluster.HeaderForwarded) != "" {
+		// Already forwarded once and we still do not own it: the sender's
+		// ring is stale. Answer 421 with the owner set; never forward again.
+		s.cobs.misdirected.Inc()
+		s.writeMisdirected(w, key)
+		return true
+	}
+	tb.Mark(obs.StageProxy)
+	defer tb.CloseSpan()
+	for _, p := range s.cluster.Owners(key) {
+		if p.ID == s.cluster.SelfID() || p.URL == "" || p.State == cluster.StateDead {
+			continue
+		}
+		if s.proxyTo(w, r, p.URL) {
+			s.cobs.proxied.Inc()
+			return true
+		}
+	}
+	// Every owner was unreachable. 503 is the honest answer: retryable, and
+	// never a number this node cannot vouch for.
+	s.cobs.proxyFailures.Inc()
+	writeRetryable(w, http.StatusServiceUnavailable,
+		fmt.Errorf("%w %s", errAllOwnersDown, key), time.Second)
+	return true
+}
+
+// proxyTo forwards the estimate request to one owner, copying its response
+// through verbatim. It reports false on transport failure (the caller tries
+// the next owner); any completed upstream response — success or error — is
+// relayed as-is and reported true.
+func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, baseURL string) bool {
+	ctx := r.Context()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+r.URL.RequestURI(), nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set(cluster.HeaderForwarded, s.cluster.SelfID())
+	if tp := w.Header().Get(obs.TraceparentHeader); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
+	resp, err := s.proxyHTTP.Do(req)
+	if err != nil {
+		return false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if id := resp.Header.Get(cluster.HeaderNode); id != "" {
+		w.Header().Set(cluster.HeaderNode, id)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// writeMisdirected answers 421 with the key's owner set so the caller can
+// refresh its ring and re-route.
+func (s *Server) writeMisdirected(w http.ResponseWriter, key string) {
+	type ownerDoc struct {
+		ID  string `json:"id"`
+		URL string `json:"url"`
+	}
+	owners := s.cluster.Owners(key)
+	docs := make([]ownerDoc, 0, len(owners))
+	for _, p := range owners {
+		docs = append(docs, ownerDoc{ID: p.ID, URL: p.URL})
+	}
+	writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+		"error":  "misdirected: this node does not own " + key,
+		"status": http.StatusMisdirectedRequest,
+		"key":    key,
+		"owners": docs,
+	})
+}
+
+// replicate fans a successful local mutation out to every known peer, after
+// bumping the mutation epoch. Sends are synchronous (the client's PUT
+// returning means live replicas have it) but individually best-effort:
+// failures are counted and logged, and gossip anti-entropy converges the
+// missed peer from the epoch/hash difference. A mutation that itself arrived
+// as replication (X-Epfis-Replicated) is applied locally only — the
+// originator's epoch is folded in and nothing is re-forwarded.
+func (s *Server) replicate(r *http.Request, method, path string, body []byte) {
+	if s.cluster == nil {
+		return
+	}
+	if r.Header.Get(cluster.HeaderReplicated) != "" {
+		if e, err := strconv.ParseUint(r.Header.Get(cluster.HeaderEpoch), 10, 64); err == nil {
+			s.cluster.ObserveEpoch(e)
+		}
+		return
+	}
+	epoch := s.cluster.BumpEpoch()
+	peers := s.cluster.Peers()
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		if p.URL == "" || p.State == cluster.StateDead {
+			continue
+		}
+		wg.Add(1)
+		go func(p cluster.PeerInfo) {
+			defer wg.Done()
+			if err := s.replicateTo(r, p.URL, method, path, body, epoch); err != nil {
+				s.cobs.replFailures.Inc()
+				s.obs.log.LogAttrs(r.Context(), slog.LevelWarn, "mutation replication failed",
+					slog.String("peer", p.ID), slog.String("path", path),
+					slog.String("error", err.Error()))
+				return
+			}
+			s.cobs.replicated.Inc()
+		}(p)
+	}
+	wg.Wait()
+}
+
+// replicateTo sends one replicated mutation to one peer.
+func (s *Server) replicateTo(r *http.Request, baseURL, method, path string, body []byte, epoch uint64) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, baseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(cluster.HeaderReplicated, s.cluster.SelfID())
+	req.Header.Set(cluster.HeaderEpoch, strconv.FormatUint(epoch, 10))
+	resp, err := s.proxyHTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	// 404 on a replicated delete means the peer already lacks the entry —
+	// converged, not failed.
+	if resp.StatusCode/100 != 2 && !(method == http.MethodDelete && resp.StatusCode == http.StatusNotFound) {
+		return fmt.Errorf("peer answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// noteClusterMutation accounts for a local mutation that is not forwarded
+// (reload): a replicated arrival folds the originator's epoch in, a local
+// origination bumps our own so anti-entropy propagates the change.
+func (s *Server) noteClusterMutation(r *http.Request) {
+	if s.cluster == nil {
+		return
+	}
+	if r.Header.Get(cluster.HeaderReplicated) != "" {
+		if e, err := strconv.ParseUint(r.Header.Get(cluster.HeaderEpoch), 10, 64); err == nil {
+			s.cluster.ObserveEpoch(e)
+		}
+		return
+	}
+	s.cluster.BumpEpoch()
+}
+
+// handleClusterHealth serves the membership document: self plus every known
+// peer with states, generations, epochs, and catalog hashes.
+func (s *Server) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cluster.HealthDoc())
+}
+
+// handleClusterGossip is the heartbeat receiver: fold the sender's document
+// in, answer with ours.
+func (s *Server) handleClusterGossip(w http.ResponseWriter, r *http.Request) {
+	var doc cluster.Doc
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&doc); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode gossip document: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Merge(doc))
+}
+
+// handleClusterSnapshot streams the checksummed catalog snapshot — the exact
+// trailered on-disk format, so the receiving ImportSnapshot verifies
+// integrity end to end. Headers carry the serving node, its epoch, and the
+// generation the stream captured.
+func (s *Server) handleClusterSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, gen, err := s.store.ExportSnapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(cluster.HeaderNode, s.cluster.SelfID())
+	h.Set(cluster.HeaderEpoch, strconv.FormatUint(s.cluster.Epoch(), 10))
+	h.Set(cluster.HeaderGeneration, strconv.FormatUint(gen, 10))
+	h.Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}

@@ -42,6 +42,12 @@ import (
 	"epfis/internal/core"
 )
 
+// ErrBatchTooLarge is the typed sentinel for a batch body carrying more
+// requests than Config.MaxBatch allows (or exceeding the byte cap). The
+// batch route maps it to 413 Request Entity Too Large, so a forwarding node
+// sheds an oversized request instead of being wedged decoding it.
+var ErrBatchTooLarge = errors.New("batch exceeds limit")
+
 // estimateInput is the decoded form of one estimate request on the serving
 // hot path. Unlike the wire-facing EstimateRequest it stores the sargable
 // selectivity by value (absent = 1, exactly the old S-pointer semantics
@@ -696,7 +702,7 @@ func decodeRequestsArray(sc *jsonScanner, maxBatch int, scratch *batchScratch) e
 	}
 	for {
 		if maxBatch > 0 && len(scratch.reqs) >= maxBatch {
-			return fmt.Errorf("batch exceeds limit %d", maxBatch)
+			return fmt.Errorf("%w %d", ErrBatchTooLarge, maxBatch)
 		}
 		scratch.reqs = append(scratch.reqs, estimateInput{s: 1})
 		if err := decodeBatchItem(sc, &scratch.reqs[len(scratch.reqs)-1]); err != nil {

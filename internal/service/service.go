@@ -86,12 +86,14 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"epfis/internal/catalog"
+	"epfis/internal/cluster"
 	"epfis/internal/core"
 	"epfis/internal/obs"
 	"epfis/internal/resilience"
@@ -151,6 +153,11 @@ type Config struct {
 	// slow: counted in epfis_traces_slow_total and logged at warn.
 	// 0 = DefaultSlowTrace; negative flags every request (tests, drills).
 	SlowTrace time.Duration
+	// Cluster enables cluster mode: ownership routing on the estimate
+	// routes, mutation replication, and the /v1/cluster/* routes. nil (the
+	// default) keeps the single-node serving path — one pointer check per
+	// request, no other cost.
+	Cluster *cluster.Node
 }
 
 // reloadFailure records why the service is degraded.
@@ -174,6 +181,10 @@ type Server struct {
 	breaker  *resilience.Breaker      // nil when disabled
 	degraded atomic.Pointer[reloadFailure]
 	draining atomic.Bool
+
+	cluster   *cluster.Node // nil = single-node mode
+	cobs      *clusterObs   // nil unless cluster mode
+	proxyHTTP *http.Client  // forwarding + replication transport
 }
 
 // Route names, used as metrics keys.
@@ -181,6 +192,7 @@ const (
 	routeEstimate    = "GET /v1/estimate"
 	routeBatch       = "POST /v1/estimate/batch"
 	routeIndexes     = "GET /v1/indexes"
+	routeIndex       = "GET /v1/indexes/{key}"
 	routePutIndex    = "PUT /v1/indexes/{table}/{column}"
 	routeDeleteIndex = "DELETE /v1/indexes/{table}/{column}"
 	routeReload      = "POST /v1/reload"
@@ -208,9 +220,13 @@ func New(cfg Config) (*Server, error) {
 		s.cache = newMemoCache(cfg.CacheEntries)
 	}
 	routeNames := []string{
-		routeEstimate, routeBatch, routeIndexes, routePutIndex,
+		routeEstimate, routeBatch, routeIndexes, routeIndex, routePutIndex,
 		routeDeleteIndex, routeReload, routeHealthz, routeMetrics,
 		routeTraces,
+	}
+	if cfg.Cluster != nil {
+		routeNames = append(routeNames,
+			routeClusterHealth, routeClusterGossip, routeClusterSnapshot)
 	}
 	s.met = newMetrics(routeNames)
 
@@ -224,6 +240,16 @@ func New(cfg Config) (*Server, error) {
 		})
 	}
 	s.obs = newServerObs(s, cfg, routeNames)
+	if cfg.Cluster != nil {
+		s.cluster = cfg.Cluster
+		s.cobs = newClusterObs(s.obs.reg)
+		s.cluster.RegisterMetrics(s.obs.reg)
+		timeout := cfg.RequestTimeout
+		if timeout <= 0 {
+			timeout = DefaultRequestTimeout
+		}
+		s.proxyHTTP = &http.Client{Timeout: timeout}
+	}
 	maxInflight := cfg.MaxInflight
 	if maxInflight == 0 {
 		maxInflight = DefaultMaxInflight
@@ -233,7 +259,7 @@ func New(cfg Config) (*Server, error) {
 		// observable and pass (or deliberately fail) its health checks.
 		s.inflight = make(map[string]chan struct{})
 		for _, route := range []string{
-			routeEstimate, routeBatch, routeIndexes,
+			routeEstimate, routeBatch, routeIndexes, routeIndex,
 			routePutIndex, routeDeleteIndex, routeReload,
 		} {
 			s.inflight[route] = make(chan struct{}, maxInflight)
@@ -244,12 +270,20 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle(routeEstimate, s.instrument(routeEstimate, s.handleEstimate))
 	mux.Handle(routeBatch, s.instrument(routeBatch, s.handleBatch))
 	mux.Handle(routeIndexes, s.instrument(routeIndexes, s.handleIndexes))
+	mux.Handle(routeIndex, s.instrument(routeIndex, s.handleIndex))
 	mux.Handle(routePutIndex, s.instrument(routePutIndex, s.handlePutIndex))
 	mux.Handle(routeDeleteIndex, s.instrument(routeDeleteIndex, s.handleDeleteIndex))
 	mux.Handle(routeReload, s.instrument(routeReload, s.handleReload))
 	mux.Handle(routeHealthz, s.instrument(routeHealthz, s.handleHealthz))
 	mux.Handle(routeMetrics, s.instrument(routeMetrics, s.handleMetrics))
 	mux.Handle(routeTraces, s.instrument(routeTraces, s.handleTraces))
+	if s.cluster != nil {
+		// Cluster management routes are exempt from admission control (like
+		// healthz/metrics): heartbeats and recovery must work under load.
+		mux.Handle(routeClusterHealth, s.instrument(routeClusterHealth, s.handleClusterHealth))
+		mux.Handle(routeClusterGossip, s.instrument(routeClusterGossip, s.handleClusterGossip))
+		mux.Handle(routeClusterSnapshot, s.instrument(routeClusterSnapshot, s.handleClusterSnapshot))
+	}
 
 	var h http.Handler = mux
 	timeout := cfg.RequestTimeout
@@ -501,6 +535,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.cluster != nil && s.clusterRoute(w, r, &in, tb) {
+		return
+	}
 	var res estimateResult
 	if err := s.estimate(s.store.Snapshot(), &in, &res, tb); err != nil {
 		writeError(w, statusOf(err), err)
@@ -546,13 +583,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, err := readBody(http.MaxBytesReader(w, r.Body, maxBodyBytes), scratch.body)
 	scratch.body = body
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			// Oversized bodies get the typed sentinel and 413, same as
+			// too-many-requests below: a forwarding node sheds the request
+			// instead of buffering it.
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("%w: body exceeds %d bytes", ErrBatchTooLarge, mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request body: %w", err))
 		return
 	}
 	// One string conversion for the whole body; every item field decodes as a
 	// substring of it.
 	if err := decodeBatchBody(string(body), s.maxBatch, scratch); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrBatchTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
 		return
 	}
 	if len(scratch.reqs) == 0 {
@@ -573,6 +623,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		in := &scratch.reqs[i]
 		if i > 0 {
 			items = append(items, ',')
+		}
+		if s.cluster != nil && !s.ownsEstimate(in) {
+			// Batches are not proxied item-by-item (the fan-out would defeat
+			// the batching); each misdirected item carries 421 so a
+			// cluster-aware client partitions by owner and retries.
+			items = appendBatchItemError(items,
+				"misdirected: not an owner of "+clusterKey(in), http.StatusMisdirectedRequest)
+			failed++
+			continue
 		}
 		if err := s.estimate(snap, in, &res, nil); err != nil {
 			items = appendBatchItemError(items, err.Error(), statusOf(err))
@@ -627,21 +686,61 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		out.Indexes = append(out.Indexes, indexSummary{
-			Table:            e.Table,
-			Column:           e.Column,
-			Pages:            e.T,
-			Records:          e.N,
-			DistinctKeys:     e.I,
-			ClusteringFactor: e.C,
-			BufferMin:        e.BMin,
-			BufferMax:        e.BMax,
-			CurveKnots:       len(e.Curve.Knots),
-			HasHistogram:     len(e.KeyHistogram) > 0,
-			CollectedAt:      e.CollectedAt,
-		})
+		out.Indexes = append(out.Indexes, summaryOf(e))
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// summaryOf builds one listing row from a catalog entry.
+func summaryOf(e *stats.IndexStats) indexSummary {
+	return indexSummary{
+		Table:            e.Table,
+		Column:           e.Column,
+		Pages:            e.T,
+		Records:          e.N,
+		DistinctKeys:     e.I,
+		ClusteringFactor: e.C,
+		BufferMin:        e.BMin,
+		BufferMax:        e.BMax,
+		CurveKnots:       len(e.Curve.Knots),
+		HasHistogram:     len(e.KeyHistogram) > 0,
+		CollectedAt:      e.CollectedAt,
+	}
+}
+
+// IndexDoc is the GET /v1/indexes/{key} document: one entry's statistics
+// summary plus the serving state a client cares about — the generation it
+// was read at, whether a compiled estimator backs it, and (in cluster mode)
+// the IDs of the nodes owning the key.
+type IndexDoc struct {
+	Key        string       `json:"key"`
+	Generation uint64       `json:"generation"`
+	Compiled   bool         `json:"compiled"`
+	Summary    indexSummary `json:"summary"`
+	Owners     []string     `json:"owners,omitempty"`
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	snap := s.store.Snapshot()
+	e, ok := snap.Lookup(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", stats.ErrNotFound, key))
+		return
+	}
+	_, compiled := snap.CompiledByKey(key)
+	doc := IndexDoc{
+		Key:        key,
+		Generation: snap.Generation(),
+		Compiled:   compiled,
+		Summary:    summaryOf(e),
+	}
+	if s.cluster != nil {
+		for _, p := range s.cluster.Owners(key) {
+			doc.Owners = append(doc.Owners, p.ID)
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handlePutIndex(w http.ResponseWriter, r *http.Request) {
@@ -684,6 +783,13 @@ func (s *Server) handlePutIndex(w http.ResponseWriter, r *http.Request) {
 		s.cache.dropOtherGenerations(gen)
 	}
 	s.obs.syncIndexes(s.store.Snapshot())
+	if s.cluster != nil {
+		body, merr := json.Marshal(&e)
+		if merr == nil {
+			s.replicate(r, http.MethodPut,
+				"/v1/indexes/"+url.PathEscape(table)+"/"+url.PathEscape(column), body)
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"key": e.Key(), "generation": gen})
 }
 
@@ -710,6 +816,10 @@ func (s *Server) handleDeleteIndex(w http.ResponseWriter, r *http.Request) {
 		// linger in memory either.
 		s.cache.invalidateIndex(table, column)
 		s.cache.dropOtherGenerations(gen)
+	}
+	if s.cluster != nil {
+		s.replicate(r, http.MethodDelete,
+			"/v1/indexes/"+url.PathEscape(table)+"/"+url.PathEscape(column), nil)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"generation": gen})
 }
@@ -752,6 +862,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.cache.dropOtherGenerations(gen)
 	}
 	s.obs.syncIndexes(s.store.Snapshot())
+	if s.cluster != nil {
+		// A reload is not forwarded (peers have their own files); the epoch
+		// bump makes gossip anti-entropy stream the refreshed catalog to any
+		// peer whose content now differs.
+		s.noteClusterMutation(r)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "indexes": s.store.Len()})
 }
 

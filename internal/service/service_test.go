@@ -208,13 +208,14 @@ func TestBatchEstimate(t *testing.T) {
 		t.Errorf("item 3 status = %d, want 404", bresp.Items[3].Status)
 	}
 
-	// Empty and oversized batches are rejected outright.
+	// Empty batches are rejected outright; oversized batches answer 413 with
+	// the typed sentinel's message so forwarders shed instead of buffering.
 	postJSON(t, ts, "/v1/estimate/batch", BatchRequest{}, http.StatusBadRequest, nil)
 	over := BatchRequest{Requests: make([]EstimateRequest, DefaultMaxBatch+1)}
 	for i := range over.Requests {
 		over.Requests[i] = EstimateRequest{Table: "orders", Column: "key", B: 10, Sigma: 0.1}
 	}
-	postJSON(t, ts, "/v1/estimate/batch", over, http.StatusBadRequest, nil)
+	postJSON(t, ts, "/v1/estimate/batch", over, http.StatusRequestEntityTooLarge, nil)
 }
 
 func TestInstallListDelete(t *testing.T) {
