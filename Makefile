@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos cluster-check bench bench-json bench-serve bench-smoke fuzz obs-check serve vet all
+.PHONY: build test race chaos cluster-check bench bench-json bench-serve bench-ingest bench-smoke fuzz obs-check serve vet all
 
 all: build vet test
 
@@ -13,18 +13,22 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-test the concurrent subsystems (catalog store + estimation service).
+# Race-test the concurrent subsystems (catalog store + estimation service,
+# plus the mergeable incremental simulator the ingest worker feeds).
 race:
-	$(GO) test -race ./internal/catalog/... ./internal/cluster/... ./internal/service/... ./cmd/epfis-serve/...
+	$(GO) test -race ./internal/catalog/... ./internal/cluster/... ./internal/lrusim/... ./internal/service/... ./cmd/epfis-serve/...
 
 # Resilience drills under the race detector: fault injection on every catalog
-# write path mid-traffic, commit-abort and recovery invariants, overload
-# shedding, breaker/degraded behaviour, plus a recovery fuzz smoke.
+# write path mid-traffic (including WAL append/fsync/checkpoint faults under
+# concurrent ingest + readers), commit-abort and recovery invariants, overload
+# shedding, breaker/degraded behaviour, plus recovery fuzz smokes for both the
+# legacy rename store and the WAL log.
 chaos:
 	$(GO) test -race ./internal/faultfs/ ./internal/resilience/
-	$(GO) test -race -run 'TestChaos|TestOverload|TestDeleted|TestHealthz|TestCommitAborts|TestFsync|TestOpenRecovers|TestReload' \
+	$(GO) test -race -run 'TestChaos|TestOverload|TestDeleted|TestHealthz|TestCommitAborts|TestFsync|TestOpenRecovers|TestReload|TestWAL' \
 		./internal/catalog/ ./internal/service/
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenCatalogStore -fuzztime=20s ./internal/catalog/
+	$(GO) test -run=Fuzz -fuzz=FuzzWALRecovery -fuzztime=20s ./internal/catalog/
 
 # Service throughput: single estimates vs 64-plan batches, 1 and 4 cores.
 bench:
@@ -42,6 +46,13 @@ bench-json:
 # "Performance").
 bench-serve:
 	$(GO) run ./cmd/epfis-bench -suite serve -out BENCH_serve.json
+
+# Ingestion-path baseline: WAL group-commit vs legacy rename mutation
+# throughput, Accum feed/merge cost, and POST /v1/ingest handler latency,
+# written as BENCH_ingest.json. Exits non-zero when the WAL speedup falls
+# under -min-wal-speedup (default 10x) or Feed exceeds its alloc budget.
+bench-ingest:
+	$(GO) run ./cmd/epfis-bench -suite ingest -out BENCH_ingest.json
 
 # One-iteration pass over the perf-relevant benchmarks, as run in CI.
 bench-smoke:

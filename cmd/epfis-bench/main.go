@@ -118,6 +118,11 @@ func main() {
 			"serve suite: fail when serve/single exceeds this allocs/op")
 		maxAllocsBatch64 = flag.Int64("max-allocs-batch64", 64,
 			"serve suite: fail when serve/batch64 exceeds this allocs/op")
+
+		maxAllocsFeed = flag.Int64("max-allocs-feed", 2,
+			"ingest suite: fail when lrusim/accum_feed_512 exceeds this amortized allocs/op")
+		minWALSpeedup = flag.Float64("min-wal-speedup", 10,
+			"ingest suite: fail when WAL mutation throughput is below this multiple of the rename-per-commit baseline")
 	)
 	flag.Parse()
 
@@ -133,12 +138,23 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "ingest":
+		if *out == "" {
+			*out = "BENCH_ingest.json"
+		}
+		if !runIngestSuite(*out, ingestBudgets{
+			FeedAllocsPerOpMax: *maxAllocsFeed,
+			WALSpeedupMin:      *minWALSpeedup,
+		}) {
+			os.Exit(1)
+		}
+		return
 	case "experiments":
 		if *out == "" {
 			*out = "BENCH_experiments.json"
 		}
 	default:
-		fatalf("unknown -suite %q (want experiments or serve)", *suite)
+		fatalf("unknown -suite %q (want experiments, serve, or ingest)", *suite)
 	}
 
 	rep := report{

@@ -85,6 +85,15 @@ func run(args []string) error {
 		slowTrace = fs.Duration("slow-trace", 0,
 			fmt.Sprintf("requests at or above this duration are flagged slow (0 = default %s, negative flags all)", service.DefaultSlowTrace))
 
+		walDir = fs.String("wal-dir", "",
+			"enable the WAL-backed catalog (group-committed mutations) with the log in this directory; empty keeps rename-per-commit persistence")
+		checkpointEvery = fs.Int("checkpoint-every", 0,
+			fmt.Sprintf("committed mutations between WAL checkpoints (0 = default %d, negative disables automatic checkpoints; requires -wal-dir)", catalog.DefaultCheckpointEvery))
+		ingestQueue = fs.Int("ingest-queue", 0,
+			fmt.Sprintf("trace batches queued for the ingest worker before POST /v1/ingest sheds with 429 (0 = default %d, negative disables the route)", service.DefaultIngestQueue))
+		driftThreshold = fs.Float64("drift-threshold", 0,
+			fmt.Sprintf("relative fetch-curve divergence that triggers a catalog republish (0 = default %g)", service.DefaultDriftThreshold))
+
 		clusterSeeds = fs.String("cluster-seeds", "",
 			"comma-separated peer base URLs; non-empty enables cluster mode")
 		nodeID = fs.String("node-id", "",
@@ -110,10 +119,28 @@ func run(args []string) error {
 		return err
 	}
 
+	if *memory && *walDir != "" {
+		return fmt.Errorf("-in-memory and -wal-dir are mutually exclusive")
+	}
+	if *checkpointEvery != 0 && *walDir == "" {
+		return fmt.Errorf("-checkpoint-every requires -wal-dir")
+	}
 	var store *catalog.Store
-	if *memory {
+	switch {
+	case *memory:
 		store = catalog.NewStore()
-	} else {
+	case *walDir != "":
+		opts := catalog.WALOptions{Dir: *walDir, CheckpointEvery: *checkpointEvery}
+		store, err = catalog.OpenWALFS(*path, opts, fsys)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		if logger != nil {
+			logger.Info("WAL-backed catalog enabled",
+				"wal", store.WALPath(), "checkpointEvery", *checkpointEvery)
+		}
+	default:
 		store, err = catalog.OpenFS(*path, fsys)
 		if err != nil {
 			return err
@@ -164,9 +191,16 @@ func run(args []string) error {
 		TraceRing:       *traceRing,
 		SlowTrace:       *slowTrace,
 		Cluster:         node,
+		IngestQueue:     *ingestQueue,
+		DriftThreshold:  *driftThreshold,
 	})
 	if err != nil {
 		return err
+	}
+	defer srv.Close()
+	if logger != nil && *ingestQueue >= 0 {
+		logger.Info("trace ingestion enabled",
+			"queue", *ingestQueue, "driftThreshold", *driftThreshold)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

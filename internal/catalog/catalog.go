@@ -133,6 +133,17 @@ type Store struct {
 	path      string     // "" = in-memory only
 	fs        faultfs.FS // filesystem for persistence (faultfs.OS outside tests)
 	recovered bool       // Open served the .prev generation
+
+	// WAL mode (nil wal = legacy rename-per-commit persistence). applied is
+	// the newest built snapshot — possibly not yet durable — that the next
+	// mutation stacks on; snap only ever advances to fsynced state. Both are
+	// guarded by mu; see wal.go for the group-commit protocol.
+	wal             *wal
+	walQ            walQueue
+	applied         *Snapshot
+	checkpointEvery int
+	sinceCheckpoint int
+	closed          bool
 }
 
 // NewStore returns an empty in-memory store (no persistence).
@@ -200,6 +211,9 @@ func (st *Store) Put(e *stats.IndexStats) (uint64, error) {
 		return 0, err
 	}
 	cp := deepCopy(e)
+	if st.wal != nil {
+		return st.walPut(cp)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	cur := st.snap.Load()
@@ -212,6 +226,9 @@ func (st *Store) Put(e *stats.IndexStats) (uint64, error) {
 // Deleting a missing entry is a no-op that does not bump the generation.
 func (st *Store) Delete(table, column string) (bool, uint64, error) {
 	key := table + "." + column
+	if st.wal != nil {
+		return st.walDelete(key)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	cur := st.snap.Load()
@@ -238,6 +255,15 @@ func (st *Store) ReplaceAll(c *stats.Catalog) (uint64, error) {
 		}
 		next[k] = deepCopy(e)
 	}
+	return st.commitReplace(next)
+}
+
+// commitReplace installs a full entry set as one generation step, routing
+// through the WAL when the store is WAL-backed.
+func (st *Store) commitReplace(next map[string]*stats.IndexStats) (uint64, error) {
+	if st.wal != nil {
+		return st.walReplaceAll(next)
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.commitLocked(next)
@@ -246,9 +272,15 @@ func (st *Store) ReplaceAll(c *stats.Catalog) (uint64, error) {
 // Reload re-reads the backing catalog file and publishes its contents as a
 // new generation, so statistics refreshed by an out-of-process LRU-Fit run
 // swap in without downtime. In-flight readers keep their old snapshot.
+// A WAL-backed store reloads the checkpoint plus the committed log tail and
+// republishes the result through the log, so the reload itself is a durable
+// mutation like any other.
 func (st *Store) Reload() (uint64, error) {
 	if st.path == "" {
 		return 0, ErrNoPath
+	}
+	if st.wal != nil {
+		return st.walReload()
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -267,9 +299,13 @@ func (st *Store) Reload() (uint64, error) {
 // Save persists the current snapshot to the backing file (atomic rename).
 // Writes already persist implicitly; Save is for forcing a write after
 // out-of-band changes or for checkpointing an Open-on-missing-file store.
+// On a WAL-backed store, Save forces a checkpoint and rotates the log.
 func (st *Store) Save() error {
 	if st.path == "" {
 		return ErrNoPath
+	}
+	if st.wal != nil {
+		return st.Checkpoint()
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()

@@ -50,6 +50,14 @@ func PrevPath(path string) string { return path + ".prev" }
 
 // encodeSnapshot serializes a snapshot to the trailered on-disk format.
 func encodeSnapshot(snap *Snapshot) ([]byte, error) {
+	return encodeSnapshotLSN(snap, 0, false)
+}
+
+// encodeSnapshotLSN is encodeSnapshot with an optional lsn trailer field —
+// the WAL checkpoint form, pinning the log position the snapshot covers so
+// recovery replays only the frames past it. Legacy writes omit the field and
+// the formats stay mutually loadable.
+func encodeSnapshotLSN(snap *Snapshot, lsn uint64, withLSN bool) ([]byte, error) {
 	c, err := snap.Catalog()
 	if err != nil {
 		return nil, err
@@ -59,61 +67,79 @@ func encodeSnapshot(snap *Snapshot) ([]byte, error) {
 		return nil, err
 	}
 	payload := buf.Len()
-	fmt.Fprintf(&buf, "%scrc32c=%08x bytes=%d\n",
-		trailerPrefix, crc32.Checksum(buf.Bytes()[:payload], crcTable), payload)
+	crc := crc32.Checksum(buf.Bytes()[:payload], crcTable)
+	if withLSN {
+		fmt.Fprintf(&buf, "%scrc32c=%08x bytes=%d lsn=%d\n", trailerPrefix, crc, payload, lsn)
+	} else {
+		fmt.Fprintf(&buf, "%scrc32c=%08x bytes=%d\n", trailerPrefix, crc, payload)
+	}
 	return buf.Bytes(), nil
 }
 
 // verifyPayload validates the trailer (when present) and returns the JSON
-// payload bytes. Legacy files without a trailer pass through whole.
-func verifyPayload(data []byte) ([]byte, error) {
+// payload bytes plus the trailer's WAL position (0 when absent — pre-WAL
+// files cover no log). Legacy files without a trailer pass through whole.
+func verifyPayload(data []byte) ([]byte, uint64, error) {
 	idx := bytes.LastIndex(data, []byte(trailerPrefix))
 	if idx < 0 {
-		return data, nil // legacy file: JSON validation is the only guard
+		return data, 0, nil // legacy file: JSON validation is the only guard
 	}
 	line := strings.TrimSuffix(string(data[idx+len(trailerPrefix):]), "\n")
 	if strings.ContainsAny(line, "\n\r") {
-		return nil, fmt.Errorf("%w: data after checksum trailer", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: data after checksum trailer", ErrCorrupt)
 	}
+	fields := strings.Split(line, " ")
+	ok := len(fields) == 2 || len(fields) == 3
 	var crc uint64
 	var n int
-	ok := false
-	if c, rest, found := strings.Cut(line, " "); found {
-		if cv, err := strconv.ParseUint(strings.TrimPrefix(c, "crc32c="), 16, 32); err == nil && strings.HasPrefix(c, "crc32c=") {
-			if bv, err := strconv.Atoi(strings.TrimPrefix(rest, "bytes=")); err == nil && strings.HasPrefix(rest, "bytes=") {
-				crc, n, ok = cv, bv, true
-			}
+	var lsn uint64
+	if ok {
+		cv, errC := strconv.ParseUint(strings.TrimPrefix(fields[0], "crc32c="), 16, 32)
+		bv, errB := strconv.Atoi(strings.TrimPrefix(fields[1], "bytes="))
+		ok = errC == nil && errB == nil &&
+			strings.HasPrefix(fields[0], "crc32c=") && strings.HasPrefix(fields[1], "bytes=")
+		crc, n = cv, bv
+		if ok && len(fields) == 3 {
+			lv, errL := strconv.ParseUint(strings.TrimPrefix(fields[2], "lsn="), 10, 64)
+			ok = errL == nil && strings.HasPrefix(fields[2], "lsn=")
+			lsn = lv
 		}
 	}
 	if !ok {
-		return nil, fmt.Errorf("%w: malformed checksum trailer %q", ErrCorrupt, line)
+		return nil, 0, fmt.Errorf("%w: malformed checksum trailer %q", ErrCorrupt, line)
 	}
 	if n != idx {
-		return nil, fmt.Errorf("%w: payload is %d bytes, trailer pins %d (truncated or spliced)", ErrCorrupt, idx, n)
+		return nil, 0, fmt.Errorf("%w: payload is %d bytes, trailer pins %d (truncated or spliced)", ErrCorrupt, idx, n)
 	}
 	payload := data[:idx]
 	if got := crc32.Checksum(payload, crcTable); uint64(got) != crc {
-		return nil, fmt.Errorf("%w: crc32c %08x, trailer pins %08x", ErrCorrupt, got, crc)
+		return nil, 0, fmt.Errorf("%w: crc32c %08x, trailer pins %08x", ErrCorrupt, got, crc)
 	}
-	return payload, nil
+	return payload, lsn, nil
 }
 
 // loadVerified reads path through fsys, checks the trailer, and parses the
 // payload as a stats catalog.
 func loadVerified(fsys faultfs.FS, path string) (*stats.Catalog, error) {
+	c, _, err := loadVerifiedLSN(fsys, path)
+	return c, err
+}
+
+// loadVerifiedLSN is loadVerified plus the trailer's WAL position.
+func loadVerifiedLSN(fsys faultfs.FS, path string) (*stats.Catalog, uint64, error) {
 	data, err := fsys.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	payload, err := verifyPayload(data)
+	payload, lsn, err := verifyPayload(data)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
 	}
 	c, err := stats.Load(bytes.NewReader(payload))
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
 	}
-	return c, nil
+	return c, lsn, nil
 }
 
 // loadWithRecovery loads the catalog at path, falling back to the retained
@@ -122,20 +148,26 @@ func loadVerified(fsys faultfs.FS, path string) (*stats.Catalog, error) {
 // exists (a fresh store), and the main file's error when no fallback can
 // serve.
 func loadWithRecovery(fsys faultfs.FS, path string) (c *stats.Catalog, recovered bool, err error) {
-	c, mainErr := loadVerified(fsys, path)
+	c, _, recovered, err = loadWithRecoveryLSN(fsys, path)
+	return c, recovered, err
+}
+
+// loadWithRecoveryLSN is loadWithRecovery plus the served file's WAL position.
+func loadWithRecoveryLSN(fsys faultfs.FS, path string) (c *stats.Catalog, lsn uint64, recovered bool, err error) {
+	c, lsn, mainErr := loadVerifiedLSN(fsys, path)
 	if mainErr == nil {
-		return c, false, nil
+		return c, lsn, false, nil
 	}
 	// Corrupt, truncated, or missing after a crashed write: adopt the
 	// retained previous generation when it verifies.
-	prev, prevErr := loadVerified(fsys, PrevPath(path))
+	prev, prevLSN, prevErr := loadVerifiedLSN(fsys, PrevPath(path))
 	if prevErr == nil {
-		return prev, true, nil
+		return prev, prevLSN, true, nil
 	}
 	if errors.Is(mainErr, os.ErrNotExist) && errors.Is(prevErr, os.ErrNotExist) {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
-	return nil, false, mainErr
+	return nil, 0, false, mainErr
 }
 
 // writeAtomicFS persists the snapshot crash-safely: temp file + fsync,
@@ -143,7 +175,13 @@ func loadWithRecovery(fsys faultfs.FS, path string) (c *stats.Catalog, recovered
 // directory. Any failure leaves the previous on-disk generation loadable
 // (directly or via .prev recovery).
 func writeAtomicFS(fsys faultfs.FS, path string, snap *Snapshot) error {
-	data, err := encodeSnapshot(snap)
+	return writeAtomicLSN(fsys, path, snap, 0, false)
+}
+
+// writeAtomicLSN is writeAtomicFS with the WAL-position trailer field — the
+// checkpoint writer.
+func writeAtomicLSN(fsys faultfs.FS, path string, snap *Snapshot, lsn uint64, withLSN bool) error {
+	data, err := encodeSnapshotLSN(snap, lsn, withLSN)
 	if err != nil {
 		return err
 	}

@@ -45,7 +45,7 @@ func (st *Store) ImportSnapshot(data []byte) (uint64, error) {
 	if !bytes.Contains(data, []byte(trailerPrefix)) {
 		return 0, fmt.Errorf("%w: snapshot stream has no checksum trailer", ErrCorrupt)
 	}
-	payload, err := verifyPayload(data)
+	payload, _, err := verifyPayload(data)
 	if err != nil {
 		return 0, err
 	}
@@ -61,9 +61,7 @@ func (st *Store) ImportSnapshot(data []byte) (uint64, error) {
 		}
 		next[k] = deepCopy(e)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.commitLocked(next)
+	return st.commitReplace(next)
 }
 
 // ContentHash reports the CRC32-C of the canonical JSON payload of the

@@ -1,0 +1,474 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"epfis/internal/faultfs"
+)
+
+// walFixture opens a WAL-backed store in a fresh temp dir.
+func walFixture(t *testing.T, opts WALOptions, fsys faultfs.FS) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	st, err := OpenWALFS(path, opts, fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, path
+}
+
+// stateOf captures the observable catalog contents for equality checks.
+func stateOf(s *Snapshot) map[string]int64 {
+	out := make(map[string]int64, s.Len())
+	for _, k := range s.keys {
+		out[k] = s.entries[k].FMin
+	}
+	return out
+}
+
+func statesEqual(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	st, path := walFixture(t, WALOptions{}, nil)
+	if gen, err := st.Put(entry("orders", "key", 500)); err != nil || gen != 1 {
+		t.Fatalf("Put = (%d, %v), want gen 1", gen, err)
+	}
+	if gen, err := st.Put(entry("orders", "custno", 600)); err != nil || gen != 2 {
+		t.Fatalf("Put = (%d, %v), want gen 2", gen, err)
+	}
+	if ok, gen, err := st.Delete("orders", "key"); err != nil || !ok || gen != 3 {
+		t.Fatalf("Delete = (%v, %d, %v), want (true, 3)", ok, gen, err)
+	}
+	if ok, _, err := st.Delete("orders", "key"); err != nil || ok {
+		t.Fatalf("second Delete = (%v, %v), want no-op", ok, err)
+	}
+	want := stateOf(st.Snapshot())
+	if st.WALStatsNow().DurableLSN != 3 {
+		t.Fatalf("durable lsn = %d, want 3", st.WALStatsNow().DurableLSN)
+	}
+	st.Close()
+	if _, err := st.Put(entry("x", "y", 100)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close err = %v, want ErrClosed", err)
+	}
+
+	re, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := stateOf(re.Snapshot()); !statesEqual(got, want) {
+		t.Fatalf("reopened state %v, want %v", got, want)
+	}
+	// Compiled estimators must exist for replayed entries too.
+	if _, ok := re.Snapshot().Compiled("orders", "custno"); !ok {
+		t.Fatal("replayed entry has no compiled estimator")
+	}
+}
+
+func TestWALGroupCommitConcurrent(t *testing.T) {
+	// Concurrent writers with a slowed WAL fsync: commits must all land, and
+	// group commit must batch them — far fewer fsyncs than mutations.
+	inj := faultfs.NewInjector(faultfs.OS(), 1)
+	inj.Add(faultfs.Rule{Op: faultfs.OpSync, Path: ".wal", Nth: 1, Count: -1,
+		Mode: faultfs.ModeSlow, Delay: 4 * time.Millisecond})
+	st, path := walFixture(t, WALOptions{}, inj)
+
+	const writers, each = 8, 8
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < writers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				col := fmt.Sprintf("c%d_%d", wkr, i)
+				if _, err := st.Put(entry("t", col, int64(100+wkr))); err != nil {
+					t.Errorf("Put %s: %v", col, err)
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+
+	if n := st.Len(); n != writers*each {
+		t.Fatalf("Len = %d, want %d", n, writers*each)
+	}
+	ws := st.WALStatsNow()
+	if ws.LSN != writers*each || ws.DurableLSN != ws.LSN {
+		t.Fatalf("wal stats = %+v, want lsn=durable=%d", ws, writers*each)
+	}
+	syncs := 0
+	for _, op := range inj.Trace() {
+		if strings.HasPrefix(op, string(faultfs.OpSync)) && strings.Contains(op, ".wal") {
+			syncs++
+		}
+	}
+	// One fsync for the header plus one per group. Strictly fewer than one
+	// per commit proves batching happened.
+	if syncs >= writers*each {
+		t.Fatalf("%d wal fsyncs for %d commits: group commit did not batch", syncs, writers*each)
+	}
+	want := stateOf(st.Snapshot())
+	st.Close()
+	re, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := stateOf(re.Snapshot()); !statesEqual(got, want) {
+		t.Fatal("reopened state diverged after concurrent commits")
+	}
+}
+
+func TestWALCheckpointRotation(t *testing.T) {
+	st, path := walFixture(t, WALOptions{CheckpointEvery: 4}, nil)
+	for i := 0; i < 10; i++ {
+		if _, err := st.Put(entry("t", fmt.Sprintf("c%d", i), 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 commits with CheckpointEvery=4: at least two checkpoints ran.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), " lsn=") {
+		t.Fatal("checkpoint file has no lsn trailer field")
+	}
+	if ws := st.WALStatsNow(); ws.SinceCheckpoint >= 10 {
+		t.Fatalf("SinceCheckpoint = %d after checkpoints", ws.SinceCheckpoint)
+	}
+	// The rotated log holds only the post-checkpoint tail.
+	wal, err := os.ReadFile(st.WALPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wal) > 4096 {
+		t.Fatalf("wal is %d bytes after rotation; rotation did not truncate", len(wal))
+	}
+	want := stateOf(st.Snapshot())
+	st.Close()
+	re, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := stateOf(re.Snapshot()); !statesEqual(got, want) {
+		t.Fatalf("reopened state %v, want %v", got, want)
+	}
+
+	// An explicit checkpoint drains the log entirely.
+	if _, err := re.Put(entry("t", "late", 250)); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if ws := re.WALStatsNow(); ws.SinceCheckpoint != 0 {
+		t.Fatalf("SinceCheckpoint = %d after Save", ws.SinceCheckpoint)
+	}
+}
+
+func TestWALRecoveryTornTail(t *testing.T) {
+	// Build a log of commits, then truncate it at EVERY byte length. Each
+	// truncation must recover without error to exactly one of the committed
+	// prefix states — never a torn or interpolated catalog.
+	st, path := walFixture(t, WALOptions{CheckpointEvery: -1}, nil)
+	prefixes := []map[string]int64{stateOf(st.Snapshot())}
+	for i := 0; i < 5; i++ {
+		if _, err := st.Put(entry("t", fmt.Sprintf("c%d", i), int64(110+i))); err != nil {
+			t.Fatal(err)
+		}
+		prefixes = append(prefixes, stateOf(st.Snapshot()))
+	}
+	st.Close()
+	walPath := st.WALPath()
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matches := func(got map[string]int64) int {
+		for i, p := range prefixes {
+			if statesEqual(got, p) {
+				return i
+			}
+		}
+		return -1
+	}
+	lastIdx := -1
+	for cut := 0; cut <= len(full); cut++ {
+		if err := os.WriteFile(walPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenWAL(path, WALOptions{CheckpointEvery: -1})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		got := stateOf(re.Snapshot())
+		re.Close()
+		idx := matches(got)
+		if idx < 0 {
+			t.Fatalf("cut %d: recovered state %v matches no committed prefix", cut, got)
+		}
+		if idx < lastIdx {
+			t.Fatalf("cut %d: recovered prefix %d after already recovering %d", cut, idx, lastIdx)
+		}
+		lastIdx = idx
+	}
+	if lastIdx != len(prefixes)-1 {
+		t.Fatalf("full log recovered prefix %d, want %d", lastIdx, len(prefixes)-1)
+	}
+}
+
+func TestWALReload(t *testing.T) {
+	st, _ := walFixture(t, WALOptions{}, nil)
+	if _, err := st.Put(entry("t", "a", 700)); err != nil {
+		t.Fatal(err)
+	}
+	want := stateOf(st.Snapshot())
+	gen := st.Generation()
+	newGen, err := st.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newGen <= gen {
+		t.Fatalf("Reload gen = %d, want > %d", newGen, gen)
+	}
+	if got := stateOf(st.Snapshot()); !statesEqual(got, want) {
+		t.Fatalf("Reload changed state: %v, want %v", got, want)
+	}
+}
+
+func TestChaosWALAppendAndFsyncFailures(t *testing.T) {
+	// Injected append and fsync failures must fail the commit honestly —
+	// readers keep the previous durable generation — and the next commit
+	// must repair the torn tail and succeed.
+	for _, mode := range []struct {
+		name string
+		rule faultfs.Rule
+	}{
+		{"append-error", faultfs.Rule{Op: faultfs.OpWrite, Path: ".wal", Nth: 1}},
+		{"append-partial", faultfs.Rule{Op: faultfs.OpWrite, Path: ".wal", Nth: 1, Mode: faultfs.ModePartial}},
+		{"fsync-error", faultfs.Rule{Op: faultfs.OpSync, Path: ".wal", Nth: 1}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			inj := faultfs.NewInjector(faultfs.OS(), 1)
+			st, path := walFixture(t, WALOptions{}, inj)
+			if _, err := st.Put(entry("t", "base", 101)); err != nil {
+				t.Fatal(err)
+			}
+			before := stateOf(st.Snapshot())
+			beforeGen := st.Generation()
+
+			inj.Add(mode.rule) // arms against the NEXT wal write/sync
+			if _, err := st.Put(entry("t", "doomed", 102)); err == nil {
+				t.Fatal("Put under injected fault succeeded")
+			}
+			if got := stateOf(st.Snapshot()); !statesEqual(got, before) || st.Generation() != beforeGen {
+				t.Fatalf("failed commit leaked: %v gen %d", got, st.Generation())
+			}
+
+			// Fault consumed; the store must repair and take new commits.
+			if _, err := st.Put(entry("t", "after", 103)); err != nil {
+				t.Fatalf("commit after repair: %v", err)
+			}
+			want := stateOf(st.Snapshot())
+			st.Close()
+			re, err := OpenWAL(path, WALOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if got := stateOf(re.Snapshot()); !statesEqual(got, want) {
+				t.Fatalf("reopen after fault: %v, want %v", got, want)
+			}
+			if _, ok := re.Snapshot().Lookup("t.doomed"); ok {
+				t.Fatal("aborted commit resurfaced after reopen")
+			}
+		})
+	}
+}
+
+func TestChaosWALCheckpointFailure(t *testing.T) {
+	// A failing checkpoint (rename of the snapshot) must not lose commits:
+	// they are durable in the log regardless.
+	inj := faultfs.NewInjector(faultfs.OS(), 1)
+	inj.Add(faultfs.Rule{Op: faultfs.OpRename, Path: "catalog.json", Nth: 1, Count: -1})
+	st, path := walFixture(t, WALOptions{CheckpointEvery: 2}, inj)
+	for i := 0; i < 6; i++ {
+		if _, err := st.Put(entry("t", fmt.Sprintf("c%d", i), 200)); err != nil {
+			t.Fatalf("Put %d under checkpoint faults: %v", i, err)
+		}
+	}
+	want := stateOf(st.Snapshot())
+	st.Close()
+	re, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := stateOf(re.Snapshot()); !statesEqual(got, want) {
+		t.Fatalf("reopen after failed checkpoints: %v, want %v", got, want)
+	}
+}
+
+func TestChaosWALConcurrentReadersSeeCommittedOnly(t *testing.T) {
+	// Writers race injected faults while readers hammer snapshots: every
+	// observed generation must be monotone and every observed entry valid.
+	inj := faultfs.NewInjector(faultfs.OS(), 7)
+	inj.Add(faultfs.Rule{Op: faultfs.OpWrite, Path: ".wal", Nth: 5, Count: 1})
+	inj.Add(faultfs.Rule{Op: faultfs.OpSync, Path: ".wal", Nth: 9, Count: 2})
+	st, path := walFixture(t, WALOptions{CheckpointEvery: 8}, inj)
+
+	stop := make(chan struct{})
+	var readerErr error
+	var readerMu sync.Mutex
+	var rwg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := st.Snapshot()
+				if s.Generation() < lastGen {
+					readerMu.Lock()
+					readerErr = fmt.Errorf("generation went backwards: %d -> %d", lastGen, s.Generation())
+					readerMu.Unlock()
+					return
+				}
+				lastGen = s.Generation()
+				for _, k := range s.keys {
+					if err := s.entries[k].Validate(); err != nil {
+						readerMu.Lock()
+						readerErr = fmt.Errorf("reader saw invalid entry %s: %v", k, err)
+						readerMu.Unlock()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	committed := make([][]string, 4)
+	for wkr := 0; wkr < 4; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				col := fmt.Sprintf("c%d_%d", wkr, i)
+				if _, err := st.Put(entry("t", col, int64(100+i))); err == nil {
+					committed[wkr] = append(committed[wkr], "t."+col)
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+
+	// Every acknowledged commit must survive a reopen.
+	want := stateOf(st.Snapshot())
+	st.Close()
+	re, err := OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := stateOf(re.Snapshot())
+	if !statesEqual(got, want) {
+		t.Fatalf("reopen state %v, want %v", got, want)
+	}
+	for _, keys := range committed {
+		for _, k := range keys {
+			if _, ok := re.Snapshot().Lookup(k); !ok {
+				t.Fatalf("acknowledged commit %s lost after reopen", k)
+			}
+		}
+	}
+}
+
+// FuzzWALRecovery throws arbitrary bytes at the log reader: recovery must
+// never panic and must always produce a store whose every entry validates.
+func FuzzWALRecovery(f *testing.F) {
+	// Seed with a genuine log so the fuzzer mutates realistic frames.
+	dir, err := os.MkdirTemp("", "walfuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	seedPath := filepath.Join(dir, "catalog.json")
+	st, err := OpenWAL(seedPath, WALOptions{CheckpointEvery: -1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Put(entry("t", fmt.Sprintf("c%d", i), int64(100+i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	st.Close()
+	seed, err := os.ReadFile(st.WALPath())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, walBytes []byte) {
+		tmp := t.TempDir()
+		path := filepath.Join(tmp, "catalog.json")
+		if err := os.WriteFile(path+".wal", walBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenWAL(path, WALOptions{CheckpointEvery: -1})
+		if err != nil {
+			return // honest refusal is fine; panics are not
+		}
+		s := re.Snapshot()
+		for _, k := range s.keys {
+			if err := s.entries[k].Validate(); err != nil {
+				t.Fatalf("recovered invalid entry %s: %v", k, err)
+			}
+		}
+		// The store must accept new commits after any recovery.
+		if _, err := re.Put(entry("t", "post", 199)); err != nil {
+			t.Fatalf("Put after recovery: %v", err)
+		}
+		re.Close()
+	})
+}

@@ -277,6 +277,22 @@ func LRUFit(trace lrusim.Trace, meta Meta, opts Options) (*stats.IndexStats, err
 		return nil, fmt.Errorf("%w: %d references for N = %d records", ErrBadTrace, len(trace), meta.N)
 	}
 
+	// Steps 1-3 run off the simulated curve; streaming ingestion reuses
+	// them via LRUFitFromCurve with an incrementally accumulated curve.
+	return LRUFitFromCurve(lrusim.Analyze(trace), meta, opts)
+}
+
+// LRUFitFromCurve is LRU-Fit starting from an already-computed fetch curve —
+// the modeling-range, curve-fit, and clustering-factor steps without the
+// Mattson pass. It serves callers that maintain the curve incrementally
+// (lrusim.Accum over streamed trace batches), where no single trace slice of
+// length N exists to hand to LRUFit. The curve must cover a full scan of the
+// index described by meta: curve total = N references, curve cold = T pages.
+func LRUFitFromCurve(curve *lrusim.FetchCurve, meta Meta, opts Options) (*stats.IndexStats, error) {
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+
 	// Step 1: modeling range.
 	bmin, bmax := ModelingRange(meta.T, opts)
 	grid := ModelingGridStep(bmin, bmax, opts.Spacing, opts.StepFactor)
@@ -284,8 +300,7 @@ func LRUFit(trace lrusim.Trace, meta Meta, opts Options) (*stats.IndexStats, err
 		return nil, ErrEmptyGrid
 	}
 
-	// Step 2: one-pass LRU buffer modeling (Mattson stack analysis).
-	curve := lrusim.Analyze(trace)
+	// Step 2: sample the (pre-simulated) LRU buffer model.
 	samples := lrusim.SampleCurve(curve, grid)
 
 	// Step 3: approximate the FPF curve with line segments.

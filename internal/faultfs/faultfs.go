@@ -43,12 +43,14 @@ const (
 	OpAny      Op = "*"
 	OpReadFile Op = "readfile"
 	OpCreate   Op = "create"
+	OpAppend   Op = "append"
 	OpWrite    Op = "write"
 	OpSync     Op = "sync"
 	OpClose    Op = "close"
 	OpRename   Op = "rename"
 	OpRemove   Op = "remove"
 	OpSyncDir  Op = "syncdir"
+	OpTruncate Op = "truncate"
 )
 
 // File is the writable temp-file surface catalog persistence needs.
@@ -70,6 +72,11 @@ type FS interface {
 	// CreateTemp creates a new temporary file in dir (os.CreateTemp pattern
 	// semantics).
 	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens the named file for appending, creating it if missing —
+	// the write-ahead-log surface.
+	OpenAppend(name string) (File, error)
+	// Truncate cuts the named file to size bytes (WAL torn-tail repair).
+	Truncate(name string, size int64) error
 	// Rename atomically renames oldpath to newpath.
 	Rename(oldpath, newpath string) error
 	// Remove deletes the named file; removing a missing file is the
@@ -95,6 +102,16 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) {
 	}
 	return f, nil
 }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error             { return os.Remove(name) }
@@ -303,6 +320,24 @@ func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
 	return &faultFile{inner: f, in: in}, nil
 }
 
+func (in *Injector) OpenAppend(name string) (File, error) {
+	if err := in.apply(OpAppend, name); err != nil {
+		return nil, err
+	}
+	f, err := in.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: f, in: in}, nil
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if err := in.apply(OpTruncate, name); err != nil {
+		return err
+	}
+	return in.inner.Truncate(name, size)
+}
+
 func (in *Injector) Rename(oldpath, newpath string) error {
 	if err := in.apply(OpRename, newpath); err != nil {
 		return err
@@ -394,7 +429,7 @@ func ParseRules(spec string) ([]Rule, error) {
 			r.Path = ""
 		}
 		switch r.Op {
-		case OpAny, OpReadFile, OpCreate, OpWrite, OpSync, OpClose, OpRename, OpRemove, OpSyncDir:
+		case OpAny, OpReadFile, OpCreate, OpAppend, OpWrite, OpSync, OpClose, OpRename, OpRemove, OpSyncDir, OpTruncate:
 		default:
 			return nil, fmt.Errorf("faultfs: rule %q: unknown op %q", raw, parts[0])
 		}

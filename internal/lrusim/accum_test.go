@@ -1,0 +1,290 @@
+package lrusim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"epfis/internal/storage"
+)
+
+// feedInSplits feeds the trace through a into randomly sized batches,
+// exercising shrinking and growing batch lengths including empty ones.
+func feedInSplits(rng *rand.Rand, a *Accum, t Trace) {
+	for len(t) > 0 {
+		k := rng.Intn(len(t) + 1)
+		if rng.Intn(8) == 0 {
+			a.Feed(nil) // empty batches must be no-ops
+		}
+		a.Feed(t[:k])
+		t = t[k:]
+	}
+}
+
+// accumMatchesScratch checks the accumulated state against a fresh offline
+// pass over the full trace, bit for bit: identical histogram, identical
+// F(B) for every informative B, identical A and N.
+func accumMatchesScratch(t *testing.T, a *Accum, full Trace) {
+	t.Helper()
+	s := NewScratch()
+	want := s.Run(full)
+	if got := a.Histogram(); !histogramsEqual(got, want) {
+		t.Fatalf("histogram diverged: got cold=%d total=%d, want cold=%d total=%d",
+			got.Cold, got.Total, want.Cold, want.Total)
+	}
+	wc := s.Analyze(full)
+	gc := a.Curve()
+	hi := int(wc.Accesses()) + 2
+	for b := 1; b <= hi; b++ {
+		if gc.Fetches(b) != wc.Fetches(b) {
+			t.Fatalf("F(%d): accum %d, scratch %d", b, gc.Fetches(b), wc.Fetches(b))
+		}
+	}
+	if gc.Accesses() != wc.Accesses() || gc.Total() != wc.Total() {
+		t.Fatalf("A/N diverged: accum (%d,%d), scratch (%d,%d)",
+			gc.Accesses(), gc.Total(), wc.Accesses(), wc.Total())
+	}
+}
+
+// sparseTrace spreads page ids far beyond the trace length so the accumulator
+// must take (or migrate to) the map remap path.
+func sparseTrace(rng *rand.Rand, n, pages int) Trace {
+	t := make(Trace, n)
+	for i := range t {
+		t[i] = storage.PageID(rng.Intn(pages)) * 1_048_573 // large prime stride
+	}
+	return t
+}
+
+func pickTrace(rng *rand.Rand, n, pages int) Trace {
+	switch rng.Intn(3) {
+	case 0:
+		return randomTrace(rng, n, pages)
+	case 1:
+		return clusteredTrace(rng, n, pages, 1+rng.Intn(6))
+	default:
+		return sparseTrace(rng, n, pages)
+	}
+}
+
+func TestAccumFeedMatchesScratchProperty(t *testing.T) {
+	// One trace, arbitrary batch splits: the incremental pass must be
+	// bit-identical to the offline pass over the concatenation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		full := pickTrace(rng, 1+rng.Intn(600), 1+rng.Intn(60))
+		a := NewAccum()
+		feedInSplits(rng, a, full)
+		s := NewScratch()
+		return histogramsEqual(a.Histogram(), s.Run(full))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumMergeMatchesConcatenationProperty(t *testing.T) {
+	// Per-shard accumulators merged in order must be bit-identical to one
+	// accumulator over the concatenated stream — across dense, clustered,
+	// and sparse id shapes, with page-id overlap between shards.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := 1 + rng.Intn(5)
+		pages := 1 + rng.Intn(50)
+		var full Trace
+		accs := make([]*Accum, shards)
+		for i := range accs {
+			part := pickTrace(rng, rng.Intn(300), pages)
+			full = append(full, part...)
+			accs[i] = NewAccum()
+			feedInSplits(rng, accs[i], part)
+		}
+		merged := accs[0]
+		for _, b := range accs[1:] {
+			merged.Merge(b)
+		}
+		s := NewScratch()
+		return histogramsEqual(merged.Histogram(), s.Run(full))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumMergeThenKeepFeeding(t *testing.T) {
+	// A merged accumulator must remain a valid stream prefix: further Feeds
+	// and further Merges on top of it stay exact.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		p1 := pickTrace(rng, 200, 30)
+		p2 := pickTrace(rng, 150, 30)
+		p3 := pickTrace(rng, 100, 30)
+		a, b := NewAccum(), NewAccum()
+		a.Feed(p1)
+		b.Feed(p2)
+		a.Merge(b)
+		a.Feed(p3)          // feeding after a merge must stay exact
+		a.Merge(NewAccum()) // merging an empty accumulator is a no-op
+		concat := append(append(p1.Clone(), p2...), p3...)
+		accumMatchesScratch(t, a, concat)
+	}
+}
+
+func TestAccumMixedRemapMerge(t *testing.T) {
+	// Slice-path accumulator merged with map-path accumulator (and the
+	// reverse), including ids present on both sides.
+	dense := tr(0, 1, 2, 3, 0, 1, 2, 3, 2, 1)
+	sparse := Trace{1 << 30, 1, 1 << 30, 1 << 20, 3, 1 << 20}
+	for _, order := range [][2]Trace{{dense, sparse}, {sparse, dense}} {
+		a, b := NewAccum(), NewAccum()
+		a.Feed(order[0])
+		b.Feed(order[1])
+		a.Merge(b)
+		concat := append(order[0].Clone(), order[1]...)
+		accumMatchesScratch(t, a, concat)
+	}
+}
+
+func TestAccumCurveMidStream(t *testing.T) {
+	// Curve() at every batch boundary must equal the offline pass over the
+	// prefix consumed so far, and reading it must not disturb accumulation.
+	rng := rand.New(rand.NewSource(3))
+	full := clusteredTrace(rng, 1200, 80, 4)
+	a := NewAccum()
+	s := NewScratch()
+	for off := 0; off < len(full); {
+		k := 1 + rng.Intn(200)
+		if off+k > len(full) {
+			k = len(full) - off
+		}
+		a.Feed(full[off : off+k])
+		off += k
+		want := s.Analyze(full[:off])
+		got := a.Curve()
+		for b := 1; b <= 90; b++ {
+			if got.Fetches(b) != want.Fetches(b) {
+				t.Fatalf("prefix %d F(%d): accum %d, scratch %d", off, b, got.Fetches(b), want.Fetches(b))
+			}
+		}
+	}
+}
+
+func TestAccumResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewAccum()
+	for _, n := range []int{1000, 3, 700, 1, 1200} {
+		a.Reset()
+		full := pickTrace(rng, n, 1+n/10)
+		feedInSplits(rng, a, full)
+		accumMatchesScratch(t, a, full)
+	}
+}
+
+func TestAccumEmptyAndEdge(t *testing.T) {
+	a := NewAccum()
+	if c := a.Curve(); c.Total() != 0 || c.Fetches(1) != 0 {
+		t.Error("empty accumulator curve wrong")
+	}
+	a.Feed(tr(5))
+	if c := a.Curve(); c.Fetches(1) != 1 || c.Accesses() != 1 {
+		t.Error("single-reference curve wrong")
+	}
+	if got := a.MaxPageID(); got != 5 {
+		t.Errorf("MaxPageID = %d, want 5", got)
+	}
+	b := NewAccum()
+	b.Merge(a) // merge into empty
+	accumMatchesScratch(t, b, tr(5))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("self-merge did not panic")
+			}
+		}()
+		b.Merge(b)
+	}()
+}
+
+func TestAccumConcurrentShards(t *testing.T) {
+	// Shard feeding from separate goroutines (one Accum each, as the ingest
+	// pipeline does) then a serial merge: exercised under -race by make race.
+	rng := rand.New(rand.NewSource(17))
+	shards := make([]Trace, 8)
+	var full Trace
+	for i := range shards {
+		shards[i] = clusteredTrace(rng, 500, 60, 3)
+	}
+	for _, sh := range shards {
+		full = append(full, sh...)
+	}
+	accs := make([]*Accum, len(shards))
+	done := make(chan int, len(shards))
+	for i := range shards {
+		go func(i int) {
+			accs[i] = NewAccum()
+			r := rand.New(rand.NewSource(int64(i)))
+			feedInSplits(r, accs[i], shards[i])
+			done <- i
+		}(i)
+	}
+	for range shards {
+		<-done
+	}
+	merged := accs[0]
+	for _, b := range accs[1:] {
+		merged.Merge(b)
+	}
+	accumMatchesScratch(t, merged, full)
+}
+
+func TestAccumFeedSteadyStateAllocs(t *testing.T) {
+	// Amortized allocs/op over a long warm stream: the committed budget is
+	// <= 2 (matching Scratch.Analyze); steady state is zero with occasional
+	// capacity doublings.
+	rng := rand.New(rand.NewSource(2))
+	a := NewAccum()
+	a.Feed(clusteredTrace(rng, 50_000, 2_000, 10)) // warm up capacities
+	batch := clusteredTrace(rng, 512, 2_000, 10)
+	avg := testing.AllocsPerRun(100, func() { a.Feed(batch) })
+	if avg > 2 {
+		t.Errorf("Feed allocs/op = %.1f, want <= 2", avg)
+	}
+}
+
+// BenchmarkAccumFeed measures the incremental path per 512-reference batch on
+// the same clustered shape as BenchmarkScratchAnalyze; divide ns/op by 512
+// for ns/ref.
+func BenchmarkAccumFeed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	batch := clusteredTrace(rng, 512, 2_000, 40)
+	a := NewAccum()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Total() > 4<<20 {
+			b.StopTimer()
+			a.Reset()
+			b.StartTimer()
+		}
+		a.Feed(batch)
+	}
+}
+
+// BenchmarkAccumMerge measures merging a 100k-reference shard into a
+// 100k-reference base (fresh copies per iteration, timer paused for setup).
+func BenchmarkAccumMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	t1 := clusteredTrace(rng, 100_000, 2_000, 40)
+	t2 := clusteredTrace(rng, 100_000, 2_000, 40)
+	shard := NewAccum()
+	shard.Feed(t2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		base := NewAccum()
+		base.Feed(t1)
+		b.StartTimer()
+		base.Merge(shard)
+	}
+}

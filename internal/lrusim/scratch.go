@@ -42,6 +42,10 @@ type Scratch struct {
 
 	// Dense remap, map path (raw ids too sparse for the slice).
 	remap map[storage.PageID]int32
+
+	// One-shot page-id bound from ResetHint, consumed by the next reset.
+	hintMax storage.PageID
+	hintSet bool
 }
 
 // NewScratch returns an empty reusable simulator.
@@ -54,6 +58,18 @@ const (
 	maxSliceRemapFactor = 4
 	maxSliceRemapSlack  = 1024
 )
+
+// ResetHint tells the next Run/Analyze call the trace's page-id bound, so
+// reset can pick the remap representation without its O(len(trace)) max-id
+// scan. maxID must be >= every page id in the next trace (datagen traces
+// number pages 0..T-1, so T-1 is exact); an id above the hint panics on the
+// slice path, the same way an out-of-range index would. The hint applies to
+// exactly one run — it is consumed by the next reset and scanning resumes
+// afterwards.
+func (s *Scratch) ResetHint(maxID storage.PageID) {
+	s.hintMax = maxID
+	s.hintSet = true
+}
 
 // Run implements Simulator: it consumes the trace and returns a fresh
 // Histogram (the counts are copied out of the scratch buffer, so the result
@@ -143,11 +159,17 @@ func (s *Scratch) reset(n int, t Trace) {
 	}
 	s.maxDist = 0
 
-	// Choose the remap representation from the trace's id range.
+	// Choose the remap representation from the trace's id range, taking the
+	// caller's bound when one was hinted instead of scanning the trace.
 	maxID := storage.PageID(0)
-	for _, pg := range t {
-		if pg > maxID {
-			maxID = pg
+	if s.hintSet {
+		maxID = s.hintMax
+		s.hintSet = false
+	} else {
+		for _, pg := range t {
+			if pg > maxID {
+				maxID = pg
+			}
 		}
 	}
 	if int64(maxID) < int64(maxSliceRemapFactor)*int64(n)+maxSliceRemapSlack {

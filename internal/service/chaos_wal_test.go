@@ -1,0 +1,186 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"epfis/internal/catalog"
+	"epfis/internal/core"
+	"epfis/internal/faultfs"
+)
+
+// TestChaosIngestOverWALFaults runs the streaming-ingestion path against a
+// WAL-backed catalog whose filesystem misbehaves: append, write, and fsync
+// faults on the log plus rename faults on the checkpoint, armed one class at
+// a time while full-scan traces stream through POST /v1/ingest and readers
+// hammer /v1/estimate for an index whose statistics never change. Readers
+// must only ever see the bit-exact published answer or an honest shed;
+// republishes may fail under a fault but must never corrupt the store, and
+// a clean reopen at the end must recover every acknowledged commit.
+func TestChaosIngestOverWALFaults(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS(), 7)
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	store, err := catalog.OpenWALFS(path, catalog.WALOptions{CheckpointEvery: 2}, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := fitStats(t, "orders", "key", 1)
+	if _, err := store.Put(orders); err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.EstimateFetches(orders, 100, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, MaxInflight: 64, IngestQueue: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 64
+
+	// Readers: the orders.key statistics never change, so every 200 must
+	// carry the exact published estimate no matter what the WAL suffers.
+	const readers = 32
+	stop := make(chan struct{})
+	var (
+		wg       sync.WaitGroup
+		served   atomic.Int64
+		failures atomic.Int64
+		firstErr atomic.Pointer[string]
+	)
+	record := func(format string, args ...any) {
+		failures.Add(1)
+		msg := fmt.Sprintf(format, args...)
+		firstErr.CompareAndSwap(nil, &msg)
+	}
+	url := ts.URL + "/v1/estimate?table=orders&column=key&b=100&sigma=0.05"
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(url)
+				if err != nil {
+					record("GET estimate: %v", err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var got EstimateResponse
+					err := json.NewDecoder(resp.Body).Decode(&got)
+					resp.Body.Close()
+					if err != nil {
+						record("decode estimate: %v", err)
+						return
+					}
+					if got.Fetches != want {
+						record("WRONG ANSWER: fetches = %v, want %v (generation %d)",
+							got.Fetches, want, got.Generation)
+						return
+					}
+					served.Add(1)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					resp.Body.Close()
+				default:
+					resp.Body.Close()
+					record("estimate returned status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	// Each round arms one fault class on the durability path and streams a
+	// full scan of a fresh, unknown column: drift is 1.0 by construction, so
+	// the worker attempts exactly one republish Put into the armed fault.
+	faults := []faultfs.Rule{
+		{Op: faultfs.OpAppend, Path: ".wal", Nth: 1, Mode: faultfs.ModeError},
+		{Op: faultfs.OpWrite, Path: ".wal", Nth: 1, Mode: faultfs.ModePartial},
+		{Op: faultfs.OpSync, Path: ".wal", Nth: 1, Mode: faultfs.ModeError},
+		{Op: faultfs.OpRename, Path: "catalog.json", Nth: 1, Mode: faultfs.ModeError},
+	}
+	for round, rule := range faults {
+		before := inj.Injected()
+		inj.Add(rule)
+		ds, meta := ingestDataset(t, "lineitem", fmt.Sprintf("c%d", round), int64(round+13))
+		postIngest(t, ts, meta, ds.Trace(), true, rand.New(rand.NewSource(int64(round))))
+		// The worker is asynchronous: wait for the republish Put (or its
+		// checkpoint) to actually hit the armed fault before the next round.
+		deadline := time.Now().Add(10 * time.Second)
+		for inj.Injected() == before {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d (%s %s): fault never fired", round, rule.Op, rule.Path)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d reader failures; first: %s", n, *firstErr.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no estimate was served during the chaos run")
+	}
+
+	// Disarm and stream one clean scan: the ingest path must have healed
+	// (the WAL self-repairs its torn tail on the next commit).
+	inj.Reset()
+	ds, meta := ingestDataset(t, "lineitem", "healed", 99)
+	postIngest(t, ts, meta, ds.Trace(), true, rand.New(rand.NewSource(99)))
+	srv.Close() // drains the worker: every queued batch is processed
+	if _, err := store.Snapshot().Get("lineitem", "healed"); err != nil {
+		t.Fatalf("post-fault republish missing: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean reopen must recover every acknowledged commit bit-exactly.
+	reopened, err := catalog.OpenWAL(path, catalog.WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen after chaos: %v", err)
+	}
+	defer reopened.Close()
+	snap := reopened.Snapshot()
+	for _, key := range []struct{ table, column string }{
+		{"orders", "key"}, {"lineitem", "healed"},
+	} {
+		st, err := snap.Get(key.table, key.column)
+		if err != nil {
+			t.Fatalf("%s.%s lost across reopen: %v", key.table, key.column, err)
+		}
+		if err := st.Validate(); err != nil {
+			t.Fatalf("%s.%s invalid after recovery: %v", key.table, key.column, err)
+		}
+	}
+	reorders, err := snap.Get("orders", "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.EstimateFetches(reorders, 100, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-recovery estimate = %v, want %v", got, want)
+	}
+	t.Logf("chaos-wal: %d exact answers, %d faults injected", served.Load(), inj.Injected())
+}

@@ -1,0 +1,328 @@
+package service
+
+// Streaming trace ingestion: POST /v1/ingest accepts batched page-reference
+// traces from live index scans and keeps the catalog's fetch curves fresh
+// without an offline LRU-Fit run.
+//
+// The route is deliberately asynchronous. The handler validates the batch,
+// resolves the index metadata (from the payload, else the current catalog
+// entry), and enqueues it on a bounded queue; a full queue sheds with 429 +
+// Retry-After, so trace producers get backpressure instead of adding latency
+// to the serving path. A single worker goroutine drains the queue and feeds
+// each batch into a per-index lrusim.Accum — the incremental Mattson
+// simulation, bit-identical to analyzing the concatenated trace in one shot.
+//
+// When an index's accumulated stream reaches a full scan (N references), the
+// worker compares the live fetch curve against the published catalog entry
+// on the entry's own modeling grid. If the maximum relative divergence
+// exceeds Config.DriftThreshold, it refits the curve (core.LRUFitFromCurve —
+// LRU-Fit minus the already-done simulation pass), republishes the entry as
+// a new catalog generation through the normal store path (WAL-durable when
+// the store is WAL-backed), invalidates stale memo-cache generations, and in
+// cluster mode bumps the gossip epoch so anti-entropy streams the refreshed
+// catalog to peers. Because the accumulator state is exactly the offline
+// simulation's state, a republished curve is bit-exact with running
+// core.LRUFit over the same trace offline.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"epfis/internal/core"
+	"epfis/internal/lrusim"
+	"epfis/internal/obs"
+	"epfis/internal/storage"
+)
+
+// Ingestion defaults for Config zero values.
+const (
+	DefaultIngestQueue    = 64
+	DefaultDriftThreshold = 0.05
+
+	// maxIngestBatchRefs bounds one batch; larger traces must be split
+	// (the accumulator makes splits free).
+	maxIngestBatchRefs = 1 << 20
+)
+
+// IngestRequest is one POST /v1/ingest batch: a slice of the data-page
+// reference trace of an index scan, in reference order. T/N/I optionally
+// carry the index metadata; when omitted the current catalog entry's
+// metadata is used (and the request fails with 400 if the index is unknown).
+type IngestRequest struct {
+	Table  string           `json:"table"`
+	Column string           `json:"column"`
+	Pages  []storage.PageID `json:"pages"`
+	T      int64            `json:"t,omitempty"`
+	N      int64            `json:"n,omitempty"`
+	I      int64            `json:"i,omitempty"`
+}
+
+// IngestResponse acknowledges an accepted batch.
+type IngestResponse struct {
+	Key    string `json:"key"`
+	Queued int    `json:"queued"` // references accepted
+	Depth  int    `json:"depth"`  // queue depth after enqueue
+}
+
+// ingestBatch is the queued unit of work.
+type ingestBatch struct {
+	key   string
+	meta  core.Meta
+	pages lrusim.Trace
+}
+
+// ingestState is one index's accumulator between batches. Owned by the
+// worker goroutine; never touched by handlers.
+type ingestState struct {
+	accum *lrusim.Accum
+	meta  core.Meta
+}
+
+// ingester is the ingestion subsystem: the bounded queue, the worker, and
+// its instruments.
+type ingester struct {
+	s      *Server
+	ch     chan ingestBatch
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+	drift  float64
+	states map[string]*ingestState
+
+	batchRefs         *obs.Histogram
+	driftDist         *obs.Histogram
+	batches           *obs.Counter
+	refs              *obs.Counter
+	sheds             *obs.Counter
+	scans             *obs.Counter
+	republishes       *obs.Counter
+	republishFailures *obs.Counter
+}
+
+// newIngester wires the queue, instruments, and worker. Called from New
+// after s.obs exists; a nil return means ingestion is disabled.
+func newIngester(s *Server, cfg Config) *ingester {
+	if cfg.IngestQueue < 0 {
+		return nil
+	}
+	depth := cfg.IngestQueue
+	if depth == 0 {
+		depth = DefaultIngestQueue
+	}
+	g := &ingester{
+		s:      s,
+		ch:     make(chan ingestBatch, depth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		drift:  cfg.DriftThreshold,
+		states: make(map[string]*ingestState),
+	}
+	if g.drift == 0 {
+		g.drift = DefaultDriftThreshold
+	}
+	reg := s.obs.reg
+	g.batchRefs = reg.Histogram("epfis_ingest_batch_refs",
+		"Page references per accepted ingest batch.", obs.Pow2Buckets(0, 20))
+	g.driftDist = reg.Histogram("epfis_ingest_drift",
+		"Relative fetch-curve divergence measured at each completed scan.",
+		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5})
+	g.batches = reg.Counter("epfis_ingest_batches_total", "Ingest batches accepted.")
+	g.refs = reg.Counter("epfis_ingest_refs_total", "Page references ingested.")
+	g.sheds = reg.Counter("epfis_ingest_shed_total",
+		"Ingest batches shed with 429 because the queue was full.")
+	g.scans = reg.Counter("epfis_ingest_scans_total",
+		"Full scans completed by accumulated ingest batches.")
+	g.republishes = reg.Counter("epfis_ingest_republish_total",
+		"Catalog generations republished because live curves drifted past the threshold.")
+	g.republishFailures = reg.Counter("epfis_ingest_republish_failures_total",
+		"Drifted curves that failed to refit or persist.")
+	reg.GaugeFunc("epfis_ingest_queue_depth", "Ingest batches waiting for the worker.",
+		func() float64 { return float64(len(g.ch)) })
+	go g.run()
+	return g
+}
+
+// close stops the worker after it drains everything already queued.
+func (g *ingester) close() {
+	g.once.Do(func() { close(g.stop) })
+	<-g.done
+}
+
+// Close releases background resources (the ingest worker). The HTTP handler
+// keeps answering — queued batches are drained first, later ones sit in the
+// queue unprocessed — so Close is safe to call while a server drains.
+func (s *Server) Close() {
+	if s.ingest != nil {
+		s.ingest.close()
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	g := s.ingest
+	var req IngestRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Table == "" || req.Column == "" {
+		writeError(w, http.StatusBadRequest, errors.New("table and column are required"))
+		return
+	}
+	if len(req.Pages) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("pages must carry at least one reference"))
+		return
+	}
+	if len(req.Pages) > maxIngestBatchRefs {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch carries %d references, max %d; split the trace", len(req.Pages), maxIngestBatchRefs))
+		return
+	}
+	meta := core.Meta{Table: req.Table, Column: req.Column, T: req.T, N: req.N, I: req.I}
+	if meta.T <= 0 || meta.N <= 0 || meta.I <= 0 {
+		e, err := s.store.Snapshot().Get(req.Table, req.Column)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf(
+				"no catalog entry for %s.%s: the batch must carry t, n, and i", req.Table, req.Column))
+			return
+		}
+		meta.T, meta.N, meta.I = e.T, e.N, e.I
+	}
+	if meta.I > meta.N {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("i = %d exceeds n = %d", meta.I, meta.N))
+		return
+	}
+	batch := ingestBatch{key: req.Table + "." + req.Column, meta: meta, pages: req.Pages}
+	select {
+	case g.ch <- batch:
+	default:
+		g.sheds.Inc()
+		writeRetryable(w, http.StatusTooManyRequests,
+			errors.New("ingest queue full, retry later"), time.Second)
+		return
+	}
+	g.batches.Inc()
+	g.refs.Add(uint64(len(req.Pages)))
+	g.batchRefs.Observe(float64(len(req.Pages)))
+	writeJSON(w, http.StatusAccepted, IngestResponse{
+		Key: batch.key, Queued: len(req.Pages), Depth: len(g.ch)})
+}
+
+// run is the worker loop: drain batches until stopped, then drain the
+// residue and exit.
+func (g *ingester) run() {
+	defer close(g.done)
+	for {
+		select {
+		case b := <-g.ch:
+			g.process(b)
+		case <-g.stop:
+			for {
+				select {
+				case b := <-g.ch:
+					g.process(b)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process feeds one batch into its index's accumulator and evaluates the
+// curve when a full scan's worth of references has been accumulated.
+func (g *ingester) process(b ingestBatch) {
+	st := g.states[b.key]
+	if st == nil {
+		st = &ingestState{accum: lrusim.NewAccum()}
+		g.states[b.key] = st
+	}
+	st.meta = b.meta
+	if st.accum.Total()+int64(len(b.pages)) > lrusim.MaxAccumRefs {
+		// A stream this long can only come from wrong metadata (N never
+		// reached); start the accumulator over rather than panic.
+		g.s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "ingest accumulator overflow, resetting",
+			slog.String("index", b.key), slog.Int64("accumulated", st.accum.Total()))
+		st.accum.Reset()
+	}
+	st.accum.Feed(b.pages)
+	if st.accum.Total() >= st.meta.N {
+		g.evaluate(b.key, st)
+		st.accum.Reset()
+	}
+}
+
+// evaluate compares the accumulated curve against the published entry and
+// republishes when the divergence crosses the drift threshold.
+func (g *ingester) evaluate(key string, st *ingestState) {
+	g.scans.Inc()
+	curve := st.accum.Curve()
+	snap := g.s.store.Snapshot()
+	pub, ok := snap.Lookup(key)
+	drift := 1.0 // no published entry: any live curve is fully divergent
+	if ok {
+		drift = curveDrift(curve, pub.T, pub.Curve.Eval)
+	}
+	g.driftDist.Observe(drift)
+	if drift < g.drift {
+		return
+	}
+	entry, err := core.LRUFitFromCurve(curve, st.meta, core.Options{})
+	if err == nil && pub != nil && len(pub.KeyHistogram) > 0 {
+		// The refit models page fetches only; the key-distribution histogram
+		// carries over from the published entry.
+		entry.KeyHistogram = append(entry.KeyHistogram[:0], pub.KeyHistogram...)
+	}
+	var gen uint64
+	if err == nil {
+		gen, err = g.s.store.Put(entry)
+	}
+	if err != nil {
+		g.republishFailures.Inc()
+		g.s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "ingest republish failed",
+			slog.String("index", key), slog.Float64("drift", drift), slog.String("error", err.Error()))
+		return
+	}
+	g.republishes.Inc()
+	if c := g.s.cache; c != nil {
+		c.dropOtherGenerations(gen)
+	}
+	g.s.obs.syncIndexes(g.s.store.Snapshot())
+	if g.s.cluster != nil {
+		// Same contract as a reload: the mutation is local, the epoch bump
+		// makes gossip anti-entropy stream the new generation to peers.
+		g.s.cluster.BumpEpoch()
+	}
+	g.s.obs.log.LogAttrs(context.Background(), slog.LevelInfo, "ingest republished catalog entry",
+		slog.String("index", key), slog.Float64("drift", drift), slog.Uint64("generation", gen))
+}
+
+// curveDrift is the maximum relative divergence between the live curve and
+// the published fetch polyline, sampled on the published entry's own
+// modeling grid: max over B of |F_live(B) − F_pub(B)| / max(F_pub(B), 1).
+func curveDrift(live *lrusim.FetchCurve, pubT int64, pubEval func(float64) float64) float64 {
+	bmin, bmax := core.ModelingRange(pubT, core.Options{})
+	grid := core.ModelingGridStep(bmin, bmax, 0, 0)
+	maxRel := 0.0
+	for _, b := range grid {
+		pubF := pubEval(float64(b))
+		liveF := float64(live.Fetches(b))
+		den := pubF
+		if den < 1 {
+			den = 1
+		}
+		rel := (liveF - pubF) / den
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
+}

@@ -158,6 +158,15 @@ type Config struct {
 	// default) keeps the single-node serving path — one pointer check per
 	// request, no other cost.
 	Cluster *cluster.Node
+	// IngestQueue bounds the trace batches queued for the ingest worker;
+	// POST /v1/ingest sheds with 429 + Retry-After when it is full.
+	// 0 = DefaultIngestQueue; negative disables the ingest route.
+	IngestQueue int
+	// DriftThreshold is the maximum relative divergence between a live
+	// accumulated fetch curve and the published catalog entry before the
+	// ingest worker refits and republishes the entry.
+	// 0 = DefaultDriftThreshold.
+	DriftThreshold float64
 }
 
 // reloadFailure records why the service is degraded.
@@ -185,6 +194,8 @@ type Server struct {
 	cluster   *cluster.Node // nil = single-node mode
 	cobs      *clusterObs   // nil unless cluster mode
 	proxyHTTP *http.Client  // forwarding + replication transport
+
+	ingest *ingester // nil when the ingest route is disabled
 }
 
 // Route names, used as metrics keys.
@@ -196,6 +207,7 @@ const (
 	routePutIndex    = "PUT /v1/indexes/{table}/{column}"
 	routeDeleteIndex = "DELETE /v1/indexes/{table}/{column}"
 	routeReload      = "POST /v1/reload"
+	routeIngest      = "POST /v1/ingest"
 	routeHealthz     = "GET /healthz"
 	routeMetrics     = "GET /metrics"
 	routeTraces      = "GET /debug/traces"
@@ -223,6 +235,9 @@ func New(cfg Config) (*Server, error) {
 		routeEstimate, routeBatch, routeIndexes, routeIndex, routePutIndex,
 		routeDeleteIndex, routeReload, routeHealthz, routeMetrics,
 		routeTraces,
+	}
+	if cfg.IngestQueue >= 0 {
+		routeNames = append(routeNames, routeIngest)
 	}
 	if cfg.Cluster != nil {
 		routeNames = append(routeNames,
@@ -266,6 +281,8 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	s.ingest = newIngester(s, cfg)
+
 	mux := http.NewServeMux()
 	mux.Handle(routeEstimate, s.instrument(routeEstimate, s.handleEstimate))
 	mux.Handle(routeBatch, s.instrument(routeBatch, s.handleBatch))
@@ -274,6 +291,11 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle(routePutIndex, s.instrument(routePutIndex, s.handlePutIndex))
 	mux.Handle(routeDeleteIndex, s.instrument(routeDeleteIndex, s.handleDeleteIndex))
 	mux.Handle(routeReload, s.instrument(routeReload, s.handleReload))
+	if s.ingest != nil {
+		// The ingest route carries its own backpressure (the bounded queue)
+		// and is exempt from per-route admission control.
+		mux.Handle(routeIngest, s.instrument(routeIngest, s.handleIngest))
+	}
 	mux.Handle(routeHealthz, s.instrument(routeHealthz, s.handleHealthz))
 	mux.Handle(routeMetrics, s.instrument(routeMetrics, s.handleMetrics))
 	mux.Handle(routeTraces, s.instrument(routeTraces, s.handleTraces))
