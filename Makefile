@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos cluster-check bench bench-json bench-serve bench-ingest bench-smoke fuzz obs-check serve vet all
+.PHONY: build test race chaos chaos-net cluster-check bench bench-json bench-serve bench-ingest bench-smoke fuzz obs-check serve vet all
 
 all: build vet test
 
@@ -29,6 +29,18 @@ chaos:
 		./internal/catalog/ ./internal/service/
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenCatalogStore -fuzztime=20s ./internal/catalog/
 	$(GO) test -run=Fuzz -fuzz=FuzzWALRecovery -fuzztime=20s ./internal/catalog/
+
+# Network partition drills under the race detector: the deterministic fault
+# injector itself, then the jepsen-lite convergence drill — partition a 3-node
+# cluster while both sides take writes and ingest, heal, and require every
+# store to converge to one content hash with bit-exact estimates — plus the
+# hinted-handoff restart, epoch-guard, ingest-routing, and WAL ingest-journal
+# crash-replay proofs.
+chaos-net:
+	$(GO) test -race ./internal/faultnet/
+	$(GO) test -race -run 'TestClusterPartition|TestAsymmetricPartition|TestReplicatedDeleteEpochGuard|TestHandoffJournal|TestClusterIngestOwnership|TestIngestJournal' \
+		./internal/service/
+	$(GO) test -race -run 'TestWALIngestJournal' ./internal/catalog/
 
 # Service throughput: single estimates vs 64-plan batches, 1 and 4 cores.
 bench:

@@ -2,8 +2,12 @@
 // HTTP: it spawns a 3-node cluster (the same servers epfis-serve runs) on
 // loopback ports, installs a freshly fitted index through one node, verifies
 // every node answers the same estimate bit-for-bit (serving its own keys or
-// proxying to an owner), verifies the snapshot stream imports cleanly, then
-// kills one node and verifies the survivors keep serving bit-exact answers.
+// proxying to an owner), verifies the snapshot stream imports cleanly,
+// partitions one node away while both sides take writes (the quorum side must
+// ack, the minority must answer an honest 503 and journal hints), heals the
+// partition and requires every store to converge to the same content hash,
+// then kills one node and verifies the survivors keep serving bit-exact
+// answers.
 //
 //	epfis-clustercheck
 //
@@ -27,6 +31,7 @@ import (
 	"epfis/internal/cluster"
 	"epfis/internal/core"
 	"epfis/internal/datagen"
+	"epfis/internal/faultnet"
 	"epfis/internal/service"
 	"epfis/internal/stats"
 )
@@ -45,15 +50,21 @@ func main() {
 	}
 }
 
-// member is one spawned node: its base URL plus the handles needed to kill it.
+// member is one spawned node: its base URL plus the handles needed to
+// partition and kill it.
 type member struct {
 	id     string
 	base   string
 	store  *catalog.Store
 	node   *cluster.Node
+	srv    *service.Server
+	inj    *faultnet.Injector
 	cancel context.CancelFunc
 	done   chan error
 }
+
+// host is the peer address other members dial — what faultnet rules match.
+func (m *member) host() string { return m.base[len("http://"):] }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("epfis-clustercheck", flag.ExitOnError)
@@ -78,9 +89,15 @@ func run(args []string) error {
 		urls[i] = "http://" + ln.Addr().String()
 	}
 
+	handoffRoot, err := os.MkdirTemp("", "epfis-clustercheck-hints-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(handoffRoot)
 	members := make([]*member, numNodes)
 	for i := range members {
-		m, err := spawn(ctx, fmt.Sprintf("node-%c", 'a'+i), lns[i], urls)
+		id := fmt.Sprintf("node-%c", 'a'+i)
+		m, err := spawn(ctx, id, lns[i], urls, int64(i+1), fmt.Sprintf("%s/%s", handoffRoot, id))
 		if err != nil {
 			return err
 		}
@@ -163,6 +180,105 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(out, "ok snapshot: %d-byte checksummed stream imports cleanly\n", len(raw))
 
+	// Partition node-a away from {node-b, node-c} while both sides take
+	// writes, then heal and require convergence to one content hash.
+	minority, majority := members[0], members[1:]
+	for _, m := range majority {
+		minority.inj.Block(m.host())
+		m.inj.Block(minority.host())
+	}
+
+	// Pick a key whose replica set sits entirely on the majority side: its
+	// write quorum is fully reachable, so the mutation must ack with a hint
+	// journaled for the minority. (With R=2 of 3 nodes, a key owned by the
+	// partitioned node cannot assemble a majority of owners from either side;
+	// that degraded case is the minority check below.)
+	majorCol := ""
+	for i := 0; i < 64 && majorCol == ""; i++ {
+		col := fmt.Sprintf("major%d", i)
+		ownedByMinority := false
+		for _, o := range majority[0].node.Owners("epfis_partition." + col) {
+			if o.ID == minority.id {
+				ownedByMinority = true
+				break
+			}
+		}
+		if !ownedByMinority {
+			majorCol = col
+		}
+	}
+	if majorCol == "" {
+		return fmt.Errorf("no key found with all owners on the majority side")
+	}
+	majorSt, err := fitVariantStats("epfis_partition", majorCol, 23)
+	if err != nil {
+		return err
+	}
+	majorBody, err := json.Marshal(majorSt)
+	if err != nil {
+		return err
+	}
+	if _, _, err := do(ctx, client, http.MethodPut, majority[0].base+"/v1/indexes/epfis_partition/"+majorCol, majorBody); err != nil {
+		return fmt.Errorf("majority-side PUT during partition: %w", err)
+	}
+
+	// The minority cannot assemble a quorum: it must apply locally, journal
+	// hints, and answer an honest 503 — never a silent success or data loss.
+	minorSt, err := fitVariantStats("epfis_partition", "minor", 29)
+	if err != nil {
+		return err
+	}
+	minorBody, err := json.Marshal(minorSt)
+	if err != nil {
+		return err
+	}
+	code, err := doStatus(ctx, client, http.MethodPut, minority.base+"/v1/indexes/epfis_partition/minor", minorBody)
+	if err != nil {
+		return fmt.Errorf("minority-side PUT during partition: %w", err)
+	}
+	if code != http.StatusServiceUnavailable {
+		return fmt.Errorf("minority-side PUT during partition = %d, want 503", code)
+	}
+	if _, err := minority.store.Get("epfis_partition", "minor"); err != nil {
+		return fmt.Errorf("minority-side PUT was not applied locally: %w", err)
+	}
+	fmt.Fprintf(out, "ok partition: majority acked, minority answered 503 and journaled hints\n")
+
+	// Heal and converge: gossip anti-entropy plus hinted handoff must bring
+	// every store to the same content hash.
+	for _, m := range members {
+		m.inj.Heal()
+	}
+	if err := waitFor(ctx, "partition heal convergence", func() bool {
+		pending := 0
+		for _, m := range members {
+			pending += m.srv.DrainHandoff(ctx)
+		}
+		var first string
+		for i, m := range members {
+			h, _, err := m.store.ContentHash()
+			if err != nil {
+				return false
+			}
+			if i == 0 {
+				first = h
+			} else if h != first {
+				return false
+			}
+		}
+		return pending == 0
+	}); err != nil {
+		return err
+	}
+	for _, m := range members {
+		for _, col := range []string{majorCol, "minor"} {
+			if _, err := m.store.Get("epfis_partition", col); err != nil {
+				return fmt.Errorf("%s missing epfis_partition.%s after heal: %w", m.id, col, err)
+			}
+		}
+	}
+	fmt.Fprintf(out, "ok heal: all %d stores converged to one content hash\n", numNodes)
+
 	// Kill one node abruptly. The survivors must keep answering bit-exactly:
 	// each one either owns the key or proxies to the surviving owner.
 	victim := members[numNodes-1]
@@ -190,21 +306,31 @@ func run(args []string) error {
 	return nil
 }
 
-// spawn starts one cluster-mode service node on a pre-opened listener.
-func spawn(ctx context.Context, id string, ln net.Listener, urls []string) (*member, error) {
+// spawn starts one cluster-mode service node on a pre-opened listener. Every
+// outbound hop (gossip, replication, hint delivery) crosses a faultnet
+// injector so the partition phase can sever links deterministically; hints
+// are journaled under handoffDir.
+func spawn(ctx context.Context, id string, ln net.Listener, urls []string, seed int64, handoffDir string) (*member, error) {
 	store := catalog.NewStore()
+	inj := faultnet.NewInjector(nil, seed)
 	node, err := cluster.NewNode(cluster.Config{
-		SelfID:    id,
-		SelfURL:   "http://" + ln.Addr().String(),
-		Seeds:     urls,
-		Replicas:  replicas,
-		Heartbeat: 100 * time.Millisecond,
-		Store:     store,
+		SelfID:     id,
+		SelfURL:    "http://" + ln.Addr().String(),
+		Seeds:      urls,
+		Replicas:   replicas,
+		Heartbeat:  100 * time.Millisecond,
+		Store:      store,
+		HTTPClient: inj.Client(5 * time.Second),
 	})
 	if err != nil {
 		return nil, err
 	}
-	srv, err := service.New(service.Config{Store: store, Cluster: node})
+	srv, err := service.New(service.Config{
+		Store:      store,
+		Cluster:    node,
+		Transport:  inj,
+		HandoffDir: handoffDir,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +343,8 @@ func spawn(ctx context.Context, id string, ln net.Listener, urls []string) (*mem
 		base:   "http://" + ln.Addr().String(),
 		store:  store,
 		node:   node,
+		srv:    srv,
+		inj:    inj,
 		cancel: cancel,
 		done:   done,
 	}, nil
@@ -310,14 +438,43 @@ func do(ctx context.Context, client *http.Client, method, url string, body []byt
 	return resp, raw, nil
 }
 
+// doStatus runs one request and reports the status code — partition phases
+// expect specific non-2xx answers, which do() would turn into errors.
+func doStatus(ctx context.Context, client *http.Client, method, url string, body []byte) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
 // fitCheckStats runs the real LRU-Fit pipeline over a small synthetic index
 // so the installed statistics are paper-shaped, not hand-rolled.
 func fitCheckStats() (*stats.IndexStats, error) {
-	cfg := datagen.Config{Name: checkTable, Column: checkColumn, N: 20_000, I: 500, R: 40, K: 0.2, Seed: 17}
+	return fitVariantStats(checkTable, checkColumn, 17)
+}
+
+// fitVariantStats fits statistics for an arbitrary index key — the partition
+// phase installs distinct entries from each side of the split.
+func fitVariantStats(table, column string, seed int64) (*stats.IndexStats, error) {
+	cfg := datagen.Config{Name: table, Column: column, N: 20_000, I: 500, R: 40, K: 0.2, Seed: seed}
 	ds, err := datagen.GenerateDataset(cfg)
 	if err != nil {
 		return nil, err
 	}
-	meta := core.Meta{Table: checkTable, Column: checkColumn, T: ds.T, N: cfg.N, I: cfg.I}
+	meta := core.Meta{Table: table, Column: column, T: ds.T, N: cfg.N, I: cfg.I}
 	return core.LRUFit(ds.Trace(), meta, core.Options{})
 }

@@ -27,6 +27,13 @@
 // arm deterministic filesystem fault injection for chaos drills:
 //
 //	EPFIS_FAULTS='sync:catalog:3:error' epfis-serve -catalog catalog.json
+//
+// EPFIS_NET_FAULTS / EPFIS_NET_FAULT_SEED do the same for the network: the
+// rules (see faultnet.ParseRules for the grammar) sit on every outbound
+// cluster hop — gossip, replication, forwarding, hinted handoff — and on
+// inbound accepts, so partition and flaky-link drills are reproducible:
+//
+//	EPFIS_NET_FAULTS='request:10.0.0.2:*:3:drop' epfis-serve -cluster-seeds ...
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 	"epfis/internal/catalog"
 	"epfis/internal/cluster"
 	"epfis/internal/faultfs"
+	"epfis/internal/faultnet"
 	"epfis/internal/service"
 )
 
@@ -104,6 +112,12 @@ func run(args []string) error {
 			fmt.Sprintf("replica-set size R per index key (1..%d)", cluster.MaxReplicas))
 		heartbeat = fs.Duration("heartbeat", cluster.DefaultHeartbeat,
 			"cluster gossip interval")
+		handoffDir = fs.String("handoff-dir", "",
+			"directory for the durable hinted-handoff journal (cluster mode); empty keeps hints in memory only")
+		replicateTimeout = fs.Duration("replicate-timeout", 0,
+			fmt.Sprintf("per-peer replication send timeout (0 = default %s)", service.DefaultReplicateTimeout))
+		writeQuorum = fs.Int("write-quorum", 0,
+			"owner acks required before a mutation succeeds (0 = majority of the replica set, negative = best-effort fan-out only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +129,10 @@ func run(args []string) error {
 	}
 
 	fsys, err := faultFS(logger)
+	if err != nil {
+		return err
+	}
+	netInj, err := faultNet(logger)
 	if err != nil {
 		return err
 	}
@@ -165,7 +183,7 @@ func run(args []string) error {
 		if *nodeID == "" || *nodeURL == "" {
 			return fmt.Errorf("-cluster-seeds requires -node-id and -node-url")
 		}
-		node, err = cluster.NewNode(cluster.Config{
+		ncfg := cluster.Config{
 			SelfID:    *nodeID,
 			SelfURL:   *nodeURL,
 			Seeds:     splitSeeds(*clusterSeeds),
@@ -173,27 +191,41 @@ func run(args []string) error {
 			Heartbeat: *heartbeat,
 			Store:     store,
 			Log:       logger,
-		})
+		}
+		if netInj != nil {
+			// Gossip and anti-entropy cross the injector too; partitions
+			// must be total, not replication-only. 5s matches the private
+			// client the node builds when HTTPClient is nil.
+			ncfg.HTTPClient = netInj.Client(5 * time.Second)
+		}
+		node, err = cluster.NewNode(ncfg)
 		if err != nil {
 			return err
 		}
 	}
 
-	srv, err := service.New(service.Config{
-		Store:           store,
-		CacheEntries:    *cache,
-		RequestTimeout:  *timeout,
-		MaxBatch:        *maxBatch,
-		MaxInflight:     *maxInflight,
-		BreakerFailures: *breakerFailures,
-		BreakerCooldown: *breakerCooldown,
-		Slog:            logger,
-		TraceRing:       *traceRing,
-		SlowTrace:       *slowTrace,
-		Cluster:         node,
-		IngestQueue:     *ingestQueue,
-		DriftThreshold:  *driftThreshold,
-	})
+	scfg := service.Config{
+		Store:            store,
+		CacheEntries:     *cache,
+		RequestTimeout:   *timeout,
+		MaxBatch:         *maxBatch,
+		MaxInflight:      *maxInflight,
+		BreakerFailures:  *breakerFailures,
+		BreakerCooldown:  *breakerCooldown,
+		Slog:             logger,
+		TraceRing:        *traceRing,
+		SlowTrace:        *slowTrace,
+		Cluster:          node,
+		IngestQueue:      *ingestQueue,
+		DriftThreshold:   *driftThreshold,
+		HandoffDir:       *handoffDir,
+		ReplicateTimeout: *replicateTimeout,
+		WriteQuorum:      *writeQuorum,
+	}
+	if netInj != nil {
+		scfg.Transport = netInj
+	}
+	srv, err := service.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -221,7 +253,17 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	if err := srv.Run(ctx, *addr); err != nil {
+	if netInj != nil {
+		// Accept-side faults need the listener wrapped too.
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		err = srv.Serve(ctx, faultnet.WrapListener(ln, netInj))
+		if err != nil {
+			return err
+		}
+	} else if err := srv.Run(ctx, *addr); err != nil {
 		return err
 	}
 	if logger != nil {
@@ -322,6 +364,36 @@ func faultFS(logger *slog.Logger) (faultfs.FS, error) {
 	}
 	if logger != nil {
 		logger.Warn("FAULT INJECTION ACTIVE — not for production",
+			"rules", len(rules), "seed", seed)
+	}
+	return inj, nil
+}
+
+// faultNet builds the deterministic network fault injector from
+// EPFIS_NET_FAULTS / EPFIS_NET_FAULT_SEED; unset returns nil (real network).
+// The injector sits on every outbound cluster hop and, via WrapListener, on
+// inbound accepts.
+func faultNet(logger *slog.Logger) (*faultnet.Injector, error) {
+	spec := os.Getenv("EPFIS_NET_FAULTS")
+	if spec == "" {
+		return nil, nil
+	}
+	rules, err := faultnet.ParseRules(spec)
+	if err != nil {
+		return nil, fmt.Errorf("EPFIS_NET_FAULTS: %w", err)
+	}
+	var seed int64 = 1
+	if raw := os.Getenv("EPFIS_NET_FAULT_SEED"); raw != "" {
+		if seed, err = strconv.ParseInt(raw, 10, 64); err != nil {
+			return nil, fmt.Errorf("EPFIS_NET_FAULT_SEED: %w", err)
+		}
+	}
+	inj := faultnet.NewInjector(nil, seed)
+	for _, r := range rules {
+		inj.Add(r)
+	}
+	if logger != nil {
+		logger.Warn("NETWORK FAULT INJECTION ACTIVE — not for production",
 			"rules", len(rules), "seed", seed)
 	}
 	return inj, nil

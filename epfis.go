@@ -42,6 +42,8 @@
 package epfis
 
 import (
+	"net/http"
+
 	"epfis/internal/baselines"
 	"epfis/internal/btree"
 	"epfis/internal/buffer"
@@ -49,6 +51,7 @@ import (
 	"epfis/internal/cluster"
 	"epfis/internal/core"
 	"epfis/internal/datagen"
+	"epfis/internal/faultnet"
 	"epfis/internal/histogram"
 	"epfis/internal/join"
 	"epfis/internal/lrusim"
@@ -275,6 +278,32 @@ func NewClusterClient(cfg ClusterClientConfig) (*ClusterClient, error) {
 // exposed for tooling that needs to predict placement offline.
 func BuildClusterRing(members []string, vnodes int) *ClusterRing {
 	return cluster.BuildRing(members, vnodes)
+}
+
+// Deterministic network fault injection for partition drills (see
+// internal/faultnet and the README's "Partition tolerance & durable
+// ingestion" section): a NetFaultInjector plugs into ClusterNodeConfig's
+// HTTPClient and ServiceConfig's Transport so test harnesses can drop,
+// reset, slow, or truncate any cluster hop — or partition whole peers —
+// reproducibly from a seed.
+type (
+	// NetFaultInjector is the http.RoundTripper that injects faults.
+	NetFaultInjector = faultnet.Injector
+	// NetFaultRule matches one (op, peer, route) and names the fault mode.
+	NetFaultRule = faultnet.Rule
+)
+
+// NewNetFaultInjector builds a network fault injector over inner (nil uses
+// the default transport), deterministic from seed.
+func NewNetFaultInjector(inner http.RoundTripper, seed int64) *NetFaultInjector {
+	return faultnet.NewInjector(inner, seed)
+}
+
+// ParseNetFaultRules parses the compact rule grammar
+// "op:peer:route:nth:mode[:count]" — the same specs the EPFIS_NET_FAULTS
+// environment knob accepts.
+func ParseNetFaultRules(spec string) ([]NetFaultRule, error) {
+	return faultnet.ParseRules(spec)
 }
 
 // NewCatalogStore returns an empty in-memory concurrent catalog store.

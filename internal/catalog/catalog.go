@@ -144,6 +144,10 @@ type Store struct {
 	checkpointEvery int
 	sinceCheckpoint int
 	closed          bool
+
+	// ingestSrc reports the still-live ingest-journal records a checkpoint
+	// must carry into the rotated log (see SetIngestSource in wal.go).
+	ingestSrc func() [][]byte
 }
 
 // NewStore returns an empty in-memory store (no persistence).

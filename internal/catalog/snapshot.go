@@ -64,6 +64,41 @@ func (st *Store) ImportSnapshot(data []byte) (uint64, error) {
 	return st.commitReplace(next)
 }
 
+// MergeSnapshot is the partition-tolerant sibling of ImportSnapshot: it
+// folds a verified snapshot stream into the current entry set as a UNION
+// instead of a replacement. Stream entries win for every key except those
+// the skip callback claims (keys with locally-tracked mutation epochs,
+// whose precise state converges through hinted handoff rather than bulk
+// anti-entropy); local-only keys are never deleted by a merge — deletions
+// propagate as explicit replicated mutations, not by absence from a peer's
+// snapshot. With an empty local store and a nil skip it degenerates to a
+// full adopt, which is the bootstrap/restart case.
+func (st *Store) MergeSnapshot(data []byte, skip func(key string) bool) (uint64, error) {
+	if !bytes.Contains(data, []byte(trailerPrefix)) {
+		return 0, fmt.Errorf("%w: snapshot stream has no checksum trailer", ErrCorrupt)
+	}
+	payload, _, err := verifyPayload(data)
+	if err != nil {
+		return 0, err
+	}
+	c, err := stats.Load(bytes.NewReader(payload))
+	if err != nil {
+		return 0, fmt.Errorf("catalog: merge snapshot: %w", err)
+	}
+	next := cloneEntries(st.Snapshot().entries)
+	for _, k := range c.Keys() {
+		if skip != nil && skip(k) {
+			continue
+		}
+		e, err := c.Get(splitKey(k))
+		if err != nil {
+			return 0, err
+		}
+		next[k] = deepCopy(e)
+	}
+	return st.commitReplace(next)
+}
+
 // ContentHash reports the CRC32-C of the canonical JSON payload of the
 // current snapshot (rendered "crc32c:xxxxxxxx") and the generation it was
 // computed at. Identical statistics hash identically on every node.

@@ -74,6 +74,12 @@ const (
 	walFramePut     byte = 1
 	walFrameDelete  byte = 2
 	walFrameReplace byte = 3
+	// walFrameIngest is an opaque ingest-journal record riding in the same
+	// log: it never touches the catalog entry set, it just has to be durable
+	// before the service acknowledges the batch it describes. Recovery hands
+	// the payloads back through Store.IngestRecords; checkpoints carry the
+	// still-live records into the rotated log (Store.SetIngestSource).
+	walFrameIngest byte = 4
 )
 
 const (
@@ -123,6 +129,8 @@ type wal struct {
 	durableOff int64  // fsynced byte length of the log (leader only)
 	needRepair bool   // tail beyond durableOff may be torn (leader only)
 	buf        []byte // reused batch write buffer (leader only)
+
+	ingest [][]byte // ingest-journal payloads found during recovery
 }
 
 // walTicket is one enqueued mutation awaiting durability.
@@ -234,6 +242,14 @@ func (w *wal) recover(snapLSN uint64, entries map[string]*stats.IndexStats) (rep
 			first = false
 		} else if ftype == walFrameHeader {
 			break // a header mid-log is corruption
+		} else if ftype == walFrameIngest {
+			// Ingest records are collected regardless of the checkpoint LSN:
+			// a checkpoint covers catalog state, not accumulator state, and
+			// rotation re-stamps carried records with the checkpoint LSN.
+			w.ingest = append(w.ingest, append([]byte(nil), payload...))
+			if lsn > maxLSN {
+				maxLSN = lsn
+			}
 		} else if lsn > snapLSN {
 			if !applyWALFrame(entries, ftype, payload) {
 				break // undecodable committed frame: stop at the last good one
@@ -452,6 +468,8 @@ func (w *wal) replayOnly(snapLSN uint64, entries map[string]*stats.IndexStats) (
 			first = false
 		} else if ftype == walFrameHeader {
 			break
+		} else if ftype == walFrameIngest {
+			// Not a catalog mutation: Reload rebuilds entry state only.
 		} else if lsn > snapLSN {
 			if !applyWALFrame(entries, ftype, payload) {
 				break
@@ -510,6 +528,54 @@ func (st *Store) walCommit(ftype byte, payload []byte, prepare func(*Snapshot) (
 		return 0, err
 	}
 	return next.gen, nil
+}
+
+// AppendIngest journals one opaque ingest record through the same
+// group-committed log as catalog mutations: when it returns nil the record
+// is fsynced and will be handed back by IngestRecords after a crash. It
+// publishes no snapshot and bumps no generation — durability is the whole
+// contract. Only valid on WAL-backed stores.
+func (st *Store) AppendIngest(payload []byte) error {
+	if st.wal == nil {
+		return errors.New("catalog: not a WAL-backed store")
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	st.wal.lsn++
+	t := &walTicket{frame: appendWALFrame(nil, walFrameIngest, st.wal.lsn, payload)}
+	st.walQ.mu.Lock()
+	st.walQ.queue = append(st.walQ.queue, t)
+	st.walQ.mu.Unlock()
+	st.mu.Unlock()
+	return st.groupCommit(t)
+}
+
+// IngestRecords returns the ingest-journal payloads recovered when the
+// store was opened, oldest first. The service replays them through its
+// accumulators at startup; records acknowledged before a crash are never
+// lost. Nil outside WAL mode or when the log held none.
+func (st *Store) IngestRecords() [][]byte {
+	if st.wal == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([][]byte, len(st.wal.ingest))
+	copy(out, st.wal.ingest)
+	return out
+}
+
+// SetIngestSource registers the callback checkpoints use to learn which
+// ingest records are still live (not yet folded into a published refit):
+// rotation writes them into the fresh log so a crash after a checkpoint
+// still replays them. A nil source (the default) carries nothing.
+func (st *Store) SetIngestSource(fn func() [][]byte) {
+	st.mu.Lock()
+	st.ingestSrc = fn
+	st.mu.Unlock()
 }
 
 // groupCommit waits for the ticket to become durable, becoming the flush
@@ -604,12 +670,21 @@ func (w *wal) repair() error {
 }
 
 // publish advances the reader-visible snapshot to the batch's final (now
-// durable) state.
+// durable) state. Ingest-journal tickets carry no snapshot, so the batch's
+// last snapshot-bearing ticket wins (a batch may be all-ingest).
 func (st *Store) publish(batch []*walTicket) {
-	last := batch[len(batch)-1].snap
+	var last *Snapshot
+	for i := len(batch) - 1; i >= 0; i-- {
+		if batch[i].snap != nil {
+			last = batch[i].snap
+			break
+		}
+	}
 	st.mu.Lock()
-	if cur := st.snap.Load(); last.gen > cur.gen {
-		st.snap.Store(last)
+	if last != nil {
+		if cur := st.snap.Load(); last.gen > cur.gen {
+			st.snap.Store(last)
+		}
 	}
 	st.sinceCheckpoint += len(batch)
 	st.mu.Unlock()
@@ -683,7 +758,14 @@ func (st *Store) checkpointAsLeader() error {
 	if err := writeAtomicLSN(st.fs, st.path, snap, w.durableLSN, true); err != nil {
 		return err
 	}
-	if err := w.rotate(); err != nil {
+	st.mu.Lock()
+	src := st.ingestSrc
+	st.mu.Unlock()
+	var carry [][]byte
+	if src != nil {
+		carry = src()
+	}
+	if err := w.rotate(carry); err != nil {
 		return err
 	}
 	st.mu.Lock()
@@ -692,10 +774,12 @@ func (st *Store) checkpointAsLeader() error {
 	return nil
 }
 
-// rotate atomically replaces the log with a fresh one containing only a
-// header frame. On failure before the rename, the old log remains in place
-// and in use. Leader only.
-func (w *wal) rotate() error {
+// rotate atomically replaces the log with a fresh one containing a header
+// frame plus any still-live ingest records carried forward (stamped with
+// the checkpoint LSN — they ride below the replay threshold on purpose,
+// since recovery collects ingest frames unconditionally). On failure before
+// the rename, the old log remains in place and in use. Leader only.
+func (w *wal) rotate(carry [][]byte) error {
 	dir := filepath.Dir(w.path)
 	tmp, err := w.fs.CreateTemp(dir, ".wal-*.tmp")
 	if err != nil {
@@ -704,6 +788,9 @@ func (w *wal) rotate() error {
 	tmpName := tmp.Name()
 	defer w.fs.Remove(tmpName) // no-op after a successful rename
 	hdr := appendWALFrame(nil, walFrameHeader, w.durableLSN, []byte(walHeaderMagic))
+	for _, p := range carry {
+		hdr = appendWALFrame(hdr, walFrameIngest, w.durableLSN, p)
+	}
 	if _, err := tmp.Write(hdr); err != nil {
 		tmp.Close()
 		return fmt.Errorf("catalog: rotate wal: %w", err)

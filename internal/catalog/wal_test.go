@@ -420,6 +420,97 @@ func TestChaosWALConcurrentReadersSeeCommittedOnly(t *testing.T) {
 
 // FuzzWALRecovery throws arbitrary bytes at the log reader: recovery must
 // never panic and must always produce a store whose every entry validates.
+func TestWALIngestJournalInterleavedWithRotation(t *testing.T) {
+	// Catalog commits and ingest-journal frames share one log, with
+	// checkpoint rotation carrying live ingest frames into each fresh log.
+	// Truncate the final log at EVERY byte: recovery must yield a committed
+	// catalog prefix state, and every recovered ingest frame must be
+	// byte-identical to an appended one — never torn, never invented.
+	st, path := walFixture(t, WALOptions{CheckpointEvery: 2}, nil)
+	var appended [][]byte
+	// Every journaled frame stays live for the whole test, so each rotation
+	// must carry all of them forward.
+	st.SetIngestSource(func() [][]byte {
+		out := make([][]byte, len(appended))
+		copy(out, appended)
+		return out
+	})
+	prefixes := []map[string]int64{stateOf(st.Snapshot())}
+	for i := 0; i < 6; i++ {
+		if _, err := st.Put(entry("t", fmt.Sprintf("c%d", i), int64(110+i))); err != nil {
+			t.Fatal(err)
+		}
+		prefixes = append(prefixes, stateOf(st.Snapshot()))
+		payload := []byte(fmt.Sprintf(`{"id":"batch-%d","table":"t","column":"c%d","pages":[%d,%d]}`, i, i, i, i+1))
+		// Live-set registration precedes the append, as in the service: a
+		// rotation racing the append must still carry the new frame.
+		appended = append(appended, payload)
+		if err := st.AppendIngest(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	walPath := st.WALPath()
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byteSet := map[string]bool{}
+	for _, p := range appended {
+		byteSet[string(p)] = true
+	}
+
+	matches := func(got map[string]int64) bool {
+		for _, p := range prefixes {
+			if statesEqual(got, p) {
+				return true
+			}
+		}
+		return false
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		if err := os.WriteFile(walPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenWAL(path, WALOptions{CheckpointEvery: 2})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		if got := stateOf(re.Snapshot()); !matches(got) {
+			re.Close()
+			t.Fatalf("cut %d: recovered catalog %v matches no committed prefix", cut, got)
+		}
+		recs := re.IngestRecords()
+		seen := map[string]int{}
+		for _, r := range recs {
+			if !byteSet[string(r)] {
+				re.Close()
+				t.Fatalf("cut %d: recovered ingest frame %q was never appended", cut, r)
+			}
+			seen[string(r)]++
+			if seen[string(r)] > 1 {
+				re.Close()
+				t.Fatalf("cut %d: ingest frame recovered twice: %q", cut, r)
+			}
+		}
+		re.Close()
+	}
+
+	// The untruncated log recovers the complete live journal: rotation must
+	// not have dropped a single carried frame.
+	if err := os.WriteFile(walPath, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenWAL(path, WALOptions{CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if recs := re.IngestRecords(); len(recs) != len(appended) {
+		t.Fatalf("full log recovered %d ingest frames, want %d", len(recs), len(appended))
+	}
+}
+
 func FuzzWALRecovery(f *testing.F) {
 	// Seed with a genuine log so the fuzzer mutates realistic frames.
 	dir, err := os.MkdirTemp("", "walfuzz")
@@ -434,6 +525,10 @@ func FuzzWALRecovery(f *testing.F) {
 	}
 	for i := 0; i < 3; i++ {
 		if _, err := st.Put(entry("t", fmt.Sprintf("c%d", i), int64(100+i))); err != nil {
+			f.Fatal(err)
+		}
+		// Interleave ingest-journal frames so the fuzzer mutates mixed logs.
+		if err := st.AppendIngest([]byte(fmt.Sprintf(`{"id":"b%d","pages":[%d]}`, i, i))); err != nil {
 			f.Fatal(err)
 		}
 	}
@@ -465,9 +560,19 @@ func FuzzWALRecovery(f *testing.F) {
 				t.Fatalf("recovered invalid entry %s: %v", k, err)
 			}
 		}
+		// Recovered ingest frames must never be torn: appends were framed
+		// whole, so any recovered payload parses where the original did.
+		for _, rec := range re.IngestRecords() {
+			if len(rec) == 0 {
+				t.Fatal("recovered empty ingest frame")
+			}
+		}
 		// The store must accept new commits after any recovery.
 		if _, err := re.Put(entry("t", "post", 199)); err != nil {
 			t.Fatalf("Put after recovery: %v", err)
+		}
+		if err := re.AppendIngest([]byte(`{"id":"post"}`)); err != nil {
+			t.Fatalf("AppendIngest after recovery: %v", err)
 		}
 		re.Close()
 	})

@@ -110,6 +110,14 @@ type Node struct {
 
 	epoch atomic.Uint64
 
+	// Per-key last-applied mutation epochs: the ordering guard that keeps a
+	// replicated DELETE from being resurrected by a stale PUT (and vice
+	// versa), and the skip set for merge-based snapshot pulls. In-memory
+	// only — a restarted node re-adopts cluster state wholesale and relearns
+	// epochs from the traffic that follows.
+	keyMu     sync.Mutex
+	keyEpochs map[string]uint64
+
 	// Cached catalog content hash, keyed by generation.
 	hashMu  sync.Mutex
 	hashGen uint64
@@ -246,6 +254,38 @@ func (n *Node) ObserveEpoch(e uint64) {
 	}
 }
 
+// KeyEpoch reports the last mutation epoch applied for a key (0 = no
+// tracked mutation yet this process lifetime).
+func (n *Node) KeyEpoch(key string) uint64 {
+	n.keyMu.Lock()
+	defer n.keyMu.Unlock()
+	return n.keyEpochs[key]
+}
+
+// RecordKeyEpoch advances a key's last-applied epoch (monotonic max). The
+// service records every applied mutation — local or replicated, including
+// deletes, where the record doubles as an in-memory tombstone.
+func (n *Node) RecordKeyEpoch(key string, epoch uint64) {
+	n.keyMu.Lock()
+	if n.keyEpochs == nil {
+		n.keyEpochs = map[string]uint64{}
+	}
+	if epoch > n.keyEpochs[key] {
+		n.keyEpochs[key] = epoch
+	}
+	n.keyMu.Unlock()
+}
+
+// HasKeyEpoch reports whether a key has a tracked mutation epoch — the skip
+// predicate for merge-based snapshot pulls: epoch-tracked keys converge
+// through replicated mutations and hinted handoff, not bulk anti-entropy,
+// so a pulled snapshot must not clobber (or resurrect) them.
+func (n *Node) HasKeyEpoch(key string) bool {
+	n.keyMu.Lock()
+	defer n.keyMu.Unlock()
+	return n.keyEpochs[key] != 0
+}
+
 // CatalogHash returns the content hash of the current catalog snapshot,
 // cached per generation (computing it encodes the snapshot, so the cache
 // keeps heartbeats cheap between mutations).
@@ -318,6 +358,12 @@ func (n *Node) Merge(remote Doc) Doc {
 		n.rebuildRing()
 	}
 	n.maybePull(remote.Self)
+	// Lamport receive rule, AFTER the pull decision (which keys off the
+	// epoch gap): fold the sender's epoch so a restarted node's next local
+	// mutation stamps an epoch above everything the cluster has seen —
+	// otherwise its writes would be dropped as stale by peers' per-key
+	// epoch guards.
+	n.ObserveEpoch(remote.Self.Epoch)
 	return n.HealthDoc()
 }
 
@@ -460,10 +506,14 @@ func (n *Node) maybePull(remote NodeInfo) {
 }
 
 // PullSnapshot streams the checksummed catalog snapshot from a peer and
-// imports it: the trailer is verified, the payload re-validated, estimators
-// recompiled through the catalog's core.Compile ingress path, and the result
-// persisted through the store's (possibly fault-injected) filesystem. The
-// peer's epoch header folds into ours on success.
+// merges it in: the trailer is verified, the payload re-validated,
+// estimators recompiled through the catalog's core.Compile ingress path,
+// and the result persisted through the store's (possibly fault-injected)
+// filesystem. The merge is a union guarded by the per-key epoch table —
+// keys this node has applied tracked mutations for are left alone (hinted
+// handoff converges them precisely), and local-only keys are never deleted
+// by a pull; an empty booting node degenerates to a full adopt. The peer's
+// epoch header folds into ours on success.
 func (n *Node) PullSnapshot(ctx context.Context, baseURL string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathSnapshot, nil)
 	if err != nil {
@@ -485,7 +535,7 @@ func (n *Node) PullSnapshot(ctx context.Context, baseURL string) error {
 	if err != nil {
 		return fmt.Errorf("cluster: snapshot %s: %w", baseURL, err)
 	}
-	gen, err := n.store.ImportSnapshot(data)
+	gen, err := n.store.MergeSnapshot(data, n.HasKeyEpoch)
 	if err != nil {
 		return fmt.Errorf("cluster: snapshot %s: %w", baseURL, err)
 	}

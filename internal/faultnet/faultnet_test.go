@@ -1,0 +1,261 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// upstream spins a plain HTTP server answering every request with the given
+// body and returns a client whose transport is the injector under test.
+func upstream(t *testing.T, body string) (*httptest.Server, *Injector, *http.Client) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	inj := NewInjector(nil, 1)
+	return ts, inj, inj.Client(5 * time.Second)
+}
+
+func get(t *testing.T, c *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestInjectorPassthrough(t *testing.T) {
+	ts, inj, c := upstream(t, "ok")
+	body, err := get(t, c, ts.URL+"/v1/estimate")
+	if err != nil || body != "ok" {
+		t.Fatalf("passthrough: body=%q err=%v", body, err)
+	}
+	if inj.Injected() != 0 {
+		t.Fatalf("injected %d faults on passthrough", inj.Injected())
+	}
+	tr := inj.Trace()
+	if len(tr) != 2 || !strings.HasPrefix(tr[0], "request ") || !strings.HasPrefix(tr[1], "response ") {
+		t.Fatalf("trace = %v, want request then response", tr)
+	}
+}
+
+func TestDropOnNthRequest(t *testing.T) {
+	ts, inj, c := upstream(t, "ok")
+	inj.Add(Rule{Op: OpRequest, Route: "/v1/indexes", Nth: 2, Mode: ModeDrop})
+
+	if _, err := get(t, c, ts.URL+"/v1/indexes/a.b"); err != nil {
+		t.Fatalf("first request should pass: %v", err)
+	}
+	// A non-matching route does not advance the rule's counter.
+	if _, err := get(t, c, ts.URL+"/v1/estimate"); err != nil {
+		t.Fatalf("other route should pass: %v", err)
+	}
+	_, err := get(t, c, ts.URL+"/v1/indexes/a.b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second matching request should drop, got err=%v", err)
+	}
+	// Count defaults to 1: the third matching request passes again.
+	if _, err := get(t, c, ts.URL+"/v1/indexes/a.b"); err != nil {
+		t.Fatalf("third request should pass after single-shot rule: %v", err)
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", inj.Injected())
+	}
+}
+
+func TestResetAndPersistentCount(t *testing.T) {
+	ts, inj, c := upstream(t, "ok")
+	inj.Add(Rule{Op: OpRequest, Nth: 1, Count: -1, Mode: ModeReset})
+	for i := 0; i < 3; i++ {
+		_, err := get(t, c, ts.URL+"/x")
+		if err == nil || !strings.Contains(err.Error(), "connection reset") {
+			t.Fatalf("request %d: want reset error, got %v", i, err)
+		}
+	}
+	inj.Reset()
+	if _, err := get(t, c, ts.URL+"/x"); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+func TestResponseDropAfterServerSawRequest(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "done")
+	}))
+	defer ts.Close()
+	inj := NewInjector(nil, 1)
+	inj.Add(Rule{Op: OpResponse, Nth: 1, Mode: ModeDrop})
+	c := inj.Client(5 * time.Second)
+	if _, err := get(t, c, ts.URL+"/mutate"); err == nil {
+		t.Fatal("response drop should surface an error")
+	}
+	// The crucial asymmetry vs OpRequest: the server DID the work.
+	if hits != 1 {
+		t.Fatalf("server hits = %d, want 1", hits)
+	}
+}
+
+func TestTruncatedResponseBody(t *testing.T) {
+	ts, inj, c := upstream(t, strings.Repeat("x", 4096))
+	inj.Add(Rule{Op: OpResponse, Nth: 1, Mode: ModeTruncate})
+	body, err := get(t, c, ts.URL+"/snapshot")
+	if err == nil {
+		t.Fatal("truncated body should end in an error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "unexpected EOF") {
+		t.Fatalf("want unexpected EOF, got %v", err)
+	}
+	if len(body) == 0 || len(body) >= 4096 {
+		t.Fatalf("read %d bytes, want a strict prefix", len(body))
+	}
+}
+
+func TestSlowIsDeterministicPerSeed(t *testing.T) {
+	delays := make([]time.Duration, 2)
+	for trial := 0; trial < 2; trial++ {
+		inj := NewInjector(nil, 42)
+		inj.Add(Rule{Op: OpRequest, Nth: 1, Mode: ModeSlow, Delay: 40 * time.Millisecond})
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		start := time.Now()
+		if _, err := inj.Client(5 * time.Second).Get(ts.URL); err != nil {
+			t.Fatalf("slow request failed: %v", err)
+		}
+		delays[trial] = time.Since(start)
+		ts.Close()
+	}
+	// Same seed, same op sequence: both trials drew the same jitter, so they
+	// sit within scheduling noise of each other and above Delay/2.
+	if delays[0] < 20*time.Millisecond {
+		t.Fatalf("delay %v under the Delay/2 floor", delays[0])
+	}
+	diff := delays[0] - delays[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 15*time.Millisecond {
+		t.Fatalf("seeded delays diverge: %v vs %v", delays[0], delays[1])
+	}
+}
+
+func TestPartitionBlockAndHeal(t *testing.T) {
+	ts, inj, c := upstream(t, "ok")
+	host := strings.TrimPrefix(ts.URL, "http://")
+	inj.Block(host)
+	_, err := get(t, c, ts.URL+"/v1/estimate")
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", err)
+	}
+	// Other peers stay reachable: block is per-target, not global.
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, "up") }))
+	defer other.Close()
+	if body, err := get(t, c, other.URL); err != nil || body != "up" {
+		t.Fatalf("unblocked peer: body=%q err=%v", body, err)
+	}
+	inj.Heal()
+	if body, err := get(t, c, ts.URL+"/v1/estimate"); err != nil || body != "ok" {
+		t.Fatalf("after heal: body=%q err=%v", body, err)
+	}
+}
+
+func TestListenerAcceptDrop(t *testing.T) {
+	inj := NewInjector(nil, 1)
+	inj.Add(Rule{Op: OpAccept, Nth: 1, Mode: ModeDrop})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "served")
+	}))
+	srv.Listener = WrapListener(ln, inj)
+	srv.Start()
+	defer srv.Close()
+
+	// First connection is dropped at accept; the client's retry (a fresh
+	// connection) gets through, so a plain GET with keep-alives disabled
+	// succeeds on the second dial.
+	c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 5 * time.Second}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		// Depending on timing the dropped conn surfaces as EOF on the first
+		// GET; one retry must succeed.
+		resp, err = c.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("second GET through fault listener: %v", err)
+		}
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "served" {
+		t.Fatalf("body = %q", b)
+	}
+	if inj.Injected() < 1 {
+		t.Fatal("accept fault never fired")
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("request:9001:/v1/indexes:1:drop, response:*:/v1/cluster/snapshot:2:truncate:-1, *:node-b::3:slow=50ms:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	r := rules[0]
+	if r.Op != OpRequest || r.Peer != "9001" || r.Route != "/v1/indexes" || r.Nth != 1 || r.Mode != ModeDrop {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = rules[1]
+	if r.Op != OpResponse || r.Peer != "" || r.Route != "/v1/cluster/snapshot" || r.Count != -1 || r.Mode != ModeTruncate {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = rules[2]
+	if r.Op != OpAny || r.Peer != "node-b" || r.Route != "" || r.Nth != 3 || r.Mode != ModeSlow || r.Delay != 50*time.Millisecond || r.Count != 2 {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+
+	for _, bad := range []string{
+		"",
+		"request:only:three:parts",
+		"jump:*:*:1:drop",
+		"request:*:*:0:drop",
+		"request:*:*:1:explode",
+		"request:*:*:1:slow=fast",
+		"request:*:*:1:drop:0",
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Fatalf("ParseRules(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFirstFiringRuleWins(t *testing.T) {
+	ts, inj, c := upstream(t, "ok")
+	inj.Add(Rule{Op: OpRequest, Nth: 1, Mode: ModeDrop})
+	inj.Add(Rule{Op: OpRequest, Nth: 1, Mode: ModeReset})
+	_, err := get(t, c, ts.URL+"/x")
+	if err == nil || strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("first rule (drop) should win, got %v", err)
+	}
+	// The second rule counted the first match without firing; it gets its
+	// turn on the next request, after which both rules are spent.
+	if _, err := get(t, c, ts.URL+"/x"); err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("second request should hit the reset rule, got %v", err)
+	}
+	if _, err := get(t, c, ts.URL+"/x"); err != nil {
+		t.Fatalf("third request: %v", err)
+	}
+}

@@ -16,22 +16,46 @@ package service
 // X-Epfis-Forwarded); a forwarded request that still lands on a non-owner
 // answers 421 Misdirected Request with the owner set, so stale rings
 // re-route instead of looping.
+//
+// Mutation model: every mutation is stamped with a cluster-wide Lamport
+// epoch at the node that first receives it, applied locally, then fanned out
+// to every live peer with a per-peer timeout. The client's PUT/DELETE
+// succeeds only when W of the key's R ring owners acknowledged the write
+// (Config.WriteQuorum; majority by default) — otherwise 503, with the local
+// apply standing and the missed peers queued as durable hints (handoff.go).
+// Receivers apply a replicated mutation only when its epoch advances the
+// key's last-applied epoch, which makes redelivery idempotent and closes the
+// delete-resurrection race: a reordered older PUT can no longer overwrite a
+// newer DELETE.
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"epfis/internal/cluster"
 	"epfis/internal/obs"
+	"epfis/internal/stats"
 )
+
+// DefaultReplicateTimeout bounds each per-peer replication send when
+// Config.ReplicateTimeout is zero: a partitioned peer costs one timeout and
+// a hint, never a hung client request.
+const DefaultReplicateTimeout = 2 * time.Second
+
+// replicationBuckets grade the per-peer replication send latency (0.5ms to
+// ~4s; the last bucket catches timeouts).
+var replicationBuckets = obs.ExpBuckets(0.0005, 2, 14)
 
 // Cluster route names (metrics keys, mux patterns).
 const (
@@ -52,6 +76,11 @@ type clusterObs struct {
 	proxyFailures *obs.Counter
 	replicated    *obs.Counter
 	replFailures  *obs.Counter
+	staleDrops    *obs.Counter
+
+	reg       *obs.Registry
+	replLatMu sync.Mutex
+	replLat   map[string]*obs.Histogram // per-peer replication send latency
 }
 
 func newClusterObs(reg *obs.Registry) *clusterObs {
@@ -68,8 +97,28 @@ func newClusterObs(reg *obs.Registry) *clusterObs {
 		replicated: reg.Counter("epfis_cluster_replication_total",
 			"Mutations replicated to peers."),
 		replFailures: reg.Counter("epfis_cluster_replication_failures_total",
-			"Peer replication sends that failed (anti-entropy repairs them)."),
+			"Peer replication sends that failed (hinted handoff redelivers them)."),
+		staleDrops: reg.Counter("epfis_cluster_stale_mutations_total",
+			"Replicated mutations skipped because the key had already applied an equal or later epoch."),
+		reg:     reg,
+		replLat: map[string]*obs.Histogram{},
 	}
+}
+
+// observeReplication records one peer send in that peer's latency histogram
+// (epfis_cluster_replication_seconds{peer=...}), registered lazily on the
+// first send — never on the single-node serving path.
+func (c *clusterObs) observeReplication(peer string, d time.Duration) {
+	c.replLatMu.Lock()
+	h := c.replLat[peer]
+	if h == nil {
+		h = c.reg.Histogram("epfis_cluster_replication_seconds",
+			"Replication send latency by peer.", replicationBuckets,
+			obs.Label{Name: "peer", Value: peer})
+		c.replLat[peer] = h
+	}
+	c.replLatMu.Unlock()
+	h.Observe(d.Seconds())
 }
 
 // clusterKey builds the ring key for an estimate input.
@@ -116,15 +165,26 @@ func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request, in *estima
 	return true
 }
 
-// proxyTo forwards the estimate request to one owner, copying its response
-// through verbatim. It reports false on transport failure (the caller tries
-// the next owner); any completed upstream response — success or error — is
-// relayed as-is and reported true.
+// proxyTo forwards the estimate request to one owner.
 func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, baseURL string) bool {
-	ctx := r.Context()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+r.URL.RequestURI(), nil)
+	return s.proxyRequest(w, r, baseURL, http.MethodGet, r.URL.RequestURI(), nil)
+}
+
+// proxyRequest forwards a request to one peer with the given method, path,
+// and body, copying the response through verbatim. It reports false on
+// transport failure (the caller tries the next owner); any completed
+// upstream response — success or error — is relayed as-is and reported true.
+func (s *Server) proxyRequest(w http.ResponseWriter, r *http.Request, baseURL, method, path string, body []byte) bool {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, baseURL+path, rd)
 	if err != nil {
 		return false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(cluster.HeaderForwarded, s.cluster.SelfID())
 	if tp := w.Header().Get(obs.TraceparentHeader); tp != "" {
@@ -172,53 +232,279 @@ func (s *Server) writeMisdirected(w http.ResponseWriter, key string) {
 	})
 }
 
-// replicate fans a successful local mutation out to every known peer, after
-// bumping the mutation epoch. Sends are synchronous (the client's PUT
-// returning means live replicas have it) but individually best-effort:
-// failures are counted and logged, and gossip anti-entropy converges the
-// missed peer from the epoch/hash difference. A mutation that itself arrived
-// as replication (X-Epfis-Replicated) is applied locally only — the
-// originator's epoch is folded in and nothing is re-forwarded.
-func (s *Server) replicate(r *http.Request, method, path string, body []byte) {
-	if s.cluster == nil {
-		return
+// indexPath is the replicated mutation path for one index.
+func indexPath(table, column string) string {
+	return "/v1/indexes/" + url.PathEscape(table) + "/" + url.PathEscape(column)
+}
+
+// replicatedEpoch extracts the epoch of a replicated mutation; replicated is
+// false for locally originated requests.
+func replicatedEpoch(r *http.Request) (epoch uint64, replicated bool, err error) {
+	if r.Header.Get(cluster.HeaderReplicated) == "" {
+		return 0, false, nil
 	}
-	if r.Header.Get(cluster.HeaderReplicated) != "" {
-		if e, err := strconv.ParseUint(r.Header.Get(cluster.HeaderEpoch), 10, 64); err == nil {
-			s.cluster.ObserveEpoch(e)
+	e, perr := strconv.ParseUint(r.Header.Get(cluster.HeaderEpoch), 10, 64)
+	if perr != nil {
+		return 0, true, fmt.Errorf("replicated mutation carries no valid %s header", cluster.HeaderEpoch)
+	}
+	return e, true, nil
+}
+
+// clusterPut is handlePutIndex's cluster-mode tail (the entry is already
+// validated): epoch-gated application for replicated arrivals, epoch-stamped
+// quorum fan-out for local originations.
+func (s *Server) clusterPut(w http.ResponseWriter, r *http.Request, e *stats.IndexStats) {
+	key := e.Key()
+	if epoch, replicated, rerr := replicatedEpoch(r); replicated {
+		if rerr != nil {
+			writeError(w, http.StatusBadRequest, rerr)
+			return
 		}
+		s.applyReplicated(w, key, epoch, func() (uint64, error) {
+			gen, err := s.store.Put(e)
+			if err == nil && s.cache != nil {
+				s.cache.dropOtherGenerations(gen)
+			}
+			return gen, err
+		})
 		return
 	}
+	body, merr := json.Marshal(e)
+	if merr != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("encode replication body: %w", merr))
+		return
+	}
+	gen, epoch, retryAfter, err := s.applyLocal(key, func() (uint64, error) { return s.store.Put(e) })
+	if err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable, err, retryAfter)
+		return
+	}
+	if s.cache != nil {
+		s.cache.dropOtherGenerations(gen)
+	}
+	s.obs.syncIndexes(s.store.Snapshot())
+	if err := s.replicateQuorum(http.MethodPut, indexPath(e.Table, e.Column), body, key, epoch); err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable,
+			fmt.Errorf("replication quorum not met for %s: %w (applied locally, handoff pending; safe to retry)", key, err),
+			time.Second)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "generation": gen, "epoch": epoch})
+}
+
+// clusterDelete is handleDeleteIndex's cluster-mode tail. A replicated
+// arrival records the delete's epoch even when the key is already absent —
+// that record is the in-memory tombstone that keeps a late older PUT from
+// resurrecting the deletion.
+func (s *Server) clusterDelete(w http.ResponseWriter, r *http.Request, table, column string) {
+	key := table + "." + column
+	if epoch, replicated, rerr := replicatedEpoch(r); replicated {
+		if rerr != nil {
+			writeError(w, http.StatusBadRequest, rerr)
+			return
+		}
+		s.applyReplicated(w, key, epoch, func() (uint64, error) {
+			ok, gen, err := s.store.Delete(table, column)
+			if err != nil {
+				return 0, err
+			}
+			if ok && s.cache != nil {
+				s.cache.invalidateIndex(table, column)
+				s.cache.dropOtherGenerations(gen)
+			}
+			return gen, nil
+		})
+		return
+	}
+	commit, retryAfter, err := s.beginMutation()
+	if err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable, err, retryAfter)
+		return
+	}
+	s.clusterMu.Lock()
 	epoch := s.cluster.BumpEpoch()
-	peers := s.cluster.Peers()
+	ok, gen, err := s.store.Delete(table, column)
+	if err == nil && ok {
+		s.cluster.RecordKeyEpoch(key, epoch)
+	}
+	s.clusterMu.Unlock()
+	commit(err != nil)
+	if err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable, err, time.Second)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s.%s", stats.ErrNotFound, table, column))
+		return
+	}
+	if s.cache != nil {
+		s.cache.invalidateIndex(table, column)
+		s.cache.dropOtherGenerations(gen)
+	}
+	if err := s.replicateQuorum(http.MethodDelete, indexPath(table, column), nil, key, epoch); err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable,
+			fmt.Errorf("replication quorum not met for %s: %w (deleted locally, handoff pending; safe to retry)", key, err),
+			time.Second)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "epoch": epoch})
+}
+
+// applyReplicated applies one replicated mutation iff its epoch advances the
+// key's last-applied epoch — the per-key ordering gate that makes
+// replication delivery idempotent (hinted-handoff redelivery, client
+// retries) and closes the delete-resurrection race.
+func (s *Server) applyReplicated(w http.ResponseWriter, key string, epoch uint64, apply func() (uint64, error)) {
+	defer s.cluster.ObserveEpoch(epoch)
+	commit, retryAfter, err := s.beginMutation()
+	if err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable, err, retryAfter)
+		return
+	}
+	s.clusterMu.Lock()
+	if epoch <= s.cluster.KeyEpoch(key) {
+		s.clusterMu.Unlock()
+		commit(false)
+		s.cobs.staleDrops.Inc()
+		writeJSON(w, http.StatusOK, map[string]any{"key": key, "skipped": true, "epoch": epoch})
+		return
+	}
+	gen, err := apply()
+	if err == nil {
+		s.cluster.RecordKeyEpoch(key, epoch)
+	}
+	s.clusterMu.Unlock()
+	commit(err != nil)
+	if err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable, err, time.Second)
+		return
+	}
+	s.obs.syncIndexes(s.store.Snapshot())
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "generation": gen, "epoch": epoch})
+}
+
+// applyLocal runs a locally originated mutation under the cluster mutation
+// lock with a freshly assigned epoch, so epoch order matches apply order for
+// every same-key mutation flowing through this node.
+func (s *Server) applyLocal(key string, apply func() (uint64, error)) (gen, epoch uint64, retryAfter time.Duration, err error) {
+	commit, retryAfter, err := s.beginMutation()
+	if err != nil {
+		return 0, 0, retryAfter, err
+	}
+	s.clusterMu.Lock()
+	epoch = s.cluster.BumpEpoch()
+	gen, err = apply()
+	if err == nil {
+		s.cluster.RecordKeyEpoch(key, epoch)
+	}
+	s.clusterMu.Unlock()
+	commit(err != nil)
+	if err != nil {
+		return 0, 0, time.Second, err
+	}
+	return gen, epoch, 0, nil
+}
+
+// replicateQuorum fans an epoch-stamped mutation out to every live peer and
+// blocks until the sends settle, then checks write quorum: the mutation is
+// acknowledged only when W of the key's R ring owners hold it (the local
+// apply counts when this node is an owner). Peers that are unreachable —
+// dead, URL-less, partitioned, or past the per-peer timeout — get the
+// mutation journaled as a durable hint instead of blocking the client, so
+// convergence does not wait for anti-entropy. A missed quorum returns an
+// error; the caller surfaces 503 with the applied-locally contract
+// (retry-safe, because every replicated apply is epoch-gated).
+func (s *Server) replicateQuorum(method, path string, body []byte, key string, epoch uint64) error {
+	owners := map[string]bool{}
+	for _, p := range s.cluster.Owners(key) {
+		owners[p.ID] = true
+	}
+	var acks atomic.Int64
+	if owners[s.cluster.SelfID()] {
+		acks.Add(1)
+	}
 	var wg sync.WaitGroup
-	for _, p := range peers {
+	for _, p := range s.cluster.Peers() {
 		if p.URL == "" || p.State == cluster.StateDead {
+			s.cobs.replFailures.Inc()
+			s.handoff.enqueue(hintRecord{Peer: p.ID, Method: method, Path: path, Body: body, Epoch: epoch, Key: key})
 			continue
 		}
 		wg.Add(1)
 		go func(p cluster.PeerInfo) {
 			defer wg.Done()
-			if err := s.replicateTo(r, p.URL, method, path, body, epoch); err != nil {
+			start := time.Now()
+			err := s.replicateTo(p.URL, method, path, body, epoch)
+			s.cobs.observeReplication(p.ID, time.Since(start))
+			if err != nil {
 				s.cobs.replFailures.Inc()
-				s.obs.log.LogAttrs(r.Context(), slog.LevelWarn, "mutation replication failed",
+				s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "replication failed, hint journaled",
 					slog.String("peer", p.ID), slog.String("path", path),
 					slog.String("error", err.Error()))
+				s.handoff.enqueue(hintRecord{Peer: p.ID, Method: method, Path: path, Body: body, Epoch: epoch, Key: key})
 				return
 			}
 			s.cobs.replicated.Inc()
+			if owners[p.ID] {
+				acks.Add(1)
+			}
 		}(p)
 	}
 	wg.Wait()
+	if need := s.quorumFor(len(owners)); int(acks.Load()) < need {
+		return fmt.Errorf("%d/%d owner acks, need %d", acks.Load(), len(owners), need)
+	}
+	return nil
 }
 
-// replicateTo sends one replicated mutation to one peer.
-func (s *Server) replicateTo(r *http.Request, baseURL, method, path string, body []byte, epoch uint64) error {
+// quorumFor resolves Config.WriteQuorum against a key's owner count:
+// 0 = majority, positive = that many acks (capped at the owner count),
+// negative = none (the local apply suffices; hints still converge peers).
+func (s *Server) quorumFor(owners int) int {
+	switch {
+	case s.writeQuorum < 0:
+		return 0
+	case s.writeQuorum > 0:
+		if s.writeQuorum > owners {
+			return owners
+		}
+		return s.writeQuorum
+	default:
+		return owners/2 + 1
+	}
+}
+
+// replicateRepublish fans an ingest-refit entry out like a local PUT. No
+// client waits on it, so a missed quorum is logged rather than surfaced;
+// hints still carry the refit to every peer eventually. Explicit replication
+// matters here: peers tracking an epoch for the key skip it during snapshot
+// merges, so anti-entropy alone would never deliver the refit.
+func (s *Server) replicateRepublish(e *stats.IndexStats) {
+	key := e.Key()
+	body, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.clusterMu.Lock()
+	epoch := s.cluster.BumpEpoch()
+	s.cluster.RecordKeyEpoch(key, epoch)
+	s.clusterMu.Unlock()
+	if err := s.replicateQuorum(http.MethodPut, indexPath(e.Table, e.Column), body, key, epoch); err != nil {
+		s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "ingest republish quorum not met",
+			slog.String("index", key), slog.String("error", err.Error()))
+	}
+}
+
+// replicateTo sends one replicated mutation to one peer, bounded by the
+// per-peer replication timeout.
+func (s *Server) replicateTo(baseURL, method, path string, body []byte, epoch uint64) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.replTimeout)
+	defer cancel()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), method, baseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, baseURL+path, rd)
 	if err != nil {
 		return err
 	}

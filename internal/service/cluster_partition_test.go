@@ -1,0 +1,613 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"epfis/internal/catalog"
+	"epfis/internal/cluster"
+	"epfis/internal/core"
+	"epfis/internal/faultnet"
+	"epfis/internal/stats"
+)
+
+// fnode is one partition-drill cluster member: a WAL-backed store, a durable
+// handoff directory, and a faultnet injector sitting on every outbound HTTP
+// hop (gossip, replication, forwarding, hint delivery).
+type fnode struct {
+	*cnode
+	inj         *faultnet.Injector
+	catalogPath string
+	handoffDir  string
+}
+
+func (n *fnode) host() string { return strings.TrimPrefix(n.url, "http://") }
+
+// startFaultCluster brings up n WAL-backed nodes whose every outbound request
+// crosses a deterministic faultnet injector, so tests can partition the
+// cluster without touching real sockets. DeadAfter is effectively infinite:
+// partitions in these drills heal, and a peer that went "dead" would change
+// the replication decision being tested.
+func startFaultCluster(t testing.TB, n, replicas int) []*fnode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*fnode, n)
+	for i := range nodes {
+		id := fmt.Sprintf("node-%c", 'a'+i)
+		dir := t.TempDir()
+		catalogPath := filepath.Join(dir, "catalog.json")
+		store, err := catalog.OpenWAL(catalogPath, catalog.WALOptions{CheckpointEvery: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		inj := faultnet.NewInjector(nil, int64(i+1))
+		node, err := cluster.NewNode(cluster.Config{
+			SelfID:       id,
+			SelfURL:      urls[i],
+			Seeds:        urls,
+			Replicas:     replicas,
+			Heartbeat:    50 * time.Millisecond,
+			SuspectAfter: 300 * time.Millisecond,
+			DeadAfter:    time.Hour,
+			Store:        store,
+			HTTPClient:   inj.Client(2 * time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handoffDir := filepath.Join(dir, "hints")
+		srv, err := New(Config{
+			Store:            store,
+			Cluster:          node,
+			Transport:        inj,
+			ReplicateTimeout: 500 * time.Millisecond,
+			HandoffDir:       handoffDir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		ts := httptest.NewUnstartedServer(srv)
+		ts.Listener.Close()
+		ts.Listener = lns[i]
+		ts.Start()
+		t.Cleanup(ts.Close)
+		nodes[i] = &fnode{
+			cnode:       &cnode{id: id, url: urls[i], store: store, node: node, srv: srv, ts: ts},
+			inj:         inj,
+			catalogPath: catalogPath,
+			handoffDir:  handoffDir,
+		}
+	}
+	for round := 0; round < 2; round++ {
+		for _, cn := range nodes {
+			cn.node.Tick(context.Background())
+		}
+	}
+	for _, cn := range nodes {
+		if got := cn.node.Ring().Len(); got != n {
+			t.Fatalf("%s ring has %d members after convergence, want %d", cn.id, got, n)
+		}
+	}
+	return nodes
+}
+
+// partition blocks every cross-side hop, both directions, at the senders.
+func partition(a, b []*fnode) {
+	for _, x := range a {
+		for _, y := range b {
+			x.inj.Block(y.host())
+			y.inj.Block(x.host())
+		}
+	}
+}
+
+func healAll(nodes []*fnode) {
+	for _, n := range nodes {
+		n.inj.Heal()
+	}
+}
+
+// converge ticks gossip and drains hinted handoff until every store reports
+// the same content hash, or fails after the deadline.
+func converge(t *testing.T, nodes []*fnode) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		for _, n := range nodes {
+			n.node.Tick(context.Background())
+		}
+		pending := 0
+		for _, n := range nodes {
+			pending += n.srv.DrainHandoff(context.Background())
+		}
+		hashes := make([]string, len(nodes))
+		same := true
+		for i, n := range nodes {
+			h, _, err := n.store.ContentHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hashes[i] = h
+			if h != hashes[0] {
+				same = false
+			}
+		}
+		if same && pending == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stores never converged (pending hints %d): %v", pending, hashes)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// rawMutate issues a PUT or DELETE and returns the status plus body, without
+// failing on non-200 — partition drills expect honest 503s.
+func rawMutate(t testing.TB, cn *cnode, method, path string, body []byte) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, cn.url+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cn.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(raw)
+}
+
+func mustMarshal(t testing.TB, st *stats.IndexStats) []byte {
+	t.Helper()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// crashImage copies the node's catalog files (checkpoint, WAL, fallbacks) to
+// a fresh directory — a point-in-time crash image taken while the process is
+// still running — and reopens it as a recovered store.
+func crashImage(t testing.TB, n *fnode) *catalog.Store {
+	t.Helper()
+	dir := t.TempDir()
+	src := filepath.Dir(n.catalogPath)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := catalog.OpenWAL(filepath.Join(dir, filepath.Base(n.catalogPath)), catalog.WALOptions{CheckpointEvery: 4})
+	if err != nil {
+		t.Fatalf("reopening crash image: %v", err)
+	}
+	t.Cleanup(func() { re.Close() })
+	return re
+}
+
+// TestClusterPartitionHealConvergence is the jepsen-lite acceptance drill: a
+// 3-node cluster is split into a minority {a} and a majority {b,c} while both
+// sides take mutations and the majority streams an ingest scan. The minority
+// must answer honest 503s (applied locally, hint journaled); the majority
+// must keep acking with quorum. After the partition heals, gossip plus
+// hinted handoff must converge every store to the same content hash, every
+// node must serve bit-exact estimates, and a crash image of the minority node
+// must rebuild the identical catalog from its WAL.
+func TestClusterPartitionHealConvergence(t *testing.T) {
+	nodes := startFaultCluster(t, 3, 3) // R=3: all nodes own every key, majority W=2
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	// Baseline entries, fully replicated before the split.
+	keep := fitStats(t, "orders", "key", 1)
+	doomed := fitStats(t, "orders", "doomed", 2)
+	putIndex(t, a.cnode, keep)
+	putIndex(t, b.cnode, doomed)
+	for _, n := range nodes {
+		if n.store.Len() != 2 {
+			t.Fatalf("%s store len = %d before partition, want 2", n.id, n.store.Len())
+		}
+	}
+
+	partition(nodes[:1], nodes[1:])
+
+	// Majority side: quorum (2 of 3 owners) is still reachable, so mutations
+	// succeed and hints queue for the unreachable minority.
+	major := fitStats(t, "orders", "major", 3)
+	if status, body := rawMutate(t, b.cnode, http.MethodPut, "/v1/indexes/orders/major", mustMarshal(t, major)); status != http.StatusOK {
+		t.Fatalf("majority PUT = %d, want 200: %s", status, body)
+	}
+	if status, body := rawMutate(t, c.cnode, http.MethodDelete, "/v1/indexes/orders/doomed", nil); status != http.StatusOK {
+		t.Fatalf("majority DELETE = %d, want 200: %s", status, body)
+	}
+
+	// Minority side: the write quorum is unreachable. The mutation applies
+	// locally, a hint is journaled, and the client gets an honest 503.
+	minor := fitStats(t, "orders", "minor", 4)
+	status, body := rawMutate(t, a.cnode, http.MethodPut, "/v1/indexes/orders/minor", mustMarshal(t, minor))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("minority PUT = %d, want 503: %s", status, body)
+	}
+	if _, err := a.store.Get("orders", "minor"); err != nil {
+		t.Fatalf("minority PUT not applied locally: %v", err)
+	}
+	if n := a.srv.handoff.pending(); n == 0 {
+		t.Fatal("minority PUT queued no hints")
+	}
+
+	// Concurrent ingestion on the majority: a full scan of an index the
+	// catalog does not know republishes a new entry mid-partition.
+	ds, meta := ingestDataset(t, "lineitem", "orderkey", 5)
+	trace := ds.Trace()
+	postIngest(t, b.ts, meta, trace, true, rand.New(rand.NewSource(5)))
+	waitFor(t, 5*time.Second, func() bool {
+		_, err := b.store.Get("lineitem", "orderkey")
+		return err == nil
+	}, "majority ingest republish")
+
+	healAll(nodes)
+	converge(t, nodes)
+
+	for _, n := range nodes {
+		snap := n.store.Snapshot()
+		for _, key := range []string{"orders.key", "orders.minor", "orders.major", "lineitem.orderkey"} {
+			if _, ok := snap.Lookup(key); !ok {
+				t.Errorf("%s: %s missing after heal", n.id, key)
+			}
+		}
+		if _, ok := snap.Lookup("orders.doomed"); ok {
+			t.Errorf("%s: deleted index resurrected after heal", n.id)
+		}
+	}
+
+	// Bit-exact serving: all three nodes answer identical numbers, including
+	// for the entry republished from the mid-partition ingest stream.
+	fit, err := core.LRUFit(trace, meta, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []struct {
+		path string
+		st   *stats.IndexStats
+		b    int64
+	}{
+		{"/v1/estimate?table=orders&column=minor&b=100&sigma=0.1", minor, 100},
+		{"/v1/estimate?table=orders&column=major&b=250&sigma=0.2", major, 250},
+		{"/v1/estimate?table=lineitem&column=orderkey&b=64&sigma=0.1", fit, 64},
+	} {
+		want, err := core.EstimateFetches(q.st, q.b, gatherSigma(q.path), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range nodes {
+			var got EstimateResponse
+			getJSON(t, n.ts, q.path, http.StatusOK, &got)
+			if got.Fetches != want {
+				t.Errorf("%s: %s = %v, want %v", n.id, q.path, got.Fetches, want)
+			}
+		}
+	}
+
+	// Crash-durability: a point-in-time file copy of the minority node's
+	// catalog — taken as if the process died right now — must recover to the
+	// exact same content hash.
+	wantHash, _, err := a.store.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := crashImage(t, a)
+	gotHash, _, err := re.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHash != wantHash {
+		t.Fatalf("crash image recovered hash %q, live store has %q", gotHash, wantHash)
+	}
+}
+
+// gatherSigma pulls the sigma query parameter back out of a test path so the
+// expectation matches the request exactly.
+func gatherSigma(path string) float64 {
+	i := strings.Index(path, "sigma=")
+	v, err := strconv.ParseFloat(path[i+len("sigma="):], 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAsymmetricPartitionHandoff covers the one-way link failure: b can be
+// reached but cannot send. Writes through the healthy direction keep their
+// quorum; writes from the degraded node apply locally, answer 503, and drain
+// from the durable hint journal once the link heals.
+func TestAsymmetricPartitionHandoff(t *testing.T) {
+	nodes := startFaultCluster(t, 2, 2) // W = majority of 2 owners = 2
+	a, b := nodes[0], nodes[1]
+
+	b.inj.Block(a.host()) // b -> a dead; a -> b still fine
+
+	// a reaches b: full quorum, both stores apply synchronously.
+	viaA := fitStats(t, "orders", "via_a", 1)
+	if status, body := rawMutate(t, a.cnode, http.MethodPut, "/v1/indexes/orders/via_a", mustMarshal(t, viaA)); status != http.StatusOK {
+		t.Fatalf("PUT via healthy direction = %d, want 200: %s", status, body)
+	}
+	if _, err := b.store.Get("orders", "via_a"); err != nil {
+		t.Fatalf("entry missing on b after quorum PUT: %v", err)
+	}
+
+	// b cannot reach a: local apply, hint, honest 503.
+	viaB := fitStats(t, "orders", "via_b", 2)
+	status, body := rawMutate(t, b.cnode, http.MethodPut, "/v1/indexes/orders/via_b", mustMarshal(t, viaB))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("PUT via degraded direction = %d, want 503: %s", status, body)
+	}
+	if _, err := b.store.Get("orders", "via_b"); err != nil {
+		t.Fatalf("degraded PUT not applied locally: %v", err)
+	}
+	if b.srv.handoff.pending() == 0 {
+		t.Fatal("degraded PUT queued no hints")
+	}
+
+	b.inj.Heal()
+	converge(t, nodes)
+	if _, err := a.store.Get("orders", "via_b"); err != nil {
+		t.Fatalf("hint never delivered to a: %v", err)
+	}
+}
+
+// TestReplicatedDeleteEpochGuard is the regression for the DELETE
+// resurrection race: a replicated PUT that was assigned an older epoch than a
+// later DELETE arrives out of order and must be dropped, not applied.
+func TestReplicatedDeleteEpochGuard(t *testing.T) {
+	nodes := startCluster(t, 1, 1)
+	n := nodes[0]
+	raw := mustMarshal(t, fitStats(t, "orders", "key", 1))
+
+	send := func(method string, epoch uint64, body []byte) (int, string) {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, n.url+"/v1/indexes/orders/key", rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(cluster.HeaderReplicated, "peer-x")
+		req.Header.Set(cluster.HeaderEpoch, strconv.FormatUint(epoch, 10))
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := n.ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(out)
+	}
+
+	if status, body := send(http.MethodPut, 5, raw); status != http.StatusOK {
+		t.Fatalf("replicated PUT@5 = %d: %s", status, body)
+	}
+	if n.store.Len() != 1 {
+		t.Fatal("replicated PUT@5 not applied")
+	}
+	if status, body := send(http.MethodDelete, 7, nil); status != http.StatusOK {
+		t.Fatalf("replicated DELETE@7 = %d: %s", status, body)
+	}
+	if n.store.Len() != 0 {
+		t.Fatal("replicated DELETE@7 not applied")
+	}
+
+	// The race: a PUT stamped with epoch 6 — older than the DELETE — arrives
+	// late (slow link, retry, hint replay). Applying it would resurrect the
+	// deleted index; the epoch gate must drop it and say so.
+	status, body := send(http.MethodPut, 6, raw)
+	if status != http.StatusOK {
+		t.Fatalf("stale replicated PUT@6 = %d: %s", status, body)
+	}
+	if !strings.Contains(body, `"skipped":true`) {
+		t.Fatalf("stale replicated PUT@6 was not reported skipped: %s", body)
+	}
+	if n.store.Len() != 0 {
+		t.Fatal("stale replicated PUT resurrected a deleted index")
+	}
+
+	// A genuinely newer PUT applies again...
+	if status, body := send(http.MethodPut, 8, raw); status != http.StatusOK {
+		t.Fatalf("replicated PUT@8 = %d: %s", status, body)
+	}
+	if n.store.Len() != 1 {
+		t.Fatal("newer replicated PUT@8 not applied")
+	}
+	// ...and redelivering the same epoch (at-least-once retry) is idempotent.
+	gen := n.store.Generation()
+	if status, _ := send(http.MethodPut, 8, raw); status != http.StatusOK {
+		t.Fatalf("redelivered PUT@8 = %d", status)
+	}
+	if n.store.Generation() != gen {
+		t.Fatal("duplicate redelivery advanced the catalog generation")
+	}
+}
+
+// TestHandoffJournalSurvivesRestart proves hints are durable: a server that
+// crashed with undelivered hints must reload them from disk on restart and
+// deliver them once the peer is reachable.
+func TestHandoffJournalSurvivesRestart(t *testing.T) {
+	nodes := startFaultCluster(t, 2, 2)
+	a, b := nodes[0], nodes[1]
+
+	partition(nodes[:1], nodes[1:])
+
+	st := fitStats(t, "orders", "key", 1)
+	status, body := rawMutate(t, a.cnode, http.MethodPut, "/v1/indexes/orders/key", mustMarshal(t, st))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("partitioned PUT = %d, want 503: %s", status, body)
+	}
+	if a.srv.handoff.pending() == 0 {
+		t.Fatal("no hints queued")
+	}
+
+	// "Crash" node a's service: stop its drainer with the hint undelivered.
+	a.srv.Close()
+
+	// Restart the service over the same store, node, and handoff directory.
+	// The hint journal must reload from disk.
+	reborn, err := New(Config{
+		Store:            a.store,
+		Cluster:          a.node,
+		Transport:        a.inj,
+		ReplicateTimeout: 500 * time.Millisecond,
+		HandoffDir:       a.handoffDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	if reborn.handoff.pending() == 0 {
+		t.Fatal("restarted server loaded no hints from the journal")
+	}
+
+	healAll(nodes)
+	waitFor(t, 5*time.Second, func() bool {
+		return reborn.DrainHandoff(context.Background()) == 0
+	}, "hint drain after restart")
+	if _, err := b.store.Get("orders", "key"); err != nil {
+		t.Fatalf("journaled hint never delivered after restart: %v", err)
+	}
+}
+
+// TestClusterIngestOwnershipRouting is the satellite for ingest routing: a
+// batch posted to a non-owner is forwarded one hop to the ring owner (the
+// response carries the owner's node header), an already-forwarded misroute
+// answers 421, and a full scan streamed entirely through a non-owner still
+// accumulates coherently on the owner and republishes cluster-wide.
+func TestClusterIngestOwnershipRouting(t *testing.T) {
+	nodes := startCluster(t, 3, 1) // R=1: exactly one owner per key
+	ds, meta := ingestDataset(t, "lineitem", "suppkey", 9)
+	trace := ds.Trace()
+	key := "lineitem.suppkey"
+
+	var owner, nonOwner *cnode
+	for _, cn := range nodes {
+		if cn.node.Owns(key) {
+			owner = cn
+		} else if nonOwner == nil {
+			nonOwner = cn
+		}
+	}
+	if owner == nil || nonOwner == nil {
+		t.Fatalf("no owner/non-owner split for %s with R=1", key)
+	}
+
+	// A probe batch through the non-owner is forwarded: the 202 comes back
+	// stamped with the owner's identity.
+	probe := IngestRequest{Table: meta.Table, Column: meta.Column, Pages: trace[:1],
+		T: meta.T, N: meta.N, I: meta.I, BatchID: "probe-1"}
+	raw, err := json.Marshal(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := nonOwner.ts.Client().Post(nonOwner.url+"/v1/ingest", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forwarded ingest = %d, want 202", resp.StatusCode)
+	}
+	if got := resp.Header.Get(cluster.HeaderNode); got != owner.id {
+		t.Fatalf("forwarded ingest answered by %q, want owner %q", got, owner.id)
+	}
+
+	// An already-forwarded batch landing on a non-owner is a routing bug:
+	// 421, never a second forward.
+	req, _ := http.NewRequest(http.MethodPost, nonOwner.url+"/v1/ingest", bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.HeaderForwarded, "test")
+	resp, err = nonOwner.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("double-forwarded ingest = %d, want 421", resp.StatusCode)
+	}
+
+	// Stream the whole scan through the non-owner. Forwarding must keep the
+	// accumulation coherent on the single owner; the republished entry then
+	// replicates everywhere and is bit-exact with the offline fit. The probe
+	// batch already delivered trace[:1], so the stream continues from there.
+	postIngest(t, nonOwner.ts, meta, trace[1:], true, rand.New(rand.NewSource(9)))
+	owner.srv.Close() // drain the owner's worker
+
+	want, err := core.LRUFit(trace, meta, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cn := range nodes {
+		got, err := cn.store.Get("lineitem", "suppkey")
+		if err != nil {
+			t.Fatalf("%s: republished entry missing: %v", cn.id, err)
+		}
+		if got.FMin != want.FMin || got.C != want.C || len(got.Curve.Knots) != len(want.Curve.Knots) {
+			t.Errorf("%s: republished entry diverges from offline fit", cn.id)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package service
+
+// Durable hinted handoff: the partition-tolerance half of mutation
+// replication.
+//
+// When a replicated mutation cannot reach a peer (partitioned, dead, or just
+// slow past the per-peer timeout), the sender journals a hint — the complete
+// replicated request plus its epoch — into a per-peer CRC32-C-framed file
+// under Config.HandoffDir and keeps serving. A background drainer retries
+// delivery (resilience.Retry behind a per-peer circuit breaker) until the
+// peer answers, then compacts the journal. Because every replicated apply is
+// epoch-gated on the receiver (see cluster.go), redelivery is idempotent:
+// at-least-once sends converge to exactly-once application.
+//
+// The journal survives sender crashes — hints are fsynced before the
+// originating mutation is acknowledged as quorum-met or surfaced as 503
+// "handoff pending" — so an acked mutation can always reach every peer
+// eventually, even across a crash of the only node that saw it.
+//
+// With HandoffDir unset the queues are memory-only: same convergence while
+// the process lives, no crash durability (tests, throwaway topologies).
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"log/slog"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"epfis/internal/cluster"
+	"epfis/internal/faultfs"
+	"epfis/internal/obs"
+	"epfis/internal/resilience"
+)
+
+const (
+	// handoffRetryInterval paces the background drainer between sweeps.
+	handoffRetryInterval = time.Second
+	// handoffMaxFrame bounds one journaled hint (a PUT body plus envelope).
+	handoffMaxFrame = 16 << 20
+	// handoffCompactAfter is how many delivered-but-still-journaled hints a
+	// peer file may accumulate before it is rewritten.
+	handoffCompactAfter = 64
+)
+
+// hintRecord is one undeliverable replicated mutation, queued for a peer.
+type hintRecord struct {
+	Peer   string `json:"peer"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Body   []byte `json:"body,omitempty"`
+	Epoch  uint64 `json:"epoch"`
+	Key    string `json:"key"`
+}
+
+// handoff is the per-peer hint queues, their journals, and the drainer.
+type handoff struct {
+	s   *Server
+	dir string // "" = memory-only
+	fs  faultfs.FS
+
+	mu        sync.Mutex
+	queues    map[string][]hintRecord // FIFO per peer
+	files     map[string]faultfs.File // open journal handles
+	delivered map[string]int          // delivered hints awaiting compaction
+
+	brMu     sync.Mutex
+	breakers map[string]*resilience.Breaker
+
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+
+	queuedC    *obs.Counter
+	deliveredC *obs.Counter
+	failuresC  *obs.Counter
+	journalC   *obs.Counter
+}
+
+// hintCRC is the Castagnoli table shared by every hint frame.
+var hintCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// newHandoff loads any journaled hints from cfg.HandoffDir and starts the
+// drainer. Called from New only in cluster mode.
+func newHandoff(s *Server, cfg Config) (*handoff, error) {
+	h := &handoff{
+		s:         s,
+		dir:       cfg.HandoffDir,
+		fs:        faultfs.OS(),
+		queues:    map[string][]hintRecord{},
+		files:     map[string]faultfs.File{},
+		delivered: map[string]int{},
+		breakers:  map[string]*resilience.Breaker{},
+		notify:    make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if h.dir != "" {
+		if err := os.MkdirAll(h.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: handoff dir: %w", err)
+		}
+		if err := h.load(); err != nil {
+			return nil, err
+		}
+	}
+	reg := s.obs.reg
+	h.queuedC = reg.Counter("epfis_cluster_handoff_queued_total",
+		"Replicated mutations journaled as hints because a peer was unreachable.")
+	h.deliveredC = reg.Counter("epfis_cluster_handoff_delivered_total",
+		"Journaled hints delivered to their recovered peer.")
+	h.failuresC = reg.Counter("epfis_cluster_handoff_failures_total",
+		"Hint delivery attempts that failed (retried on the next sweep).")
+	h.journalC = reg.Counter("epfis_cluster_handoff_journal_errors_total",
+		"Hint journal writes that failed (the hint stays queued in memory).")
+	reg.GaugeFunc("epfis_cluster_handoff_pending",
+		"Hints currently queued for unreachable peers.",
+		func() float64 { return float64(h.pending()) })
+	go h.run()
+	return h, nil
+}
+
+// hintPath is the journal file for one peer. Peer IDs are escaped so any ID
+// maps to a safe file name (and unescapes back on load).
+func (h *handoff) hintPath(peer string) string {
+	return filepath.Join(h.dir, url.PathEscape(peer)+".hints")
+}
+
+// load replays every *.hints journal into the in-memory queues, truncating
+// torn tails in place (the crash-during-append case).
+func (h *handoff) load() error {
+	entries, err := os.ReadDir(h.dir)
+	if err != nil {
+		return fmt.Errorf("service: handoff dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".hints") {
+			continue
+		}
+		peer, err := url.PathUnescape(strings.TrimSuffix(name, ".hints"))
+		if err != nil {
+			continue // not one of ours
+		}
+		path := filepath.Join(h.dir, name)
+		data, err := h.fs.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("service: handoff journal %s: %w", name, err)
+		}
+		recs, good := decodeHints(data)
+		if good < int64(len(data)) {
+			// Torn or corrupt tail: keep the durable prefix, cut the rest.
+			if err := h.fs.Truncate(path, good); err != nil {
+				return fmt.Errorf("service: handoff journal %s: truncate torn tail: %w", name, err)
+			}
+		}
+		if len(recs) > 0 {
+			h.queues[peer] = recs
+		}
+	}
+	return nil
+}
+
+// decodeHints parses [len][crc][json] frames, returning the records and the
+// byte offset of the last fully valid frame.
+func decodeHints(data []byte) ([]hintRecord, int64) {
+	var recs []hintRecord
+	off := 0
+	for len(data)-off >= 8 {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n <= 0 || n > handoffMaxFrame || len(data)-off-8 < n {
+			break
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, hintCRC) != sum {
+			break
+		}
+		var rec hintRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+	return recs, int64(off)
+}
+
+// encodeHint frames one record for the journal.
+func encodeHint(rec hintRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, hintCRC))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+// enqueue journals a hint (fsynced before return) and queues it for the
+// drainer. Journal failures demote the hint to memory-only rather than drop
+// it: delivery still happens unless the process dies first.
+func (h *handoff) enqueue(rec hintRecord) {
+	frame, encErr := encodeHint(rec)
+	h.mu.Lock()
+	h.queues[rec.Peer] = append(h.queues[rec.Peer], rec)
+	if h.dir != "" && encErr == nil {
+		if err := h.appendLocked(rec.Peer, frame); err != nil {
+			h.journalC.Inc()
+			h.s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "handoff journal append failed",
+				slog.String("peer", rec.Peer), slog.String("error", err.Error()))
+		}
+	}
+	h.mu.Unlock()
+	h.queuedC.Inc()
+	select {
+	case h.notify <- struct{}{}:
+	default:
+	}
+}
+
+// appendLocked writes one frame to the peer's journal and fsyncs. Caller
+// holds h.mu.
+func (h *handoff) appendLocked(peer string, frame []byte) error {
+	f := h.files[peer]
+	if f == nil {
+		var err error
+		f, err = h.fs.OpenAppend(h.hintPath(peer))
+		if err != nil {
+			return err
+		}
+		h.files[peer] = f
+	}
+	if _, err := f.Write(frame); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// compactLocked rewrites a peer's journal to exactly its undelivered queue.
+// Caller holds h.mu.
+func (h *handoff) compactLocked(peer string) {
+	h.delivered[peer] = 0
+	if h.dir == "" {
+		return
+	}
+	if f := h.files[peer]; f != nil {
+		f.Close()
+		delete(h.files, peer)
+	}
+	path := h.hintPath(peer)
+	queue := h.queues[peer]
+	if len(queue) == 0 {
+		_ = h.fs.Remove(path)
+		return
+	}
+	if err := h.fs.Truncate(path, 0); err != nil {
+		return // stale frames linger; epoch gating makes redelivery harmless
+	}
+	for _, rec := range queue {
+		frame, err := encodeHint(rec)
+		if err != nil {
+			continue
+		}
+		if err := h.appendLocked(peer, frame); err != nil {
+			h.journalC.Inc()
+			return
+		}
+	}
+}
+
+// pending reports the total number of queued hints.
+func (h *handoff) pending() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, q := range h.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// breaker lazily builds the per-peer delivery breaker.
+func (h *handoff) breaker(peer string) *resilience.Breaker {
+	h.brMu.Lock()
+	defer h.brMu.Unlock()
+	br := h.breakers[peer]
+	if br == nil {
+		br = resilience.NewBreaker(resilience.BreakerConfig{
+			Failures: 3,
+			Cooldown: handoffRetryInterval,
+		})
+		h.breakers[peer] = br
+	}
+	return br
+}
+
+// run is the drainer loop: sweep on enqueue notifications and on a steady
+// interval (peers recover without telling us).
+func (h *handoff) run() {
+	defer close(h.done)
+	t := time.NewTicker(handoffRetryInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-h.notify:
+		case <-t.C:
+		}
+		h.drainOnce(context.Background(), false)
+	}
+}
+
+// drainOnce attempts delivery for every peer with pending hints. force
+// bypasses dead-peer skips and circuit breakers — the deterministic lever
+// for drills and tests.
+func (h *handoff) drainOnce(ctx context.Context, force bool) {
+	h.mu.Lock()
+	peers := make([]string, 0, len(h.queues))
+	for id, q := range h.queues {
+		if len(q) > 0 {
+			peers = append(peers, id)
+		}
+	}
+	h.mu.Unlock()
+	for _, id := range peers {
+		h.drainPeer(ctx, id, force)
+	}
+}
+
+// drainPeer delivers one peer's queue in FIFO order, stopping at the first
+// failure (order preservation keeps same-key epochs arriving ascending in
+// the common case; the receiver's epoch gate handles the rest).
+func (h *handoff) drainPeer(ctx context.Context, id string, force bool) {
+	var info cluster.PeerInfo
+	found := false
+	for _, p := range h.s.cluster.Peers() {
+		if p.ID == id {
+			info, found = p, true
+			break
+		}
+	}
+	if !found || info.URL == "" || (!force && info.State == cluster.StateDead) {
+		return
+	}
+	br := h.breaker(id)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		h.mu.Lock()
+		queue := h.queues[id]
+		if len(queue) == 0 {
+			if h.delivered[id] > 0 {
+				h.compactLocked(id)
+			}
+			h.mu.Unlock()
+			return
+		}
+		rec := queue[0]
+		h.mu.Unlock()
+
+		commit, _, err := br.Begin()
+		if err != nil {
+			if !force {
+				return // breaker open: try again next sweep
+			}
+			commit = func(bool) {}
+		}
+		err = resilience.Retry(ctx, resilience.RetryPolicy{
+			MaxAttempts: 3, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond,
+		}, func(ctx context.Context) error {
+			return h.s.replicateTo(info.URL, rec.Method, rec.Path, rec.Body, rec.Epoch)
+		})
+		commit(err != nil)
+		if err != nil {
+			h.failuresC.Inc()
+			return
+		}
+		h.mu.Lock()
+		// Re-read under the lock: enqueue only appends, so index 0 is still
+		// the record just delivered.
+		if q := h.queues[id]; len(q) > 0 {
+			h.queues[id] = q[1:]
+			h.delivered[id]++
+			if len(h.queues[id]) == 0 || h.delivered[id] >= handoffCompactAfter {
+				h.compactLocked(id)
+			}
+		}
+		h.mu.Unlock()
+		h.deliveredC.Inc()
+	}
+}
+
+// close stops the drainer and releases journal handles.
+func (h *handoff) close() {
+	h.once.Do(func() { close(h.stop) })
+	<-h.done
+	h.mu.Lock()
+	for id, f := range h.files {
+		f.Close()
+		delete(h.files, id)
+	}
+	h.mu.Unlock()
+}
+
+// DrainHandoff synchronously attempts delivery of every queued hint,
+// bypassing dead-peer skips and per-peer circuit breakers — the
+// deterministic drain lever for partition drills and tests. It reports the
+// number of hints still pending afterwards.
+func (s *Server) DrainHandoff(ctx context.Context) int {
+	if s.handoff == nil {
+		return 0
+	}
+	s.handoff.drainOnce(ctx, true)
+	return s.handoff.pending()
+}

@@ -1,0 +1,147 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"epfis/internal/catalog"
+	"epfis/internal/core"
+)
+
+// postBatch delivers one identified batch and returns the response status.
+func postBatch(t testing.TB, ts *httptest.Server, req IngestRequest) int {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := ts.Client().Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		status := resp.StatusCode
+		resp.Body.Close()
+		if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+			return status
+		}
+		if time.Now().After(deadline) {
+			return status
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestIngestJournalCrashReplayBitExact is the crash-durability acceptance for
+// ingestion: a scan is streamed partway into a WAL-backed service — including
+// a batch the at-least-once producer delivered twice — then the process
+// "dies" (server closed, store closed, catalog reopened from disk). The
+// restarted service must replay every acked batch from the WAL ingest
+// journal, dedup the redelivered one, accept the remainder of the scan, and
+// republish an entry bit-exact with running offline LRU-Fit over the full
+// trace in one process.
+func TestIngestJournalCrashReplayBitExact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.json")
+	store, err := catalog.OpenWAL(path, catalog.WALOptions{CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+
+	ds, meta := ingestDataset(t, "lineitem", "partkey", 7)
+	trace := ds.Trace()
+	split := len(trace) * 3 / 5
+	split2 := split + 2000
+
+	// Phase 1: stream 60% of the scan in identified batches, then deliver one
+	// batch twice — the duplicate must be acked (202) but fed only once.
+	postIngest(t, ts, meta, trace[:split], true, rand.New(rand.NewSource(17)))
+	dup := IngestRequest{Table: meta.Table, Column: meta.Column, Pages: trace[split:split2],
+		T: meta.T, N: meta.N, I: meta.I, BatchID: "dup-1"}
+	for i := 0; i < 2; i++ {
+		if status := postBatch(t, ts, dup); status != http.StatusAccepted {
+			t.Fatalf("delivery %d of dup-1 = %d, want 202", i+1, status)
+		}
+	}
+
+	// Crash: drain the worker so every acked batch reached the accumulator,
+	// then tear the process state down to the on-disk files alone.
+	srv.Close()
+	ts.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := catalog.OpenWAL(path, catalog.WALOptions{CheckpointEvery: 3})
+	if err != nil {
+		t.Fatalf("reopening catalog after crash: %v", err)
+	}
+	defer re.Close()
+	recs := re.IngestRecords()
+	if len(recs) == 0 {
+		t.Fatal("no journaled ingest batches recovered from the WAL")
+	}
+	dups := 0
+	for _, raw := range recs {
+		if bytes.Contains(raw, []byte(`"id":"dup-1"`)) {
+			dups++
+		}
+	}
+	if dups != 2 {
+		t.Fatalf("journal holds %d frames for the redelivered batch, want 2 (both were acked)", dups)
+	}
+
+	// Restart: the service replays the journal before serving. The second
+	// dup-1 frame must be deduplicated during replay too.
+	srv2, err := New(Config{Store: re})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	// A third redelivery after the restart is still recognized.
+	if status := postBatch(t, ts2, dup); status != http.StatusAccepted {
+		t.Fatalf("post-restart redelivery of dup-1 = %d, want 202", status)
+	}
+
+	// Phase 2: stream the rest of the scan; the window completes and the
+	// worker republishes.
+	postIngest(t, ts2, meta, trace[split2:], true, rand.New(rand.NewSource(18)))
+	srv2.Close()
+
+	got, err := re.Snapshot().Get("lineitem", "partkey")
+	if err != nil {
+		t.Fatalf("republished entry missing after crash replay: %v", err)
+	}
+	want, err := core.LRUFit(trace, meta, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T != want.T || got.N != want.N || got.I != want.I ||
+		got.BMin != want.BMin || got.BMax != want.BMax ||
+		got.FMin != want.FMin || got.C != want.C ||
+		got.GridPoints != want.GridPoints {
+		t.Fatalf("entry diverges from offline LRU-Fit after crash replay:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.Curve.Knots) != len(want.Curve.Knots) {
+		t.Fatalf("curve has %d knots, offline fit %d", len(got.Curve.Knots), len(want.Curve.Knots))
+	}
+	for i, k := range want.Curve.Knots {
+		if got.Curve.Knots[i] != k {
+			t.Fatalf("knot %d = %+v, offline fit %+v (must be bit-exact)", i, got.Curve.Knots[i], k)
+		}
+	}
+}

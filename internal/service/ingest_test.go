@@ -3,10 +3,12 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -29,6 +31,10 @@ func ingestDataset(t testing.TB, table, column string, seed int64) (*datagen.Dat
 	return ds, core.Meta{Table: table, Column: column, T: ds.T, N: cfg.N, I: cfg.I}
 }
 
+// ingestBatchSeq issues process-unique batch IDs for postIngest, so separate
+// calls never collide on the server's dedup window.
+var ingestBatchSeq atomic.Int64
+
 // postIngest streams one trace to POST /v1/ingest in randomly sized batches.
 func postIngest(t testing.TB, ts *httptest.Server, meta core.Meta, trace lrusim.Trace, withMeta bool, rng *rand.Rand) {
 	t.Helper()
@@ -37,11 +43,36 @@ func postIngest(t testing.TB, ts *httptest.Server, meta core.Meta, trace lrusim.
 		if n > len(trace) {
 			n = len(trace)
 		}
-		req := IngestRequest{Table: meta.Table, Column: meta.Column, Pages: trace[:n]}
+		req := IngestRequest{Table: meta.Table, Column: meta.Column, Pages: trace[:n],
+			BatchID: fmt.Sprintf("%s.%s-%d", meta.Table, meta.Column, ingestBatchSeq.Add(1))}
 		if withMeta {
 			req.T, req.N, req.I = meta.T, meta.N, meta.I
 		}
-		postJSON(t, ts, "/v1/ingest", req, http.StatusAccepted, nil)
+		// An at-least-once producer: 429/503 are retried with the same batch
+		// ID (the server dedups redelivery), anything else must be a 202.
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := ts.Client().Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			status := resp.StatusCode
+			resp.Body.Close()
+			if status == http.StatusAccepted {
+				break
+			}
+			if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+				t.Fatalf("POST /v1/ingest = %d, want 202", status)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("POST /v1/ingest still %d after retries", status)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
 		trace = trace[n:]
 	}
 }

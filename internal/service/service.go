@@ -86,7 +86,6 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
-	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -158,6 +157,25 @@ type Config struct {
 	// default) keeps the single-node serving path — one pointer check per
 	// request, no other cost.
 	Cluster *cluster.Node
+	// Transport is the HTTP transport for forwarding, replication, and
+	// hinted-handoff delivery. nil = http.DefaultTransport. Cluster mode
+	// only; the seam faultnet injectors plug into.
+	Transport http.RoundTripper
+	// ReplicateTimeout bounds each per-peer replication send, so one
+	// partitioned peer costs a timeout plus a journaled hint, never a hung
+	// client mutation. 0 = DefaultReplicateTimeout. Cluster mode only.
+	ReplicateTimeout time.Duration
+	// WriteQuorum is W: how many of a key's ring owners must acknowledge a
+	// mutation before the client's request succeeds (the local apply counts
+	// when this node owns the key). 0 = majority of the owner set; positive
+	// = that many (capped at the owner count); negative = no quorum (the
+	// pre-quorum best-effort behaviour). Cluster mode only.
+	WriteQuorum int
+	// HandoffDir is where undeliverable replicated mutations are journaled
+	// as per-peer hints (CRC32-C framed, fsynced, replayed at startup and
+	// redelivered when the peer recovers). "" keeps the hint queues
+	// memory-only. Cluster mode only.
+	HandoffDir string
 	// IngestQueue bounds the trace batches queued for the ingest worker;
 	// POST /v1/ingest sheds with 429 + Retry-After when it is full.
 	// 0 = DefaultIngestQueue; negative disables the ingest route.
@@ -194,6 +212,13 @@ type Server struct {
 	cluster   *cluster.Node // nil = single-node mode
 	cobs      *clusterObs   // nil unless cluster mode
 	proxyHTTP *http.Client  // forwarding + replication transport
+	handoff   *handoff      // nil unless cluster mode
+
+	// clusterMu serializes epoch assignment with the store apply for every
+	// cluster-mode mutation, so per-key epoch order equals apply order.
+	clusterMu   sync.Mutex
+	replTimeout time.Duration
+	writeQuorum int
 
 	ingest *ingester // nil when the ingest route is disabled
 }
@@ -263,7 +288,17 @@ func New(cfg Config) (*Server, error) {
 		if timeout <= 0 {
 			timeout = DefaultRequestTimeout
 		}
-		s.proxyHTTP = &http.Client{Timeout: timeout}
+		s.proxyHTTP = &http.Client{Timeout: timeout, Transport: cfg.Transport}
+		s.replTimeout = cfg.ReplicateTimeout
+		if s.replTimeout <= 0 {
+			s.replTimeout = DefaultReplicateTimeout
+		}
+		s.writeQuorum = cfg.WriteQuorum
+		h, err := newHandoff(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.handoff = h
 	}
 	maxInflight := cfg.MaxInflight
 	if maxInflight == 0 {
@@ -282,6 +317,17 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s.ingest = newIngester(s, cfg)
+	if s.ingest != nil {
+		// With a WAL-backed store, acked ingest batches are journaled and
+		// replayed here — before the worker starts, so replay owns the
+		// accumulator maps without synchronization.
+		if cfg.Store.WALPath() != "" {
+			s.ingest.journal = true
+			s.ingest.replay(cfg.Store.IngestRecords())
+			cfg.Store.SetIngestSource(s.ingest.liveJournal)
+		}
+		go s.ingest.run()
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle(routeEstimate, s.instrument(routeEstimate, s.handleEstimate))
@@ -789,6 +835,12 @@ func (s *Server) handlePutIndex(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.cluster != nil {
+		// Cluster mode: epoch-gated application for replicated arrivals,
+		// quorum fan-out with hinted handoff for local originations.
+		s.clusterPut(w, r, &e)
+		return
+	}
 	commit, retryAfter, err := s.beginMutation()
 	if err != nil {
 		writeRetryable(w, http.StatusServiceUnavailable, err, retryAfter)
@@ -805,18 +857,15 @@ func (s *Server) handlePutIndex(w http.ResponseWriter, r *http.Request) {
 		s.cache.dropOtherGenerations(gen)
 	}
 	s.obs.syncIndexes(s.store.Snapshot())
-	if s.cluster != nil {
-		body, merr := json.Marshal(&e)
-		if merr == nil {
-			s.replicate(r, http.MethodPut,
-				"/v1/indexes/"+url.PathEscape(table)+"/"+url.PathEscape(column), body)
-		}
-	}
 	writeJSON(w, http.StatusOK, map[string]any{"key": e.Key(), "generation": gen})
 }
 
 func (s *Server) handleDeleteIndex(w http.ResponseWriter, r *http.Request) {
 	table, column := r.PathValue("table"), r.PathValue("column")
+	if s.cluster != nil {
+		s.clusterDelete(w, r, table, column)
+		return
+	}
 	commit, retryAfter, err := s.beginMutation()
 	if err != nil {
 		writeRetryable(w, http.StatusServiceUnavailable, err, retryAfter)
@@ -838,10 +887,6 @@ func (s *Server) handleDeleteIndex(w http.ResponseWriter, r *http.Request) {
 		// linger in memory either.
 		s.cache.invalidateIndex(table, column)
 		s.cache.dropOtherGenerations(gen)
-	}
-	if s.cluster != nil {
-		s.replicate(r, http.MethodDelete,
-			"/v1/indexes/"+url.PathEscape(table)+"/"+url.PathEscape(column), nil)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"generation": gen})
 }
