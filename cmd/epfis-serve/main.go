@@ -113,7 +113,9 @@ func run(args []string) error {
 		heartbeat = fs.Duration("heartbeat", cluster.DefaultHeartbeat,
 			"cluster gossip interval")
 		handoffDir = fs.String("handoff-dir", "",
-			"directory for the durable hinted-handoff journal (cluster mode); empty keeps hints in memory only")
+			"directory for the durable hinted-handoff and mutation-stamp journals (cluster mode); empty keeps both in memory only")
+		handoffAbandonAfter = fs.Duration("handoff-abandon-after", 0,
+			fmt.Sprintf("drop hint queues for peers absent from membership this long (0 = default %s, negative keeps them forever)", service.DefaultHandoffAbandonAfter))
 		replicateTimeout = fs.Duration("replicate-timeout", 0,
 			fmt.Sprintf("per-peer replication send timeout (0 = default %s)", service.DefaultReplicateTimeout))
 		writeQuorum = fs.Int("write-quorum", 0,
@@ -205,22 +207,23 @@ func run(args []string) error {
 	}
 
 	scfg := service.Config{
-		Store:            store,
-		CacheEntries:     *cache,
-		RequestTimeout:   *timeout,
-		MaxBatch:         *maxBatch,
-		MaxInflight:      *maxInflight,
-		BreakerFailures:  *breakerFailures,
-		BreakerCooldown:  *breakerCooldown,
-		Slog:             logger,
-		TraceRing:        *traceRing,
-		SlowTrace:        *slowTrace,
-		Cluster:          node,
-		IngestQueue:      *ingestQueue,
-		DriftThreshold:   *driftThreshold,
-		HandoffDir:       *handoffDir,
-		ReplicateTimeout: *replicateTimeout,
-		WriteQuorum:      *writeQuorum,
+		Store:               store,
+		CacheEntries:        *cache,
+		RequestTimeout:      *timeout,
+		MaxBatch:            *maxBatch,
+		MaxInflight:         *maxInflight,
+		BreakerFailures:     *breakerFailures,
+		BreakerCooldown:     *breakerCooldown,
+		Slog:                logger,
+		TraceRing:           *traceRing,
+		SlowTrace:           *slowTrace,
+		Cluster:             node,
+		IngestQueue:         *ingestQueue,
+		DriftThreshold:      *driftThreshold,
+		HandoffDir:          *handoffDir,
+		HandoffAbandonAfter: *handoffAbandonAfter,
+		ReplicateTimeout:    *replicateTimeout,
+		WriteQuorum:         *writeQuorum,
 	}
 	if netInj != nil {
 		scfg.Transport = netInj

@@ -110,13 +110,14 @@ type Node struct {
 
 	epoch atomic.Uint64
 
-	// Per-key last-applied mutation epochs: the ordering guard that keeps a
+	// Per-key last-applied mutation stamps: the ordering guard that keeps a
 	// replicated DELETE from being resurrected by a stale PUT (and vice
-	// versa), and the skip set for merge-based snapshot pulls. In-memory
-	// only — a restarted node re-adopts cluster state wholesale and relearns
-	// epochs from the traffic that follows.
+	// versa), and the skip set for merge-based snapshot pulls. The service
+	// layer persists these through its stamp journal (HandoffDir) and
+	// re-seeds them via RecordKeyStamp at startup; without that journal they
+	// are memory-only.
 	keyMu     sync.Mutex
-	keyEpochs map[string]uint64
+	keyStamps map[string]Stamp
 
 	// Cached catalog content hash, keyed by generation.
 	hashMu  sync.Mutex
@@ -254,36 +255,69 @@ func (n *Node) ObserveEpoch(e uint64) {
 	}
 }
 
-// KeyEpoch reports the last mutation epoch applied for a key (0 = no
-// tracked mutation yet this process lifetime).
-func (n *Node) KeyEpoch(key string) uint64 {
-	n.keyMu.Lock()
-	defer n.keyMu.Unlock()
-	return n.keyEpochs[key]
+// Stamp is the total order on same-key mutations: the Lamport epoch the
+// mutation was assigned, tie-broken by the originating node ID. Two sides of
+// a partition can assign the identical epoch to concurrent mutations of the
+// same key (both advance in lockstep from the same base); the originator
+// tiebreaker makes every node pick the same winner after heal, so replicas
+// converge instead of each dropping the other's write as stale.
+type Stamp struct {
+	Epoch  uint64 `json:"epoch"`
+	Origin string `json:"origin"`
 }
 
-// RecordKeyEpoch advances a key's last-applied epoch (monotonic max). The
-// service records every applied mutation — local or replicated, including
-// deletes, where the record doubles as an in-memory tombstone.
-func (n *Node) RecordKeyEpoch(key string, epoch uint64) {
-	n.keyMu.Lock()
-	if n.keyEpochs == nil {
-		n.keyEpochs = map[string]uint64{}
+// Less reports whether s orders strictly before o: by epoch, then by
+// originating node ID. Equal stamps (redelivery of the same mutation) are
+// not Less — application stays idempotent.
+func (s Stamp) Less(o Stamp) bool {
+	if s.Epoch != o.Epoch {
+		return s.Epoch < o.Epoch
 	}
-	if epoch > n.keyEpochs[key] {
-		n.keyEpochs[key] = epoch
+	return s.Origin < o.Origin
+}
+
+// KeyStamp reports the last mutation stamp applied for a key (the zero Stamp
+// = no tracked mutation).
+func (n *Node) KeyStamp(key string) Stamp {
+	n.keyMu.Lock()
+	defer n.keyMu.Unlock()
+	return n.keyStamps[key]
+}
+
+// RecordKeyStamp advances a key's last-applied stamp (monotonic max in Stamp
+// order). The service records every applied mutation — local or replicated,
+// including deletes, where the record doubles as a tombstone.
+func (n *Node) RecordKeyStamp(key string, st Stamp) {
+	n.keyMu.Lock()
+	if n.keyStamps == nil {
+		n.keyStamps = map[string]Stamp{}
+	}
+	if cur := n.keyStamps[key]; cur.Less(st) {
+		n.keyStamps[key] = st
 	}
 	n.keyMu.Unlock()
 }
 
-// HasKeyEpoch reports whether a key has a tracked mutation epoch — the skip
-// predicate for merge-based snapshot pulls: epoch-tracked keys converge
+// HasKeyStamp reports whether a key has a tracked mutation stamp — the skip
+// predicate for merge-based snapshot pulls: stamp-tracked keys converge
 // through replicated mutations and hinted handoff, not bulk anti-entropy,
 // so a pulled snapshot must not clobber (or resurrect) them.
-func (n *Node) HasKeyEpoch(key string) bool {
+func (n *Node) HasKeyStamp(key string) bool {
 	n.keyMu.Lock()
 	defer n.keyMu.Unlock()
-	return n.keyEpochs[key] != 0
+	return n.keyStamps[key] != Stamp{}
+}
+
+// KeyStamps copies the tracked stamp table — the compaction source for the
+// service's durable stamp journal.
+func (n *Node) KeyStamps() map[string]Stamp {
+	n.keyMu.Lock()
+	defer n.keyMu.Unlock()
+	out := make(map[string]Stamp, len(n.keyStamps))
+	for k, v := range n.keyStamps {
+		out[k] = v
+	}
+	return out
 }
 
 // CatalogHash returns the content hash of the current catalog snapshot,
@@ -509,7 +543,7 @@ func (n *Node) maybePull(remote NodeInfo) {
 // merges it in: the trailer is verified, the payload re-validated,
 // estimators recompiled through the catalog's core.Compile ingress path,
 // and the result persisted through the store's (possibly fault-injected)
-// filesystem. The merge is a union guarded by the per-key epoch table —
+// filesystem. The merge is a union guarded by the per-key stamp table —
 // keys this node has applied tracked mutations for are left alone (hinted
 // handoff converges them precisely), and local-only keys are never deleted
 // by a pull; an empty booting node degenerates to a full adopt. The peer's
@@ -535,7 +569,7 @@ func (n *Node) PullSnapshot(ctx context.Context, baseURL string) error {
 	if err != nil {
 		return fmt.Errorf("cluster: snapshot %s: %w", baseURL, err)
 	}
-	gen, err := n.store.MergeSnapshot(data, n.HasKeyEpoch)
+	gen, err := n.store.MergeSnapshot(data, n.HasKeyStamp)
 	if err != nil {
 		return fmt.Errorf("cluster: snapshot %s: %w", baseURL, err)
 	}

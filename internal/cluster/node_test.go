@@ -328,3 +328,42 @@ func TestNodeHealthDocShape(t *testing.T) {
 		t.Errorf("Doc did not round-trip: %+v vs %+v", back.Self, doc.Self)
 	}
 }
+
+func TestStampOrderingAndRecord(t *testing.T) {
+	var zero Stamp
+	a1 := Stamp{Epoch: 1, Origin: "node-a"}
+	b1 := Stamp{Epoch: 1, Origin: "node-b"}
+	a2 := Stamp{Epoch: 2, Origin: "node-a"}
+	if !zero.Less(a1) || a1.Less(zero) {
+		t.Error("zero stamp must order before any real stamp")
+	}
+	if !a1.Less(b1) || b1.Less(a1) {
+		t.Error("equal epochs must tie-break by origin, identically everywhere")
+	}
+	if !b1.Less(a2) || a2.Less(b1) {
+		t.Error("epoch dominates origin")
+	}
+	if a1.Less(a1) {
+		t.Error("a stamp must not order before itself (idempotent redelivery)")
+	}
+
+	n, _ := NewNode(Config{SelfID: "a", SelfURL: "http://a", Store: catalog.NewStore()})
+	if n.HasKeyStamp("k") {
+		t.Error("fresh node tracks no stamps")
+	}
+	n.RecordKeyStamp("k", b1)
+	n.RecordKeyStamp("k", a1) // older by tiebreak: must not regress
+	if got := n.KeyStamp("k"); got != b1 {
+		t.Errorf("KeyStamp after regressing record = %+v, want %+v", got, b1)
+	}
+	n.RecordKeyStamp("k", a2)
+	if got := n.KeyStamp("k"); got != a2 {
+		t.Errorf("KeyStamp after advancing record = %+v, want %+v", got, a2)
+	}
+	if !n.HasKeyStamp("k") || n.HasKeyStamp("other") {
+		t.Error("HasKeyStamp must reflect exactly the recorded keys")
+	}
+	if got := n.KeyStamps(); len(got) != 1 || got["k"] != a2 {
+		t.Errorf("KeyStamps = %+v", got)
+	}
+}

@@ -23,10 +23,15 @@ package service
 // succeeds only when W of the key's R ring owners acknowledged the write
 // (Config.WriteQuorum; majority by default) — otherwise 503, with the local
 // apply standing and the missed peers queued as durable hints (handoff.go).
-// Receivers apply a replicated mutation only when its epoch advances the
-// key's last-applied epoch, which makes redelivery idempotent and closes the
-// delete-resurrection race: a reordered older PUT can no longer overwrite a
-// newer DELETE.
+// Receivers apply a replicated mutation only when its (epoch, originator)
+// stamp advances the key's last-applied stamp, which makes redelivery
+// idempotent and closes the delete-resurrection race: a reordered older PUT
+// can no longer overwrite a newer DELETE. The originator tiebreaker decides
+// equal epochs — concurrent same-key mutations on both sides of a partition
+// — identically on every node, so replicas converge after heal. Applied
+// stamps are journaled under HandoffDir (stamps.go) and reloaded at startup,
+// so delete tombstones survive restarts and a post-restart snapshot merge
+// cannot resurrect a deleted key.
 
 import (
 	"bytes"
@@ -237,17 +242,20 @@ func indexPath(table, column string) string {
 	return "/v1/indexes/" + url.PathEscape(table) + "/" + url.PathEscape(column)
 }
 
-// replicatedEpoch extracts the epoch of a replicated mutation; replicated is
-// false for locally originated requests.
-func replicatedEpoch(r *http.Request) (epoch uint64, replicated bool, err error) {
-	if r.Header.Get(cluster.HeaderReplicated) == "" {
-		return 0, false, nil
+// replicatedStamp extracts the (epoch, originator) stamp of a replicated
+// mutation; replicated is false for locally originated requests. The
+// originator is the X-Epfis-Replicated value — receivers never re-forward,
+// so the sender is always the node that assigned the epoch.
+func replicatedStamp(r *http.Request) (st cluster.Stamp, replicated bool, err error) {
+	origin := r.Header.Get(cluster.HeaderReplicated)
+	if origin == "" {
+		return cluster.Stamp{}, false, nil
 	}
 	e, perr := strconv.ParseUint(r.Header.Get(cluster.HeaderEpoch), 10, 64)
 	if perr != nil {
-		return 0, true, fmt.Errorf("replicated mutation carries no valid %s header", cluster.HeaderEpoch)
+		return cluster.Stamp{}, true, fmt.Errorf("replicated mutation carries no valid %s header", cluster.HeaderEpoch)
 	}
-	return e, true, nil
+	return cluster.Stamp{Epoch: e, Origin: origin}, true, nil
 }
 
 // clusterPut is handlePutIndex's cluster-mode tail (the entry is already
@@ -255,12 +263,12 @@ func replicatedEpoch(r *http.Request) (epoch uint64, replicated bool, err error)
 // quorum fan-out for local originations.
 func (s *Server) clusterPut(w http.ResponseWriter, r *http.Request, e *stats.IndexStats) {
 	key := e.Key()
-	if epoch, replicated, rerr := replicatedEpoch(r); replicated {
+	if st, replicated, rerr := replicatedStamp(r); replicated {
 		if rerr != nil {
 			writeError(w, http.StatusBadRequest, rerr)
 			return
 		}
-		s.applyReplicated(w, key, epoch, func() (uint64, error) {
+		s.applyReplicated(w, key, st, func() (uint64, error) {
 			gen, err := s.store.Put(e)
 			if err == nil && s.cache != nil {
 				s.cache.dropOtherGenerations(gen)
@@ -298,12 +306,12 @@ func (s *Server) clusterPut(w http.ResponseWriter, r *http.Request, e *stats.Ind
 // resurrecting the deletion.
 func (s *Server) clusterDelete(w http.ResponseWriter, r *http.Request, table, column string) {
 	key := table + "." + column
-	if epoch, replicated, rerr := replicatedEpoch(r); replicated {
+	if st, replicated, rerr := replicatedStamp(r); replicated {
 		if rerr != nil {
 			writeError(w, http.StatusBadRequest, rerr)
 			return
 		}
-		s.applyReplicated(w, key, epoch, func() (uint64, error) {
+		s.applyReplicated(w, key, st, func() (uint64, error) {
 			ok, gen, err := s.store.Delete(table, column)
 			if err != nil {
 				return 0, err
@@ -325,7 +333,7 @@ func (s *Server) clusterDelete(w http.ResponseWriter, r *http.Request, table, co
 	epoch := s.cluster.BumpEpoch()
 	ok, gen, err := s.store.Delete(table, column)
 	if err == nil && ok {
-		s.cluster.RecordKeyEpoch(key, epoch)
+		s.recordStamp(key, cluster.Stamp{Epoch: epoch, Origin: s.cluster.SelfID()})
 	}
 	s.clusterMu.Unlock()
 	commit(err != nil)
@@ -350,28 +358,33 @@ func (s *Server) clusterDelete(w http.ResponseWriter, r *http.Request, table, co
 	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "epoch": epoch})
 }
 
-// applyReplicated applies one replicated mutation iff its epoch advances the
-// key's last-applied epoch — the per-key ordering gate that makes
-// replication delivery idempotent (hinted-handoff redelivery, client
-// retries) and closes the delete-resurrection race.
-func (s *Server) applyReplicated(w http.ResponseWriter, key string, epoch uint64, apply func() (uint64, error)) {
-	defer s.cluster.ObserveEpoch(epoch)
+// applyReplicated applies one replicated mutation iff its (epoch, origin)
+// stamp advances the key's last-applied stamp — the per-key ordering gate
+// that makes replication delivery idempotent (hinted-handoff redelivery,
+// client retries) and closes the delete-resurrection race. The originator
+// tiebreaker resolves equal epochs, which concurrent mutations on both sides
+// of a partition can produce: every node picks the same winner, so replicas
+// converge after heal instead of each dropping the other's write as stale.
+func (s *Server) applyReplicated(w http.ResponseWriter, key string, st cluster.Stamp, apply func() (uint64, error)) {
+	// Fold the originator's epoch in before taking the mutation lock, so a
+	// local mutation serialized after this one is stamped strictly above it.
+	s.cluster.ObserveEpoch(st.Epoch)
 	commit, retryAfter, err := s.beginMutation()
 	if err != nil {
 		writeRetryable(w, http.StatusServiceUnavailable, err, retryAfter)
 		return
 	}
 	s.clusterMu.Lock()
-	if epoch <= s.cluster.KeyEpoch(key) {
+	if !s.cluster.KeyStamp(key).Less(st) {
 		s.clusterMu.Unlock()
 		commit(false)
 		s.cobs.staleDrops.Inc()
-		writeJSON(w, http.StatusOK, map[string]any{"key": key, "skipped": true, "epoch": epoch})
+		writeJSON(w, http.StatusOK, map[string]any{"key": key, "skipped": true, "epoch": st.Epoch})
 		return
 	}
 	gen, err := apply()
 	if err == nil {
-		s.cluster.RecordKeyEpoch(key, epoch)
+		s.recordStamp(key, st)
 	}
 	s.clusterMu.Unlock()
 	commit(err != nil)
@@ -380,7 +393,7 @@ func (s *Server) applyReplicated(w http.ResponseWriter, key string, epoch uint64
 		return
 	}
 	s.obs.syncIndexes(s.store.Snapshot())
-	writeJSON(w, http.StatusOK, map[string]any{"key": key, "generation": gen, "epoch": epoch})
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "generation": gen, "epoch": st.Epoch})
 }
 
 // applyLocal runs a locally originated mutation under the cluster mutation
@@ -395,7 +408,7 @@ func (s *Server) applyLocal(key string, apply func() (uint64, error)) (gen, epoc
 	epoch = s.cluster.BumpEpoch()
 	gen, err = apply()
 	if err == nil {
-		s.cluster.RecordKeyEpoch(key, epoch)
+		s.recordStamp(key, cluster.Stamp{Epoch: epoch, Origin: s.cluster.SelfID()})
 	}
 	s.clusterMu.Unlock()
 	commit(err != nil)
@@ -487,7 +500,7 @@ func (s *Server) replicateRepublish(e *stats.IndexStats) {
 	}
 	s.clusterMu.Lock()
 	epoch := s.cluster.BumpEpoch()
-	s.cluster.RecordKeyEpoch(key, epoch)
+	s.recordStamp(key, cluster.Stamp{Epoch: epoch, Origin: s.cluster.SelfID()})
 	s.clusterMu.Unlock()
 	if err := s.replicateQuorum(http.MethodPut, indexPath(e.Table, e.Column), body, key, epoch); err != nil {
 		s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "ingest republish quorum not met",

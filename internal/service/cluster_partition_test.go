@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -609,5 +610,247 @@ func TestClusterIngestOwnershipRouting(t *testing.T) {
 		if got.FMin != want.FMin || got.C != want.C || len(got.Curve.Knots) != len(want.Curve.Knots) {
 			t.Errorf("%s: republished entry diverges from offline fit", cn.id)
 		}
+	}
+}
+
+// TestEqualEpochConflictConverges is the regression for the split-brain
+// tiebreak: concurrent PUTs to the same key on opposite sides of a partition
+// are stamped with the identical epoch, and with epoch-only ordering each
+// side would drop the other's write as stale — permanent divergence. The
+// (epoch, origin) stamp must make every node pick the same winner.
+func TestEqualEpochConflictConverges(t *testing.T) {
+	nodes := startFaultCluster(t, 2, 2)
+	a, b := nodes[0], nodes[1]
+
+	partition(nodes[:1], nodes[1:])
+
+	fromA := fitStats(t, "orders", "contested", 1)
+	fromB := fitStats(t, "orders", "contested", 2)
+	if fromA.C == fromB.C && fromA.FMin == fromB.FMin {
+		t.Fatal("test needs distinguishable payloads")
+	}
+	if status, body := rawMutate(t, a.cnode, http.MethodPut, "/v1/indexes/orders/contested", mustMarshal(t, fromA)); status != http.StatusServiceUnavailable {
+		t.Fatalf("partitioned PUT on a = %d, want 503: %s", status, body)
+	}
+	if status, body := rawMutate(t, b.cnode, http.MethodPut, "/v1/indexes/orders/contested", mustMarshal(t, fromB)); status != http.StatusServiceUnavailable {
+		t.Fatalf("partitioned PUT on b = %d, want 503: %s", status, body)
+	}
+
+	// Precondition: both sides really did assign the same epoch — otherwise
+	// this test degenerates into the plain epoch-ordering case.
+	sa, sb := a.node.KeyStamp("orders.contested"), b.node.KeyStamp("orders.contested")
+	if sa.Epoch != sb.Epoch {
+		t.Fatalf("epochs diverged before heal (a=%d b=%d); conflict scenario not reproduced", sa.Epoch, sb.Epoch)
+	}
+	if sa.Origin != a.id || sb.Origin != b.id {
+		t.Fatalf("origins misrecorded: a=%+v b=%+v", sa, sb)
+	}
+
+	healAll(nodes)
+	converge(t, nodes)
+
+	// node-b sorts after node-a, so b's write must win on BOTH nodes.
+	for _, n := range nodes {
+		got, err := n.store.Get("orders", "contested")
+		if err != nil {
+			t.Fatalf("%s: contested key missing after heal: %v", n.id, err)
+		}
+		if got.C != fromB.C || got.FMin != fromB.FMin {
+			t.Errorf("%s: contested key holds the losing write (C=%v FMin=%v, want C=%v FMin=%v)",
+				n.id, got.C, got.FMin, fromB.C, fromB.FMin)
+		}
+	}
+}
+
+// TestDeleteTombstoneSurvivesRestart is the regression for resurrection via
+// snapshot: a node that applied a DELETE during a partition, crashed, and
+// restarted must still refuse to re-adopt the deleted key from a peer's
+// anti-entropy snapshot. Without the durable stamp journal the tombstone
+// dies with the process and the snapshot merge resurrects the key.
+func TestDeleteTombstoneSurvivesRestart(t *testing.T) {
+	nodes := startFaultCluster(t, 2, 2)
+	a, b := nodes[0], nodes[1]
+
+	keep := fitStats(t, "orders", "keep", 1)
+	doomed := fitStats(t, "orders", "doomed", 2)
+	putIndex(t, a.cnode, keep)
+	putIndex(t, a.cnode, doomed)
+	if b.store.Len() != 2 {
+		t.Fatalf("b store len = %d before partition, want 2", b.store.Len())
+	}
+
+	partition(nodes[:1], nodes[1:])
+
+	// The DELETE applies locally on a (tombstone journaled), queues a hint,
+	// and answers an honest 503 — b never hears about it.
+	status, body := rawMutate(t, a.cnode, http.MethodDelete, "/v1/indexes/orders/doomed", nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("partitioned DELETE = %d, want 503: %s", status, body)
+	}
+	if _, err := a.store.Get("orders", "doomed"); err == nil {
+		t.Fatal("DELETE not applied locally")
+	}
+
+	// Crash node a: the service stops and the in-memory stamp table dies with
+	// the process. The restart builds a brand-new cluster node over the same
+	// store and journals.
+	a.srv.Close()
+	renode, err := cluster.NewNode(cluster.Config{
+		SelfID:       a.id,
+		SelfURL:      a.url,
+		Seeds:        []string{b.url},
+		Replicas:     2,
+		Heartbeat:    50 * time.Millisecond,
+		SuspectAfter: 300 * time.Millisecond,
+		DeadAfter:    time.Hour,
+		Store:        a.store,
+		HTTPClient:   a.inj.Client(2 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reborn, err := New(Config{
+		Store:            a.store,
+		Cluster:          renode,
+		Transport:        a.inj,
+		ReplicateTimeout: 500 * time.Millisecond,
+		HandoffDir:       a.handoffDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+
+	healAll(nodes)
+
+	// Anti-entropy pull from b, which still holds the deleted key. The
+	// journal-reloaded tombstone must keep it out of a's store.
+	if err := renode.PullSnapshot(context.Background(), b.url); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.store.Get("orders", "doomed"); err == nil {
+		t.Fatal("snapshot pull resurrected a deleted key after restart")
+	}
+
+	// The journaled hint then propagates the DELETE to b. Tick gossip so the
+	// reborn node discovers b's address before draining.
+	waitFor(t, 10*time.Second, func() bool {
+		renode.Tick(context.Background())
+		return reborn.DrainHandoff(context.Background()) == 0
+	}, "hint drain after restart")
+	if _, err := b.store.Get("orders", "doomed"); err == nil {
+		t.Fatal("DELETE hint never delivered to b after restart")
+	}
+	ha, _, err := a.store.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _, err := b.store.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("stores diverged after restart + heal: a=%q b=%q", ha, hb)
+	}
+}
+
+// TestConcurrentDrainDeliversEveryHint is the regression for the drain race:
+// the background sweeper and synchronous DrainHandoff calls used to both read
+// queue[0], deliver it twice, and pop twice — silently discarding the second
+// popped hint. With per-peer drain serialization, hammering DrainHandoff from
+// many goroutines must still deliver every queued hint exactly as recorded.
+// Gossip is deliberately never ticked after heal, so anti-entropy cannot mask
+// a dropped hint.
+func TestConcurrentDrainDeliversEveryHint(t *testing.T) {
+	nodes := startFaultCluster(t, 2, 2)
+	a, b := nodes[0], nodes[1]
+
+	partition(nodes[:1], nodes[1:])
+
+	const hints = 8
+	sts := make([]*stats.IndexStats, hints)
+	for i := range sts {
+		sts[i] = fitStats(t, "orders", fmt.Sprintf("k%d", i), int64(i+1))
+		status, body := rawMutate(t, a.cnode, http.MethodPut, fmt.Sprintf("/v1/indexes/orders/k%d", i), mustMarshal(t, sts[i]))
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("partitioned PUT k%d = %d, want 503: %s", i, status, body)
+		}
+	}
+	if got := a.srv.handoff.pending(); got != hints {
+		t.Fatalf("pending hints = %d, want %d", got, hints)
+	}
+
+	healAll(nodes)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				a.srv.DrainHandoff(context.Background())
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, 5*time.Second, func() bool {
+		return a.srv.DrainHandoff(context.Background()) == 0
+	}, "hint queues to empty")
+
+	for i := 0; i < hints; i++ {
+		if _, err := b.store.Get("orders", fmt.Sprintf("k%d", i)); err != nil {
+			t.Errorf("hint for orders.k%d lost under concurrent drains: %v", i, err)
+		}
+	}
+}
+
+// TestHandoffAbandonsAbsentPeer is the regression for unbounded hint growth:
+// hints queued for a peer that never appears in membership (decommissioned or
+// renamed before restart) must be dropped — queue, journal file, and all —
+// once the peer has been absent past the abandon horizon, and the drop must
+// be visible in the abandoned counter.
+func TestHandoffAbandonsAbsentPeer(t *testing.T) {
+	store := catalog.NewStore()
+	node, err := cluster.NewNode(cluster.Config{
+		SelfID:  "solo",
+		SelfURL: "http://127.0.0.1:1",
+		Store:   store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Store:               store,
+		Cluster:             node,
+		HandoffDir:          t.TempDir(),
+		HandoffAbandonAfter: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	srv.handoff.enqueue(hintRecord{
+		Peer: "ghost", Method: http.MethodDelete,
+		Path: "/v1/indexes/t/c", Epoch: 1, Key: "t.c",
+	})
+	path := srv.handoff.hintPath("ghost")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("hint journal not created: %v", err)
+	}
+	if srv.handoff.orphaned() != 1 {
+		t.Fatalf("orphaned gauge = %d, want 1", srv.handoff.orphaned())
+	}
+
+	// The background sweeper marks the peer absent on its first pass and
+	// drops the queue on the first pass after the 50ms horizon.
+	waitFor(t, 10*time.Second, func() bool {
+		return srv.handoff.pending() == 0
+	}, "ghost queue abandonment")
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("abandoned hint journal still on disk: %v", err)
+	}
+	if got := srv.handoff.abandonedC.Value(); got != 1 {
+		t.Fatalf("abandoned counter = %d, want 1", got)
 	}
 }

@@ -40,6 +40,14 @@ import (
 	"epfis/internal/resilience"
 )
 
+// DefaultHandoffAbandonAfter is how long hints for a peer absent from
+// cluster membership are retained before the queue and its journal are
+// dropped (Config.HandoffAbandonAfter overrides; negative keeps them
+// forever). The horizon is generous because membership is rebuilt from
+// gossip after a restart: a live peer is rediscovered within a heartbeat or
+// two, while a decommissioned one never comes back.
+const DefaultHandoffAbandonAfter = time.Hour
+
 const (
 	// handoffRetryInterval paces the background drainer between sweeps.
 	handoffRetryInterval = time.Second
@@ -74,6 +82,20 @@ type handoff struct {
 	brMu     sync.Mutex
 	breakers map[string]*resilience.Breaker
 
+	// drains serializes delivery per peer: the background sweeper and any
+	// synchronous DrainHandoff caller must never walk the same queue
+	// concurrently, or both would deliver queue[0] and pop twice — silently
+	// dropping an undelivered hint.
+	drainMu sync.Mutex
+	drains  map[string]*sync.Mutex
+
+	// abandonAfter bounds how long hints for a peer absent from membership
+	// are kept (a decommissioned or renamed peer never reappears; without a
+	// horizon its queue and journal grow forever). absentSince records when a
+	// sweep first found each queued peer missing.
+	abandonAfter time.Duration
+	absentSince  map[string]time.Time
+
 	notify chan struct{}
 	stop   chan struct{}
 	done   chan struct{}
@@ -83,6 +105,7 @@ type handoff struct {
 	deliveredC *obs.Counter
 	failuresC  *obs.Counter
 	journalC   *obs.Counter
+	abandonedC *obs.Counter
 }
 
 // hintCRC is the Castagnoli table shared by every hint frame.
@@ -92,16 +115,22 @@ var hintCRC = crc32.MakeTable(crc32.Castagnoli)
 // drainer. Called from New only in cluster mode.
 func newHandoff(s *Server, cfg Config) (*handoff, error) {
 	h := &handoff{
-		s:         s,
-		dir:       cfg.HandoffDir,
-		fs:        faultfs.OS(),
-		queues:    map[string][]hintRecord{},
-		files:     map[string]faultfs.File{},
-		delivered: map[string]int{},
-		breakers:  map[string]*resilience.Breaker{},
-		notify:    make(chan struct{}, 1),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		s:            s,
+		dir:          cfg.HandoffDir,
+		fs:           faultfs.OS(),
+		queues:       map[string][]hintRecord{},
+		files:        map[string]faultfs.File{},
+		delivered:    map[string]int{},
+		breakers:     map[string]*resilience.Breaker{},
+		drains:       map[string]*sync.Mutex{},
+		abandonAfter: cfg.HandoffAbandonAfter,
+		absentSince:  map[string]time.Time{},
+		notify:       make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	if h.abandonAfter == 0 {
+		h.abandonAfter = DefaultHandoffAbandonAfter
 	}
 	if h.dir != "" {
 		if err := os.MkdirAll(h.dir, 0o755); err != nil {
@@ -120,9 +149,14 @@ func newHandoff(s *Server, cfg Config) (*handoff, error) {
 		"Hint delivery attempts that failed (retried on the next sweep).")
 	h.journalC = reg.Counter("epfis_cluster_handoff_journal_errors_total",
 		"Hint journal writes that failed (the hint stays queued in memory).")
+	h.abandonedC = reg.Counter("epfis_cluster_handoff_abandoned_total",
+		"Hints dropped because their peer stayed absent from membership past the abandon horizon.")
 	reg.GaugeFunc("epfis_cluster_handoff_pending",
 		"Hints currently queued for unreachable peers.",
 		func() float64 { return float64(h.pending()) })
+	reg.GaugeFunc("epfis_cluster_handoff_orphaned",
+		"Hints queued for peers currently absent from cluster membership.",
+		func() float64 { return float64(h.orphaned()) })
 	go h.run()
 	return h, nil
 }
@@ -168,34 +202,31 @@ func (h *handoff) load() error {
 	return nil
 }
 
-// decodeHints parses [len][crc][json] frames, returning the records and the
-// byte offset of the last fully valid frame.
-func decodeHints(data []byte) ([]hintRecord, int64) {
-	var recs []hintRecord
-	off := 0
-	for len(data)-off >= 8 {
-		n := int(binary.LittleEndian.Uint32(data[off:]))
-		sum := binary.LittleEndian.Uint32(data[off+4:])
-		if n <= 0 || n > handoffMaxFrame || len(data)-off-8 < n {
-			break
-		}
-		payload := data[off+8 : off+8+n]
-		if crc32.Checksum(payload, hintCRC) != sum {
-			break
-		}
-		var rec hintRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			break
-		}
-		recs = append(recs, rec)
-		off += 8 + n
+// decodeFrame parses one [len][crc][json] frame from the head of data into
+// v, reporting the frame's total byte length and whether it was fully valid.
+// Shared by the hint and stamp journals.
+func decodeFrame(data []byte, v any) (int64, bool) {
+	if len(data) < 8 {
+		return 0, false
 	}
-	return recs, int64(off)
+	n := int(binary.LittleEndian.Uint32(data))
+	sum := binary.LittleEndian.Uint32(data[4:])
+	if n <= 0 || n > handoffMaxFrame || len(data)-8 < n {
+		return 0, false
+	}
+	payload := data[8 : 8+n]
+	if crc32.Checksum(payload, hintCRC) != sum {
+		return 0, false
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return 0, false
+	}
+	return int64(8 + n), true
 }
 
-// encodeHint frames one record for the journal.
-func encodeHint(rec hintRecord) ([]byte, error) {
-	payload, err := json.Marshal(rec)
+// encodeFrame frames one record for a journal.
+func encodeFrame(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
 	if err != nil {
 		return nil, err
 	}
@@ -206,11 +237,28 @@ func encodeHint(rec hintRecord) ([]byte, error) {
 	return buf, nil
 }
 
+// decodeHints parses a hint journal, returning the records and the byte
+// offset of the last fully valid frame.
+func decodeHints(data []byte) ([]hintRecord, int64) {
+	var recs []hintRecord
+	off := int64(0)
+	for {
+		var rec hintRecord
+		n, ok := decodeFrame(data[off:], &rec)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, off
+}
+
 // enqueue journals a hint (fsynced before return) and queues it for the
 // drainer. Journal failures demote the hint to memory-only rather than drop
 // it: delivery still happens unless the process dies first.
 func (h *handoff) enqueue(rec hintRecord) {
-	frame, encErr := encodeHint(rec)
+	frame, encErr := encodeFrame(rec)
 	h.mu.Lock()
 	h.queues[rec.Peer] = append(h.queues[rec.Peer], rec)
 	if h.dir != "" && encErr == nil {
@@ -267,7 +315,7 @@ func (h *handoff) compactLocked(peer string) {
 		return // stale frames linger; epoch gating makes redelivery harmless
 	}
 	for _, rec := range queue {
-		frame, err := encodeHint(rec)
+		frame, err := encodeFrame(rec)
 		if err != nil {
 			continue
 		}
@@ -287,6 +335,18 @@ func (h *handoff) pending() int {
 		n += len(q)
 	}
 	return n
+}
+
+// drainLock lazily builds the per-peer drain mutex.
+func (h *handoff) drainLock(id string) *sync.Mutex {
+	h.drainMu.Lock()
+	defer h.drainMu.Unlock()
+	lk := h.drains[id]
+	if lk == nil {
+		lk = &sync.Mutex{}
+		h.drains[id] = lk
+	}
+	return lk
 }
 
 // breaker lazily builds the per-peer delivery breaker.
@@ -323,7 +383,9 @@ func (h *handoff) run() {
 
 // drainOnce attempts delivery for every peer with pending hints. force
 // bypasses dead-peer skips and circuit breakers — the deterministic lever
-// for drills and tests.
+// for drills and tests. Background (non-forced) sweeps also age out queues
+// whose peer has left membership, so hints for a decommissioned or renamed
+// peer cannot accumulate forever in memory and on disk.
 func (h *handoff) drainOnce(ctx context.Context, force bool) {
 	h.mu.Lock()
 	peers := make([]string, 0, len(h.queues))
@@ -333,15 +395,95 @@ func (h *handoff) drainOnce(ctx context.Context, force bool) {
 		}
 	}
 	h.mu.Unlock()
+	if !force {
+		peers = h.gcAbsent(peers)
+	}
 	for _, id := range peers {
 		h.drainPeer(ctx, id, force)
 	}
 }
 
+// gcAbsent splits the queued peers into members and ghosts: peers currently
+// in membership drain normally, while a peer absent past the abandon horizon
+// has its queue and journal dropped (counted in abandonedC). It returns the
+// peers still worth draining.
+func (h *handoff) gcAbsent(peers []string) []string {
+	known := map[string]bool{}
+	for _, p := range h.s.cluster.Peers() {
+		known[p.ID] = true
+	}
+	now := time.Now()
+	keep := peers[:0]
+	for _, id := range peers {
+		if known[id] {
+			h.mu.Lock()
+			delete(h.absentSince, id)
+			h.mu.Unlock()
+			keep = append(keep, id)
+			continue
+		}
+		if h.abandonAfter < 0 {
+			continue // retained forever, but undeliverable: skip the drain
+		}
+		h.mu.Lock()
+		first, seen := h.absentSince[id]
+		if !seen {
+			h.absentSince[id] = now
+			h.mu.Unlock()
+			continue
+		}
+		if now.Sub(first) <= h.abandonAfter {
+			h.mu.Unlock()
+			continue
+		}
+		dropped := len(h.queues[id])
+		delete(h.queues, id)
+		delete(h.delivered, id)
+		delete(h.absentSince, id)
+		if f := h.files[id]; f != nil {
+			f.Close()
+			delete(h.files, id)
+		}
+		if h.dir != "" {
+			_ = h.fs.Remove(h.hintPath(id))
+		}
+		h.mu.Unlock()
+		h.abandonedC.Add(uint64(dropped))
+		h.s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "handoff queue abandoned",
+			slog.String("peer", id), slog.Int("hints", dropped),
+			slog.Duration("absent", now.Sub(first)))
+	}
+	return keep
+}
+
+// orphaned counts hints queued for peers currently absent from membership
+// (the epfis_cluster_handoff_orphaned gauge).
+func (h *handoff) orphaned() int {
+	known := map[string]bool{}
+	for _, p := range h.s.cluster.Peers() {
+		known[p.ID] = true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for id, q := range h.queues {
+		if !known[id] {
+			n += len(q)
+		}
+	}
+	return n
+}
+
 // drainPeer delivers one peer's queue in FIFO order, stopping at the first
 // failure (order preservation keeps same-key epochs arriving ascending in
-// the common case; the receiver's epoch gate handles the rest).
+// the common case; the receiver's stamp gate handles the rest). Drains are
+// serialized per peer: the background sweeper and synchronous DrainHandoff
+// callers otherwise race on queue[0] — both deliver the same record, both
+// pop, and an undelivered hint vanishes.
 func (h *handoff) drainPeer(ctx context.Context, id string, force bool) {
+	lk := h.drainLock(id)
+	lk.Lock()
+	defer lk.Unlock()
 	var info cluster.PeerInfo
 	found := false
 	for _, p := range h.s.cluster.Peers() {
@@ -388,8 +530,9 @@ func (h *handoff) drainPeer(ctx context.Context, id string, force bool) {
 			return
 		}
 		h.mu.Lock()
-		// Re-read under the lock: enqueue only appends, so index 0 is still
-		// the record just delivered.
+		// Re-read under the lock: enqueue only appends, and the per-peer
+		// drain mutex excludes every other drainer, so index 0 is still the
+		// record just delivered.
 		if q := h.queues[id]; len(q) > 0 {
 			h.queues[id] = q[1:]
 			h.delivered[id]++

@@ -245,6 +245,9 @@ func (s *Server) Close() {
 	if s.handoff != nil {
 		s.handoff.close()
 	}
+	if s.stamps != nil {
+		s.stamps.close()
+	}
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {

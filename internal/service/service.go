@@ -173,9 +173,15 @@ type Config struct {
 	WriteQuorum int
 	// HandoffDir is where undeliverable replicated mutations are journaled
 	// as per-peer hints (CRC32-C framed, fsynced, replayed at startup and
-	// redelivered when the peer recovers). "" keeps the hint queues
-	// memory-only. Cluster mode only.
+	// redelivered when the peer recovers), and where applied per-key
+	// mutation stamps are journaled so delete tombstones survive restarts.
+	// "" keeps both memory-only. Cluster mode only.
 	HandoffDir string
+	// HandoffAbandonAfter is how long hints for a peer absent from cluster
+	// membership are retained before the queue and its journal are dropped.
+	// 0 = DefaultHandoffAbandonAfter; negative retains them forever.
+	// Cluster mode only.
+	HandoffAbandonAfter time.Duration
 	// IngestQueue bounds the trace batches queued for the ingest worker;
 	// POST /v1/ingest sheds with 429 + Retry-After when it is full.
 	// 0 = DefaultIngestQueue; negative disables the ingest route.
@@ -213,6 +219,7 @@ type Server struct {
 	cobs      *clusterObs   // nil unless cluster mode
 	proxyHTTP *http.Client  // forwarding + replication transport
 	handoff   *handoff      // nil unless cluster mode
+	stamps    *stampJournal // nil unless cluster mode with a HandoffDir
 
 	// clusterMu serializes epoch assignment with the store apply for every
 	// cluster-mode mutation, so per-key epoch order equals apply order.
@@ -299,6 +306,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.handoff = h
+		if cfg.HandoffDir != "" {
+			// Reload applied mutation stamps (delete tombstones included)
+			// before the first request: a post-restart snapshot merge must
+			// not resurrect a key this node deleted.
+			j, err := newStampJournal(s, cfg.HandoffDir)
+			if err != nil {
+				return nil, err
+			}
+			s.stamps = j
+		}
 	}
 	maxInflight := cfg.MaxInflight
 	if maxInflight == 0 {

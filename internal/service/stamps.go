@@ -1,0 +1,206 @@
+package service
+
+// Durable per-key mutation stamps: the tombstone half of partition-tolerant
+// replication.
+//
+// The receiver-side ordering gate (applyReplicated) and the snapshot-merge
+// skip set both key off cluster.Node's per-key stamp table. That table used
+// to be memory-only, which left one resurrection window: a node that applied
+// a DELETE, crashed, and then pulled a snapshot from a peer that had missed
+// the DELETE would happily re-adopt the deleted key — the tombstone died
+// with the process. The stamp journal closes it: every applied stamp (local
+// or replicated, PUTs and DELETEs alike) is appended to a CRC32-C-framed
+// file under Config.HandoffDir — the same durability domain as the hint
+// journal — and reloaded into the node's stamp table before the service
+// answers its first request. The reload also folds the highest journaled
+// epoch into the node's Lamport clock, so the first post-restart local
+// mutation is stamped above everything this node ever applied.
+//
+// The journal is append-only between compactions; once the appended tail
+// outgrows the live table it is rewritten from the table (one frame per
+// key). With HandoffDir unset the table stays memory-only, preserving the
+// old behaviour for tests and throwaway topologies.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"path/filepath"
+	"sync"
+
+	"epfis/internal/cluster"
+	"epfis/internal/faultfs"
+	"epfis/internal/obs"
+)
+
+// stampJournalFile is the journal's name under HandoffDir. The hint loader
+// only considers *.hints files, so the two journals coexist in one dir.
+const stampJournalFile = "keystamps.journal"
+
+// stampCompactMin is the minimum appended-frame count before a compaction is
+// considered (avoids rewriting a tiny file on every mutation).
+const stampCompactMin = 256
+
+// stampRecord is one journaled stamp frame.
+type stampRecord struct {
+	Key    string `json:"key"`
+	Epoch  uint64 `json:"epoch"`
+	Origin string `json:"origin"`
+}
+
+// stampJournal persists the cluster node's per-key stamp table.
+type stampJournal struct {
+	s    *Server
+	path string
+	fs   faultfs.FS
+
+	mu      sync.Mutex
+	f       faultfs.File
+	appends int // frames appended since the last compaction
+
+	errorsC *obs.Counter
+}
+
+// newStampJournal opens (creating if absent) the stamp journal under dir,
+// replays it into the cluster node's stamp table, and folds the highest
+// journaled epoch into the node's Lamport clock. The caller (New) has
+// already created dir via newHandoff.
+func newStampJournal(s *Server, dir string) (*stampJournal, error) {
+	j := &stampJournal{
+		s:    s,
+		path: filepath.Join(dir, stampJournalFile),
+		fs:   faultfs.OS(),
+	}
+	j.errorsC = s.obs.reg.Counter("epfis_cluster_stamp_journal_errors_total",
+		"Stamp journal writes that failed (the stamp stays tracked in memory).")
+	data, err := j.fs.ReadFile(j.path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("service: stamp journal: %w", err)
+	}
+	if err == nil {
+		recs, good, count := decodeStamps(data)
+		if good < int64(len(data)) {
+			// Torn or corrupt tail: keep the durable prefix, cut the rest.
+			if terr := j.fs.Truncate(j.path, good); terr != nil {
+				return nil, fmt.Errorf("service: stamp journal: truncate torn tail: %w", terr)
+			}
+		}
+		var maxEpoch uint64
+		for key, st := range recs {
+			s.cluster.RecordKeyStamp(key, st)
+			if st.Epoch > maxEpoch {
+				maxEpoch = st.Epoch
+			}
+		}
+		s.cluster.ObserveEpoch(maxEpoch)
+		j.appends = count
+	}
+	return j, nil
+}
+
+// decodeStamps parses [len][crc][json] frames (the hint frame format),
+// folding later frames for the same key over earlier ones in Stamp order. It
+// returns the folded table, the byte offset of the last fully valid frame,
+// and the raw frame count (the compaction-pressure seed).
+func decodeStamps(data []byte) (map[string]cluster.Stamp, int64, int) {
+	recs := map[string]cluster.Stamp{}
+	off, count := int64(0), 0
+	for {
+		var rec stampRecord
+		n, ok := decodeFrame(data[off:], &rec)
+		if !ok {
+			break
+		}
+		st := cluster.Stamp{Epoch: rec.Epoch, Origin: rec.Origin}
+		if cur := recs[rec.Key]; cur.Less(st) {
+			recs[rec.Key] = st
+		}
+		off += n
+		count++
+	}
+	return recs, off, count
+}
+
+// append journals one applied stamp (fsynced). Failures demote the stamp to
+// memory-only rather than failing the mutation: the apply already happened
+// and the in-memory table still orders everything this process lifetime.
+func (j *stampJournal) append(key string, st cluster.Stamp) {
+	frame, err := encodeFrame(stampRecord{Key: key, Epoch: st.Epoch, Origin: st.Origin})
+	if err != nil {
+		j.errorsC.Inc()
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendLocked(frame); err != nil {
+		j.errorsC.Inc()
+		j.s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "stamp journal append failed",
+			slog.String("key", key), slog.String("error", err.Error()))
+		return
+	}
+	j.appends++
+	if live := len(j.s.cluster.KeyStamps()); j.appends >= stampCompactMin && j.appends > 2*live {
+		j.compactLocked()
+	}
+}
+
+// appendLocked writes one frame and fsyncs. Caller holds j.mu.
+func (j *stampJournal) appendLocked(frame []byte) error {
+	if j.f == nil {
+		f, err := j.fs.OpenAppend(j.path)
+		if err != nil {
+			return err
+		}
+		j.f = f
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// compactLocked rewrites the journal to exactly the live stamp table (one
+// frame per key). Caller holds j.mu.
+func (j *stampJournal) compactLocked() {
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	if err := j.fs.Truncate(j.path, 0); err != nil {
+		return // stale frames linger; the Stamp-max fold on reload is harmless
+	}
+	table := j.s.cluster.KeyStamps()
+	j.appends = len(table)
+	for key, st := range table {
+		frame, err := encodeFrame(stampRecord{Key: key, Epoch: st.Epoch, Origin: st.Origin})
+		if err != nil {
+			continue
+		}
+		if err := j.appendLocked(frame); err != nil {
+			j.errorsC.Inc()
+			return
+		}
+	}
+}
+
+// close releases the journal handle.
+func (j *stampJournal) close() {
+	j.mu.Lock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	j.mu.Unlock()
+}
+
+// recordStamp records one applied mutation stamp in the cluster node's table
+// and, when the stamp journal is armed, durably. Every apply site (local
+// origination, replicated arrival, ingest republish) funnels through here.
+func (s *Server) recordStamp(key string, st cluster.Stamp) {
+	s.cluster.RecordKeyStamp(key, st)
+	if s.stamps != nil {
+		s.stamps.append(key, st)
+	}
+}
