@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos chaos-net cluster-check bench bench-json bench-serve bench-ingest bench-smoke fuzz obs-check serve vet all
+.PHONY: build test race chaos chaos-net cluster-check bench bench-json bench-serve bench-ingest bench-cluster bench-smoke fuzz obs-check serve vet all
 
 all: build vet test
 
@@ -65,6 +65,14 @@ bench-serve:
 # under -min-wal-speedup (default 10x) or Feed exceeds its alloc budget.
 bench-ingest:
 	$(GO) run ./cmd/epfis-bench -suite ingest -out BENCH_ingest.json
+
+# Cluster data-plane baseline: proxied-estimate allocs, quorum PUT latency
+# with a faultnet-slowed straggler peer (the fast-ack gate), and delta
+# anti-entropy bytes-on-wire vs the full snapshot, measured over an
+# in-process multi-node cluster and written as BENCH_cluster.json. Exits
+# non-zero when any budget is breached (see README "Cluster performance").
+bench-cluster:
+	$(GO) run ./cmd/epfis-bench -suite cluster -out BENCH_cluster.json
 
 # One-iteration pass over the perf-relevant benchmarks, as run in CI.
 bench-smoke:

@@ -1,6 +1,12 @@
 // Command epfis-bench measures the repository's perf-tracked paths and
-// writes machine-readable baselines. It has two suites, selected with
-// -suite:
+// writes machine-readable baselines. Suites are selected with -suite:
+//
+// -suite cluster (BENCH_cluster.json, via `make bench-cluster`) measures
+// the cluster data plane over an in-process multi-node cluster: proxied
+// estimate cost at a non-owner node, quorum PUT latency with and without a
+// faultnet-slowed straggler peer (gating the fast-ack property), and
+// delta anti-entropy bytes-on-wire for a 1-key divergence against the full
+// snapshot stream. See cluster.go.
 //
 // -suite serve (BENCH_serve.json, via `make bench-serve`) measures the
 // estimation service's serving path at the handler level — single estimate,
@@ -109,7 +115,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	var (
-		suite = flag.String("suite", "experiments", "which suite to run: experiments | serve")
+		suite = flag.String("suite", "experiments", "which suite to run: experiments | serve | ingest | cluster")
 		out   = flag.String("out", "", "output path for the JSON baseline (default BENCH_<suite>.json)")
 		scale = flag.Int("scale", 25, "dataset scale divisor for the suite runs")
 		scans = flag.Int("scans", 20, "scans per error sweep in the suite runs")
@@ -123,6 +129,13 @@ func main() {
 			"ingest suite: fail when lrusim/accum_feed_512 exceeds this amortized allocs/op")
 		minWALSpeedup = flag.Float64("min-wal-speedup", 10,
 			"ingest suite: fail when WAL mutation throughput is below this multiple of the rename-per-commit baseline")
+
+		maxAllocsProxied = flag.Int64("max-allocs-proxied", 32,
+			"cluster suite: fail when cluster/proxied_estimate exceeds this allocs/op")
+		maxQuorumSlowdown = flag.Float64("max-slowdown-quorum", 2,
+			"cluster suite: fail when a quorum PUT with one slowed non-owner peer exceeds this multiple of the no-fault latency")
+		maxDeltaFraction = flag.Float64("max-delta-fraction", 0.10,
+			"cluster suite: fail when a 1-key delta sync moves more than this fraction of the full snapshot's bytes")
 	)
 	flag.Parse()
 
@@ -149,12 +162,24 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "cluster":
+		if *out == "" {
+			*out = "BENCH_cluster.json"
+		}
+		if !runClusterSuite(*out, clusterBudgets{
+			ProxiedAllocsPerOpMax: *maxAllocsProxied,
+			QuorumSlowdownMax:     *maxQuorumSlowdown,
+			DeltaBytesFractionMax: *maxDeltaFraction,
+		}) {
+			os.Exit(1)
+		}
+		return
 	case "experiments":
 		if *out == "" {
 			*out = "BENCH_experiments.json"
 		}
 	default:
-		fatalf("unknown -suite %q (want experiments, serve, or ingest)", *suite)
+		fatalf("unknown -suite %q (want experiments, serve, ingest, or cluster)", *suite)
 	}
 
 	rep := report{

@@ -3,6 +3,9 @@
 // loopback ports, installs a freshly fitted index through one node, verifies
 // every node answers the same estimate bit-for-bit (serving its own keys or
 // proxying to an owner), verifies the snapshot stream imports cleanly,
+// converges a single divergent key through delta anti-entropy (per-entry
+// transfers over the digest route, checked against the bytes-on-wire
+// counters — never a full snapshot),
 // partitions one node away while both sides take writes (the quorum side must
 // ack, the minority must answer an honest 503 and journal hints), heals the
 // partition and requires every store to converge to the same content hash,
@@ -179,6 +182,68 @@ func run(args []string) error {
 		return fmt.Errorf("snapshot import: %d entries, want 1", fresh.Len())
 	}
 	fmt.Fprintf(out, "ok snapshot: %d-byte checksummed stream imports cleanly\n", len(raw))
+
+	// Delta anti-entropy: with a wide catalog and a single divergent key, an
+	// explicit sync must converge through the digest route — per-entry
+	// transfers, never a full snapshot — and the bytes-on-wire counters must
+	// show it. Base entries go through HTTP so replication lands them
+	// everywhere; the divergent key is written straight into one store so no
+	// replication or stamp ever touches it.
+	for i := 0; i < 12; i++ {
+		col := fmt.Sprintf("base%02d", i)
+		baseSt, err := fitVariantStats("epfis_delta", col, int64(40+i))
+		if err != nil {
+			return err
+		}
+		baseBody, err := json.Marshal(baseSt)
+		if err != nil {
+			return err
+		}
+		if _, _, err := do(ctx, client, http.MethodPut, members[0].base+"/v1/indexes/epfis_delta/"+col, baseBody); err != nil {
+			return fmt.Errorf("install delta base %s: %w", col, err)
+		}
+	}
+	soloSt, err := fitVariantStats("epfis_delta", "solo", 53)
+	if err != nil {
+		return err
+	}
+	if _, err := members[0].store.Put(soloSt); err != nil {
+		return err
+	}
+	// The divergence sits at an equal cluster epoch (no mutation flowed), so
+	// background gossip deliberately leaves it to operators; each behind node
+	// syncs explicitly, exactly as an operator-triggered repair would.
+	puller := members[1]
+	okBefore, fbBefore := puller.node.DeltaPulls()
+	deltaBefore, fullBefore := puller.node.AntiEntropyBytes()
+	for _, m := range members[1:] {
+		if err := m.node.Sync(ctx, members[0].base); err != nil {
+			return fmt.Errorf("delta sync via %s: %w", m.id, err)
+		}
+		if _, err := m.store.Get("epfis_delta", "solo"); err != nil {
+			return fmt.Errorf("delta sync did not deliver the divergent key to %s: %w", m.id, err)
+		}
+	}
+	okAfter, fbAfter := puller.node.DeltaPulls()
+	deltaAfter, fullAfter := puller.node.AntiEntropyBytes()
+	if okAfter <= okBefore || fbAfter != fbBefore {
+		return fmt.Errorf("delta sync pulls ok %d->%d fallback %d->%d, want ok+1 and no fallback",
+			okBefore, okAfter, fbBefore, fbAfter)
+	}
+	if fullAfter != fullBefore {
+		return fmt.Errorf("delta sync moved %d full-snapshot bytes, want 0", fullAfter-fullBefore)
+	}
+	deltaBytes := deltaAfter - deltaBefore
+	fullStream, _, err := members[0].store.ExportSnapshot()
+	if err != nil {
+		return err
+	}
+	if deltaBytes == 0 || deltaBytes*2 >= uint64(len(fullStream)) {
+		return fmt.Errorf("delta sync moved %d bytes vs %d-byte snapshot, want well under half",
+			deltaBytes, len(fullStream))
+	}
+	fmt.Fprintf(out, "ok delta-sync: 1 divergent key in %d bytes (full snapshot %d), no fallback\n",
+		deltaBytes, len(fullStream))
 
 	// Partition node-a away from {node-b, node-c} while both sides take
 	// writes, then heal and require convergence to one content hash.

@@ -120,6 +120,12 @@ func run(args []string) error {
 			fmt.Sprintf("per-peer replication send timeout (0 = default %s)", service.DefaultReplicateTimeout))
 		writeQuorum = fs.Int("write-quorum", 0,
 			"owner acks required before a mutation succeeds (0 = majority of the replica set, negative = best-effort fan-out only)")
+		clusterMaxIdleConns = fs.Int("cluster-max-idle-conns", 0,
+			fmt.Sprintf("kept-alive connections per peer in the shared cluster transport (0 = default %d; requires -cluster-seeds)", cluster.DefaultMaxIdleConnsPerHost))
+		deltaThreshold = fs.Float64("antientropy-delta-threshold", 0,
+			fmt.Sprintf("divergent-key fraction above which anti-entropy falls back from per-entry delta sync to a full snapshot pull (0 = default %g, 1 = never fall back; requires -cluster-seeds)", cluster.DefaultDeltaThreshold))
+		snapshotMaxBytes = fs.Int64("snapshot-max-bytes", 0,
+			fmt.Sprintf("largest snapshot, digest, or entry body accepted from a peer during anti-entropy (0 = default %d; requires -cluster-seeds)", cluster.DefaultSnapshotMaxBytes))
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,18 +187,37 @@ func run(args []string) error {
 	}
 
 	var node *cluster.Node
-	if *clusterSeeds != "" {
+	if *clusterSeeds == "" {
+		for name, set := range map[string]bool{
+			"-cluster-max-idle-conns":      *clusterMaxIdleConns != 0,
+			"-antientropy-delta-threshold": *deltaThreshold != 0,
+			"-snapshot-max-bytes":          *snapshotMaxBytes != 0,
+		} {
+			if set {
+				return fmt.Errorf("%s requires -cluster-seeds", name)
+			}
+		}
+	} else {
 		if *nodeID == "" || *nodeURL == "" {
 			return fmt.Errorf("-cluster-seeds requires -node-id and -node-url")
 		}
+		if *deltaThreshold < 0 || *deltaThreshold > 1 {
+			return fmt.Errorf("-antientropy-delta-threshold must be in [0, 1], got %g", *deltaThreshold)
+		}
+		if *snapshotMaxBytes < 0 {
+			return fmt.Errorf("-snapshot-max-bytes must be positive, got %d", *snapshotMaxBytes)
+		}
 		ncfg := cluster.Config{
-			SelfID:    *nodeID,
-			SelfURL:   *nodeURL,
-			Seeds:     splitSeeds(*clusterSeeds),
-			Replicas:  *replicas,
-			Heartbeat: *heartbeat,
-			Store:     store,
-			Log:       logger,
+			SelfID:              *nodeID,
+			SelfURL:             *nodeURL,
+			Seeds:               splitSeeds(*clusterSeeds),
+			Replicas:            *replicas,
+			Heartbeat:           *heartbeat,
+			Store:               store,
+			Log:                 logger,
+			MaxIdleConnsPerHost: *clusterMaxIdleConns,
+			DeltaThreshold:      *deltaThreshold,
+			SnapshotMaxBytes:    *snapshotMaxBytes,
 		}
 		if netInj != nil {
 			// Gossip and anti-entropy cross the injector too; partitions
@@ -246,6 +271,18 @@ func run(args []string) error {
 		if logger != nil {
 			logger.Info("cluster mode enabled", "nodeID", *nodeID, "nodeURL", *nodeURL,
 				"replicas", *replicas, "seeds", *clusterSeeds)
+			idle, thr, maxB := *clusterMaxIdleConns, *deltaThreshold, *snapshotMaxBytes
+			if idle == 0 {
+				idle = cluster.DefaultMaxIdleConnsPerHost
+			}
+			if thr == 0 {
+				thr = cluster.DefaultDeltaThreshold
+			}
+			if maxB == 0 {
+				maxB = cluster.DefaultSnapshotMaxBytes
+			}
+			logger.Info("cluster hot path tuned", "maxIdleConnsPerHost", idle,
+				"deltaThreshold", thr, "snapshotMaxBytes", maxB)
 		}
 	}
 

@@ -114,3 +114,99 @@ func (st *Store) ContentHash() (string, uint64, error) {
 	}
 	return fmt.Sprintf("crc32c:%08x", crc32.Checksum(buf.Bytes(), crcTable)), snap.gen, nil
 }
+
+// entryPayload renders the canonical single-entry catalog JSON for e. The
+// rendering is deterministic (stats.Catalog.Save sorts keys and indents
+// identically everywhere), so two nodes holding the same entry produce
+// byte-identical payloads — which is what makes per-entry CRCs comparable
+// across the wire.
+func entryPayload(e *stats.IndexStats) ([]byte, error) {
+	c := stats.NewCatalog()
+	if err := c.Put(e); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ExportEntry serializes one entry as a trailered single-entry catalog
+// stream — the same framing as ExportSnapshot, so the receiver gets the
+// same end-to-end corruption detection on a delta fetch as on a full pull.
+// Returns ErrNotFound (wrapped) when the key is absent.
+func (st *Store) ExportEntry(key string) ([]byte, uint64, error) {
+	snap := st.Snapshot()
+	e, ok := snap.entries[key]
+	if !ok {
+		return nil, snap.gen, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	payload, err := entryPayload(e)
+	if err != nil {
+		return nil, 0, err
+	}
+	crc := crc32.Checksum(payload, crcTable)
+	buf := bytes.NewBuffer(payload)
+	fmt.Fprintf(buf, "%scrc32c=%08x bytes=%d\n", trailerPrefix, crc, len(payload))
+	return buf.Bytes(), snap.gen, nil
+}
+
+// EntryDigests reports, for every entry, the CRC32-C of its canonical
+// single-entry payload (the exact bytes ExportEntry would frame), plus the
+// generation the digests describe. Two nodes agree on a key's digest iff
+// they hold byte-identical statistics for it, so a digest diff identifies
+// precisely the divergent entries.
+func (st *Store) EntryDigests() (map[string]uint32, uint64, error) {
+	snap := st.Snapshot()
+	out := make(map[string]uint32, len(snap.entries))
+	for k, e := range snap.entries {
+		p, err := entryPayload(e)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[k] = crc32.Checksum(p, crcTable)
+	}
+	return out, snap.gen, nil
+}
+
+// MergeEntries folds verified trailered entry streams (as produced by
+// ExportEntry) into the current entry set as a UNION, committing one
+// generation for the whole batch. Semantics mirror MergeSnapshot: stream
+// entries win except for keys the skip callback claims, and local-only keys
+// are never deleted. An empty batch (or one fully skipped) commits nothing
+// and returns the current generation.
+func (st *Store) MergeEntries(streams [][]byte, skip func(key string) bool) (uint64, error) {
+	incoming := map[string]*stats.IndexStats{}
+	for _, data := range streams {
+		if !bytes.Contains(data, []byte(trailerPrefix)) {
+			return 0, fmt.Errorf("%w: entry stream has no checksum trailer", ErrCorrupt)
+		}
+		payload, _, err := verifyPayload(data)
+		if err != nil {
+			return 0, err
+		}
+		c, err := stats.Load(bytes.NewReader(payload))
+		if err != nil {
+			return 0, fmt.Errorf("catalog: merge entries: %w", err)
+		}
+		for _, k := range c.Keys() {
+			if skip != nil && skip(k) {
+				continue
+			}
+			e, err := c.Get(splitKey(k))
+			if err != nil {
+				return 0, err
+			}
+			incoming[k] = deepCopy(e)
+		}
+	}
+	if len(incoming) == 0 {
+		return st.Generation(), nil
+	}
+	next := cloneEntries(st.Snapshot().entries)
+	for k, e := range incoming {
+		next[k] = e
+	}
+	return st.commitReplace(next)
+}

@@ -9,6 +9,8 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +25,12 @@ const (
 	PathHealth   = "/v1/cluster/health"
 	PathGossip   = "/v1/cluster/gossip"
 	PathSnapshot = "/v1/cluster/snapshot"
+	// PathDigest serves the per-entry digest table (key -> stamp + CRC) that
+	// drives delta anti-entropy.
+	PathDigest = "/v1/cluster/digest"
+	// PathEntryPrefix prefixes single-entry exports; the path-escaped entry
+	// key follows it.
+	PathEntryPrefix = "/v1/cluster/entry/"
 
 	// HeaderNode carries the sending/serving node ID.
 	HeaderNode = "X-Epfis-Node"
@@ -44,6 +52,17 @@ const (
 
 // snapshotPullTimeout bounds one anti-entropy snapshot transfer.
 const snapshotPullTimeout = 30 * time.Second
+
+// DefaultSnapshotMaxBytes caps anti-entropy response bodies (snapshot,
+// digest, entry) when Config.SnapshotMaxBytes is zero. A corrupt or hostile
+// peer can then cost the puller at most this much memory, never an OOM.
+const DefaultSnapshotMaxBytes = 64 << 20
+
+// DefaultDeltaThreshold is the divergence fraction above which delta
+// anti-entropy gives up and pulls the full snapshot: fetching more than a
+// quarter of the catalog entry-by-entry costs more round trips than one
+// bulk stream saves.
+const DefaultDeltaThreshold = 0.25
 
 // NodeInfo is one node's record in the gossip documents.
 type NodeInfo struct {
@@ -94,6 +113,18 @@ type Config struct {
 	Store *catalog.Store
 	// Log receives membership and sync events; nil discards.
 	Log *slog.Logger
+	// SnapshotMaxBytes caps anti-entropy response bodies (0 =
+	// DefaultSnapshotMaxBytes). Oversize responses fail the pull and count
+	// in epfis_cluster_antientropy_oversize_total.
+	SnapshotMaxBytes int64
+	// DeltaThreshold is the fraction of the peer's catalog that may diverge
+	// before delta anti-entropy falls back to a full snapshot pull (0 =
+	// DefaultDeltaThreshold).
+	DeltaThreshold float64
+	// MaxIdleConnsPerHost tunes the default pooled transport's per-peer idle
+	// connection depth (0 = the process-wide SharedTransport with default
+	// tuning). Ignored when HTTPClient is set.
+	MaxIdleConnsPerHost int
 }
 
 // Node is the per-process cluster agent. Construct with NewNode; all methods
@@ -124,11 +155,27 @@ type Node struct {
 	hashGen uint64
 	hashVal string
 
-	pulling atomic.Bool // single-flight guard for snapshot pulls
+	// Cached per-entry digests, keyed by generation (same discipline as the
+	// content hash: computing them encodes every entry, so the cache keeps
+	// digest serving and delta diffs cheap between mutations).
+	digestMu  sync.Mutex
+	digestGen uint64
+	digestVal map[string]uint32
+
+	pulling atomic.Bool // single-flight guard for anti-entropy syncs
 
 	pullsOK   atomic.Uint64
 	pullsFail atomic.Uint64
 	rounds    atomic.Uint64
+
+	// Anti-entropy accounting: completed delta syncs, delta syncs that fell
+	// back to a full snapshot, bytes received by mode, and responses
+	// rejected by the size cap.
+	deltaOK       atomic.Uint64
+	deltaFallback atomic.Uint64
+	bytesDelta    atomic.Uint64
+	bytesFull     atomic.Uint64
+	oversize      atomic.Uint64
 
 	// Per-peer instruments, registered lazily as peers are discovered.
 	obsMu  sync.Mutex
@@ -173,9 +220,22 @@ func NewNode(cfg Config) (*Node, error) {
 		peerUp: map[string]*obs.Gauge{},
 		hbLat:  map[string]*obs.Histogram{},
 	}
+	if n.cfg.SnapshotMaxBytes <= 0 {
+		n.cfg.SnapshotMaxBytes = DefaultSnapshotMaxBytes
+	}
+	if n.cfg.DeltaThreshold <= 0 {
+		n.cfg.DeltaThreshold = DefaultDeltaThreshold
+	}
 	n.hc = cfg.HTTPClient
 	if n.hc == nil {
-		n.hc = &http.Client{Timeout: 5 * time.Second}
+		// Default client rides the pooled cluster transport: gossip and
+		// anti-entropy reuse the same kept-alive connections as the service
+		// layer's proxy/replication client.
+		tr := http.RoundTripper(SharedTransport())
+		if cfg.MaxIdleConnsPerHost > 0 {
+			tr = NewTransport(cfg.MaxIdleConnsPerHost)
+		}
+		n.hc = &http.Client{Timeout: 5 * time.Second, Transport: tr}
 	}
 	// A node that boots with statistics starts at epoch 1 so empty peers
 	// pull from it; an empty node starts at 0 and adopts whatever the
@@ -336,6 +396,64 @@ func (n *Node) CatalogHash() string {
 	}
 	n.hashGen, n.hashVal = hgen, hash
 	return hash
+}
+
+// DigestEntry is one entry's record in the digest document: the CRC32-C of
+// its canonical single-entry payload plus the last mutation stamp this node
+// applied for the key (omitted when untracked — most entries are, and the
+// digest document's size is the delta path's fixed wire cost).
+type DigestEntry struct {
+	CRC   uint32 `json:"crc"`
+	Stamp *Stamp `json:"stamp,omitempty"`
+}
+
+// DigestDoc is served at GET /v1/cluster/digest: every entry's digest, the
+// serving node's epoch, and the generation the digests describe. A behind
+// peer diffs it against its own digests and fetches only divergent entries.
+type DigestDoc struct {
+	Node       string                 `json:"node"`
+	Epoch      uint64                 `json:"epoch"`
+	Generation uint64                 `json:"generation"`
+	Entries    map[string]DigestEntry `json:"entries"`
+}
+
+// entryDigests returns the per-entry digest table, cached per generation.
+// The returned map is shared — callers must treat it as read-only.
+func (n *Node) entryDigests() (map[string]uint32, uint64, error) {
+	gen := n.store.Generation()
+	n.digestMu.Lock()
+	defer n.digestMu.Unlock()
+	if n.digestGen == gen && n.digestVal != nil {
+		return n.digestVal, n.digestGen, nil
+	}
+	d, dgen, err := n.store.EntryDigests()
+	if err != nil {
+		return nil, 0, err
+	}
+	n.digestGen, n.digestVal = dgen, d
+	return d, dgen, nil
+}
+
+// DigestDoc assembles the document served at GET /v1/cluster/digest.
+func (n *Node) DigestDoc() (DigestDoc, error) {
+	digests, gen, err := n.entryDigests()
+	if err != nil {
+		return DigestDoc{}, err
+	}
+	doc := DigestDoc{
+		Node:       n.cfg.SelfID,
+		Epoch:      n.epoch.Load(),
+		Generation: gen,
+		Entries:    make(map[string]DigestEntry, len(digests)),
+	}
+	for k, crc := range digests {
+		de := DigestEntry{CRC: crc}
+		if st := n.KeyStamp(k); st != (Stamp{}) {
+			de.Stamp = &st
+		}
+		doc.Entries[k] = de
+	}
+	return doc, nil
 }
 
 // selfInfo assembles this node's own gossip record.
@@ -503,9 +621,11 @@ func (n *Node) gossipOnce(ctx context.Context, baseURL string, doc Doc) (Doc, er
 	return reply, nil
 }
 
-// maybePull schedules an async snapshot pull from a peer whose catalog is
-// ahead of ours: strictly higher mutation epoch with a different content
-// hash. Pulls are single-flight. Equal epochs with diverging hashes are a
+// maybePull schedules an async anti-entropy sync from a peer whose catalog
+// is ahead of ours: strictly higher mutation epoch with a different content
+// hash. Syncs are single-flight and delta-first (digest diff, then
+// per-entry fetches), falling back to the full snapshot stream when the
+// divergence is too broad. Equal epochs with diverging hashes are a
 // conflict gossip cannot resolve; they are logged and left to operators
 // (the next mutation's epoch bump breaks the tie).
 func (n *Node) maybePull(remote NodeInfo) {
@@ -531,12 +651,168 @@ func (n *Node) maybePull(remote NodeInfo) {
 		defer n.pulling.Store(false)
 		ctx, cancel := context.WithTimeout(context.Background(), snapshotPullTimeout)
 		defer cancel()
-		if err := n.PullSnapshot(ctx, url); err != nil {
+		if err := n.Sync(ctx, url); err != nil {
 			n.pullsFail.Add(1)
-			n.log.LogAttrs(ctx, slog.LevelWarn, "snapshot pull failed",
+			n.log.LogAttrs(ctx, slog.LevelWarn, "anti-entropy sync failed",
 				slog.String("peer", url), slog.String("error", err.Error()))
 		}
 	}()
+}
+
+// errDeltaFallback marks a delta sync that declined in favor of the full
+// snapshot stream (too much divergence, or an empty local catalog where a
+// bulk adopt is strictly cheaper than per-entry fetches).
+var errDeltaFallback = errors.New("cluster: delta sync fell back to full snapshot")
+
+// Sync converges this node with a peer, delta-first: diff digests and fetch
+// only divergent entries; any delta failure — threshold exceeded, digest
+// route unavailable, a fetch error mid-stream — falls back to the full
+// snapshot pull, which remains the correctness backstop.
+func (n *Node) Sync(ctx context.Context, baseURL string) error {
+	err := n.PullDelta(ctx, baseURL)
+	if err == nil {
+		return nil
+	}
+	n.deltaFallback.Add(1)
+	if !errors.Is(err, errDeltaFallback) {
+		n.log.LogAttrs(ctx, slog.LevelDebug, "delta sync failed, pulling full snapshot",
+			slog.String("peer", baseURL), slog.String("error", err.Error()))
+	}
+	return n.PullSnapshot(ctx, baseURL)
+}
+
+// PullDelta runs one delta anti-entropy round against a peer: fetch its
+// digest table, diff against ours (skipping stamp-tracked keys, which
+// converge through replicated mutations and hinted handoff), fetch each
+// divergent entry as a verified trailered stream, and fold them in as one
+// merge generation. The wire cost is O(changed entries) plus one digest
+// document, against O(catalog) for a full pull. Returns errDeltaFallback
+// (wrapped) when a full pull is the better plan.
+func (n *Node) PullDelta(ctx context.Context, baseURL string) error {
+	remote, err := n.fetchDigest(ctx, baseURL)
+	if err != nil {
+		return err
+	}
+	local, _, err := n.entryDigests()
+	if err != nil {
+		return err
+	}
+	var diff []string
+	for k, de := range remote.Entries {
+		if n.HasKeyStamp(k) {
+			continue
+		}
+		if crc, ok := local[k]; ok && crc == de.CRC {
+			continue
+		}
+		diff = append(diff, k)
+	}
+	if len(diff) == 0 {
+		// All divergence (if any) is stamp-tracked: nothing bulk anti-entropy
+		// may touch. Fold the epoch so the pull trigger quiesces.
+		n.ObserveEpoch(remote.Epoch)
+		n.deltaOK.Add(1)
+		return nil
+	}
+	if len(local) == 0 {
+		return fmt.Errorf("%w: local catalog is empty, bulk adopt is cheaper", errDeltaFallback)
+	}
+	if max := n.cfg.DeltaThreshold * float64(len(remote.Entries)); float64(len(diff)) > max {
+		return fmt.Errorf("%w: %d of %d entries divergent (threshold %.0f%%)",
+			errDeltaFallback, len(diff), len(remote.Entries), n.cfg.DeltaThreshold*100)
+	}
+	sort.Strings(diff)
+	streams := make([][]byte, 0, len(diff))
+	for _, k := range diff {
+		data, err := n.fetchEntry(ctx, baseURL, k)
+		if err != nil {
+			return err
+		}
+		streams = append(streams, data)
+	}
+	gen, err := n.store.MergeEntries(streams, n.HasKeyStamp)
+	if err != nil {
+		return fmt.Errorf("cluster: delta merge from %s: %w", baseURL, err)
+	}
+	n.ObserveEpoch(remote.Epoch)
+	n.deltaOK.Add(1)
+	n.log.LogAttrs(ctx, slog.LevelInfo, "catalog delta pulled",
+		slog.String("peer", baseURL), slog.Int("entries", len(diff)),
+		slog.Uint64("generation", gen), slog.Uint64("epoch", remote.Epoch))
+	return nil
+}
+
+// fetchDigest GETs a peer's digest document, bounded by the snapshot size
+// cap; the bytes count against the delta wire-cost counter.
+func (n *Node) fetchDigest(ctx context.Context, baseURL string) (DigestDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathDigest, nil)
+	if err != nil {
+		return DigestDoc{}, err
+	}
+	req.Header.Set(HeaderNode, n.cfg.SelfID)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return DigestDoc{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return DigestDoc{}, fmt.Errorf("cluster: digest %s: status %d", baseURL, resp.StatusCode)
+	}
+	data, err := n.readBounded(resp.Body, "digest")
+	if err != nil {
+		return DigestDoc{}, fmt.Errorf("cluster: digest %s: %w", baseURL, err)
+	}
+	n.bytesDelta.Add(uint64(len(data)))
+	var doc DigestDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return DigestDoc{}, fmt.Errorf("cluster: digest %s: %w", baseURL, err)
+	}
+	return doc, nil
+}
+
+// fetchEntry GETs one entry's trailered stream from a peer, bounded by the
+// snapshot size cap; the bytes count against the delta wire-cost counter.
+func (n *Node) fetchEntry(ctx context.Context, baseURL, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathEntryPrefix+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(HeaderNode, n.cfg.SelfID)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: entry %s from %s: status %d", key, baseURL, resp.StatusCode)
+	}
+	data, err := n.readBounded(resp.Body, "entry")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: entry %s from %s: %w", key, baseURL, err)
+	}
+	n.bytesDelta.Add(uint64(len(data)))
+	return data, nil
+}
+
+// readBounded reads a response body under the configured size cap, counting
+// oversize rejections so a peer serving runaway streams is visible.
+func (n *Node) readBounded(r io.Reader, what string) ([]byte, error) {
+	max := n.cfg.SnapshotMaxBytes
+	data, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > max {
+		n.oversize.Add(1)
+		return nil, fmt.Errorf("%s stream exceeds the %d-byte cap", what, max)
+	}
+	return data, nil
 }
 
 // PullSnapshot streams the checksummed catalog snapshot from a peer and
@@ -565,10 +841,11 @@ func (n *Node) PullSnapshot(ctx context.Context, baseURL string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("cluster: snapshot %s: status %d", baseURL, resp.StatusCode)
 	}
-	data, err := io.ReadAll(resp.Body)
+	data, err := n.readBounded(resp.Body, "snapshot")
 	if err != nil {
 		return fmt.Errorf("cluster: snapshot %s: %w", baseURL, err)
 	}
+	n.bytesFull.Add(uint64(len(data)))
 	gen, err := n.store.MergeSnapshot(data, n.HasKeyStamp)
 	if err != nil {
 		return fmt.Errorf("cluster: snapshot %s: %w", baseURL, err)
@@ -589,6 +866,22 @@ func (n *Node) PullSnapshot(ctx context.Context, baseURL string) error {
 func (n *Node) Pulls() (ok, failed uint64) {
 	return n.pullsOK.Load(), n.pullsFail.Load()
 }
+
+// DeltaPulls reports completed delta syncs and delta syncs that fell back
+// to a full snapshot pull.
+func (n *Node) DeltaPulls() (ok, fallback uint64) {
+	return n.deltaOK.Load(), n.deltaFallback.Load()
+}
+
+// AntiEntropyBytes reports the bytes received over the wire by sync mode —
+// the honest cost ledger the delta-sync gates (bench, clustercheck) read.
+func (n *Node) AntiEntropyBytes() (delta, full uint64) {
+	return n.bytesDelta.Load(), n.bytesFull.Load()
+}
+
+// OversizeRejections reports anti-entropy responses rejected by the
+// configured size cap.
+func (n *Node) OversizeRejections() uint64 { return n.oversize.Load() }
 
 // Rounds reports the number of gossip rounds run.
 func (n *Node) Rounds() uint64 { return n.rounds.Load() }
@@ -612,6 +905,16 @@ func (n *Node) RegisterMetrics(reg *obs.Registry) {
 		func() float64 { return float64(n.pullsOK.Load()) })
 	reg.CounterFunc("epfis_cluster_snapshot_pull_failures_total", "Snapshot pulls that failed.",
 		func() float64 { return float64(n.pullsFail.Load()) })
+	reg.CounterFunc("epfis_cluster_delta_pulls_total", "Delta anti-entropy syncs completed.",
+		func() float64 { return float64(n.deltaOK.Load()) })
+	reg.CounterFunc("epfis_cluster_delta_fallbacks_total", "Delta syncs that fell back to a full snapshot pull.",
+		func() float64 { return float64(n.deltaFallback.Load()) })
+	reg.CounterFunc("epfis_cluster_antientropy_bytes_total", "Anti-entropy bytes received by sync mode.",
+		func() float64 { return float64(n.bytesDelta.Load()) }, obs.Label{Name: "mode", Value: "delta"})
+	reg.CounterFunc("epfis_cluster_antientropy_bytes_total", "Anti-entropy bytes received by sync mode.",
+		func() float64 { return float64(n.bytesFull.Load()) }, obs.Label{Name: "mode", Value: "full"})
+	reg.CounterFunc("epfis_cluster_antientropy_oversize_total", "Anti-entropy responses rejected by the size cap.",
+		func() float64 { return float64(n.oversize.Load()) })
 	n.syncPeerGauges()
 }
 

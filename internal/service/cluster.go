@@ -45,7 +45,6 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"epfis/internal/cluster"
@@ -67,6 +66,8 @@ const (
 	routeClusterHealth   = "GET " + cluster.PathHealth
 	routeClusterGossip   = "POST " + cluster.PathGossip
 	routeClusterSnapshot = "GET " + cluster.PathSnapshot
+	routeClusterDigest   = "GET " + cluster.PathDigest
+	routeClusterEntry    = "GET " + cluster.PathEntryPrefix + "{key}"
 )
 
 // errNotOwner is the 421 body message prefix.
@@ -82,6 +83,7 @@ type clusterObs struct {
 	replicated    *obs.Counter
 	replFailures  *obs.Counter
 	staleDrops    *obs.Counter
+	fastAcks      *obs.Counter
 
 	reg       *obs.Registry
 	replLatMu sync.Mutex
@@ -105,6 +107,8 @@ func newClusterObs(reg *obs.Registry) *clusterObs {
 			"Peer replication sends that failed (hinted handoff redelivers them)."),
 		staleDrops: reg.Counter("epfis_cluster_stale_mutations_total",
 			"Replicated mutations skipped because the key had already applied an equal or later epoch."),
+		fastAcks: reg.Counter("epfis_cluster_quorum_fastacks_total",
+			"Quorum verdicts returned while replication sends were still in flight."),
 		reg:     reg,
 		replLat: map[string]*obs.Histogram{},
 	}
@@ -213,7 +217,9 @@ func (s *Server) proxyRequest(w http.ResponseWriter, r *http.Request, baseURL, m
 		w.Header().Set(cluster.HeaderNode, id)
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	cb := proxyCopyPool.Get().(*[]byte)
+	io.CopyBuffer(w, resp.Body, *cb)
+	proxyCopyPool.Put(cb)
 	return true
 }
 
@@ -236,6 +242,48 @@ func (s *Server) writeMisdirected(w http.ResponseWriter, key string) {
 		"owners": docs,
 	})
 }
+
+// mutationEncoder pairs a buffer with a reusable json.Encoder for the
+// replication-body hot path; pooling both means a cluster PUT stops paying
+// encoder-state and buffer-growth allocations per call.
+type mutationEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var mutationEncPool = sync.Pool{New: func() any {
+	m := &mutationEncoder{}
+	m.enc = json.NewEncoder(&m.buf)
+	return m
+}}
+
+// encodeMutationBody renders an entry as the replication fan-out body using
+// the pooled encoder. The returned slice is an exact-size caller-owned copy:
+// the body outlives this call — detached straggler sends and hint journals
+// retain it — so it must never alias pooled memory.
+func encodeMutationBody(e *stats.IndexStats) ([]byte, error) {
+	m := mutationEncPool.Get().(*mutationEncoder)
+	m.buf.Reset()
+	if err := m.enc.Encode(e); err != nil {
+		mutationEncPool.Put(m)
+		return nil, err
+	}
+	b := bytes.TrimSuffix(m.buf.Bytes(), []byte("\n"))
+	out := make([]byte, len(b))
+	copy(out, b)
+	if m.buf.Cap() <= maxPooledBuf {
+		mutationEncPool.Put(m)
+	}
+	return out, nil
+}
+
+// proxyCopyPool holds the 32KB buffers proxyRequest streams upstream
+// response bodies through, so a forwarded estimate does not allocate a copy
+// buffer per hop.
+var proxyCopyPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
 
 // indexPath is the replicated mutation path for one index.
 func indexPath(table, column string) string {
@@ -277,7 +325,7 @@ func (s *Server) clusterPut(w http.ResponseWriter, r *http.Request, e *stats.Ind
 		})
 		return
 	}
-	body, merr := json.Marshal(e)
+	body, merr := encodeMutationBody(e)
 	if merr != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("encode replication body: %w", merr))
 		return
@@ -419,33 +467,44 @@ func (s *Server) applyLocal(key string, apply func() (uint64, error)) (gen, epoc
 }
 
 // replicateQuorum fans an epoch-stamped mutation out to every live peer and
-// blocks until the sends settle, then checks write quorum: the mutation is
-// acknowledged only when W of the key's R ring owners hold it (the local
-// apply counts when this node is an owner). Peers that are unreachable —
-// dead, URL-less, partitioned, or past the per-peer timeout — get the
-// mutation journaled as a durable hint instead of blocking the client, so
-// convergence does not wait for anti-entropy. A missed quorum returns an
-// error; the caller surfaces 503 with the applied-locally contract
-// (retry-safe, because every replicated apply is epoch-gated).
+// returns as soon as the quorum verdict is decided: the mutation is
+// acknowledged when W of the key's R ring owners hold it (the local apply
+// counts when this node is an owner), and rejected the moment enough owner
+// sends have failed that W is unreachable. Sends that are still in flight
+// when the verdict lands — owner stragglers and every non-owner peer —
+// detach and finish in the background, still journaling a durable hint on
+// failure, so a slow replica costs the client nothing and convergence never
+// waits for anti-entropy. Peers that are unreachable up front — dead,
+// URL-less — get the hint immediately. A missed quorum returns an error;
+// the caller surfaces 503 with the applied-locally contract (retry-safe,
+// because every replicated apply is epoch-gated).
 func (s *Server) replicateQuorum(method, path string, body []byte, key string, epoch uint64) error {
 	owners := map[string]bool{}
 	for _, p := range s.cluster.Owners(key) {
 		owners[p.ID] = true
 	}
-	var acks atomic.Int64
+	acks := 0
 	if owners[s.cluster.SelfID()] {
-		acks.Add(1)
+		acks++
 	}
-	var wg sync.WaitGroup
+	var live []cluster.PeerInfo
+	pending := 0 // owner sends in flight
 	for _, p := range s.cluster.Peers() {
 		if p.URL == "" || p.State == cluster.StateDead {
 			s.cobs.replFailures.Inc()
 			s.handoff.enqueue(hintRecord{Peer: p.ID, Method: method, Path: path, Body: body, Epoch: epoch, Key: key})
 			continue
 		}
-		wg.Add(1)
-		go func(p cluster.PeerInfo) {
-			defer wg.Done()
+		live = append(live, p)
+		if owners[p.ID] {
+			pending++
+		}
+	}
+	// Buffered to every owner send, so a straggler's late report never
+	// blocks its goroutine after the verdict has been returned.
+	results := make(chan bool, pending)
+	for _, p := range live {
+		go func(p cluster.PeerInfo, isOwner bool) {
 			start := time.Now()
 			err := s.replicateTo(p.URL, method, path, body, epoch)
 			s.cobs.observeReplication(p.ID, time.Since(start))
@@ -455,17 +514,28 @@ func (s *Server) replicateQuorum(method, path string, body []byte, key string, e
 					slog.String("peer", p.ID), slog.String("path", path),
 					slog.String("error", err.Error()))
 				s.handoff.enqueue(hintRecord{Peer: p.ID, Method: method, Path: path, Body: body, Epoch: epoch, Key: key})
-				return
+			} else {
+				s.cobs.replicated.Inc()
 			}
-			s.cobs.replicated.Inc()
-			if owners[p.ID] {
-				acks.Add(1)
+			if isOwner {
+				results <- err == nil
 			}
-		}(p)
+		}(p, owners[p.ID])
 	}
-	wg.Wait()
-	if need := s.quorumFor(len(owners)); int(acks.Load()) < need {
-		return fmt.Errorf("%d/%d owner acks, need %d", acks.Load(), len(owners), need)
+	// Fast-ack loop: stop waiting the moment the verdict is decided — quorum
+	// met, or too few owner sends left for it ever to be met.
+	need := s.quorumFor(len(owners))
+	for acks < need && acks+pending >= need {
+		if <-results {
+			acks++
+		}
+		pending--
+	}
+	if pending > 0 {
+		s.cobs.fastAcks.Inc()
+	}
+	if acks < need {
+		return fmt.Errorf("%d/%d owner acks, need %d", acks, len(owners), need)
 	}
 	return nil
 }
@@ -494,7 +564,7 @@ func (s *Server) quorumFor(owners int) int {
 // merges, so anti-entropy alone would never deliver the refit.
 func (s *Server) replicateRepublish(e *stats.IndexStats) {
 	key := e.Key()
-	body, err := json.Marshal(e)
+	body, err := encodeMutationBody(e)
 	if err != nil {
 		return
 	}
@@ -582,6 +652,48 @@ func (s *Server) handleClusterGossip(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleClusterSnapshot(w http.ResponseWriter, r *http.Request) {
 	data, gen, err := s.store.ExportSnapshot()
 	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(cluster.HeaderNode, s.cluster.SelfID())
+	h.Set(cluster.HeaderEpoch, strconv.FormatUint(s.cluster.Epoch(), 10))
+	h.Set(cluster.HeaderGeneration, strconv.FormatUint(gen, 10))
+	h.Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleClusterDigest serves the per-entry digest table that drives delta
+// anti-entropy: key -> (last applied stamp, CRC32-C of the canonical
+// single-entry payload), plus this node's epoch and generation. A behind
+// peer diffs it against its own digests and fetches only divergent entries.
+func (s *Server) handleClusterDigest(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.cluster.DigestDoc()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set(cluster.HeaderNode, s.cluster.SelfID())
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleClusterEntry streams one entry in the trailered catalog framing —
+// the delta-sync sibling of handleClusterSnapshot, with the same end-to-end
+// checksum verification on the receiving MergeEntries.
+func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
+	key, err := url.PathUnescape(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad entry key: %w", err))
+		return
+	}
+	data, gen, err := s.store.ExportEntry(key)
+	if err != nil {
+		if errors.Is(err, stats.ErrNotFound) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

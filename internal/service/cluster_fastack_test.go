@@ -1,0 +1,81 @@
+package service
+
+// Straggler-peer drill for the quorum fast-ack path: a client PUT must
+// return as soon as W owner acks land, not when the slowest replica
+// answers, and the detached straggler send must still converge the slow
+// peer — directly when it lands, through a journaled hint when it fails.
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"epfis/internal/faultnet"
+)
+
+func TestClusterQuorumFastAckStraggler(t *testing.T) {
+	nodes := startFaultCluster(t, 3, 3) // R=3, majority W=2: self + one peer
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	// Every replication send from a to c crawls: the injected delay is far
+	// past the 500ms per-peer replication timeout, so the straggler send is
+	// guaranteed to miss and journal a hint.
+	a.inj.Add(faultnet.Rule{
+		Op:    faultnet.OpRequest,
+		Peer:  c.host(),
+		Route: "/v1/indexes/",
+		Count: -1,
+		Mode:  faultnet.ModeSlow,
+		Delay: 3 * time.Second,
+	})
+
+	st := fitStats(t, "orders", "straggler", 7)
+	start := time.Now()
+	if status, body := rawMutate(t, a.cnode, http.MethodPut,
+		"/v1/indexes/orders/straggler", mustMarshal(t, st)); status != http.StatusOK {
+		t.Fatalf("PUT with one slow peer = %d, want 200: %s", status, body)
+	}
+	elapsed := time.Since(start)
+
+	// Fast-ack: the verdict (self + b = 2 acks) must land well before the
+	// straggler's 500ms timeout, let alone its 1.5-3s injected delay.
+	if elapsed >= 400*time.Millisecond {
+		t.Fatalf("quorum PUT took %v with one slow peer, want fast-ack well under the 500ms straggler timeout", elapsed)
+	}
+	if got := a.srv.cobs.fastAcks.Value(); got == 0 {
+		t.Fatalf("fastAcks counter = 0 after straggler PUT, want > 0")
+	}
+
+	// b (the fast owner) already holds the entry.
+	if _, err := b.store.Get("orders", "straggler"); err != nil {
+		t.Fatalf("fast peer missing entry after ack: %v", err)
+	}
+
+	// The detached send must converge c eventually: once the straggler
+	// times out it journals a hint, and draining after the fault clears
+	// delivers it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		a.inj.Reset()
+		a.srv.DrainHandoff(context.Background())
+		if _, err := c.store.Get("orders", "straggler"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow peer never received the straggler entry via detached send or hint")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	hc, _, err := c.store.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, _, err := a.store.ContentHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc != ha {
+		t.Fatalf("slow peer hash %s != originator hash %s after drain", hc, ha)
+	}
+}

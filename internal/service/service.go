@@ -273,7 +273,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Cluster != nil {
 		routeNames = append(routeNames,
-			routeClusterHealth, routeClusterGossip, routeClusterSnapshot)
+			routeClusterHealth, routeClusterGossip, routeClusterSnapshot,
+			routeClusterDigest, routeClusterEntry)
 	}
 	s.met = newMetrics(routeNames)
 
@@ -292,10 +293,24 @@ func New(cfg Config) (*Server, error) {
 		s.cobs = newClusterObs(s.obs.reg)
 		s.cluster.RegisterMetrics(s.obs.reg)
 		timeout := cfg.RequestTimeout
-		if timeout <= 0 {
+		if timeout == 0 {
 			timeout = DefaultRequestTimeout
+		} else if timeout < 0 {
+			// Same contract as the handler timeout: negative disables it.
+			// Client.Timeout arms a timer, a cancel context, and a body
+			// wrapper on every forwarded request; with it off, cancellation
+			// still flows in from the inbound request context.
+			timeout = 0
 		}
-		s.proxyHTTP = &http.Client{Timeout: timeout, Transport: cfg.Transport}
+		tr := cfg.Transport
+		if tr == nil {
+			// Default to the pooled cluster transport: proxying, replication,
+			// and hinted handoff share kept-alive connections per peer
+			// instead of re-dialing through http.DefaultTransport's
+			// 2-idle-conns-per-host pool.
+			tr = cluster.SharedTransport()
+		}
+		s.proxyHTTP = &http.Client{Timeout: timeout, Transport: tr}
 		s.replTimeout = cfg.ReplicateTimeout
 		if s.replTimeout <= 0 {
 			s.replTimeout = DefaultReplicateTimeout
@@ -368,6 +383,8 @@ func New(cfg Config) (*Server, error) {
 		mux.Handle(routeClusterHealth, s.instrument(routeClusterHealth, s.handleClusterHealth))
 		mux.Handle(routeClusterGossip, s.instrument(routeClusterGossip, s.handleClusterGossip))
 		mux.Handle(routeClusterSnapshot, s.instrument(routeClusterSnapshot, s.handleClusterSnapshot))
+		mux.Handle(routeClusterDigest, s.instrument(routeClusterDigest, s.handleClusterDigest))
+		mux.Handle(routeClusterEntry, s.instrument(routeClusterEntry, s.handleClusterEntry))
 	}
 
 	var h http.Handler = mux
