@@ -182,6 +182,12 @@ type Node struct {
 	reg    *obs.Registry
 	peerUp map[string]*obs.Gauge
 	hbLat  map[string]*obs.Histogram
+	aeLat  map[string]*obs.Histogram // anti-entropy latency, keyed peer\x00route
+
+	// traceRing, when attached, receives one hop record per cluster-internal
+	// send (gossip, digest/entry/snapshot pulls) so distributed traces show
+	// the anti-entropy edges too. Nil = tracing disabled.
+	traceRing atomic.Pointer[obs.TraceRing]
 }
 
 // NewNode validates cfg and builds the agent. The initial ring contains self
@@ -219,6 +225,7 @@ func NewNode(cfg Config) (*Node, error) {
 		log:    cfg.Log,
 		peerUp: map[string]*obs.Gauge{},
 		hbLat:  map[string]*obs.Histogram{},
+		aeLat:  map[string]*obs.Histogram{},
 	}
 	if n.cfg.SnapshotMaxBytes <= 0 {
 		n.cfg.SnapshotMaxBytes = DefaultSnapshotMaxBytes
@@ -592,6 +599,8 @@ func (n *Node) Tick(ctx context.Context) {
 }
 
 // gossipOnce POSTs this node's document to one peer and decodes the reply.
+// With tracing on, the exchange carries a fresh traceparent and the sender
+// records one gossip hop span.
 func (n *Node) gossipOnce(ctx context.Context, baseURL string, doc Doc) (Doc, error) {
 	body, err := json.Marshal(doc)
 	if err != nil {
@@ -603,20 +612,38 @@ func (n *Node) gossipOnce(ctx context.Context, baseURL string, doc Doc) (Doc, er
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(HeaderNode, n.cfg.SelfID)
+	var tp obs.Traceparent
+	traced := n.tracing()
+	if traced {
+		tp = obs.NewTraceparent()
+		req.Header.Set(obs.TraceparentHeader, tp.String())
+	}
+	start := time.Now()
 	resp, err := n.hc.Do(req)
 	if err != nil {
+		if traced {
+			n.recordHop(tp, obs.HopGossip, n.peerIDByURL(baseURL), PathGossip, 0, start)
+		}
 		return Doc{}, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	var reply Doc
+	decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply)
+	if traced {
+		peer := reply.Self.ID
+		if peer == "" {
+			peer = n.peerIDByURL(baseURL)
+		}
+		n.recordHop(tp, obs.HopGossip, peer, PathGossip, resp.StatusCode, start)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return Doc{}, fmt.Errorf("cluster: gossip %s: status %d", baseURL, resp.StatusCode)
 	}
-	var reply Doc
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply); err != nil {
-		return Doc{}, fmt.Errorf("cluster: gossip %s: %w", baseURL, err)
+	if decodeErr != nil {
+		return Doc{}, fmt.Errorf("cluster: gossip %s: %w", baseURL, decodeErr)
 	}
 	return reply, nil
 }
@@ -657,6 +684,31 @@ func (n *Node) maybePull(remote NodeInfo) {
 				slog.String("peer", url), slog.String("error", err.Error()))
 		}
 	}()
+}
+
+// doHop performs one anti-entropy request against a peer: it stamps the
+// sender id and (with tracing on) a fresh child traceparent, times the round
+// trip into the per-peer/per-route latency histogram, and records a hop span
+// into the trace ring. kind doubles as the histogram's route label value.
+func (n *Node) doHop(req *http.Request, kind, baseURL string) (*http.Response, error) {
+	peer := n.peerIDByURL(baseURL)
+	var tp obs.Traceparent
+	traced := n.tracing()
+	if traced {
+		tp = obs.NewTraceparent()
+		req.Header.Set(obs.TraceparentHeader, tp.String())
+	}
+	start := time.Now()
+	resp, err := n.hc.Do(req)
+	status := 0
+	if err == nil {
+		status = resp.StatusCode
+	}
+	n.observeAntiEntropy(peer, kind, time.Since(start))
+	if traced {
+		n.recordHop(tp, kind, peer, req.URL.Path, status, start)
+	}
+	return resp, err
 }
 
 // errDeltaFallback marks a delta sync that declined in favor of the full
@@ -750,7 +802,7 @@ func (n *Node) fetchDigest(ctx context.Context, baseURL string) (DigestDoc, erro
 		return DigestDoc{}, err
 	}
 	req.Header.Set(HeaderNode, n.cfg.SelfID)
-	resp, err := n.hc.Do(req)
+	resp, err := n.doHop(req, obs.HopDigest, baseURL)
 	if err != nil {
 		return DigestDoc{}, err
 	}
@@ -781,7 +833,7 @@ func (n *Node) fetchEntry(ctx context.Context, baseURL, key string) ([]byte, err
 		return nil, err
 	}
 	req.Header.Set(HeaderNode, n.cfg.SelfID)
-	resp, err := n.hc.Do(req)
+	resp, err := n.doHop(req, obs.HopEntry, baseURL)
 	if err != nil {
 		return nil, err
 	}
@@ -830,7 +882,7 @@ func (n *Node) PullSnapshot(ctx context.Context, baseURL string) error {
 		return err
 	}
 	req.Header.Set(HeaderNode, n.cfg.SelfID)
-	resp, err := n.hc.Do(req)
+	resp, err := n.doHop(req, obs.HopSnapshot, baseURL)
 	if err != nil {
 		return err
 	}
@@ -886,6 +938,35 @@ func (n *Node) OversizeRejections() uint64 { return n.oversize.Load() }
 // Rounds reports the number of gossip rounds run.
 func (n *Node) Rounds() uint64 { return n.rounds.Load() }
 
+// SetTraceRing attaches the trace ring that receives hop records for this
+// node's outbound cluster traffic. The service layer passes its request
+// ring, so request and hop records stitch into one timeline.
+func (n *Node) SetTraceRing(r *obs.TraceRing) { n.traceRing.Store(r) }
+
+// TraceRing returns the attached hop-trace ring (nil when tracing is off).
+func (n *Node) TraceRing() *obs.TraceRing { return n.traceRing.Load() }
+
+// tracing reports whether hop tracing is enabled, so disabled nodes skip
+// the traceparent render entirely.
+func (n *Node) tracing() bool { return n.traceRing.Load() != nil }
+
+// peerIDByURL resolves a peer's node ID from its base URL, falling back to
+// the URL itself for peers not yet in the member table (seed contacts).
+func (n *Node) peerIDByURL(baseURL string) string {
+	for _, p := range n.mem.Peers() {
+		if p.URL == baseURL {
+			return p.ID
+		}
+	}
+	return baseURL
+}
+
+// recordHop writes one completed cluster-internal send into the attached
+// trace ring (no-op when tracing is off).
+func (n *Node) recordHop(tp obs.Traceparent, kind, peer, route string, status int, start time.Time) {
+	n.traceRing.Load().RecordHop(tp, obs.SpanID{}, kind, peer, route, status, start, time.Since(start))
+}
+
 // RegisterMetrics wires the node's cluster metrics into an obs registry:
 // cluster-level gauges/counters now, and per-peer epfis_cluster_peer_up
 // gauges plus heartbeat-latency histograms as peers are discovered.
@@ -938,6 +1019,30 @@ func (n *Node) observeHeartbeat(peerID string, d time.Duration) {
 			"Gossip round-trip latency by peer.", heartbeatBuckets,
 			obs.Label{Name: "peer", Value: peerID})
 		n.hbLat[peerID] = h
+	}
+	h.Observe(d.Seconds())
+}
+
+// observeAntiEntropy records one anti-entropy round trip (digest, entry, or
+// snapshot pull) into the per-peer, per-route latency histogram, registering
+// the series lazily as peers and routes are first used.
+func (n *Node) observeAntiEntropy(peerID, route string, d time.Duration) {
+	if peerID == "" {
+		return
+	}
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	if n.reg == nil {
+		return
+	}
+	key := peerID + "\x00" + route
+	h, ok := n.aeLat[key]
+	if !ok {
+		h = n.reg.Histogram("epfis_cluster_antientropy_seconds",
+			"Anti-entropy round-trip latency by peer and route.", heartbeatBuckets,
+			obs.Label{Name: "peer", Value: peerID},
+			obs.Label{Name: "route", Value: route})
+		n.aeLat[key] = h
 	}
 	h.Observe(d.Seconds())
 }

@@ -109,6 +109,102 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum reports the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// HistogramSnapshot is a point-in-time copy of a histogram's state that can
+// be merged with snapshots of other histograms over the same bounds — the
+// building block for cluster-level metric rollups.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bucket edges, increasing; +Inf implicit
+	Counts []uint64  // len(Bounds)+1 per-bucket (non-cumulative) counts
+	Count  uint64    // total observations = sum(Counts)
+	Sum    float64   // sum of observed values
+}
+
+// Snapshot copies the histogram's buckets and sum. Count is derived from the
+// bucket counts so the snapshot is internally consistent even when taken
+// concurrently with observations.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.buckets)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Merge adds o's buckets, count, and sum into s. The bounds must match
+// exactly; merging histograms over different bucket layouts is an error.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) error {
+	if len(s.Bounds) != len(o.Bounds) || len(s.Counts) != len(o.Counts) {
+		return fmt.Errorf("obs: merge: bucket layouts differ (%d vs %d bounds)", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return fmt.Errorf("obs: merge: bound %d differs (%g vs %g)", i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return nil
+}
+
+// AppendText renders the snapshot as one exposition histogram series:
+// cumulative _bucket lines ending at +Inf, then _sum and _count.
+func (s HistogramSnapshot) AppendText(dst []byte, name string, labels []Label) []byte {
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		dst = append(dst, name...)
+		dst = append(dst, "_bucket"...)
+		dst = appendLabelsWithLE(dst, labels, bound)
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, cum, 10)
+		dst = append(dst, '\n')
+	}
+	if len(s.Counts) > 0 {
+		cum += s.Counts[len(s.Counts)-1]
+	}
+	dst = append(dst, name...)
+	dst = append(dst, "_bucket"...)
+	dst = appendLabelsWithLE(dst, labels, math.Inf(1))
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, cum, 10)
+	dst = append(dst, '\n')
+
+	dst = append(dst, name...)
+	dst = append(dst, "_sum"...)
+	dst = AppendSample(dst, "", labels, s.Sum)
+
+	dst = append(dst, name...)
+	dst = append(dst, "_count"...)
+	if len(labels) > 0 {
+		dst = appendLabelSet(dst, labels, "", 0)
+	}
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, cum, 10)
+	return append(dst, '\n')
+}
+
+// AppendSample renders one exposition sample line "name{labels} value\n"
+// appended to dst. An empty name renders just the label set and value — used
+// to continue a line whose name prefix is already written.
+func AppendSample(dst []byte, name string, labels []Label, value float64) []byte {
+	dst = append(dst, name...)
+	if len(labels) > 0 {
+		dst = appendLabelSet(dst, labels, "", 0)
+	}
+	dst = append(dst, ' ')
+	dst = appendSampleValue(dst, value)
+	return append(dst, '\n')
+}
+
 // ExpBuckets returns n exponentially growing bounds: start, start*factor,
 // start*factor^2, ...
 func ExpBuckets(start, factor float64, n int) []float64 {

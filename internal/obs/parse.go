@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExpoSample is one parsed sample line. Name is the full sample name
+// including any histogram suffix (_bucket/_sum/_count); Labels are in
+// source order.
+type ExpoSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ExpoFamily groups the samples of one metric family as parsed from a text
+// exposition: Name is the base family name (histogram suffixes stripped for
+// declared histograms), Type the declared TYPE ("" when undeclared).
+type ExpoFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []ExpoSample
+}
+
+// ParseExposition parses a Prometheus text exposition (version 0.0.4) into
+// its families, in source order. It is the structural complement of
+// ValidateExposition: the federation endpoint uses it to merge per-node
+// expositions into cluster rollups. It tolerates free-form comments and
+// optional timestamps, and errors on malformed names, labels, or values.
+func ParseExposition(data []byte) ([]ExpoFamily, error) {
+	var (
+		fams  []ExpoFamily
+		index = map[string]int{} // family name -> position in fams
+		typed = map[string]string{}
+	)
+	fam := func(name string) *ExpoFamily {
+		if i, ok := index[name]; ok {
+			return &fams[i]
+		}
+		index[name] = len(fams)
+		fams = append(fams, ExpoFamily{Name: name, Type: typed[name]})
+		return &fams[len(fams)-1]
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) < 4 || !validMetricName(fields[2]) {
+					return nil, fmt.Errorf("obs: parse line %d: malformed TYPE %q", ln+1, line)
+				}
+				typed[fields[2]] = strings.TrimSpace(fields[3])
+				fam(fields[2]).Type = typed[fields[2]]
+			case "HELP":
+				if !validMetricName(fields[2]) {
+					return nil, fmt.Errorf("obs: parse line %d: malformed HELP %q", ln+1, line)
+				}
+				help := ""
+				if len(fields) == 4 {
+					help = fields[3]
+				}
+				fam(fields[2]).Help = help
+			}
+			continue
+		}
+		name, rest, err := scanMetricName(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse line %d: %w", ln+1, err)
+		}
+		labels, rest, err := scanLabels(rest)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse line %d: %s: %w", ln+1, name, err)
+		}
+		rest = strings.TrimLeft(rest, " ")
+		valueField, _, _ := strings.Cut(rest, " ")
+		value, err := parseSampleValue(valueField)
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse line %d: %s: bad value %q", ln+1, name, valueField)
+		}
+		base, _ := histFamily(name, typed)
+		f := fam(base)
+		f.Samples = append(f.Samples, ExpoSample{Name: name, Labels: labels, Value: value})
+	}
+	return fams, nil
+}
+
+// LabelValue returns the value of the named label on the sample.
+func (s ExpoSample) LabelValue(name string) (string, bool) {
+	return labelValue(s.Labels, name)
+}
+
+// CanonicalLabels renders the sample's label set in sorted, quoted form —
+// a stable identity key for matching series across expositions.
+func (s ExpoSample) CanonicalLabels() string { return canonicalLabels(s.Labels) }
+
+// CanonicalLabelsExcept is CanonicalLabels with one label (typically "le")
+// excluded — the grouping key for histogram bucket series.
+func (s ExpoSample) CanonicalLabelsExcept(skip string) string {
+	return canonicalLabelsExcept(s.Labels, skip)
+}

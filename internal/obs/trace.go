@@ -175,6 +175,34 @@ func NewSpanID() SpanID {
 	return s
 }
 
+// Child derives the traceparent for an outbound hop: same trace and flags,
+// fresh span id. The receiver's instrument middleware re-parents again, so
+// every network edge gets its own span.
+func (tp Traceparent) Child() Traceparent {
+	tp.Span = NewSpanID()
+	return tp
+}
+
+// ParseTraceID parses a 32-digit lowercase-hex trace id, rejecting the
+// all-zero id the spec reserves as invalid.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, false
+	}
+	for i := 0; i < 16; i++ {
+		b, ok := unhexByte(s[2*i], s[2*i+1])
+		if !ok {
+			return id, false
+		}
+		id[i] = b
+	}
+	if id.IsZero() {
+		return id, false
+	}
+	return id, true
+}
+
 func putUint64(dst []byte, v uint64) {
 	for i := 0; i < 8; i++ {
 		dst[i] = byte(v >> (56 - 8*i))
@@ -203,6 +231,19 @@ const (
 	StageEstimate = "estimate"
 	StageEncode   = "encode"
 	StageProxy    = "proxy" // cluster mode: request forwarded to the owning node
+)
+
+// Hop kinds recorded for cluster-internal sends. Each inter-node request
+// stamps a child traceparent and the sender records one hop span, so a
+// distributed trace shows every network edge it crossed.
+const (
+	HopReplicate = "replicate" // quorum replication fan-out
+	HopHandoff   = "handoff"   // hinted-handoff retry delivery
+	HopGossip    = "gossip"    // membership heartbeat exchange
+	HopDigest    = "digest"    // anti-entropy digest pull
+	HopEntry     = "entry"     // anti-entropy per-key entry pull
+	HopSnapshot  = "snapshot"  // anti-entropy full snapshot pull
+	HopForward   = "forward"   // ownership proxy of a client request
 )
 
 // MaxSpans bounds the per-request span buffer; stages past the limit are
@@ -291,11 +332,15 @@ func (t *TraceBuf) finish(total time.Duration) {
 
 // TraceRecord is one completed request in the ring: a fixed-size value (the
 // strings are route and stage constants), copied in without allocation.
+// Hop records (written by RecordHop for cluster-internal sends) additionally
+// carry the hop kind and peer node id; both are empty for request records.
 type TraceRecord struct {
 	TP        Traceparent
 	Parent    SpanID
 	HasParent bool
 	Route     string
+	Kind      string // hop kind (HopReplicate, ...); "" for served requests
+	Peer      string // peer node id the hop targeted; "" for served requests
 	Status    int
 	Wall      time.Time // wall-clock request start
 	Duration  time.Duration
@@ -341,6 +386,8 @@ func (r *TraceRing) Record(tb *TraceBuf, status int, wall time.Time, total time.
 	rec.Parent = tb.Parent
 	rec.HasParent = tb.HasParent
 	rec.Route = tb.Route
+	rec.Kind = ""
+	rec.Peer = ""
 	rec.Status = status
 	rec.Wall = wall
 	rec.Duration = total
@@ -348,6 +395,59 @@ func (r *TraceRing) Record(tb *TraceBuf, status int, wall time.Time, total time.
 	rec.Spans = tb.spans
 	rec.NSpans = tb.n
 	r.mu.Unlock()
+}
+
+// RecordHop copies one completed cluster-internal send into the ring: the
+// sender's view of a network edge, recorded under the hop's own (child)
+// traceparent with parent set to the span it was derived from. kind and peer
+// should be reused constants or long-lived ids — the record stores the
+// strings as-is. Safe on a nil ring (tracing disabled).
+func (r *TraceRing) RecordHop(tp Traceparent, parent SpanID, kind, peer, route string, status int, wall time.Time, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.total.Add(1)
+	r.mu.Lock()
+	rec := &r.recs[r.next%uint64(len(r.recs))]
+	r.next++
+	*rec = TraceRecord{
+		TP:        tp,
+		Parent:    parent,
+		HasParent: !parent.IsZero(),
+		Route:     route,
+		Kind:      kind,
+		Peer:      peer,
+		Status:    status,
+		Wall:      wall,
+		Duration:  d,
+	}
+	rec.Spans[0] = Span{Name: kind, Start: 0, End: d}
+	rec.NSpans = 1
+	r.mu.Unlock()
+}
+
+// FindByTrace returns the ring's records for one trace id, newest first —
+// the per-node input to cross-node trace stitching. Safe on a nil ring.
+func (r *TraceRing) FindByTrace(id TraceID) []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	size := uint64(len(r.recs))
+	count := n
+	if count > size {
+		count = size
+	}
+	var out []TraceRecord
+	for i := uint64(1); i <= count; i++ {
+		rec := r.recs[(n-i)%size]
+		if rec.TP.Trace == id {
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 // Snapshot copies the ring's contents, newest first (allocates; the debug

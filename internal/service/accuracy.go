@@ -1,0 +1,180 @@
+package service
+
+// Continuous estimator-accuracy telemetry: every time the ingest worker
+// completes an accumulated scan it compares the live fetch curve against the
+// published catalog entry on the entry's own modeling grid — whether or not
+// the divergence crosses the republish threshold. The comparison feeds three
+// surfaces:
+//
+//   - per-index epfis_accuracy_relerr{index,stat} histograms (stat = "max"
+//     and "mean" relative error over the grid), so dashboards track model
+//     error as a distribution over time;
+//   - GET /debug/accuracy, a per-index document with the latest sampled
+//     curve points, published-model error, and refit bookkeeping;
+//   - the existing epfis_ingest_drift histogram (max relative error only),
+//     unchanged.
+//
+// The state lives on the ingester because the measurements do: the worker
+// goroutine writes under accMu at each completed scan, the handler reads a
+// copy. Nothing here touches the estimate serving path.
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"epfis/internal/core"
+	"epfis/internal/lrusim"
+	"epfis/internal/obs"
+)
+
+// routeAccuracy serves the per-index accuracy document. Registered whenever
+// ingestion is enabled (the measurements come from ingested scans).
+const routeAccuracy = "GET /debug/accuracy"
+
+// maxAccuracyPoints caps the modeling-grid samples retained per index in the
+// /debug/accuracy document; the grid itself can run to thousands of points.
+const maxAccuracyPoints = 32
+
+// accuracyBuckets spans relative error from one-tenth of a percent to
+// several-fold divergence — the same domain as epfis_ingest_drift.
+var accuracyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// accPoint is one sampled modeling-grid comparison between the live measured
+// curve and the published model.
+type accPoint struct {
+	B      int64   `json:"b"`         // buffer size sampled
+	Live   float64 `json:"live"`      // measured fetches at B
+	Pub    float64 `json:"published"` // published model's fetches at B
+	RelErr float64 `json:"relErr"`
+}
+
+// indexAccuracy is one index's continuously measured model accuracy, updated
+// at every completed scan.
+type indexAccuracy struct {
+	Scans          uint64     `json:"scans"`          // completed accumulation windows measured
+	MaxRelErr      float64    `json:"maxRelErr"`      // last measurement, max over the grid
+	MeanRelErr     float64    `json:"meanRelErr"`     // last measurement, mean over the grid
+	RefsSinceRefit int64      `json:"refsSinceRefit"` // page references measured since the last republish
+	Republishes    uint64     `json:"republishes"`    // refits published for this index
+	Generation     uint64     `json:"generation"`     // catalog generation the last measurement compared against
+	LastEval       time.Time  `json:"lastEval"`
+	Points         []accPoint `json:"points,omitempty"` // sampled grid comparison from the last measurement
+}
+
+// curveAccuracy compares a live accumulated fetch curve against the
+// published fetch polyline on the published entry's own modeling grid,
+// returning the maximum and mean relative error — |F_live − F_pub| /
+// max(F_pub, 1) — plus up to maxAccuracyPoints sampled grid points.
+func curveAccuracy(live *lrusim.FetchCurve, pubT int64, pubEval func(float64) float64) (maxRel, meanRel float64, points []accPoint) {
+	bmin, bmax := core.ModelingRange(pubT, core.Options{})
+	grid := core.ModelingGridStep(bmin, bmax, 0, 0)
+	if len(grid) == 0 {
+		return 0, 0, nil
+	}
+	stride := 1
+	if len(grid) > maxAccuracyPoints {
+		stride = (len(grid) + maxAccuracyPoints - 1) / maxAccuracyPoints
+	}
+	sum := 0.0
+	for i, b := range grid {
+		pubF := pubEval(float64(b))
+		liveF := float64(live.Fetches(b))
+		den := pubF
+		if den < 1 {
+			den = 1
+		}
+		rel := (liveF - pubF) / den
+		if rel < 0 {
+			rel = -rel
+		}
+		sum += rel
+		if rel > maxRel {
+			maxRel = rel
+		}
+		if i%stride == 0 {
+			points = append(points, accPoint{B: int64(b), Live: liveF, Pub: pubF, RelErr: rel})
+		}
+	}
+	return maxRel, sum / float64(len(grid)), points
+}
+
+// recordAccuracy folds one completed-scan measurement into the index's
+// accuracy state and its error histograms. Called by the worker from
+// evaluate, never on the serving path.
+func (g *ingester) recordAccuracy(key string, gen uint64, refs int64, maxRel, meanRel float64, points []accPoint) {
+	g.accMu.Lock()
+	a := g.acc[key]
+	if a == nil {
+		a = &indexAccuracy{}
+		g.acc[key] = a
+	}
+	a.Scans++
+	a.MaxRelErr = maxRel
+	a.MeanRelErr = meanRel
+	a.RefsSinceRefit += refs
+	a.Generation = gen
+	a.LastEval = time.Now()
+	a.Points = points
+	hMax := g.accHistLocked(key, "max")
+	hMean := g.accHistLocked(key, "mean")
+	g.accMu.Unlock()
+	hMax.Observe(maxRel)
+	hMean.Observe(meanRel)
+}
+
+// accHistLocked resolves (registering on first use) the index's relative
+// error histogram for one stat. Caller holds accMu.
+func (g *ingester) accHistLocked(index, stat string) *obs.Histogram {
+	k := index + "\x00" + stat
+	h := g.accHist[k]
+	if h == nil {
+		h = g.s.obs.reg.Histogram("epfis_accuracy_relerr",
+			"Relative error between live measured fetch curves and the published model, by index and statistic.",
+			accuracyBuckets,
+			obs.Label{Name: "index", Value: index},
+			obs.Label{Name: "stat", Value: stat})
+		g.accHist[k] = h
+	}
+	return h
+}
+
+// noteRepublish resets the refit bookkeeping after a drifted entry was
+// refitted and republished.
+func (g *ingester) noteRepublish(key string, gen uint64) {
+	g.accMu.Lock()
+	if a := g.acc[key]; a != nil {
+		a.Republishes++
+		a.RefsSinceRefit = 0
+		a.Generation = gen
+	}
+	g.accMu.Unlock()
+}
+
+// accuracyDoc is the GET /debug/accuracy document.
+type accuracyDoc struct {
+	Node           string                   `json:"node"`
+	DriftThreshold float64                  `json:"driftThreshold"`
+	Indexes        map[string]indexAccuracy `json:"indexes"`
+}
+
+func (s *Server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	g := s.ingest
+	if g == nil { // route is only registered with ingest on; belt and braces
+		writeError(w, http.StatusNotFound, errors.New("ingestion disabled"))
+		return
+	}
+	out := accuracyDoc{
+		Node:           s.nodeName(),
+		DriftThreshold: g.drift,
+		Indexes:        map[string]indexAccuracy{},
+	}
+	g.accMu.Lock()
+	for key, a := range g.acc {
+		// Value copy; Points is replaced wholesale each measurement, never
+		// mutated in place, so sharing the slice is safe.
+		out.Indexes[key] = *a
+	}
+	g.accMu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}

@@ -115,19 +115,31 @@ func newClusterObs(reg *obs.Registry) *clusterObs {
 }
 
 // observeReplication records one peer send in that peer's latency histogram
-// (epfis_cluster_replication_seconds{peer=...}), registered lazily on the
-// first send — never on the single-node serving path.
-func (c *clusterObs) observeReplication(peer string, d time.Duration) {
+// (epfis_cluster_replication_seconds{peer=...,route=...}), registered lazily
+// on the first send — never on the single-node serving path. route is the
+// hop disposition: "put"/"delete" for quorum fan-out, "handoff" for hint
+// redelivery.
+func (c *clusterObs) observeReplication(peer, route string, d time.Duration) {
+	key := peer + "\x00" + route
 	c.replLatMu.Lock()
-	h := c.replLat[peer]
+	h := c.replLat[key]
 	if h == nil {
 		h = c.reg.Histogram("epfis_cluster_replication_seconds",
-			"Replication send latency by peer.", replicationBuckets,
-			obs.Label{Name: "peer", Value: peer})
-		c.replLat[peer] = h
+			"Replication send latency by peer and route.", replicationBuckets,
+			obs.Label{Name: "peer", Value: peer},
+			obs.Label{Name: "route", Value: route})
+		c.replLat[key] = h
 	}
 	c.replLatMu.Unlock()
 	h.Observe(d.Seconds())
+}
+
+// replRoute maps a replication method to its histogram route label.
+func replRoute(method string) string {
+	if method == http.MethodDelete {
+		return "delete"
+	}
+	return "put"
 }
 
 // clusterKey builds the ring key for an estimate input.
@@ -161,7 +173,7 @@ func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request, in *estima
 		if p.ID == s.cluster.SelfID() || p.URL == "" || p.State == cluster.StateDead {
 			continue
 		}
-		if s.proxyTo(w, r, p.URL) {
+		if s.proxyTo(w, r, p) {
 			s.cobs.proxied.Inc()
 			return true
 		}
@@ -175,20 +187,24 @@ func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request, in *estima
 }
 
 // proxyTo forwards the estimate request to one owner.
-func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, baseURL string) bool {
-	return s.proxyRequest(w, r, baseURL, http.MethodGet, r.URL.RequestURI(), nil)
+func (s *Server) proxyTo(w http.ResponseWriter, r *http.Request, p cluster.PeerInfo) bool {
+	return s.proxyRequest(w, r, p, http.MethodGet, r.URL.RequestURI(), nil)
 }
 
 // proxyRequest forwards a request to one peer with the given method, path,
 // and body, copying the response through verbatim. It reports false on
 // transport failure (the caller tries the next owner); any completed
 // upstream response — success or error — is relayed as-is and reported true.
-func (s *Server) proxyRequest(w http.ResponseWriter, r *http.Request, baseURL, method, path string, body []byte) bool {
+// The outbound request carries this node's id plus a child traceparent
+// derived from the inbound request's trace (read from the request's trace
+// buffer, never from response headers), and the sender records one forward
+// hop so the stitched trace shows the proxy edge.
+func (s *Server) proxyRequest(w http.ResponseWriter, r *http.Request, p cluster.PeerInfo, method, path string, body []byte) bool {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), method, baseURL+path, rd)
+	req, err := http.NewRequestWithContext(r.Context(), method, p.URL+path, rd)
 	if err != nil {
 		return false
 	}
@@ -196,10 +212,25 @@ func (s *Server) proxyRequest(w http.ResponseWriter, r *http.Request, baseURL, m
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(cluster.HeaderForwarded, s.cluster.SelfID())
-	if tp := w.Header().Get(obs.TraceparentHeader); tp != "" {
-		req.Header.Set(obs.TraceparentHeader, tp)
+	req.Header.Set(cluster.HeaderNode, s.cluster.SelfID())
+	var hop obs.Traceparent
+	var parent obs.SpanID
+	traced := false
+	if tb := traceOf(w); tb != nil {
+		parent = tb.TP.Span
+		hop = tb.TP.Child()
+		traced = true
+		req.Header.Set(obs.TraceparentHeader, hop.String())
 	}
+	start := time.Now()
 	resp, err := s.proxyHTTP.Do(req)
+	if traced {
+		status := 0
+		if err == nil {
+			status = resp.StatusCode
+		}
+		s.obs.ring.RecordHop(hop, parent, obs.HopForward, p.ID, path, status, start, time.Since(start))
+	}
 	if err != nil {
 		return false
 	}
@@ -339,13 +370,24 @@ func (s *Server) clusterPut(w http.ResponseWriter, r *http.Request, e *stats.Ind
 		s.cache.dropOtherGenerations(gen)
 	}
 	s.obs.syncIndexes(s.store.Snapshot())
-	if err := s.replicateQuorum(http.MethodPut, indexPath(e.Table, e.Column), body, key, epoch); err != nil {
+	tp, traced := requestTrace(w)
+	if err := s.replicateQuorum(http.MethodPut, indexPath(e.Table, e.Column), body, key, epoch, tp, traced); err != nil {
 		writeRetryable(w, http.StatusServiceUnavailable,
 			fmt.Errorf("replication quorum not met for %s: %w (applied locally, handoff pending; safe to retry)", key, err),
 			time.Second)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"key": key, "generation": gen, "epoch": epoch})
+}
+
+// requestTrace captures the inbound request's trace identity by value —
+// replication goroutines outlive the handler, and the TraceBuf behind
+// traceOf is pooled, so they must never retain the pointer.
+func requestTrace(w http.ResponseWriter) (obs.Traceparent, bool) {
+	if tb := traceOf(w); tb != nil {
+		return tb.TP, true
+	}
+	return obs.Traceparent{}, false
 }
 
 // clusterDelete is handleDeleteIndex's cluster-mode tail. A replicated
@@ -397,7 +439,8 @@ func (s *Server) clusterDelete(w http.ResponseWriter, r *http.Request, table, co
 		s.cache.invalidateIndex(table, column)
 		s.cache.dropOtherGenerations(gen)
 	}
-	if err := s.replicateQuorum(http.MethodDelete, indexPath(table, column), nil, key, epoch); err != nil {
+	tp, traced := requestTrace(w)
+	if err := s.replicateQuorum(http.MethodDelete, indexPath(table, column), nil, key, epoch, tp, traced); err != nil {
 		writeRetryable(w, http.StatusServiceUnavailable,
 			fmt.Errorf("replication quorum not met for %s: %w (deleted locally, handoff pending; safe to retry)", key, err),
 			time.Second)
@@ -478,7 +521,12 @@ func (s *Server) applyLocal(key string, apply func() (uint64, error)) (gen, epoc
 // URL-less — get the hint immediately. A missed quorum returns an error;
 // the caller surfaces 503 with the applied-locally contract (retry-safe,
 // because every replicated apply is epoch-gated).
-func (s *Server) replicateQuorum(method, path string, body []byte, key string, epoch uint64) error {
+func (s *Server) replicateQuorum(method, path string, body []byte, key string, epoch uint64, tp obs.Traceparent, traced bool) error {
+	route := replRoute(method)
+	var traceVal string
+	if traced {
+		traceVal = tp.String() // rendered once; hints carry it for redelivery
+	}
 	owners := map[string]bool{}
 	for _, p := range s.cluster.Owners(key) {
 		owners[p.ID] = true
@@ -492,7 +540,7 @@ func (s *Server) replicateQuorum(method, path string, body []byte, key string, e
 	for _, p := range s.cluster.Peers() {
 		if p.URL == "" || p.State == cluster.StateDead {
 			s.cobs.replFailures.Inc()
-			s.handoff.enqueue(hintRecord{Peer: p.ID, Method: method, Path: path, Body: body, Epoch: epoch, Key: key})
+			s.handoff.enqueue(hintRecord{Peer: p.ID, Method: method, Path: path, Body: body, Epoch: epoch, Key: key, Trace: traceVal})
 			continue
 		}
 		live = append(live, p)
@@ -505,15 +553,19 @@ func (s *Server) replicateQuorum(method, path string, body []byte, key string, e
 	results := make(chan bool, pending)
 	for _, p := range live {
 		go func(p cluster.PeerInfo, isOwner bool) {
+			hop := tp.Child() // fresh span per peer edge
 			start := time.Now()
-			err := s.replicateTo(p.URL, method, path, body, epoch)
-			s.cobs.observeReplication(p.ID, time.Since(start))
+			status, err := s.replicateTo(p.URL, method, path, body, epoch, hop, traced)
+			s.cobs.observeReplication(p.ID, route, time.Since(start))
+			if traced {
+				s.obs.ring.RecordHop(hop, tp.Span, obs.HopReplicate, p.ID, path, status, start, time.Since(start))
+			}
 			if err != nil {
 				s.cobs.replFailures.Inc()
 				s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "replication failed, hint journaled",
 					slog.String("peer", p.ID), slog.String("path", path),
 					slog.String("error", err.Error()))
-				s.handoff.enqueue(hintRecord{Peer: p.ID, Method: method, Path: path, Body: body, Epoch: epoch, Key: key})
+				s.handoff.enqueue(hintRecord{Peer: p.ID, Method: method, Path: path, Body: body, Epoch: epoch, Key: key, Trace: traceVal})
 			} else {
 				s.cobs.replicated.Inc()
 			}
@@ -572,15 +624,23 @@ func (s *Server) replicateRepublish(e *stats.IndexStats) {
 	epoch := s.cluster.BumpEpoch()
 	s.recordStamp(key, cluster.Stamp{Epoch: epoch, Origin: s.cluster.SelfID()})
 	s.clusterMu.Unlock()
-	if err := s.replicateQuorum(http.MethodPut, indexPath(e.Table, e.Column), body, key, epoch); err != nil {
+	// No client request carries a trace here; a republish starts its own.
+	var tp obs.Traceparent
+	traced := s.obs.tracing()
+	if traced {
+		tp = obs.NewTraceparent()
+	}
+	if err := s.replicateQuorum(http.MethodPut, indexPath(e.Table, e.Column), body, key, epoch, tp, traced); err != nil {
 		s.obs.log.LogAttrs(context.Background(), slog.LevelWarn, "ingest republish quorum not met",
 			slog.String("index", key), slog.String("error", err.Error()))
 	}
 }
 
 // replicateTo sends one replicated mutation to one peer, bounded by the
-// per-peer replication timeout.
-func (s *Server) replicateTo(baseURL, method, path string, body []byte, epoch uint64) error {
+// per-peer replication timeout. When traced, the send carries tp as its
+// traceparent so the receiver's span re-parents onto the originating trace.
+// The returned status is the peer's HTTP answer (0 on transport failure).
+func (s *Server) replicateTo(baseURL, method, path string, body []byte, epoch uint64, tp obs.Traceparent, traced bool) (int, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.replTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -589,16 +649,20 @@ func (s *Server) replicateTo(baseURL, method, path string, body []byte, epoch ui
 	}
 	req, err := http.NewRequestWithContext(ctx, method, baseURL+path, rd)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(cluster.HeaderReplicated, s.cluster.SelfID())
+	req.Header.Set(cluster.HeaderNode, s.cluster.SelfID())
 	req.Header.Set(cluster.HeaderEpoch, strconv.FormatUint(epoch, 10))
+	if traced {
+		req.Header.Set(obs.TraceparentHeader, tp.String())
+	}
 	resp, err := s.proxyHTTP.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -607,9 +671,9 @@ func (s *Server) replicateTo(baseURL, method, path string, body []byte, epoch ui
 	// 404 on a replicated delete means the peer already lacks the entry —
 	// converged, not failed.
 	if resp.StatusCode/100 != 2 && !(method == http.MethodDelete && resp.StatusCode == http.StatusNotFound) {
-		return fmt.Errorf("peer answered %d", resp.StatusCode)
+		return resp.StatusCode, fmt.Errorf("peer answered %d", resp.StatusCode)
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
 // noteClusterMutation accounts for a local mutation that is not forwarded

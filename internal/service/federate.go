@@ -1,0 +1,373 @@
+package service
+
+// Metrics federation: GET /v1/cluster/metrics scrapes every live peer's
+// Prometheus exposition concurrently, re-emits each sample with a per-node
+// label, and appends cluster-level rollups under node="cluster" — counter
+// sums and histogram bucket merges (via obs.HistogramSnapshot.Merge), so one
+// scrape answers both "which node" and "how is the cluster doing". Gauges
+// stay per-node: summing generations or queue depths across nodes would be
+// meaningless.
+//
+// The output is a single valid exposition (obs.ValidateExposition-clean):
+// one HELP/TYPE per family in first-seen order, per-node samples, then the
+// rollups, then epfis_federation_peer_up marking which nodes answered the
+// scrape. Peers that cannot answer inside the replication timeout are
+// reported as down rather than stalling the scrape.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"epfis/internal/cluster"
+	"epfis/internal/obs"
+)
+
+// routeClusterMetrics serves the federated exposition. Cluster mode only.
+const routeClusterMetrics = "GET /v1/cluster/metrics"
+
+// maxFederatedBody bounds one peer's scraped exposition.
+const maxFederatedBody = 8 << 20
+
+// nodeExposition is one node's parsed exposition.
+type nodeExposition struct {
+	node string
+	fams []obs.ExpoFamily
+}
+
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	self := s.cluster.SelfID()
+	local, err := obs.ParseExposition(s.obs.reg.AppendText(nil))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("render local metrics: %w", err))
+		return
+	}
+	expos := []nodeExposition{{node: self, fams: local}}
+	up := map[string]float64{self: 1}
+
+	peers := s.cluster.Peers()
+	ctx, cancel := context.WithTimeout(r.Context(), s.replTimeout)
+	defer cancel()
+	type scrape struct {
+		node string
+		fams []obs.ExpoFamily
+		err  error
+	}
+	results := make(chan scrape, len(peers))
+	n := 0
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		up[p.ID] = 0
+		if p.URL == "" || p.State == cluster.StateDead {
+			continue
+		}
+		n++
+		wg.Add(1)
+		go func(p cluster.PeerInfo) {
+			defer wg.Done()
+			fams, err := s.scrapePeerMetrics(ctx, p)
+			results <- scrape{node: p.ID, fams: fams, err: err}
+		}(p)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		res := <-results
+		if res.err != nil {
+			continue
+		}
+		up[res.node] = 1
+		expos = append(expos, nodeExposition{node: res.node, fams: res.fams})
+	}
+	// Deterministic output: peers after self, sorted by node ID.
+	sort.Slice(expos[1:], func(i, j int) bool { return expos[i+1].node < expos[j+1].node })
+
+	body := renderFederated(expos, up)
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// scrapePeerMetrics fetches and parses one peer's Prometheus exposition.
+func (s *Server) scrapePeerMetrics(ctx context.Context, p cluster.PeerInfo) ([]obs.ExpoFamily, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/metrics?format=prom", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(cluster.HeaderNode, s.cluster.SelfID())
+	resp, err := s.proxyHTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer %s: status %d", p.ID, resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFederatedBody))
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseExposition(body)
+}
+
+// nodeSamples is one node's contribution to a family.
+type nodeSamples struct {
+	node    string
+	samples []obs.ExpoSample
+}
+
+// famAgg accumulates one family across the cluster.
+type famAgg struct {
+	name    string
+	typ     string
+	help    string
+	perNode []nodeSamples
+}
+
+// renderFederated merges per-node expositions into one: families in
+// first-seen order, every sample re-labelled with its node, rollups under
+// node="cluster", and the peer-up gauge last.
+func renderFederated(expos []nodeExposition, up map[string]float64) []byte {
+	var order []string
+	agg := map[string]*famAgg{}
+	for _, ne := range expos {
+		for _, f := range ne.fams {
+			a := agg[f.Name]
+			if a == nil {
+				a = &famAgg{name: f.Name, typ: f.Type, help: f.Help}
+				agg[f.Name] = a
+				order = append(order, f.Name)
+			}
+			if a.typ == "" {
+				a.typ = f.Type
+			}
+			if a.help == "" {
+				a.help = f.Help
+			}
+			if len(f.Samples) > 0 {
+				a.perNode = append(a.perNode, nodeSamples{node: ne.node, samples: f.Samples})
+			}
+		}
+	}
+	var dst []byte
+	for _, name := range order {
+		a := agg[name]
+		dst = appendFamilyHeader(dst, a.name, a.help, a.typ)
+		for _, ns := range a.perNode {
+			for _, smp := range ns.samples {
+				dst = obs.AppendSample(dst, smp.Name,
+					withLabel(smp.Labels, "node", ns.node), smp.Value)
+			}
+		}
+		switch a.typ {
+		case "counter":
+			dst = appendCounterRollup(dst, a)
+		case "histogram":
+			dst = appendHistogramRollup(dst, a)
+		}
+	}
+	dst = appendFamilyHeader(dst, "epfis_federation_peer_up",
+		"1 when the node answered the federated metrics scrape, 0 when it did not.", "gauge")
+	nodes := make([]string, 0, len(up))
+	for node := range up {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		dst = obs.AppendSample(dst, "epfis_federation_peer_up",
+			[]obs.Label{{Name: "node", Value: node}}, up[node])
+	}
+	return dst
+}
+
+// appendFamilyHeader emits the HELP/TYPE comments for one family.
+func appendFamilyHeader(dst []byte, name, help, typ string) []byte {
+	if help != "" {
+		dst = append(dst, "# HELP "...)
+		dst = append(dst, name...)
+		dst = append(dst, ' ')
+		dst = append(dst, help...)
+		dst = append(dst, '\n')
+	}
+	if typ != "" {
+		dst = append(dst, "# TYPE "...)
+		dst = append(dst, name...)
+		dst = append(dst, ' ')
+		dst = append(dst, typ...)
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// withLabel returns labels plus one more, without mutating the input.
+func withLabel(labels []obs.Label, name, value string) []obs.Label {
+	out := make([]obs.Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, obs.Label{Name: name, Value: value})
+}
+
+// labelsWithout returns labels minus the named one.
+func labelsWithout(labels []obs.Label, skip string) []obs.Label {
+	out := make([]obs.Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Name != skip {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// appendCounterRollup sums counter series with identical label sets across
+// nodes and emits one node="cluster" sample per set.
+func appendCounterRollup(dst []byte, a *famAgg) []byte {
+	type group struct {
+		labels []obs.Label
+		sum    float64
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, ns := range a.perNode {
+		for _, smp := range ns.samples {
+			k := smp.CanonicalLabels()
+			g := groups[k]
+			if g == nil {
+				g = &group{labels: smp.Labels}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.sum += smp.Value
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		dst = obs.AppendSample(dst, a.name, withLabel(g.labels, "node", "cluster"), g.sum)
+	}
+	return dst
+}
+
+// appendHistogramRollup reconstructs each node's histogram series from its
+// cumulative bucket samples, merges them bucket-wise across nodes per label
+// set, and renders the merged snapshots under node="cluster". A label set
+// whose bounds disagree across nodes (mixed binary versions) is skipped
+// rather than merged wrongly.
+func appendHistogramRollup(dst []byte, a *famAgg) []byte {
+	type group struct {
+		labels []obs.Label // sans le
+		snap   obs.HistogramSnapshot
+		begun  bool
+		bad    bool
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, ns := range a.perNode {
+		type build struct {
+			labels []obs.Label
+			bounds []float64
+			cum    []float64
+			sum    float64
+		}
+		var bOrder []string
+		builds := map[string]*build{}
+		for _, smp := range ns.samples {
+			k := smp.CanonicalLabelsExcept("le")
+			b := builds[k]
+			if b == nil {
+				b = &build{}
+				builds[k] = b
+				bOrder = append(bOrder, k)
+			}
+			switch {
+			case strings.HasSuffix(smp.Name, "_bucket"):
+				le, ok := smp.LabelValue("le")
+				if !ok {
+					continue
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					continue
+				}
+				b.bounds = append(b.bounds, bound)
+				b.cum = append(b.cum, smp.Value)
+				if b.labels == nil {
+					b.labels = labelsWithout(smp.Labels, "le")
+				}
+			case strings.HasSuffix(smp.Name, "_sum"):
+				b.sum = smp.Value
+				if b.labels == nil {
+					b.labels = smp.Labels
+				}
+			}
+		}
+		for _, k := range bOrder {
+			b := builds[k]
+			snap, ok := histSnapshotOf(b.bounds, b.cum, b.sum)
+			g := groups[k]
+			if g == nil {
+				g = &group{labels: b.labels}
+				groups[k] = g
+				order = append(order, k)
+			}
+			if !ok {
+				g.bad = true
+				continue
+			}
+			if !g.begun {
+				g.snap, g.begun = snap, true
+				continue
+			}
+			if err := g.snap.Merge(snap); err != nil {
+				g.bad = true
+			}
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		if g.bad || !g.begun {
+			continue
+		}
+		dst = g.snap.AppendText(dst, a.name, withLabel(g.labels, "node", "cluster"))
+	}
+	return dst
+}
+
+// histSnapshotOf rebuilds a non-cumulative snapshot from scraped cumulative
+// bucket samples: sort by bound, require a final +Inf bucket and
+// non-decreasing counts, then de-cumulate.
+func histSnapshotOf(bounds, cum []float64, sum float64) (obs.HistogramSnapshot, bool) {
+	if len(bounds) == 0 || len(bounds) != len(cum) {
+		return obs.HistogramSnapshot{}, false
+	}
+	type pair struct{ bound, cum float64 }
+	ps := make([]pair, len(bounds))
+	for i := range bounds {
+		ps[i] = pair{bound: bounds[i], cum: cum[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].bound < ps[j].bound })
+	if !math.IsInf(ps[len(ps)-1].bound, 1) {
+		return obs.HistogramSnapshot{}, false
+	}
+	snap := obs.HistogramSnapshot{
+		Bounds: make([]float64, 0, len(ps)-1),
+		Counts: make([]uint64, 0, len(ps)),
+		Sum:    sum,
+	}
+	prev := 0.0
+	for i, p := range ps {
+		if p.cum < prev {
+			return obs.HistogramSnapshot{}, false
+		}
+		c := uint64(p.cum - prev)
+		prev = p.cum
+		if i < len(ps)-1 {
+			snap.Bounds = append(snap.Bounds, p.bound)
+		}
+		snap.Counts = append(snap.Counts, c)
+		snap.Count += c
+	}
+	return snap, true
+}

@@ -59,6 +59,9 @@ const (
 )
 
 // hintRecord is one undeliverable replicated mutation, queued for a peer.
+// Trace, when set, is the originating request's traceparent; redelivery
+// derives child spans from it so a stitched trace shows the handoff edge
+// that eventually converged the peer.
 type hintRecord struct {
 	Peer   string `json:"peer"`
 	Method string `json:"method"`
@@ -66,6 +69,7 @@ type hintRecord struct {
 	Body   []byte `json:"body,omitempty"`
 	Epoch  uint64 `json:"epoch"`
 	Key    string `json:"key"`
+	Trace  string `json:"trace,omitempty"`
 }
 
 // handoff is the per-peer hint queues, their journals, and the drainer.
@@ -519,10 +523,18 @@ func (h *handoff) drainPeer(ctx context.Context, id string, force bool) {
 			}
 			commit = func(bool) {}
 		}
+		ptp, hasTP := obs.ParseTraceparent(rec.Trace)
 		err = resilience.Retry(ctx, resilience.RetryPolicy{
 			MaxAttempts: 3, BaseDelay: 25 * time.Millisecond, MaxDelay: 250 * time.Millisecond,
 		}, func(ctx context.Context) error {
-			return h.s.replicateTo(info.URL, rec.Method, rec.Path, rec.Body, rec.Epoch)
+			hop := ptp.Child()
+			start := time.Now()
+			status, rerr := h.s.replicateTo(info.URL, rec.Method, rec.Path, rec.Body, rec.Epoch, hop, hasTP)
+			h.s.cobs.observeReplication(id, "handoff", time.Since(start))
+			if hasTP {
+				h.s.obs.ring.RecordHop(hop, ptp.Span, obs.HopHandoff, id, rec.Path, status, start, time.Since(start))
+			}
+			return rerr
 		})
 		commit(err != nil)
 		if err != nil {

@@ -141,6 +141,13 @@ type ingester struct {
 	drift  float64
 	states map[string]*ingestState
 
+	// accMu guards the per-index accuracy state (written by the worker at
+	// every completed scan, read by GET /debug/accuracy) and its lazily
+	// registered epfis_accuracy_relerr histograms.
+	accMu   sync.Mutex
+	acc     map[string]*indexAccuracy
+	accHist map[string]*obs.Histogram // keyed index\x00stat
+
 	// journal is set by New when the store is WAL-backed: acked batches are
 	// framed into the WAL before the 202 and replayed at startup.
 	journal bool
@@ -182,6 +189,8 @@ func newIngester(s *Server, cfg Config) *ingester {
 		drift:   cfg.DriftThreshold,
 		states:  make(map[string]*ingestState),
 		pending: make(map[string][]pendEntry),
+		acc:     make(map[string]*indexAccuracy),
+		accHist: make(map[string]*obs.Histogram),
 	}
 	if g.drift == 0 {
 		g.drift = DefaultDriftThreshold
@@ -380,7 +389,7 @@ func (s *Server) forwardIngest(w http.ResponseWriter, r *http.Request, req *Inge
 		if p.ID == s.cluster.SelfID() || p.URL == "" || p.State == cluster.StateDead {
 			continue
 		}
-		if s.proxyRequest(w, r, p.URL, http.MethodPost, "/v1/ingest", body) {
+		if s.proxyRequest(w, r, p, http.MethodPost, "/v1/ingest", body) {
 			s.cobs.proxied.Inc()
 			return
 		}
@@ -552,11 +561,16 @@ func (g *ingester) evaluate(key string, st *ingestState) {
 	curve := st.accum.Curve()
 	snap := g.s.store.Snapshot()
 	pub, ok := snap.Lookup(key)
-	drift := 1.0 // no published entry: any live curve is fully divergent
+	// No published entry: any live curve is fully divergent.
+	drift, meanRel := 1.0, 1.0
+	var points []accPoint
 	if ok {
-		drift = curveDrift(curve, pub.T, pub.Curve.Eval)
+		drift, meanRel, points = curveAccuracy(curve, pub.T, pub.Curve.Eval)
 	}
 	g.driftDist.Observe(drift)
+	// Accuracy is recorded on every measurement, not just republishes: the
+	// telemetry must show a model staying good, not only one going bad.
+	g.recordAccuracy(key, snap.Generation(), st.accum.Total(), drift, meanRel, points)
 	if drift < g.drift {
 		return
 	}
@@ -577,6 +591,7 @@ func (g *ingester) evaluate(key string, st *ingestState) {
 		return
 	}
 	g.republishes.Inc()
+	g.noteRepublish(key, gen)
 	if c := g.s.cache; c != nil {
 		c.dropOtherGenerations(gen)
 	}
@@ -596,23 +611,6 @@ func (g *ingester) evaluate(key string, st *ingestState) {
 // the published fetch polyline, sampled on the published entry's own
 // modeling grid: max over B of |F_live(B) − F_pub(B)| / max(F_pub(B), 1).
 func curveDrift(live *lrusim.FetchCurve, pubT int64, pubEval func(float64) float64) float64 {
-	bmin, bmax := core.ModelingRange(pubT, core.Options{})
-	grid := core.ModelingGridStep(bmin, bmax, 0, 0)
-	maxRel := 0.0
-	for _, b := range grid {
-		pubF := pubEval(float64(b))
-		liveF := float64(live.Fetches(b))
-		den := pubF
-		if den < 1 {
-			den = 1
-		}
-		rel := (liveF - pubF) / den
-		if rel < 0 {
-			rel = -rel
-		}
-		if rel > maxRel {
-			maxRel = rel
-		}
-	}
+	maxRel, _, _ := curveAccuracy(live, pubT, pubEval)
 	return maxRel
 }

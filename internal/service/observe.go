@@ -204,6 +204,23 @@ func newServerObs(s *Server, cfg Config, routes []string) *serverObs {
 			func() float64 { _, slow := o.ring.Totals(); return float64(slow) })
 	}
 
+	// Runtime health: evaluated only at scrape time, so the hot path never
+	// pays for a ReadMemStats.
+	o.reg.GaugeFunc("epfis_go_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	o.reg.GaugeFunc("epfis_go_heap_alloc_bytes", "Heap bytes allocated and in use.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	o.reg.CounterFunc("epfis_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+
 	bi := buildInfo()
 	o.reg.GaugeFunc("epfis_build_info", "Constant 1 labelled with build metadata.",
 		func() float64 { return 1 },
@@ -362,17 +379,61 @@ type traceSpanDoc struct {
 	DurMicros   float64 `json:"durMicros"`
 }
 
-// traceDoc is one completed request in /debug/traces, newest first.
+// traceDoc is one completed request or cluster hop in /debug/traces (and in
+// stitched cross-node traces), newest first. Node names the recording node;
+// Kind/Peer are set on hop records only.
 type traceDoc struct {
 	Trace          string         `json:"trace"`
 	Span           string         `json:"span"`
 	Parent         string         `json:"parent,omitempty"`
+	Node           string         `json:"node,omitempty"`
+	Kind           string         `json:"kind,omitempty"`
+	Peer           string         `json:"peer,omitempty"`
 	Route          string         `json:"route"`
 	Status         int            `json:"status"`
 	Start          time.Time      `json:"start"`
 	DurationMicros float64        `json:"durationMicros"`
 	Slow           bool           `json:"slow"`
 	Spans          []traceSpanDoc `json:"spans"`
+}
+
+// traceDocOf renders one ring record as its JSON document, stamped with the
+// recording node's name.
+func traceDocOf(rec obs.TraceRecord, node string) traceDoc {
+	td := traceDoc{
+		Trace:          rec.TP.TraceString(),
+		Span:           rec.TP.Span.String(),
+		Node:           node,
+		Kind:           rec.Kind,
+		Peer:           rec.Peer,
+		Route:          rec.Route,
+		Status:         rec.Status,
+		Start:          rec.Wall,
+		DurationMicros: float64(rec.Duration) / 1e3,
+		Slow:           rec.Slow,
+		Spans:          make([]traceSpanDoc, 0, rec.NSpans),
+	}
+	if rec.HasParent {
+		td.Parent = rec.Parent.String()
+	}
+	for i := 0; i < rec.NSpans; i++ {
+		sp := rec.Spans[i]
+		td.Spans = append(td.Spans, traceSpanDoc{
+			Name:        sp.Name,
+			StartMicros: float64(sp.Start) / 1e3,
+			DurMicros:   float64(sp.End-sp.Start) / 1e3,
+		})
+	}
+	return td
+}
+
+// nodeName is this server's name in trace documents: the cluster identity
+// when clustered, "local" otherwise.
+func (s *Server) nodeName() string {
+	if s.cluster != nil {
+		return s.cluster.SelfID()
+	}
+	return "local"
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
@@ -393,32 +454,12 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if o.slow > 0 {
 		out.SlowThresholdMicros = float64(o.slow) / 1e3
 	}
+	node := s.nodeName()
 	for _, rec := range o.ring.Snapshot() {
 		if slowOnly && !rec.Slow {
 			continue
 		}
-		td := traceDoc{
-			Trace:          rec.TP.TraceString(),
-			Span:           rec.TP.Span.String(),
-			Route:          rec.Route,
-			Status:         rec.Status,
-			Start:          rec.Wall,
-			DurationMicros: float64(rec.Duration) / 1e3,
-			Slow:           rec.Slow,
-			Spans:          make([]traceSpanDoc, 0, rec.NSpans),
-		}
-		if rec.HasParent {
-			td.Parent = rec.Parent.String()
-		}
-		for i := 0; i < rec.NSpans; i++ {
-			sp := rec.Spans[i]
-			td.Spans = append(td.Spans, traceSpanDoc{
-				Name:        sp.Name,
-				StartMicros: float64(sp.Start) / 1e3,
-				DurMicros:   float64(sp.End-sp.Start) / 1e3,
-			})
-		}
-		out.Traces = append(out.Traces, td)
+		out.Traces = append(out.Traces, traceDocOf(rec, node))
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -32,6 +32,9 @@
 //	                                        text via Accept: text/plain or
 //	                                        ?format=prom)
 //	GET    /debug/traces                    recent request traces (JSON)
+//	GET    /debug/traces/{traceid}          one trace, stitched across the cluster
+//	GET    /debug/accuracy                  continuous estimator-accuracy telemetry
+//	GET    /v1/cluster/metrics              federated cluster-wide metrics
 //
 // Invalid estimation inputs surface as HTTP 400 carrying the core package's
 // typed sentinel message; unknown indexes as 404. Handlers run behind
@@ -266,15 +269,15 @@ func New(cfg Config) (*Server, error) {
 	routeNames := []string{
 		routeEstimate, routeBatch, routeIndexes, routeIndex, routePutIndex,
 		routeDeleteIndex, routeReload, routeHealthz, routeMetrics,
-		routeTraces,
+		routeTraces, routeTrace,
 	}
 	if cfg.IngestQueue >= 0 {
-		routeNames = append(routeNames, routeIngest)
+		routeNames = append(routeNames, routeIngest, routeAccuracy)
 	}
 	if cfg.Cluster != nil {
 		routeNames = append(routeNames,
 			routeClusterHealth, routeClusterGossip, routeClusterSnapshot,
-			routeClusterDigest, routeClusterEntry)
+			routeClusterDigest, routeClusterEntry, routeClusterMetrics)
 	}
 	s.met = newMetrics(routeNames)
 
@@ -292,6 +295,10 @@ func New(cfg Config) (*Server, error) {
 		s.cluster = cfg.Cluster
 		s.cobs = newClusterObs(s.obs.reg)
 		s.cluster.RegisterMetrics(s.obs.reg)
+		// Hand the node the request-trace ring so gossip and anti-entropy
+		// hops land next to served requests in /debug/traces (nil when
+		// tracing is disabled — the node then skips hop recording).
+		s.cluster.SetTraceRing(s.obs.ring)
 		timeout := cfg.RequestTimeout
 		if timeout == 0 {
 			timeout = DefaultRequestTimeout
@@ -373,10 +380,12 @@ func New(cfg Config) (*Server, error) {
 		// The ingest route carries its own backpressure (the bounded queue)
 		// and is exempt from per-route admission control.
 		mux.Handle(routeIngest, s.instrument(routeIngest, s.handleIngest))
+		mux.Handle(routeAccuracy, s.instrument(routeAccuracy, s.handleAccuracy))
 	}
 	mux.Handle(routeHealthz, s.instrument(routeHealthz, s.handleHealthz))
 	mux.Handle(routeMetrics, s.instrument(routeMetrics, s.handleMetrics))
 	mux.Handle(routeTraces, s.instrument(routeTraces, s.handleTraces))
+	mux.Handle(routeTrace, s.instrument(routeTrace, s.handleTrace))
 	if s.cluster != nil {
 		// Cluster management routes are exempt from admission control (like
 		// healthz/metrics): heartbeats and recovery must work under load.
@@ -385,6 +394,7 @@ func New(cfg Config) (*Server, error) {
 		mux.Handle(routeClusterSnapshot, s.instrument(routeClusterSnapshot, s.handleClusterSnapshot))
 		mux.Handle(routeClusterDigest, s.instrument(routeClusterDigest, s.handleClusterDigest))
 		mux.Handle(routeClusterEntry, s.instrument(routeClusterEntry, s.handleClusterEntry))
+		mux.Handle(routeClusterMetrics, s.instrument(routeClusterMetrics, s.handleClusterMetrics))
 	}
 
 	var h http.Handler = mux
